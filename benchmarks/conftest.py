@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each bench target regenerates one paper figure/table: it runs the
+experiment once under ``benchmark.pedantic`` (so pytest-benchmark records
+the wall time) and prints the paper-style rows that EXPERIMENTS.md
+records. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,65 @@
+"""Ablations of Jiffy's individual design choices (DESIGN.md §5)."""
+
+from repro.experiments import ablations
+
+
+def test_lease_propagation_ablation(once, capsys):
+    result = once(ablations.run_lease_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            f"lease renewals: propagated={result.propagated_messages} "
+            f"naive={result.naive_messages} "
+            f"({result.message_reduction:.0%} fewer messages); "
+            f"naive premature expiries={result.naive_premature_expiries}"
+        )
+    # §3.2: propagation "significantly reduces the number of lease
+    # renewal messages".
+    assert result.propagated_messages < result.naive_messages / 2
+    assert result.naive_premature_expiries == 0  # naive is correct, just chatty
+
+
+def test_dataplane_repartitioning_ablation(once, capsys):
+    result = once(ablations.run_repartition_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            "client-path bytes during KV scaling: "
+            f"data-plane={result.dataplane_client_bytes} "
+            f"client-side={result.clientside_client_bytes} "
+            f"({result.network_reduction:.0%} reduction)"
+        )
+    # §3.3: offloading repartitioning to the data plane removes the
+    # client network path entirely.
+    assert result.dataplane_client_bytes == 0
+    assert result.clientside_client_bytes > 0
+
+
+def test_block_granularity_ablation(once, capsys):
+    result = once(ablations.run_granularity_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            f"avg bytes: demand={result.demand_avg / 1e6:.1f}MB "
+            f"jiffy allocated={result.jiffy_avg_allocated / 1e6:.1f}MB "
+            f"perfect-oracle reserved={result.oracle_avg_reserved / 1e6:.1f}MB "
+            f"(oracle holds {result.oracle_overhead:.1f}x more)"
+        )
+    # Even a perfect peak oracle reserves much more than block-granular
+    # allocation — the gap job-level allocation cannot close.
+    assert result.oracle_overhead > 1.5
+    assert result.jiffy_avg_allocated >= result.demand_avg
+
+
+def test_cuckoo_hashing_ablation(once, capsys):
+    result = once(ablations.run_hashing_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            f"probes/lookup: cuckoo={result.cuckoo_probes_per_lookup:.2f} "
+            f"chained={result.chained_probes_per_lookup:.2f} "
+            f"({result.probe_reduction:.0%} fewer probes)"
+        )
+    # Cuckoo lookups probe at most 2 buckets.
+    assert result.cuckoo_probes_per_lookup <= 2.0
+    assert result.chained_probes_per_lookup > result.cuckoo_probes_per_lookup

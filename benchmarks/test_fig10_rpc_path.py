@@ -1,0 +1,54 @@
+"""Fig 10 validation: the emergent RPC-path latency vs the device curve.
+
+Fig 10's Jiffy curve is a calibrated model; here the same small-object
+latency is produced *emergently* by running gets through the full
+simulated path (client serialise → network → server queue → execute →
+respond) and compared against the model's band.
+"""
+
+import numpy as np
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.rpc.dataplane import RemoteKV, serve_kv
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkModel
+from repro.storage.tier import JIFFY_TIER
+
+
+def run_rpc_gets(num_gets: int = 500, value_bytes: int = 128):
+    loop = EventLoop(SimClock())
+    controller = JiffyController(
+        JiffyConfig(block_size=16 * KB), clock=loop.clock, default_blocks=512
+    )
+    client = connect(controller, "bench")
+    client.create_addr_prefix("kv")
+    kv = client.init_data_structure("kv", "kv_store", num_slots=64)
+    server = serve_kv(kv, loop)
+    remote = RemoteKV(loop, server, NetworkModel())
+    for i in range(200):
+        remote.put(f"key-{i:04d}".encode(), b"v" * value_bytes)
+    latencies = []
+    for i in range(num_gets):
+        _, latency = remote.timed_get(f"key-{i % 200:04d}".encode())
+        latencies.append(latency)
+    return latencies
+
+
+def test_fig10_rpc_path_matches_device_curve(once, capsys):
+    latencies = once(run_rpc_gets)
+    measured_p50 = float(np.median(latencies))
+    model = JIFFY_TIER.read_latency(128)
+    with capsys.disabled():
+        print()
+        print(
+            f"emergent RPC-path get latency p50={measured_p50 * 1e6:.0f}us "
+            f"p99={np.percentile(latencies, 99) * 1e6:.0f}us; "
+            f"Fig 10 model at 128B: {model * 1e6:.0f}us"
+        )
+    # The emergent path should land within the model's small-object band.
+    assert 0.5 * model < measured_p50 < 2.5 * model
+    # And stay sub-millisecond, the Fig 10 in-memory property.
+    assert np.percentile(latencies, 99) < 1e-3

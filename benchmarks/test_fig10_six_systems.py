@@ -1,0 +1,21 @@
+"""Fig 10: read/write latency and MB/s for six storage systems."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_latency_and_throughput(once, capsys):
+    result = once(fig10.run)
+    with capsys.disabled():
+        print()
+        print(fig10.format_report(result))
+
+    # In-memory stores sub-ms at small sizes; S3/DynamoDB not.
+    for system in ("Apache Crail", "ElastiCache", "Pocket", "Jiffy"):
+        assert result.read_latency[system][0] < 1e-3
+    assert result.read_latency["S3"][0] > 1e-2
+    assert result.read_latency["DynamoDB"][0] > 1e-3
+    # DynamoDB caps object size.
+    assert result.read_latency["DynamoDB"][-1] is None
+    # Jiffy matches/beats the other in-memory stores (paper §6.2).
+    for i in range(len(result.sizes)):
+        assert result.read_latency["Jiffy"][i] <= result.read_latency["ElastiCache"][i]

@@ -1,0 +1,34 @@
+"""Fig 11(b): repartition latency CDF and op latency during scaling."""
+
+import numpy as np
+
+from repro.analysis.cdf import percentile
+from repro.experiments import fig11
+
+
+def test_fig11b_repartition_latency(once, capsys):
+    result = once(fig11.run_repartition, num_events=300, num_gets=2000)
+    with capsys.disabled():
+        print()
+        for ds_type, samples in result.repartition_latencies.items():
+            print(
+                f"{ds_type:12s} repartition latency "
+                f"p1={percentile(samples, 1) * 1e3:6.1f}ms "
+                f"p50={percentile(samples, 50) * 1e3:6.1f}ms "
+                f"p99={percentile(samples, 99) * 1e3:6.1f}ms"
+            )
+        print(
+            "100KB get p50 before/during repartitioning: "
+            f"{np.median(result.get_before) * 1e3:.2f}ms / "
+            f"{np.median(result.get_during) * 1e3:.2f}ms"
+        )
+    # Paper: repartitioning completes in 2-500ms per block.
+    for ds_type, samples in result.repartition_latencies.items():
+        assert percentile(samples, 1) > 1e-3, ds_type
+        assert percentile(samples, 99) < 0.5, ds_type
+    # KV moves half a block, so it dominates the tail.
+    assert max(result.repartition_latencies["kv_store"]) > max(
+        result.repartition_latencies["fifo_queue"]
+    )
+    # Ops are minimally impacted during repartitioning (async, §3.3).
+    assert np.median(result.get_during) < 1.3 * np.median(result.get_before)

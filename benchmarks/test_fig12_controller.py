@@ -1,0 +1,24 @@
+"""Fig 12: controller throughput-vs-latency and multi-core scaling."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_controller_scalability(once, capsys):
+    result = once(fig12.run, num_ops=30_000)
+    with capsys.disabled():
+        print()
+        print(fig12.format_report(result))
+    # A CPython controller won't hit the paper's 42 KOps, but must
+    # sustain real-world control loads (a few hundred ops/sec per the
+    # paper's workloads) with plenty of headroom.
+    assert result.saturation_kops > 5.0
+    # Latency rises monotonically toward saturation (Fig 12a shape).
+    latencies = [lat for _, lat in result.throughput_latency]
+    assert latencies == sorted(latencies)
+    # Linear scaling with cores (Fig 12b shape): 64 cores = 64x.
+    first_cores, first_tput = result.core_scaling[0]
+    last_cores, last_tput = result.core_scaling[-1]
+    assert last_tput / first_tput == last_cores / first_cores
+    # Shard independence: per-op time does not blow up with shards.
+    times = result.shard_service_times
+    assert max(times.values()) < 3 * min(times.values())

@@ -1,0 +1,27 @@
+"""Fig 13(a): streaming word-count — Jiffy vs over-provisioned ElastiCache."""
+
+import numpy as np
+
+from repro.analysis.cdf import percentile
+from repro.experiments import fig13
+
+
+def test_fig13a_streaming_wordcount(once, capsys):
+    result = once(fig13.run_wordcount, num_batches=60, parallelism=50)
+    with capsys.disabled():
+        print()
+        for system, samples in result.batch_latencies.items():
+            print(
+                f"{system:12s} batch latency p50={percentile(samples, 50) * 1e3:6.2f}ms "
+                f"p90={percentile(samples, 90) * 1e3:6.2f}ms "
+                f"p99={percentile(samples, 99) * 1e3:6.2f}ms"
+            )
+        print(
+            f"words={result.total_words} distinct={result.distinct_words} "
+            f"counts correct={result.counts_correct}"
+        )
+    assert result.counts_correct
+    # Paper: Jiffy matches the over-provisioned ElastiCache CDF.
+    jiffy = np.median(result.batch_latencies["Jiffy"])
+    ec = np.median(result.batch_latencies["Elasticache"])
+    assert jiffy <= 1.2 * ec

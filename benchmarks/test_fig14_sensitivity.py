@@ -1,0 +1,42 @@
+"""Fig 14: sensitivity to block size, lease duration, repartition threshold."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_sensitivity_sweeps(once, capsys):
+    result = once(fig14.run, duration_s=60.0, dt=1.0)
+    with capsys.disabled():
+        print()
+        print(fig14.format_report(result))
+
+    block = [p.avg_utilization for p in result.block_size]
+    lease = [p.avg_utilization for p in result.lease_duration]
+    threshold = [p.avg_utilization for p in result.threshold]
+
+    # (a) larger blocks -> lower utilisation.
+    assert block[0] > block[-1]
+    # (b) longer leases -> lower utilisation.
+    assert lease[0] > lease[-1]
+    assert all(a >= b - 0.02 for a, b in zip(lease, lease[1:]))
+    # (c) lower high-threshold -> lower utilisation, and the effect is
+    # present but smaller than sweeping leases to 64s (paper: "this
+    # overhead is relatively small").
+    assert threshold[0] > threshold[-1]
+
+
+def test_low_threshold_extension_sweep(once, capsys):
+    """Extension: the merge (low) threshold's side of the §3.3 tradeoff."""
+    points = once(fig14.run_low_threshold)
+    with capsys.disabled():
+        print()
+        for p in points:
+            print(
+                f"low={p.label:>4} blocks after deletes={p.blocks_after_deletes:3d} "
+                f"merges={p.merges:3d} used/alloc={p.avg_utilization:.1%}"
+            )
+    # Lower low-thresholds merge less eagerly -> more nearly-empty
+    # blocks survive -> lower utilisation (§3.3).
+    blocks = [p.blocks_after_deletes for p in points]
+    utils = [p.avg_utilization for p in points]
+    assert blocks[0] > blocks[-1]
+    assert utils[0] < utils[-1]

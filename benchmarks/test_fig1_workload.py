@@ -1,0 +1,14 @@
+"""Fig 1: Snowflake-style workload variability analysis."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_workload_variability(once, capsys):
+    result = once(fig1.run, num_tenants=4, duration_s=3600.0, dt=30.0)
+    with capsys.disabled():
+        print()
+        print(fig1.format_report(result))
+    # Paper: peak/mean can vary by an order of magnitude; avg
+    # peak-provisioned utilisation is low (19% across tenants).
+    assert max(result.peak_to_mean.values()) > 3.0
+    assert result.avg_utilization_peak_provisioned < 0.5

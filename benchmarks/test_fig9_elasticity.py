@@ -1,0 +1,33 @@
+"""Fig 9: job slowdown and resource utilisation vs memory capacity.
+
+Paper targets — ElastiCache: 4.7x @60%, 34x @20%; Pocket: 3.2x @60%,
+>4.1x @20%; Jiffy: 1.3x @60%, <2.5x @20%; Jiffy 1.6-2.5x faster than
+Pocket and up to ~3x better utilisation.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_slowdown_and_utilization(once, capsys):
+    result = once(fig9.run)
+    with capsys.disabled():
+        print()
+        print(fig9.format_report(result))
+
+    idx = {f: i for i, f in enumerate(result.capacity_fractions)}
+    # Who wins: Jiffy best at every constrained capacity.
+    for fraction in (0.8, 0.6, 0.4, 0.2):
+        i = idx[fraction]
+        assert result.slowdowns["Jiffy"][i] <= result.slowdowns["Pocket"][i]
+        assert result.slowdowns["Jiffy"][i] <= result.slowdowns["Elasticache"][i]
+        assert (
+            result.utilizations["Jiffy"][i]
+            >= result.utilizations["Pocket"][i]
+        )
+    # Rough factors: ElastiCache degrades by an order of magnitude at
+    # 20%; Jiffy stays within a small factor.
+    assert result.slowdowns["Elasticache"][idx[0.2]] > 10.0
+    assert result.slowdowns["Jiffy"][idx[0.2]] < 5.0
+    # Jiffy-vs-Pocket improvement lands in/near the paper's 1.6-2.5x.
+    improvements = fig9.jiffy_vs_pocket_improvement(result)
+    assert max(improvements) > 1.5

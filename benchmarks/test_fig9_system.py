@@ -1,0 +1,19 @@
+"""Fig 9 functional-system companion: real stack under constrained DRAM."""
+
+from repro.experiments import fig9_system
+
+
+def test_fig9_functional_system(once, capsys):
+    result = once(fig9_system.run)
+    with capsys.disabled():
+        print()
+        print(fig9_system.format_report(result))
+    points = result.points
+    # 100% DRAM: effectively no spill, slowdown ~1.
+    assert points[0].avg_slowdown < 1.01
+    # Slowdown and spill traffic grow monotonically as DRAM shrinks.
+    slowdowns = [p.avg_slowdown for p in points]
+    spills = [p.spill_write_bytes for p in points]
+    assert slowdowns == sorted(slowdowns)
+    assert spills == sorted(spills)
+    assert points[-1].avg_slowdown > 1.05

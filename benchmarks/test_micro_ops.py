@@ -1,0 +1,99 @@
+"""In-process micro-benchmarks of the hot operations.
+
+Unlike the figure benches (one-shot experiment drivers), these measure
+the real CPython cost of individual operations with proper repetition —
+the numbers to watch for performance regressions.
+"""
+
+import itertools
+
+import pytest
+
+from repro.config import KB, MB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.datastructures.cuckoo import CuckooHashTable
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=MB), clock=SimClock(), default_blocks=256
+    )
+
+
+@pytest.fixture
+def client(controller):
+    return connect(controller, "bench")
+
+
+def test_kv_put_throughput(benchmark, client):
+    client.create_addr_prefix("kv")
+    kv = client.init_data_structure("kv", "kv_store", num_slots=256)
+    counter = itertools.count()
+
+    def put():
+        i = next(counter)
+        kv.put(b"key-%d" % (i % 10_000), b"v" * 64)
+
+    benchmark(put)
+
+
+def test_kv_get_latency(benchmark, client):
+    client.create_addr_prefix("kv")
+    kv = client.init_data_structure("kv", "kv_store", num_slots=256)
+    for i in range(1000):
+        kv.put(b"key-%d" % i, b"v" * 64)
+    counter = itertools.count()
+
+    def get():
+        kv.get(b"key-%d" % (next(counter) % 1000))
+
+    benchmark(get)
+
+
+def test_queue_enqueue_dequeue(benchmark, client):
+    client.create_addr_prefix("q")
+    queue = client.init_data_structure("q", "fifo_queue")
+
+    def cycle():
+        queue.enqueue(b"x" * 64)
+        queue.dequeue()
+
+    benchmark(cycle)
+
+
+def test_file_append(benchmark, client):
+    client.create_addr_prefix("f")
+    f = client.init_data_structure("f", "file")
+
+    benchmark(lambda: f.append(b"x" * 256))
+
+
+def test_lease_renewal(benchmark, controller):
+    controller.register_job("job")
+    controller.create_hierarchy(
+        "job", {"t2": ["t1"], "t3": ["t2"], "t4": ["t3"]}
+    )
+
+    benchmark(lambda: controller.renew_lease("job", "t2"))
+
+
+def test_cuckoo_insert(benchmark):
+    table = CuckooHashTable(initial_buckets=1024)
+    counter = itertools.count()
+
+    def insert():
+        table.put(b"key-%d" % next(counter), 1)
+
+    benchmark(insert)
+
+
+def test_hierarchy_resolution(benchmark, controller):
+    controller.register_job("job")
+    controller.create_hierarchy(
+        "job", {"t2": ["t1"], "t3": ["t2"], "t4": ["t3"], "t5": ["t4"]}
+    )
+
+    benchmark(lambda: controller.resolve("job", "t1/t2/t3/t4/t5"))

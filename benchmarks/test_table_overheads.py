@@ -1,0 +1,13 @@
+"""§6.4: controller metadata storage overheads."""
+
+from repro.experiments import overheads
+
+
+def test_metadata_overheads(once, capsys):
+    result = once(overheads.run)
+    with capsys.disabled():
+        print()
+        print(overheads.format_report(result))
+    # Paper: 64B/task + 8B/block => < 0.00005-0.0001% of stored data.
+    for row in result.rows:
+        assert row.overhead_fraction < 1e-6

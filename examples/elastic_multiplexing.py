@@ -1,0 +1,79 @@
+"""Elastic multiplexing demo: the paper's headline behaviour, visible.
+
+Two jobs with out-of-phase bursts share one small memory pool. With
+Jiffy's block-granularity allocation and lease reclamation, the pool
+serves both bursts even though the SUM of their peaks exceeds capacity —
+exactly what job-level reservation (Pocket/ElastiCache) cannot do.
+
+The demo replays the bursts through the real system and prints an ASCII
+strip chart of demand vs allocated blocks over time.
+
+Run:  python examples/elastic_multiplexing.py
+"""
+
+from repro import JiffyConfig, JiffyController, connect
+from repro.config import KB
+from repro.sim import SimClock
+
+BLOCK = 1 * KB
+POOL_BLOCKS = 24  # total capacity: 24 KB
+BURST_BYTES = 16 * KB  # each job's peak: 16 KB (sum of peaks: 32 KB!)
+
+
+def main() -> None:
+    clock = SimClock()
+    controller = JiffyController(
+        JiffyConfig(block_size=BLOCK, lease_duration=1.0),
+        clock=clock,
+        default_blocks=POOL_BLOCKS,
+    )
+
+    jobs = {}
+    for name in ("job-a", "job-b"):
+        client = connect(controller, name)
+        client.create_addr_prefix("burst")
+        jobs[name] = (client, client.init_data_structure("burst", "file"))
+
+    # job-a bursts during t in [0, 4); job-b during t in [6, 10).
+    schedule = {"job-a": (0.0, 4.0), "job-b": (6.0, 10.0)}
+
+    print(f"pool: {POOL_BLOCKS} blocks x {BLOCK}B = {POOL_BLOCKS * BLOCK}B; "
+          f"sum of job peaks = {2 * BURST_BYTES}B (133% of capacity)\n")
+    print(f"{'t':>4} | {'job-a demand':>12} | {'job-b demand':>12} | "
+          f"{'allocated':>9} | chart")
+
+    for step in range(28):
+        t = clock.now()
+        for name, (client, ds) in jobs.items():
+            start, end = schedule[name]
+            if start <= t < end and not ds.expired:
+                # A task coming alive renews its lease before touching
+                # its data (the prefix may have lapsed while idle).
+                client.renew_lease("burst")
+                ds.append(b"x" * (BURST_BYTES // 8))  # ramp up over 8 steps
+        clock.advance(0.5)
+        controller.tick()
+
+        allocated = controller.pool.allocated_blocks
+        demands = {
+            name: (0 if ds.expired else ds.used_bytes())
+            for name, (client, ds) in jobs.items()
+        }
+        bar = "#" * allocated + "." * (POOL_BLOCKS - allocated)
+        print(
+            f"{t:4.1f} | {demands['job-a']:>11}B | {demands['job-b']:>11}B | "
+            f"{allocated:>7}/{POOL_BLOCKS} | {bar}"
+        )
+
+    print(
+        "\nBoth 16KB bursts were served from a 24KB pool: job-a's blocks "
+        "were reclaimed on lease expiry and reused for job-b."
+    )
+    assert controller.pool.allocated_blocks == 0
+    assert controller.prefixes_expired == 2
+    # job-a's data survived to the external store.
+    assert "job-a/burst" in controller.external_store
+
+
+if __name__ == "__main__":
+    main()

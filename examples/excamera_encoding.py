@@ -1,0 +1,77 @@
+"""ExCamera-style parallel video encoding with Jiffy queues (Fig 13(b)).
+
+ExCamera [NSDI '17] encodes video with thousands of small tasks, but its
+serial "rebase" pass needs each task's encoder state delivered to its
+successor. The original uses a rendezvous server the workers poll; here
+the state flows through a Jiffy queue per task pair, and the successor
+learns of availability via a queue notification.
+
+This demo runs the *real* state exchange through Jiffy queues inside a
+discrete-event simulation of the encode/rebase timeline, and prints the
+per-task latency next to the rendezvous baseline.
+
+Run:  python examples/excamera_encoding.py
+"""
+
+from repro import JiffyConfig, JiffyController, connect
+from repro.config import KB
+from repro.experiments.fig13 import run_excamera
+from repro.sim import SimClock
+from repro.workloads.video import VideoWorkload
+
+
+def exchange_state_via_jiffy(workload: VideoWorkload) -> int:
+    """Move every chunk's encoder state through real Jiffy queues.
+
+    Returns the number of state messages delivered via notifications.
+    """
+    controller = JiffyController(
+        JiffyConfig(block_size=512 * KB), clock=SimClock(), default_blocks=256
+    )
+    client = connect(controller, "excamera")
+    delivered = 0
+    # One queue per adjacent task pair, child of the producer's prefix.
+    client.create_addr_prefix("chunk-0")
+    for chunk in workload.chunks[1:]:
+        producer = f"chunk-{chunk.chunk_id - 1}"
+        name = f"state-{chunk.chunk_id - 1}-to-{chunk.chunk_id}"
+        client.create_addr_prefix(name, parent=producer)
+        client.create_addr_prefix(f"chunk-{chunk.chunk_id}", parent=name)
+        queue = client.init_data_structure(name, "fifo_queue")
+        listener = queue.subscribe("enqueue")
+        # Producer finishes its rebase and ships its state...
+        state = workload.frame_data(workload.chunks[chunk.chunk_id - 1], 0)
+        queue.enqueue(state)
+        # ...consumer is notified and picks it up.
+        notification = listener.get()
+        assert notification is not None
+        received = queue.dequeue()
+        assert received == state
+        delivered += 1
+    client.deregister()
+    return delivered
+
+
+def main() -> None:
+    workload = VideoWorkload(num_chunks=16, frame_bytes=64 * 1024)
+    delivered = exchange_state_via_jiffy(workload)
+    print(
+        f"state exchange: {delivered} encoder states moved through Jiffy "
+        "queues with notifications\n"
+    )
+
+    result = run_excamera(num_chunks=16)
+    print(f"{'task':>4} | {'ExCamera':>9} | {'+Jiffy':>9} | saved")
+    for i, (rv, jf) in enumerate(zip(result.rendezvous, result.jiffy)):
+        print(
+            f"{i:>4} | {rv[2]:>8.1f}s | {jf[2]:>8.1f}s | "
+            f"{rv[2] - jf[2]:>5.1f}s"
+        )
+    print(
+        f"\nwait time reduced {result.wait_reduction():.0%} "
+        f"(paper: 10-20%), end-to-end {result.latency_reduction():.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Analysis helpers: CDFs, percentiles, and ASCII reporting for benches."""
+
+from repro.analysis.cdf import cdf_points, percentile, summarize_latencies
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "cdf_points",
+    "percentile",
+    "summarize_latencies",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,40 @@
+"""CDF and percentile helpers for latency-style measurements."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf_points(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions)."""
+    if len(samples) == 0:
+        return np.zeros(0), np.zeros(0)
+    values = np.sort(np.asarray(samples, dtype=float))
+    fractions = np.arange(1, len(values) + 1) / len(values)
+    return values, fractions
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The p-th percentile (p in [0, 100]) of the samples."""
+    if len(samples) == 0:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    return float(np.percentile(np.asarray(samples, dtype=float), p))
+
+
+def summarize_latencies(samples: Sequence[float]) -> Dict[str, float]:
+    """Common latency summary: p50/p90/p99/mean/min/max."""
+    if len(samples) == 0:
+        raise ValueError("cannot summarise no samples")
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,39 @@
+"""Baseline far-memory allocation policies (Fig 9 comparison).
+
+The paper's §6.1 experiment is a *policy* comparison under constrained
+memory capacity:
+
+* **ElastiCache** — provisioned cluster; tenants reserve for their peak
+  for their whole active period; overflow goes to S3 (no tiering).
+* **Pocket** — per-job reservation at registration (job's peak demand)
+  held for the job's lifetime; overflow spills to local SSD.
+* **Jiffy** — block-granularity allocation tracking instantaneous
+  demand, with lease-duration hold-over; overflow spills to SSD.
+
+All three run over identical job traces and a shared cost model
+(:mod:`repro.baselines.base`), so differences come purely from the
+allocation policy — which is the paper's claim.
+"""
+
+from repro.baselines.base import (
+    CapacityTimeline,
+    PolicyResult,
+    SpillCostModel,
+    AllocationPolicy,
+)
+from repro.baselines.elasticache import ElastiCachePolicy
+from repro.baselines.pocket import PocketPolicy
+from repro.baselines.jiffy_policy import JiffyBlockPolicy
+from repro.baselines.pocket_system import PocketBucket, PocketSystem
+
+__all__ = [
+    "CapacityTimeline",
+    "PolicyResult",
+    "SpillCostModel",
+    "AllocationPolicy",
+    "ElastiCachePolicy",
+    "PocketPolicy",
+    "JiffyBlockPolicy",
+    "PocketBucket",
+    "PocketSystem",
+]

@@ -1,0 +1,232 @@
+"""Shared machinery for the Fig 9 allocation-policy comparison.
+
+A policy replays a set of :class:`~repro.workloads.snowflake.JobTrace`
+objects on a discretised timeline against a fixed memory capacity ``C``
+and decides, per step, how much of each job's intermediate data sits in
+memory versus the policy's spill tier. A shared :class:`SpillCostModel`
+then converts spill traffic into per-job slowdown:
+
+* every job moves ``2 × total_intermediate_bytes`` over its lifetime
+  (each stage's output is written once and read once by its consumer);
+* I/O overlapping the in-memory tier is folded into the job's nominal
+  duration (compute and fast I/O overlap);
+* I/O that lands on the spill tier pays the *extra* per-byte time of
+  that tier plus a per-operation latency surcharge.
+
+Slowdown(job) = (nominal + spill penalty) / nominal, matching the
+paper's definition "slowdown relative to job completion time with 100 %
+capacity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MB
+from repro.storage.tier import S3_TIER, SSD_TIER, DRAM_TIER, StorageTier
+from repro.workloads.snowflake import JobTrace
+
+
+#: Average object size used to charge per-op spill latency.
+SPILL_OBJECT_BYTES = 1 * MB
+
+
+@dataclass
+class SpillCostModel:
+    """Converts spilled bytes into extra job runtime.
+
+    ``contention`` models concurrent jobs sharing the spill tier's
+    bandwidth (the cluster's SSDs / the S3 egress of one NAT path): the
+    effective per-job spill bandwidth is ``bandwidth / contention``.
+    """
+
+    memory_tier: StorageTier = DRAM_TIER
+    spill_tier: StorageTier = SSD_TIER
+    object_bytes: int = SPILL_OBJECT_BYTES
+    contention: float = 1.0
+
+    def penalty_seconds(self, spilled_bytes: float) -> float:
+        """Extra runtime for moving ``spilled_bytes`` via the spill tier."""
+        if spilled_bytes <= 0:
+            return 0.0
+        spill_read_bw = self.spill_tier.read_bw_bps / self.contention
+        spill_write_bw = self.spill_tier.write_bw_bps / self.contention
+        per_byte_extra = (1.0 / spill_read_bw + 1.0 / spill_write_bw) - (
+            1.0 / self.memory_tier.read_bw_bps + 1.0 / self.memory_tier.write_bw_bps
+        )
+        ops = spilled_bytes / self.object_bytes
+        per_op_extra = (
+            self.spill_tier.read_base_s
+            + self.spill_tier.write_base_s
+            - self.memory_tier.read_base_s
+            - self.memory_tier.write_base_s
+        )
+        return spilled_bytes * max(per_byte_extra, 0.0) + ops * max(per_op_extra, 0.0)
+
+
+@dataclass
+class CapacityTimeline:
+    """Discretised timeline shared by a policy run."""
+
+    t_start: float
+    t_end: float
+    dt: float
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0 or self.t_end <= self.t_start:
+            raise ValueError("need dt > 0 and t_end > t_start")
+
+    @property
+    def num_steps(self) -> int:
+        return int(np.ceil((self.t_end - self.t_start) / self.dt))
+
+    def times(self) -> np.ndarray:
+        return self.t_start + np.arange(self.num_steps) * self.dt
+
+    def index_of(self, t: float) -> int:
+        return int(np.clip((t - self.t_start) // self.dt, 0, self.num_steps - 1))
+
+
+@dataclass
+class PolicyResult:
+    """Outcome of replaying a workload under one policy."""
+
+    policy_name: str
+    capacity_bytes: float
+    times: np.ndarray
+    in_memory_bytes: np.ndarray  # aggregate data resident in memory
+    reserved_bytes: np.ndarray  # aggregate capacity claimed (== in-memory for Jiffy)
+    job_slowdowns: Dict[str, float] = field(default_factory=dict)
+    job_spilled_bytes: Dict[str, float] = field(default_factory=dict)
+    job_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_slowdown(self) -> float:
+        if not self.job_slowdowns:
+            return 1.0
+        return float(np.mean(list(self.job_slowdowns.values())))
+
+    @property
+    def avg_utilization(self) -> float:
+        """Time-averaged in-memory bytes over capacity, while active."""
+        active = self.reserved_bytes > 0
+        if not active.any() or self.capacity_bytes <= 0:
+            return 0.0
+        return float(
+            np.mean(self.in_memory_bytes[active]) / self.capacity_bytes
+        )
+
+    @property
+    def avg_reserved_fraction(self) -> float:
+        """Time-averaged reserved capacity fraction (waste indicator)."""
+        active = self.reserved_bytes > 0
+        if not active.any() or self.capacity_bytes <= 0:
+            return 0.0
+        return float(np.mean(self.reserved_bytes[active]) / self.capacity_bytes)
+
+
+def job_demand_profile(
+    job: JobTrace, timeline: CapacityTimeline
+) -> Tuple[int, np.ndarray]:
+    """A job's demand sampled on the timeline.
+
+    Returns ``(start_index, demand_array)`` where the array covers only
+    the job's active steps — keeping the replay sparse for large
+    workloads.
+    """
+    start = max(job.submit_time, timeline.t_start)
+    end = min(job.end_time, timeline.t_end)
+    if end <= start:
+        return 0, np.zeros(0)
+    i0 = timeline.index_of(start)
+    i1 = timeline.index_of(end - 1e-9) + 1
+    ts = timeline.times()[i0:i1]
+    demand = np.array([job.demand_at(t) for t in ts])
+    return i0, demand
+
+
+def job_io_profile(job: JobTrace, timeline: CapacityTimeline) -> Tuple[int, np.ndarray]:
+    """Bytes of intermediate-data I/O a job performs in each step.
+
+    Stage ``i``'s output is written uniformly over stage ``i`` and read
+    uniformly over stage ``i+1`` (the final stage's output is read once
+    at job end, attributed to the final step).
+    """
+    start = max(job.submit_time, timeline.t_start)
+    end = min(job.end_time, timeline.t_end)
+    if end <= start:
+        return 0, np.zeros(0)
+    i0 = timeline.index_of(start)
+    i1 = timeline.index_of(end - 1e-9) + 1
+    io = np.zeros(i1 - i0)
+
+    def spread(t_a: float, t_b: float, volume: float) -> None:
+        t_a = max(t_a, timeline.t_start)
+        t_b = min(t_b, timeline.t_end)
+        if t_b <= t_a or volume <= 0:
+            return
+        j0 = timeline.index_of(t_a)
+        j1 = timeline.index_of(t_b - 1e-9) + 1
+        span = j1 - j0
+        for j in range(j0, j1):
+            io[j - i0] += volume / span
+
+    for i, stage in enumerate(job.stages):
+        spread(stage.start, stage.end, stage.output_bytes)  # write
+        if i + 1 < len(job.stages):
+            consumer = job.stages[i + 1]
+            spread(consumer.start, consumer.end, stage.output_bytes)  # read
+        else:
+            spread(stage.end - timeline.dt, stage.end, stage.output_bytes)
+    return i0, io
+
+
+class AllocationPolicy:
+    """Interface: replay a workload at a given capacity."""
+
+    name = "abstract"
+
+    def __init__(self, cost_model: SpillCostModel) -> None:
+        self.cost_model = cost_model
+
+    def replay(
+        self,
+        jobs: Sequence[JobTrace],
+        capacity_bytes: float,
+        timeline: CapacityTimeline,
+    ) -> PolicyResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _nominal_duration(job: JobTrace) -> float:
+        return max(job.duration, 1e-9)
+
+    def _finish(
+        self,
+        jobs: Sequence[JobTrace],
+        capacity_bytes: float,
+        timeline: CapacityTimeline,
+        in_memory: np.ndarray,
+        reserved: np.ndarray,
+        spilled: Dict[str, float],
+    ) -> PolicyResult:
+        slowdowns = {}
+        job_times = {}
+        for job in jobs:
+            penalty = self.cost_model.penalty_seconds(spilled.get(job.job_id, 0.0))
+            nominal = self._nominal_duration(job)
+            slowdowns[job.job_id] = 1.0 + penalty / nominal
+            job_times[job.job_id] = nominal + penalty
+        return PolicyResult(
+            policy_name=self.name,
+            capacity_bytes=capacity_bytes,
+            times=timeline.times(),
+            in_memory_bytes=in_memory,
+            reserved_bytes=reserved,
+            job_slowdowns=slowdowns,
+            job_spilled_bytes=dict(spilled),
+            job_times=job_times,
+        )

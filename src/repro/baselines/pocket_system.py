@@ -1,0 +1,157 @@
+"""A functional Pocket-style store (§2) — not just the Fig 9 policy.
+
+Implements enough of Pocket to run head-to-head against Jiffy on the
+same :class:`~repro.blocks.tiered.TieredMemoryPool`:
+
+* jobs **register with a declared memory demand**; the controller
+  reserves that many DRAM blocks for the job's entire lifetime (or
+  places the job on the SSD tier wholesale if DRAM can't cover it —
+  Pocket's per-job tier decision);
+* data is stored in per-job **buckets** with a flat get/put/delete API
+  (Pocket's interface; no task-level hierarchy, no leases);
+* resources are released only at **deregistration** — a crashed job
+  leaks its reservation until an operator intervenes, which is exactly
+  the dangling-state problem §3.2 motivates leases with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.blocks.block import Block
+from repro.blocks.tiered import TieredMemoryPool
+from repro.datastructures.base import ITEM_OVERHEAD_BYTES
+from repro.datastructures.cuckoo import CuckooHashTable
+from repro.errors import (
+    CapacityError,
+    DataStructureError,
+    KeyNotFoundError,
+    RegistrationError,
+)
+
+
+class PocketBucket:
+    """One job's bucket: KV pairs sharded across its reserved blocks."""
+
+    def __init__(self, job_id: str, blocks: List[Block]) -> None:
+        if not blocks:
+            raise DataStructureError("a bucket needs at least one block")
+        self.job_id = job_id
+        self._blocks = blocks
+        for block in blocks:
+            block.payload["table"] = CuckooHashTable()
+        self._size = 0
+
+    @staticmethod
+    def _cost(key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + ITEM_OVERHEAD_BYTES
+
+    def _block_for(self, key: bytes) -> Block:
+        # Static sharding over the fixed reservation — Pocket never
+        # rebalances a job's data (no repartitioning, §3.3).
+        index = int.from_bytes(key[:8].ljust(8, b"\0"), "little")
+        return self._blocks[index % len(self._blocks)]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert/overwrite; raises when the target block is full.
+
+        With job-level allocation there is nowhere to grow: a full
+        shard is a hard error (the job under-declared its demand).
+        """
+        block = self._block_for(key)
+        table: CuckooHashTable = block.payload["table"]
+        old = table.get(key, default=None)
+        delta = self._cost(key, value) - (
+            self._cost(key, old) if old is not None else 0
+        )
+        if old is None:
+            delta = self._cost(key, value)
+        if block.used + delta > block.capacity:
+            raise CapacityError(
+                f"bucket shard full for job {self.job_id}; Pocket cannot "
+                "grow a job's allocation after registration"
+            )
+        table.put(key, value)
+        block.add_used(delta)
+        if old is None:
+            self._size += 1
+
+    def get(self, key: bytes) -> bytes:
+        return self._block_for(key).payload["table"].get(key)
+
+    def delete(self, key: bytes) -> bytes:
+        block = self._block_for(key)
+        value = block.payload["table"].delete(key)
+        block.add_used(-self._cost(key, value))
+        self._size -= 1
+        return value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def used_bytes(self) -> int:
+        return sum(b.used for b in self._blocks)
+
+    def on_ssd(self) -> bool:
+        return any(b.tier != "dram" for b in self._blocks)
+
+
+class PocketSystem:
+    """Job-granularity ephemeral storage over a tiered pool."""
+
+    def __init__(self, pool: TieredMemoryPool) -> None:
+        self.pool = pool
+        self._buckets: Dict[str, PocketBucket] = {}
+        self.jobs_on_ssd = 0
+
+    def register_job(self, job_id: str, declared_bytes: int) -> PocketBucket:
+        """Reserve the declared demand for the job's whole lifetime."""
+        if job_id in self._buckets:
+            raise RegistrationError(f"job {job_id!r} already registered")
+        if declared_bytes <= 0:
+            raise RegistrationError("declared_bytes must be positive")
+        num_blocks = -(-declared_bytes // self.pool.block_size)
+        # Pocket's tier decision is per job: DRAM if the whole demand
+        # fits, SSD wholesale otherwise.
+        use_dram = self.pool.dram_blocks_free() >= num_blocks
+        blocks: List[Block] = []
+        for _ in range(num_blocks):
+            block = (
+                self.pool.allocate()
+                if use_dram
+                else self.pool._allocate_spill()
+            )
+            blocks.append(block)
+        if not use_dram:
+            self.jobs_on_ssd += 1
+        bucket = PocketBucket(job_id, blocks)
+        self._buckets[job_id] = bucket
+        return bucket
+
+    def bucket(self, job_id: str) -> PocketBucket:
+        try:
+            return self._buckets[job_id]
+        except KeyError:
+            raise RegistrationError(f"job {job_id!r} is not registered") from None
+
+    def deregister_job(self, job_id: str) -> int:
+        """Release the job's reservation (the ONLY reclamation path)."""
+        bucket = self.bucket(job_id)
+        for block in bucket._blocks:
+            self.pool.reclaim(block.block_id)
+        del self._buckets[job_id]
+        return len(bucket._blocks)
+
+    # ------------------------------------------------------------------
+
+    def reserved_bytes(self) -> int:
+        return sum(
+            len(b._blocks) * self.pool.block_size for b in self._buckets.values()
+        )
+
+    def used_bytes(self) -> int:
+        return sum(b.used_bytes() for b in self._buckets.values())
+
+    def utilization(self) -> float:
+        reserved = self.reserved_bytes()
+        return (self.used_bytes() / reserved) if reserved else 1.0

@@ -1,0 +1,14 @@
+"""Jiffy data plane: fixed-size memory blocks hosted on memory servers.
+
+The control plane (:mod:`repro.core`) allocates blocks from a
+:class:`MemoryPool` of :class:`MemoryServer` instances; data-structure
+partitions (:mod:`repro.datastructures`) own the layout of bytes inside
+each :class:`Block`.
+"""
+
+from repro.blocks.block import Block, BlockId
+from repro.blocks.server import MemoryServer
+from repro.blocks.pool import MemoryPool
+from repro.blocks.tiered import TieredMemoryPool
+
+__all__ = ["Block", "BlockId", "MemoryServer", "MemoryPool", "TieredMemoryPool"]

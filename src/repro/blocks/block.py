@@ -1,0 +1,120 @@
+"""The fixed-size memory block — Jiffy's unit of allocation.
+
+A block is "raw memory" from the allocator's point of view; the data
+structure that owns it (file chunk, queue segment, KV hash-slot shard)
+defines the layout and reports usage through :meth:`Block.set_used`.
+Usage drives the §3.3 elastic-scaling thresholds: crossing the high
+threshold raises an overload signal to the controller, and falling below
+the low threshold makes the block a merge candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import BlockError
+
+#: Blocks are identified by opaque strings unique within a pool.
+BlockId = str
+
+
+class Block:
+    """A fixed-capacity memory block on a specific memory server.
+
+    Attributes:
+        block_id: pool-unique identifier.
+        server_id: hosting :class:`~repro.blocks.server.MemoryServer` id.
+        capacity: usable bytes.
+        payload: data-structure-owned storage (layout is opaque here).
+    """
+
+    __slots__ = (
+        "block_id",
+        "server_id",
+        "capacity",
+        "payload",
+        "tier",
+        "_used",
+        "_sealed",
+    )
+
+    def __init__(
+        self,
+        block_id: BlockId,
+        server_id: str,
+        capacity: int,
+        tier: str = "dram",
+    ) -> None:
+        if capacity <= 0:
+            raise BlockError(f"block capacity must be positive, got {capacity}")
+        self.block_id = block_id
+        self.server_id = server_id
+        self.capacity = capacity
+        self.payload: Dict[str, Any] = {}
+        #: storage tier backing this block ("dram", or a spill tier name)
+        self.tier = tier
+        self._used = 0
+        self._sealed = False
+
+    @property
+    def used(self) -> int:
+        """Bytes currently accounted as used by the owning data structure."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Bytes still available in the block."""
+        return self.capacity - self._used
+
+    @property
+    def usage(self) -> float:
+        """Fraction of capacity in use, in [0, 1]."""
+        return self._used / self.capacity
+
+    @property
+    def sealed(self) -> bool:
+        """Sealed blocks reject further writes (used by file chunks)."""
+        return self._sealed
+
+    def seal(self) -> None:
+        """Mark the block read-only for the owning data structure."""
+        self._sealed = True
+
+    def set_used(self, used: int) -> None:
+        """Record the owning data structure's usage accounting."""
+        if used < 0:
+            raise BlockError(f"used bytes must be >= 0, got {used}")
+        if used > self.capacity:
+            raise BlockError(
+                f"used={used} exceeds capacity={self.capacity} "
+                f"for block {self.block_id}"
+            )
+        self._used = used
+
+    def add_used(self, delta: int) -> None:
+        """Adjust usage by ``delta`` bytes (may be negative)."""
+        self.set_used(self._used + delta)
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more bytes fit in the block."""
+        return nbytes <= self.free
+
+    def reset(self) -> None:
+        """Clear payload and usage; called when the block is reclaimed."""
+        self.payload = {}
+        self._used = 0
+        self._sealed = False
+
+    def above(self, high_threshold: float) -> bool:
+        """Whether usage exceeds the scale-up threshold."""
+        return self.usage > high_threshold
+
+    def below(self, low_threshold: float) -> bool:
+        """Whether usage is under the scale-down threshold."""
+        return self.usage < low_threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(id={self.block_id!r}, server={self.server_id!r}, "
+            f"used={self._used}/{self.capacity})"
+        )

@@ -1,0 +1,127 @@
+"""A pool of memory servers — the data plane's physical capacity.
+
+The controller's block allocator draws from this pool. The pool supports
+cluster-capacity scaling (adding/removing servers) which the paper
+inherits from Pocket and treats as orthogonal (§3 remark); it is
+implemented here for completeness and exercised by tests, but the
+experiments hold cluster capacity fixed, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.blocks.block import Block, BlockId
+from repro.blocks.server import MemoryServer
+from repro.errors import BlockError, CapacityError
+
+
+class MemoryPool:
+    """All memory servers in the cluster, with least-loaded placement."""
+
+    def __init__(self, block_size: int) -> None:
+        if block_size <= 0:
+            raise BlockError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._servers: Dict[str, MemoryServer] = {}
+        self._next_server = 0
+
+    # ------------------------------------------------------------------
+    # Cluster capacity scaling
+    # ------------------------------------------------------------------
+
+    def add_server(self, num_blocks: int, server_id: Optional[str] = None) -> str:
+        """Attach a new memory server; returns its id."""
+        if server_id is None:
+            server_id = f"server-{self._next_server}"
+            self._next_server += 1
+        if server_id in self._servers:
+            raise BlockError(f"server {server_id} already in pool")
+        self._servers[server_id] = MemoryServer(
+            server_id, num_blocks, self.block_size
+        )
+        return server_id
+
+    def remove_server(self, server_id: str) -> None:
+        """Detach a server; it must have no allocated blocks."""
+        server = self._get_server(server_id)
+        if server.allocated_blocks:
+            raise BlockError(
+                f"server {server_id} still has {server.allocated_blocks} "
+                "allocated blocks"
+            )
+        del self._servers[server_id]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> Block:
+        """Allocate one block from the least-loaded server."""
+        candidates = [s for s in self._servers.values() if s.free_blocks > 0]
+        if not candidates:
+            raise CapacityError("memory pool exhausted: no free blocks")
+        target = min(
+            candidates, key=lambda s: (s.allocated_blocks, s.server_id)
+        )
+        return target.allocate()
+
+    def reclaim(self, block_id: BlockId) -> None:
+        """Return a block to its hosting server's free list."""
+        self._server_of(block_id).reclaim(block_id)
+
+    def get_block(self, block_id: BlockId) -> Block:
+        """Resolve a block id to its :class:`Block`."""
+        return self._server_of(block_id).get(block_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._servers)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(s.num_blocks for s in self._servers.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(s.free_blocks for s in self._servers.values())
+
+    @property
+    def allocated_blocks(self) -> int:
+        return self.total_blocks - self.free_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_blocks * self.block_size
+
+    def used_bytes(self) -> int:
+        return sum(s.used_bytes() for s in self._servers.values())
+
+    def allocated_bytes(self) -> int:
+        return self.allocated_blocks * self.block_size
+
+    def servers(self) -> List[MemoryServer]:
+        return list(self._servers.values())
+
+    def _get_server(self, server_id: str) -> MemoryServer:
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise BlockError(f"no server {server_id} in pool") from None
+
+    def _server_of(self, block_id: BlockId) -> MemoryServer:
+        server_id, _, _ = block_id.partition(":")
+        server = self._servers.get(server_id)
+        if server is None or not server.hosts(block_id):
+            raise BlockError(f"no server in pool hosts block {block_id}")
+        return server
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryPool(servers={self.num_servers}, "
+            f"allocated={self.allocated_blocks}/{self.total_blocks})"
+        )

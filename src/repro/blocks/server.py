@@ -1,0 +1,104 @@
+"""A memory server: hosts a fixed number of fixed-size blocks.
+
+Mirrors the paper's data plane (§4.2.2): each memory server maintains a
+mapping from blockIDs to the memory backing them. RPC transport is not
+modelled here — latency accounting for experiments lives in
+:mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.blocks.block import Block, BlockId
+from repro.errors import BlockError, CapacityError
+
+
+class MemoryServer:
+    """One data-plane server with ``num_blocks`` blocks of ``block_size``.
+
+    Blocks are created up-front (the server's memory is partitioned into
+    fixed-size blocks at start-up, §4.2.2) and recycled via
+    :meth:`reclaim`.
+    """
+
+    def __init__(self, server_id: str, num_blocks: int, block_size: int) -> None:
+        if num_blocks <= 0:
+            raise BlockError(f"num_blocks must be positive, got {num_blocks}")
+        self.server_id = server_id
+        self.block_size = block_size
+        self._blocks: Dict[BlockId, Block] = {}
+        self._free: List[BlockId] = []
+        for i in range(num_blocks):
+            block_id = f"{server_id}:{i}"
+            self._blocks[block_id] = Block(block_id, server_id, block_size)
+            self._free.append(block_id)
+        # LIFO reuse keeps recently touched blocks warm; reverse so that
+        # block 0 is handed out first, which makes tests deterministic.
+        self._free.reverse()
+
+    @property
+    def num_blocks(self) -> int:
+        """Total blocks hosted by this server."""
+        return len(self._blocks)
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently unallocated."""
+        return len(self._free)
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Blocks currently allocated to some address-prefix."""
+        return self.num_blocks - self.free_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total server capacity in bytes."""
+        return self.num_blocks * self.block_size
+
+    def used_bytes(self) -> int:
+        """Bytes in use across all allocated blocks."""
+        free = set(self._free)
+        return sum(b.used for bid, b in self._blocks.items() if bid not in free)
+
+    def allocate(self) -> Block:
+        """Hand out a free block; raises :class:`CapacityError` if none."""
+        if not self._free:
+            raise CapacityError(f"server {self.server_id} has no free blocks")
+        block_id = self._free.pop()
+        return self._blocks[block_id]
+
+    def reclaim(self, block_id: BlockId) -> None:
+        """Return a block to the free pool, clearing its contents."""
+        block = self.get(block_id)
+        if block_id in self._free:
+            raise BlockError(f"block {block_id} is already free")
+        block.reset()
+        self._free.append(block_id)
+
+    def get(self, block_id: BlockId) -> Block:
+        """Look up a hosted block by id."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise BlockError(
+                f"server {self.server_id} does not host block {block_id}"
+            ) from None
+
+    def hosts(self, block_id: BlockId) -> bool:
+        """Whether this server hosts the given block id."""
+        return block_id in self._blocks
+
+    def iter_allocated(self) -> Iterator[Block]:
+        """Yield every currently allocated block."""
+        free = set(self._free)
+        for block_id, block in self._blocks.items():
+            if block_id not in free:
+                yield block
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryServer(id={self.server_id!r}, "
+            f"allocated={self.allocated_blocks}/{self.num_blocks})"
+        )

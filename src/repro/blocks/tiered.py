@@ -1,0 +1,134 @@
+"""A tiered data plane: DRAM first, spill tier on exhaustion (§2, §6.1).
+
+Pocket supports DRAM/Flash/HDD tiers; Jiffy inherits the capability and
+the Fig 9 experiment depends on it ("data spills to SSD when the
+allocated capacity at the DRAM-tier is insufficient"). The
+:class:`TieredMemoryPool` behaves like a normal
+:class:`~repro.blocks.pool.MemoryPool` until DRAM runs out, then serves
+*spill blocks* from an elastic secondary tier. Every block is tagged
+with its tier so experiments can account spill traffic and latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.blocks.block import Block, BlockId
+from repro.blocks.pool import MemoryPool
+from repro.blocks.server import MemoryServer
+from repro.errors import BlockError, CapacityError
+from repro.storage.tier import SSD_TIER, StorageTier
+
+#: Server-id prefix marking the spill tier's virtual servers.
+SPILL_PREFIX = "spill"
+
+
+class _SpillServer(MemoryServer):
+    """A virtual memory server on the spill tier (grows on demand)."""
+
+    def __init__(self, server_id: str, num_blocks: int, block_size: int, tier_name: str) -> None:
+        super().__init__(server_id, num_blocks, block_size)
+        for block in self._blocks.values():
+            block.tier = tier_name
+
+    def reset_tier(self, tier_name: str) -> None:
+        for block in self._blocks.values():
+            block.tier = tier_name
+
+
+class TieredMemoryPool(MemoryPool):
+    """DRAM pool with an elastic spill tier behind it."""
+
+    def __init__(
+        self,
+        block_size: int,
+        spill_tier: StorageTier = SSD_TIER,
+        spill_server_blocks: int = 64,
+    ) -> None:
+        super().__init__(block_size)
+        if spill_server_blocks <= 0:
+            raise BlockError("spill_server_blocks must be positive")
+        self.spill_tier = spill_tier
+        self.spill_server_blocks = spill_server_blocks
+        self._spill_servers: Dict[str, _SpillServer] = {}
+        self._next_spill = 0
+        self.spill_allocations = 0
+
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> Block:
+        """DRAM first; grow and serve the spill tier when DRAM is out."""
+        try:
+            return super().allocate()
+        except CapacityError:
+            return self._allocate_spill()
+
+    def _allocate_spill(self) -> Block:
+        for server in self._spill_servers.values():
+            if server.free_blocks:
+                self.spill_allocations += 1
+                return server.allocate()
+        server_id = f"{SPILL_PREFIX}-{self._next_spill}"
+        self._next_spill += 1
+        server = _SpillServer(
+            server_id,
+            self.spill_server_blocks,
+            self.block_size,
+            self.spill_tier.name,
+        )
+        self._spill_servers[server_id] = server
+        self.spill_allocations += 1
+        return server.allocate()
+
+    def reclaim(self, block_id: BlockId) -> None:
+        server_id, _, _ = block_id.partition(":")
+        spill = self._spill_servers.get(server_id)
+        if spill is not None:
+            spill.reclaim(block_id)
+            return
+        super().reclaim(block_id)
+
+    def get_block(self, block_id: BlockId) -> Block:
+        server_id, _, _ = block_id.partition(":")
+        spill = self._spill_servers.get(server_id)
+        if spill is not None:
+            return spill.get(block_id)
+        return super().get_block(block_id)
+
+    # ------------------------------------------------------------------
+    # Tier accounting
+    # ------------------------------------------------------------------
+
+    def spilled_blocks(self) -> int:
+        """Blocks currently allocated on the spill tier."""
+        return sum(s.allocated_blocks for s in self._spill_servers.values())
+
+    def spilled_bytes(self) -> int:
+        """Bytes stored on the spill tier."""
+        return sum(s.used_bytes() for s in self._spill_servers.values())
+
+    def dram_blocks_free(self) -> int:
+        return super().free_blocks
+
+    def used_bytes(self) -> int:
+        return super().used_bytes() + self.spilled_bytes()
+
+    def allocated_bytes(self) -> int:
+        return (
+            super().allocated_bytes()
+            + self.spilled_blocks() * self.block_size
+        )
+
+    def access_latency(self, block: Block, nbytes: int, write: bool = False) -> float:
+        """Modelled device latency for touching ``nbytes`` of a block."""
+        if block.tier == "dram":
+            return 0.0  # DRAM path folded into baseline op cost
+        if write:
+            return self.spill_tier.write_latency(nbytes)
+        return self.spill_tier.read_latency(nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TieredMemoryPool(dram={self.allocated_blocks}/{self.total_blocks}, "
+            f"spilled={self.spilled_blocks()})"
+        )

@@ -1,0 +1,58 @@
+"""Length-prefixed record framing for flush/load serialisation.
+
+Queues and KV-stores persist to the external store as a flat byte
+stream of length-prefixed records (4-byte little-endian lengths), which
+keeps the external representation data-structure-agnostic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+_LEN = struct.Struct("<I")
+
+
+def encode_records(records: Iterable[bytes]) -> bytes:
+    """Frame a sequence of byte records into one byte string."""
+    out = bytearray()
+    for record in records:
+        if not isinstance(record, (bytes, bytearray)):
+            raise TypeError("records must be bytes")
+        out.extend(_LEN.pack(len(record)))
+        out.extend(record)
+    return bytes(out)
+
+
+def decode_records(data: bytes) -> List[bytes]:
+    """Parse a framed byte string back into records."""
+    records: List[bytes] = []
+    pos = 0
+    total = len(data)
+    while pos < total:
+        if pos + _LEN.size > total:
+            raise ValueError("truncated record length prefix")
+        (length,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        if pos + length > total:
+            raise ValueError("truncated record body")
+        records.append(bytes(data[pos : pos + length]))
+        pos += length
+    return records
+
+
+def encode_kv_pairs(pairs: Iterable[Tuple[bytes, bytes]]) -> bytes:
+    """Frame (key, value) byte pairs as alternating records."""
+    flat: List[bytes] = []
+    for key, value in pairs:
+        flat.append(key)
+        flat.append(value)
+    return encode_records(flat)
+
+
+def decode_kv_pairs(data: bytes) -> List[Tuple[bytes, bytes]]:
+    """Parse alternating records back into (key, value) pairs."""
+    flat = decode_records(data)
+    if len(flat) % 2:
+        raise ValueError("kv stream has an odd number of records")
+    return list(zip(flat[0::2], flat[1::2]))

@@ -1,0 +1,92 @@
+"""System-wide configuration for the Jiffy reproduction.
+
+The defaults follow the paper's evaluation setup (§6): 128 MB blocks, a
+1-second lease duration, 5 % / 95 % low/high block-usage thresholds for
+data repartitioning, and 1024 hash slots for the KV-store.
+
+For unit tests and laptop-scale experiments the absolute block size is
+freely configurable — all allocation, lease, and repartitioning logic is
+expressed in terms of block counts and usage fractions, so scaling the
+block size down preserves behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+#: Default block size used by the paper (§3.1): HDFS-compatible 128 MB.
+DEFAULT_BLOCK_SIZE = 128 * MB
+
+#: Default lease duration (seconds) — the paper's sweet spot (§6.6).
+DEFAULT_LEASE_DURATION = 1.0
+
+#: Default low/high block-usage thresholds for repartitioning (§6).
+DEFAULT_LOW_THRESHOLD = 0.05
+DEFAULT_HIGH_THRESHOLD = 0.95
+
+#: Default number of KV-store hash slots (§5.3).
+DEFAULT_NUM_HASH_SLOTS = 1024
+
+#: Fixed per-task metadata overhead in bytes (§6.4).
+TASK_METADATA_BYTES = 64
+
+#: Per-block metadata overhead in bytes (§6.4).
+BLOCK_METADATA_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class JiffyConfig:
+    """Immutable configuration shared by the controller and data plane.
+
+    Attributes:
+        block_size: capacity of each memory block, in bytes.
+        lease_duration: seconds a lease stays valid after a renewal.
+        low_threshold: block-usage fraction below which a block becomes a
+            merge candidate (scale-down).
+        high_threshold: block-usage fraction above which a block signals
+            the controller for a scale-up.
+        num_hash_slots: size of the KV-store hash-slot space ``H``.
+        flush_on_expiry: whether expired prefixes are flushed to the
+            external store before their blocks are reclaimed (§3.2 —
+            "the data is not lost").
+        replication_factor: chain-replication factor for blocks; 1 means
+            no replication (§4.2.2).
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    lease_duration: float = DEFAULT_LEASE_DURATION
+    low_threshold: float = DEFAULT_LOW_THRESHOLD
+    high_threshold: float = DEFAULT_HIGH_THRESHOLD
+    num_hash_slots: int = DEFAULT_NUM_HASH_SLOTS
+    flush_on_expiry: bool = True
+    replication_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        if not 0.0 <= self.low_threshold < self.high_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 <= low < high <= 1, got "
+                f"low={self.low_threshold} high={self.high_threshold}"
+            )
+        if self.num_hash_slots <= 0:
+            raise ValueError("num_hash_slots must be positive")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+
+    def with_overrides(self, **kwargs: object) -> "JiffyConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Configuration matching the paper's evaluation defaults exactly.
+PAPER_CONFIG = JiffyConfig()
+
+#: A small configuration convenient for unit tests (1 KB blocks).
+TEST_CONFIG = JiffyConfig(block_size=KB)

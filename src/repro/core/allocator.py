@@ -1,0 +1,140 @@
+"""Block allocator: free list + block-to-prefix ownership (§4.2.1).
+
+The controller's allocator hands fixed-size blocks from the memory pool
+to address prefixes, and records ownership so lease expiry can reclaim
+exactly the blocks of an expired prefix. This is the virtual-memory-style
+multiplexing at the core of the paper: prefixes see "infinite" memory,
+while physical blocks are shared across all jobs at block granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.blocks.block import Block, BlockId
+from repro.blocks.pool import MemoryPool
+from repro.core.hierarchy import AddressNode
+from repro.errors import BlockError, CapacityError
+
+
+class BlockAllocator:
+    """Allocates pool blocks to address prefixes and reclaims them.
+
+    Resource-management *policies* layer on top of this mechanism
+    (§3.1: fairness/quota algorithms "can be easily integrated on top of
+    Jiffy's allocation mechanism"); the hook provided here is a per-job
+    block quota enforced at allocation time.
+    """
+
+    def __init__(self, pool: MemoryPool) -> None:
+        self.pool = pool
+        # block id -> (job id, prefix name)
+        self._owner: Dict[BlockId, Tuple[str, str]] = {}
+        self._job_blocks: Dict[str, int] = {}
+        self._quotas: Dict[str, int] = {}
+        self.allocations = 0
+        self.reclamations = 0
+        self.failed_allocations = 0
+        self.quota_rejections = 0
+
+    # ------------------------------------------------------------------
+    # Policy hook: per-job quotas
+    # ------------------------------------------------------------------
+
+    def set_quota(self, job_id: str, max_blocks: Optional[int]) -> None:
+        """Cap a job's concurrent block count (None removes the cap)."""
+        if max_blocks is None:
+            self._quotas.pop(job_id, None)
+            return
+        if max_blocks < 0:
+            raise BlockError("quota must be >= 0")
+        self._quotas[job_id] = max_blocks
+
+    def quota_of(self, job_id: str) -> Optional[int]:
+        return self._quotas.get(job_id)
+
+    def blocks_held_by(self, job_id: str) -> int:
+        """Blocks currently allocated across all of a job's prefixes."""
+        return self._job_blocks.get(job_id, 0)
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, node: AddressNode) -> Block:
+        """Allocate one block to ``node``; raises on pool exhaustion or
+        when the job's quota is reached."""
+        quota = self._quotas.get(node.job_id)
+        if quota is not None and self.blocks_held_by(node.job_id) >= quota:
+            self.quota_rejections += 1
+            raise CapacityError(
+                f"job {node.job_id!r} is at its quota of {quota} blocks"
+            )
+        try:
+            block = self.pool.allocate()
+        except CapacityError:
+            self.failed_allocations += 1
+            raise
+        self._owner[block.block_id] = (node.job_id, node.name)
+        self._job_blocks[node.job_id] = self.blocks_held_by(node.job_id) + 1
+        node.block_ids.append(block.block_id)
+        self.allocations += 1
+        return block
+
+    def try_allocate(self, node: AddressNode) -> Optional[Block]:
+        """Like :meth:`allocate` but returns None on exhaustion."""
+        try:
+            return self.allocate(node)
+        except CapacityError:
+            return None
+
+    def reclaim(self, node: AddressNode, block_id: BlockId) -> None:
+        """Return one of ``node``'s blocks to the pool."""
+        owner = self._owner.get(block_id)
+        if owner != (node.job_id, node.name):
+            raise BlockError(
+                f"block {block_id} is not owned by {node.job_id}:{node.name} "
+                f"(owner={owner})"
+            )
+        node.block_ids.remove(block_id)
+        del self._owner[block_id]
+        held = self._job_blocks.get(node.job_id, 0) - 1
+        if held > 0:
+            self._job_blocks[node.job_id] = held
+        else:
+            self._job_blocks.pop(node.job_id, None)
+        self.pool.reclaim(block_id)
+        self.reclamations += 1
+
+    def reclaim_all(self, node: AddressNode) -> int:
+        """Reclaim every block of ``node``; returns the count reclaimed."""
+        count = 0
+        for block_id in list(node.block_ids):
+            self.reclaim(node, block_id)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+
+    def owner_of(self, block_id: BlockId) -> Tuple[str, str]:
+        """Return ``(job_id, prefix)`` owning a block."""
+        try:
+            return self._owner[block_id]
+        except KeyError:
+            raise BlockError(f"block {block_id} is not allocated") from None
+
+    def blocks_of(self, node: AddressNode) -> List[Block]:
+        """Resolve a node's block ids to live :class:`Block` objects."""
+        return [self.pool.get_block(bid) for bid in node.block_ids]
+
+    @property
+    def free_blocks(self) -> int:
+        return self.pool.free_blocks
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self._owner)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockAllocator(allocated={self.allocated_blocks}, "
+            f"free={self.free_blocks})"
+        )

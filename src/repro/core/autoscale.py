@@ -1,0 +1,112 @@
+"""Cluster-capacity autoscaling (§3 remark, footnote 4).
+
+Jiffy's fine-grained elasticity multiplexes *available* capacity; it can
+also scale the capacity itself, like Pocket: "if the number of free
+blocks available increase/decrease beyond a certain threshold, Jiffy
+adds/removes servers to adjust physical memory resources". The paper
+treats this as orthogonal and does not evaluate it; it is implemented
+here for completeness.
+
+Policy: keep the pool's free fraction inside [low, high]. When free
+capacity falls below ``low_free_fraction``, add servers; when it rises
+above ``high_free_fraction`` (and more than ``min_servers`` remain),
+drain and remove empty servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.blocks.pool import MemoryPool
+
+
+@dataclass
+class ScalingAction:
+    """One autoscaler decision."""
+
+    kind: str  # "add" | "remove"
+    server_id: str
+    free_fraction_before: float
+
+
+class ClusterAutoscaler:
+    """Adds/removes memory servers to keep free capacity in band."""
+
+    def __init__(
+        self,
+        pool: MemoryPool,
+        blocks_per_server: int,
+        low_free_fraction: float = 0.1,
+        high_free_fraction: float = 0.5,
+        min_servers: int = 1,
+        max_servers: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= low_free_fraction < high_free_fraction <= 1.0:
+            raise ValueError(
+                "need 0 <= low_free_fraction < high_free_fraction <= 1"
+            )
+        if blocks_per_server <= 0:
+            raise ValueError("blocks_per_server must be positive")
+        if min_servers < 1:
+            raise ValueError("min_servers must be >= 1")
+        self.pool = pool
+        self.blocks_per_server = blocks_per_server
+        self.low_free_fraction = low_free_fraction
+        self.high_free_fraction = high_free_fraction
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.actions: List[ScalingAction] = []
+
+    def free_fraction(self) -> float:
+        """Fraction of the pool's blocks currently free."""
+        total = self.pool.total_blocks
+        return (self.pool.free_blocks / total) if total else 0.0
+
+    def evaluate(self) -> List[ScalingAction]:
+        """One autoscaling pass; returns the actions taken.
+
+        Scale-up adds servers until the free fraction clears the low
+        watermark; scale-down removes *empty* servers one at a time
+        while the pool stays above the high watermark (removing a
+        loaded server would require block migration, which Jiffy
+        delegates to repartitioning and is out of scope here, as in the
+        paper).
+        """
+        taken: List[ScalingAction] = []
+        # Scale up.
+        while self.free_fraction() < self.low_free_fraction:
+            if (
+                self.max_servers is not None
+                and self.pool.num_servers >= self.max_servers
+            ):
+                break
+            before = self.free_fraction()
+            server_id = self.pool.add_server(self.blocks_per_server)
+            taken.append(
+                ScalingAction("add", server_id, free_fraction_before=before)
+            )
+        # Scale down: remove idle servers while comfortably over-free.
+        while (
+            self.free_fraction() > self.high_free_fraction
+            and self.pool.num_servers > self.min_servers
+        ):
+            idle = [
+                s for s in self.pool.servers() if s.allocated_blocks == 0
+            ]
+            if not idle:
+                break
+            # Check the pool stays above the low watermark afterwards.
+            total_after = self.pool.total_blocks - idle[0].num_blocks
+            free_after = self.pool.free_blocks - idle[0].free_blocks
+            if total_after <= 0 or free_after / total_after < self.low_free_fraction:
+                break
+            before = self.free_fraction()
+            self.pool.remove_server(idle[0].server_id)
+            taken.append(
+                ScalingAction(
+                    "remove", idle[0].server_id, free_fraction_before=before
+                )
+            )
+        self.actions.extend(taken)
+        return taken

@@ -1,0 +1,172 @@
+"""The Jiffy user-facing API (Table 1).
+
+A :class:`JiffyClient` is what a serverless task holds: it is bound to a
+job id and speaks to the controller for address-hierarchy management,
+leases, flush/load, and data-structure initialisation. Data-structure
+handles returned by :meth:`init_data_structure` encapsulate the physical
+block locations (clients cache partition metadata and refresh it when
+the controller's version moves).
+
+Method names follow Python conventions; the paper's camelCase aliases
+(``createAddrPrefix`` etc.) are provided so code written against the
+paper's API reads verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.controller import JiffyController
+from repro.core.hierarchy import AddressNode
+from repro.datastructures.base import DataStructure
+from repro.datastructures.registry import DataStructureRegistry, default_registry
+from repro.errors import RegistrationError
+
+
+def connect(
+    controller: JiffyController,
+    job_id: str,
+    register: bool = True,
+    registry: Optional[DataStructureRegistry] = None,
+    principal: Optional[str] = None,
+) -> "JiffyClient":
+    """``connect(jiffyAddress)``: open a client session for a job.
+
+    In the paper the argument is the controller's network address; here
+    it is the controller object itself (transport is not modelled).
+    ``register=True`` registers the job if it is not already known.
+    ``principal`` identifies the caller for access control (§4.2.1);
+    it defaults to the job id (the owner), and a foreign principal must
+    be granted access per prefix before touching data.
+    """
+    if register and not controller.is_registered(job_id):
+        controller.register_job(job_id)
+    return JiffyClient(controller, job_id, registry=registry, principal=principal)
+
+
+class JiffyClient:
+    """Session of one job against the Jiffy control plane."""
+
+    def __init__(
+        self,
+        controller: JiffyController,
+        job_id: str,
+        registry: Optional[DataStructureRegistry] = None,
+        principal: Optional[str] = None,
+    ) -> None:
+        if not controller.is_registered(job_id):
+            raise RegistrationError(
+                f"job {job_id!r} is not registered; use connect()"
+            )
+        self.controller = controller
+        self.job_id = job_id
+        self.principal = principal if principal is not None else job_id
+        self.registry = registry if registry is not None else default_registry
+
+    # ------------------------------------------------------------------
+    # Address hierarchy
+    # ------------------------------------------------------------------
+
+    def create_addr_prefix(
+        self,
+        addr: str,
+        parent: Optional[str] = None,
+        parents: Sequence[str] = (),
+        initial_blocks: int = 0,
+        lease_duration: Optional[float] = None,
+    ) -> AddressNode:
+        """Create address-prefix ``addr`` under the given parent(s)."""
+        all_parents = list(parents)
+        if parent is not None:
+            all_parents.insert(0, parent)
+        return self.controller.create_addr_prefix(
+            self.job_id,
+            addr,
+            parents=all_parents,
+            initial_blocks=initial_blocks,
+            lease_duration=lease_duration,
+        )
+
+    def create_hierarchy(self, dag: Mapping[str, Sequence[str]]):
+        """Create the full address hierarchy from an execution DAG."""
+        return self.controller.create_hierarchy(self.job_id, dag)
+
+    def add_dependency(self, addr: str, parent: str) -> None:
+        """Register a late-discovered dependency edge (dynamic plans)."""
+        self.controller.add_dependency(self.job_id, addr, parent)
+
+    def flush_addr_prefix(self, addr: str, external_path: str) -> int:
+        """Persist a prefix's data to the external store."""
+        return self.controller.flush_prefix(self.job_id, addr, external_path)
+
+    def load_addr_prefix(self, addr: str, external_path: str) -> int:
+        """Load a prefix's data back from the external store."""
+        return self.controller.load_prefix(self.job_id, addr, external_path)
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+
+    def get_lease_duration(self, addr: str) -> float:
+        """The lease duration associated with ``addr``."""
+        return self.controller.get_lease_duration(self.job_id, addr)
+
+    def renew_lease(self, addr: str) -> int:
+        """Send a lease renewal for ``addr`` (propagates through the DAG)."""
+        return self.controller.renew_lease(self.job_id, addr)
+
+    def renew_leases(self, addrs: Sequence[str]) -> int:
+        """Renew several prefixes; returns total nodes renewed."""
+        return sum(self.renew_lease(addr) for addr in addrs)
+
+    # ------------------------------------------------------------------
+    # Data structures
+    # ------------------------------------------------------------------
+
+    def init_data_structure(self, addr: str, ds_type: str, **kwargs) -> DataStructure:
+        """Initialise a data structure of ``ds_type`` at prefix ``addr``.
+
+        Returns a handle encapsulating the allocated blocks' locations.
+        Extra keyword arguments are forwarded to the data structure
+        (e.g. ``max_queue_length`` for queues, ``num_slots`` for KV).
+        Requires access to the prefix (§4.2.1 permissions).
+        """
+        self.controller.check_permission(self.job_id, addr, self.principal)
+        cls = self.registry.resolve(ds_type)
+        return cls(self.controller, self.job_id, addr, **kwargs)
+
+    def attach_data_structure(self, addr: str) -> DataStructure:
+        """Open the data structure already bound to ``addr``.
+
+        Used by a second session (possibly a foreign principal that has
+        been granted access) to share the structure.
+        """
+        self.controller.check_permission(self.job_id, addr, self.principal)
+        node = self.controller.resolve(self.job_id, addr)
+        if node.datastructure is None:
+            raise RegistrationError(f"no data structure bound to {addr!r}")
+        return node.datastructure
+
+    def grant(self, addr: str, principal: str) -> None:
+        """Grant another principal access to a prefix (owner only)."""
+        self.controller.check_permission(self.job_id, addr, self.principal)
+        self.controller.grant(self.job_id, addr, principal)
+
+    def deregister(self, flush: bool = False) -> int:
+        """Deregister this job, releasing all its resources."""
+        return self.controller.deregister_job(self.job_id, flush=flush)
+
+    # ------------------------------------------------------------------
+    # Paper-style camelCase aliases (Table 1 verbatim)
+    # ------------------------------------------------------------------
+
+    createAddrPrefix = create_addr_prefix
+    createHierarchy = create_hierarchy
+    flushAddrPrefix = flush_addr_prefix
+    loadAddrPrefix = load_addr_prefix
+    getLeaseDuration = get_lease_duration
+    renewLease = renew_lease
+    initDataStructure = init_data_structure
+
+    def __repr__(self) -> str:
+        return f"JiffyClient(job={self.job_id!r})"

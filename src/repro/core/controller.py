@@ -1,0 +1,400 @@
+"""The Jiffy controller: a unified control plane (§4.2.1).
+
+Combines Pocket's separate control and metadata planes into one component
+holding two pieces of system-wide state:
+
+* the **free block list** (via :class:`~repro.core.allocator.BlockAllocator`
+  over the :class:`~repro.blocks.pool.MemoryPool`), and
+* a **per-job address hierarchy** whose nodes carry permissions, lease
+  timestamps, block maps and data-structure identity.
+
+Sub-components mirror Fig 7: the block allocator, the metadata manager,
+and the lease manager (renewal service + expiry worker). The expiry
+worker runs from :meth:`tick`, which live deployments call from a timer
+thread and simulations call as the clock advances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.blocks.block import Block, BlockId
+from repro.blocks.pool import MemoryPool
+from repro.config import JiffyConfig
+from repro.core.allocator import BlockAllocator
+from repro.core.hierarchy import AddressHierarchy, AddressNode
+from repro.core.lease import LeaseManager
+from repro.core.metadata import MetadataManager, PartitionMetadata
+from repro.errors import (
+    PermissionError_,
+    RegistrationError,
+)
+from repro.sim.clock import Clock, WallClock
+from repro.storage.external import ExternalStore
+
+
+class JiffyController:
+    """Controller for one shard of the control plane.
+
+    Args:
+        config: system configuration (block size, lease duration, ...).
+        pool: the data-plane memory pool this controller allocates from.
+            If omitted, a single-server pool with ``default_blocks``
+            blocks is created.
+        clock: time source for leases; defaults to the wall clock.
+        external_store: flush/load target for expired or persisted data.
+        default_blocks: pool size when ``pool`` is omitted.
+    """
+
+    def __init__(
+        self,
+        config: Optional[JiffyConfig] = None,
+        pool: Optional[MemoryPool] = None,
+        clock: Optional[Clock] = None,
+        external_store: Optional[ExternalStore] = None,
+        default_blocks: int = 1024,
+    ) -> None:
+        self.config = config if config is not None else JiffyConfig()
+        self.clock = clock if clock is not None else WallClock()
+        if pool is None:
+            pool = MemoryPool(self.config.block_size)
+            pool.add_server(default_blocks)
+        if pool.block_size != self.config.block_size:
+            raise ValueError(
+                f"pool block size {pool.block_size} != configured "
+                f"{self.config.block_size}"
+            )
+        self.pool = pool
+        self.external_store = (
+            external_store if external_store is not None else ExternalStore()
+        )
+        self.allocator = BlockAllocator(pool)
+        self.leases = LeaseManager(self.clock, self.config.lease_duration)
+        self.metadata = MetadataManager()
+        self._jobs: Dict[str, AddressHierarchy] = {}
+        # Control-plane op counter: every externally visible request.
+        self.ops_handled = 0
+        self.scale_up_signals = 0
+        self.scale_down_signals = 0
+        self.prefixes_expired = 0
+        self.blocks_reclaimed_by_expiry = 0
+
+    # ------------------------------------------------------------------
+    # Job registration
+    # ------------------------------------------------------------------
+
+    def register_job(self, job_id: str) -> AddressHierarchy:
+        """Register a job, creating its (initially empty) hierarchy."""
+        self.ops_handled += 1
+        if not job_id:
+            raise RegistrationError("job id must be non-empty")
+        if job_id in self._jobs:
+            raise RegistrationError(f"job {job_id!r} already registered")
+        hierarchy = AddressHierarchy(job_id)
+        self._jobs[job_id] = hierarchy
+        return hierarchy
+
+    def deregister_job(self, job_id: str, flush: bool = False) -> int:
+        """Release every resource of a job; returns blocks reclaimed.
+
+        With ``flush=True`` the job's data is persisted to the external
+        store first (mirrors a graceful shutdown); the default matches
+        Pocket's semantics where deregistration simply frees resources.
+        """
+        self.ops_handled += 1
+        hierarchy = self._hierarchy(job_id)
+        reclaimed = 0
+        for node in list(hierarchy.nodes()):
+            if flush and node.datastructure is not None and node.block_ids:
+                self._flush_node(node)
+            reclaimed += self.allocator.reclaim_all(node)
+        self.metadata.remove_job(job_id)
+        del self._jobs[job_id]
+        return reclaimed
+
+    def is_registered(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def jobs(self) -> List[str]:
+        return list(self._jobs)
+
+    def hierarchy(self, job_id: str) -> AddressHierarchy:
+        """The address hierarchy for a registered job."""
+        return self._hierarchy(job_id)
+
+    def _hierarchy(self, job_id: str) -> AddressHierarchy:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise RegistrationError(f"job {job_id!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    # Address hierarchy management (Table 1)
+    # ------------------------------------------------------------------
+
+    def create_addr_prefix(
+        self,
+        job_id: str,
+        name: str,
+        parents: Sequence[str] = (),
+        initial_blocks: int = 0,
+        lease_duration: Optional[float] = None,
+    ) -> AddressNode:
+        """Create an address prefix, optionally pre-allocating blocks."""
+        self.ops_handled += 1
+        hierarchy = self._hierarchy(job_id)
+        node = hierarchy.add_node(name, parents=parents)
+        node.lease_duration = lease_duration
+        self.leases.start(node)
+        for _ in range(initial_blocks):
+            self.allocator.allocate(node)
+        return node
+
+    def create_hierarchy(
+        self, job_id: str, dag: Mapping[str, Sequence[str]]
+    ) -> AddressHierarchy:
+        """Build the whole address hierarchy from an execution DAG."""
+        self.ops_handled += 1
+        if job_id not in self._jobs:
+            raise RegistrationError(f"job {job_id!r} is not registered")
+        existing = self._jobs[job_id]
+        if len(existing):
+            raise RegistrationError(
+                f"job {job_id!r} already has an address hierarchy"
+            )
+        hierarchy = AddressHierarchy.from_dag(job_id, dag)
+        now = self.clock.now()
+        for node in hierarchy.nodes():
+            node.last_renewal = now
+        self._jobs[job_id] = hierarchy
+        return hierarchy
+
+    def add_dependency(self, job_id: str, prefix: str, parent: str) -> None:
+        """Add a data-dependency edge discovered during execution.
+
+        §3.1: when the execution plan is not known a priori (dynamic
+        query plans), Jiffy "deduces the rest on-the-fly based on the
+        intermediate data dependencies between the job's tasks". Tasks
+        register late edges here as they discover which outputs they
+        actually read.
+        """
+        self.ops_handled += 1
+        self._hierarchy(job_id).add_parent(prefix, parent)
+
+    def resolve(self, job_id: str, prefix: str) -> AddressNode:
+        """Resolve an address-prefix path for a job."""
+        self.ops_handled += 1
+        return self._hierarchy(job_id).get_node(prefix)
+
+    def check_permission(self, job_id: str, prefix: str, principal: str) -> None:
+        """Enforce access control on a prefix (§4.2.1 permissions)."""
+        node = self._hierarchy(job_id).get_node(prefix)
+        if principal not in node.permissions:
+            raise PermissionError_(
+                f"{principal!r} may not access {job_id}:{prefix}"
+            )
+
+    def grant(self, job_id: str, prefix: str, principal: str) -> None:
+        """Add a principal to a prefix's access list."""
+        self.ops_handled += 1
+        self._hierarchy(job_id).get_node(prefix).permissions.add(principal)
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+
+    def renew_lease(self, job_id: str, prefix: str, propagate: bool = True) -> int:
+        """Renew the lease on a prefix (DAG-propagated by default)."""
+        self.ops_handled += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        return self.leases.renew(node, propagate=propagate)
+
+    def get_lease_duration(self, job_id: str, prefix: str) -> float:
+        """The effective lease duration of a prefix."""
+        self.ops_handled += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        return self.leases.lease_duration_of(node)
+
+    def tick(self) -> List[AddressNode]:
+        """Run one expiry-worker pass; returns the prefixes expired.
+
+        For each newly expired prefix: flush its data to the external
+        store (if configured — §3.2 guarantees data survives expiry) and
+        reclaim its blocks for reuse by other jobs.
+        """
+        expired = self.leases.collect_expired(self._jobs.values())
+        for node in expired:
+            if not node.block_ids:
+                continue
+            if self.config.flush_on_expiry and node.datastructure is not None:
+                self._flush_node(node)
+            self.blocks_reclaimed_by_expiry += self.allocator.reclaim_all(node)
+            self.prefixes_expired += 1
+            hook = getattr(node.datastructure, "_on_expiry_reclaimed", None)
+            if hook is not None:
+                hook()
+        return expired
+
+    # ------------------------------------------------------------------
+    # Block allocation (the §3.3 scale-up / scale-down path)
+    # ------------------------------------------------------------------
+
+    def allocate_block(self, job_id: str, prefix: str) -> Block:
+        """Handle an overload signal: allocate a new block to a prefix."""
+        self.ops_handled += 1
+        self.scale_up_signals += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        self._check_not_expired(node)
+        return self.allocator.allocate(node)
+
+    def try_allocate_block(self, job_id: str, prefix: str) -> Optional[Block]:
+        """Like :meth:`allocate_block`, but None on pool exhaustion."""
+        self.ops_handled += 1
+        self.scale_up_signals += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        self._check_not_expired(node)
+        return self.allocator.try_allocate(node)
+
+    def _check_not_expired(self, node: AddressNode) -> None:
+        # Blocks allocated to an already-expired prefix would never be
+        # reclaimed by the expiry worker (it marks each prefix once);
+        # require an explicit renewal or loadAddrPrefix first.
+        if node.expired:
+            from repro.errors import LeaseExpiredError
+
+            raise LeaseExpiredError(
+                f"prefix {node.job_id}:{node.name} has expired; renew its "
+                "lease (or loadAddrPrefix) before allocating"
+            )
+
+    def reclaim_block(self, job_id: str, prefix: str, block_id: BlockId) -> None:
+        """Handle an underload signal: reclaim a (merged-away) block."""
+        self.ops_handled += 1
+        self.scale_down_signals += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        self.allocator.reclaim(node, block_id)
+
+    def blocks_of(self, job_id: str, prefix: str) -> List[Block]:
+        """Live blocks of a prefix."""
+        node = self._hierarchy(job_id).get_node(prefix)
+        return self.allocator.blocks_of(node)
+
+    # ------------------------------------------------------------------
+    # Data structure registration & metadata
+    # ------------------------------------------------------------------
+
+    def register_datastructure(
+        self, job_id: str, prefix: str, ds_type: str, ds: object
+    ) -> PartitionMetadata:
+        """Bind a data-structure instance to a prefix."""
+        self.ops_handled += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        node.ds_type = ds_type
+        node.datastructure = ds
+        return self.metadata.register(job_id, prefix, ds_type)
+
+    def partition_metadata(self, job_id: str, prefix: str) -> PartitionMetadata:
+        """Fetch (client refresh path) the partition metadata of a prefix."""
+        self.ops_handled += 1
+        return self.metadata.get(job_id, prefix)
+
+    # ------------------------------------------------------------------
+    # Flush / load (Table 1)
+    # ------------------------------------------------------------------
+
+    def flush_prefix(self, job_id: str, prefix: str, external_path: str) -> int:
+        """Persist a prefix's data structure to the external store.
+
+        Returns the number of bytes flushed.
+        """
+        self.ops_handled += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        if node.datastructure is None:
+            return 0
+        return self._flush_node(node, external_path)
+
+    def load_prefix(self, job_id: str, prefix: str, external_path: str) -> int:
+        """Load a prefix's data structure back from the external store.
+
+        Returns the number of bytes loaded.
+        """
+        self.ops_handled += 1
+        node = self._hierarchy(job_id).get_node(prefix)
+        if node.datastructure is None:
+            raise RegistrationError(
+                f"no data structure bound to {job_id}:{prefix}"
+            )
+        node.expired = False
+        self.leases.renew(node, propagate=False)
+        loader = getattr(node.datastructure, "load_from")
+        return loader(self.external_store, external_path)
+
+    def _flush_node(self, node: AddressNode, external_path: Optional[str] = None) -> int:
+        if external_path is None:
+            external_path = f"{node.job_id}/{node.name}"
+        flusher = getattr(node.datastructure, "flush_to", None)
+        if flusher is None:
+            return 0
+        return flusher(self.external_store, external_path)
+
+    # ------------------------------------------------------------------
+    # Introspection / statistics
+    # ------------------------------------------------------------------
+
+    def allocated_bytes(self, job_id: Optional[str] = None) -> int:
+        """Bytes of block capacity allocated (to one job or overall)."""
+        if job_id is None:
+            return self.pool.allocated_bytes()
+        hierarchy = self._hierarchy(job_id)
+        return hierarchy.total_blocks() * self.config.block_size
+
+    def used_bytes(self, job_id: Optional[str] = None) -> int:
+        """Bytes actually used inside allocated blocks."""
+        if job_id is None:
+            return self.pool.used_bytes()
+        hierarchy = self._hierarchy(job_id)
+        total = 0
+        for node in hierarchy.nodes():
+            for block in self.allocator.blocks_of(node):
+                total += block.used
+        return total
+
+    def utilization(self) -> float:
+        """used / allocated across the whole pool (1.0 when nothing is allocated)."""
+        allocated = self.pool.allocated_bytes()
+        if allocated == 0:
+            return 1.0
+        return self.pool.used_bytes() / allocated
+
+    def metadata_bytes(self) -> int:
+        """Control-plane metadata footprint across all jobs (§6.4)."""
+        return sum(h.metadata_bytes() for h in self._jobs.values())
+
+    def describe_job(self, job_id: str) -> List[dict]:
+        """du-style per-prefix accounting for one job.
+
+        Returns one row per prefix: name, data-structure type, block
+        count, allocated/used bytes, lease remaining, expired flag.
+        """
+        hierarchy = self._hierarchy(job_id)
+        rows = []
+        for node in hierarchy.nodes():
+            blocks = self.allocator.blocks_of(node)
+            rows.append(
+                {
+                    "prefix": node.name,
+                    "ds_type": node.ds_type,
+                    "blocks": len(blocks),
+                    "allocated_bytes": len(blocks) * self.config.block_size,
+                    "used_bytes": sum(b.used for b in blocks),
+                    "lease_remaining_s": self.leases.remaining(node),
+                    "expired": node.expired,
+                }
+            )
+        return sorted(rows, key=lambda r: r["prefix"])
+
+    def __repr__(self) -> str:
+        return (
+            f"JiffyController(jobs={len(self._jobs)}, "
+            f"blocks={self.allocator.allocated_blocks}/{self.pool.total_blocks})"
+        )

@@ -1,0 +1,321 @@
+"""Hierarchical addressing (§3.1).
+
+Each job owns a *virtual address hierarchy*: a DAG whose internal nodes
+correspond to the job's tasks and whose leaves are the memory blocks
+storing their intermediate data. Like the paper's example (Fig 4):
+
+* a node may have multiple parents, so a block may have multiple valid
+  addresses (``T4.T6.T7.B7_1`` and ``T3.T7.B7_1`` name the same block),
+  analogous to hard links in a POSIX inode hierarchy;
+* the *address prefix* of a block identifies the task that produced it,
+  which is the unit of isolation and of lease management;
+* resolution walks edges from a root, so an address is valid only if it
+  follows actual data-dependency edges.
+
+Paths are written with ``/`` separators here (``T4/T6``); the paper's
+dotted form is accepted as input for convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from repro.config import BLOCK_METADATA_BYTES, TASK_METADATA_BYTES
+from repro.errors import (
+    AddressError,
+    AddressExistsError,
+    AddressNotFoundError,
+)
+
+SEPARATOR = "/"
+
+
+def split_path(path: str) -> List[str]:
+    """Split an address path into components.
+
+    Accepts both ``/`` and the paper's ``.`` as separators, tolerates a
+    leading separator, and rejects empty components.
+    """
+    if not isinstance(path, str) or not path.strip(SEPARATOR + "."):
+        raise AddressError(f"invalid address path: {path!r}")
+    normalized = path.replace(".", SEPARATOR).strip(SEPARATOR)
+    parts = normalized.split(SEPARATOR)
+    if any(not p for p in parts):
+        raise AddressError(f"address path has empty component: {path!r}")
+    return parts
+
+
+def join_path(parts: Sequence[str]) -> str:
+    """Join components into a canonical address path."""
+    if not parts:
+        raise AddressError("cannot join an empty path")
+    return SEPARATOR.join(parts)
+
+
+class AddressNode:
+    """A node in a job's address hierarchy (one task / address prefix).
+
+    Carries the per-prefix controller state of §4.2.1: children (and
+    parents, since the hierarchy is a DAG), access permissions, the lease
+    renewal timestamp, the block map, and the identity of the data
+    structure living under the prefix.
+    """
+
+    def __init__(self, name: str, job_id: str) -> None:
+        self.name = name
+        self.job_id = job_id
+        self.parents: List["AddressNode"] = []
+        self.children: List["AddressNode"] = []
+        self.block_ids: List[str] = []
+        self.permissions: Set[str] = {job_id}
+        self.last_renewal: float = 0.0
+        self.lease_duration: Optional[float] = None  # None -> system default
+        self.expired: bool = False
+        self.ds_type: Optional[str] = None
+        self.datastructure: object = None  # set by initDataStructure
+
+    # -- topology ------------------------------------------------------
+
+    def child(self, name: str) -> Optional["AddressNode"]:
+        """Return the child with ``name``, or None."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def is_root(self) -> bool:
+        return not self.parents
+
+    def ancestors(self) -> Set["AddressNode"]:
+        """All transitive parents (excluding self)."""
+        seen: Set[AddressNode] = set()
+        frontier = list(self.parents)
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(node.parents)
+        return seen
+
+    def descendants(self) -> Set["AddressNode"]:
+        """All transitive children (excluding self)."""
+        seen: Set[AddressNode] = set()
+        frontier = list(self.children)
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(node.children)
+        return seen
+
+    # -- metadata ------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        """Control-plane storage footprint of this prefix (§6.4)."""
+        return TASK_METADATA_BYTES + BLOCK_METADATA_BYTES * len(self.block_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressNode({self.job_id}:{self.name}, "
+            f"blocks={len(self.block_ids)}, expired={self.expired})"
+        )
+
+
+class AddressHierarchy:
+    """The address DAG for one job.
+
+    Node names are unique within a job (tasks are unique in the execution
+    DAG); a node is addressable by any root-to-node path that follows
+    dependency edges, exactly as in Fig 4.
+    """
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._nodes: Dict[str, AddressNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self, name: str, parents: Iterable[str] = ()
+    ) -> AddressNode:
+        """Create a prefix named ``name`` under the given parent names.
+
+        An empty ``parents`` creates a root (a source task in the DAG).
+        """
+        parts = split_path(name)
+        if len(parts) != 1:
+            raise AddressError(
+                f"node name must be a single path component, got {name!r}"
+            )
+        name = parts[0]
+        if name in self._nodes:
+            raise AddressExistsError(
+                f"address prefix {name!r} already exists in job {self.job_id}"
+            )
+        parent_nodes = [self.get_node(p) for p in parents]
+        node = AddressNode(name, self.job_id)
+        for parent in parent_nodes:
+            node.parents.append(parent)
+            parent.children.append(node)
+        self._nodes[name] = node
+        return node
+
+    def add_parent(self, name: str, parent: str) -> None:
+        """Add an additional dependency edge ``parent -> name``."""
+        node = self.get_node(name)
+        parent_node = self.get_node(parent)
+        if parent_node is node or parent_node in node.descendants():
+            raise AddressError(
+                f"edge {parent!r} -> {name!r} would create a cycle"
+            )
+        if parent_node not in node.parents:
+            node.parents.append(parent_node)
+            parent_node.children.append(node)
+
+    @classmethod
+    def from_dag(
+        cls, job_id: str, dag: Mapping[str, Sequence[str]]
+    ) -> "AddressHierarchy":
+        """Build a hierarchy from ``{task: [parent tasks]}``.
+
+        Parents may appear only as values; they are created implicitly as
+        roots if not listed as keys. Matches ``createHierarchy`` (Table 1).
+        """
+        hierarchy = cls(job_id)
+        # Create every mentioned node first (as an isolated node), then
+        # wire edges — the mapping may list children before parents.
+        names: List[str] = []
+        for task, parents in dag.items():
+            if task not in names:
+                names.append(task)
+            for p in parents:
+                if p not in names:
+                    names.append(p)
+        for task in names:
+            hierarchy.add_node(task)
+        for task, parents in dag.items():
+            for p in parents:
+                hierarchy.add_parent(task, p)
+        return hierarchy
+
+    def remove_node(self, name: str) -> AddressNode:
+        """Detach and return a node; its block list must already be empty."""
+        node = self.get_node(name)
+        if node.block_ids:
+            raise AddressError(
+                f"cannot remove prefix {name!r}: {len(node.block_ids)} blocks "
+                "still allocated"
+            )
+        for parent in node.parents:
+            parent.children.remove(node)
+        for child in node.children:
+            child.parents.remove(node)
+        del self._nodes[name]
+        return node
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def get_node(self, name: str) -> AddressNode:
+        """Look up a node by its unique name (last path component)."""
+        parts = split_path(name)
+        if len(parts) > 1:
+            return self.resolve(name)
+        try:
+            return self._nodes[parts[0]]
+        except KeyError:
+            raise AddressNotFoundError(
+                f"no address prefix {parts[0]!r} in job {self.job_id}"
+            ) from None
+
+    def resolve(self, path: str) -> AddressNode:
+        """Resolve a full address-prefix path by walking DAG edges.
+
+        The first component must be a root; every later component must be
+        a child of the previous one. This validates that the address
+        follows real data-dependency edges (§3.1).
+        """
+        parts = split_path(path)
+        first = self._nodes.get(parts[0])
+        if first is None:
+            raise AddressNotFoundError(
+                f"no address prefix {parts[0]!r} in job {self.job_id}"
+            )
+        if not first.is_root():
+            raise AddressError(
+                f"address {path!r} must start at a root prefix; "
+                f"{parts[0]!r} has parents"
+            )
+        node = first
+        for component in parts[1:]:
+            nxt = node.child(component)
+            if nxt is None:
+                raise AddressNotFoundError(
+                    f"{component!r} is not a child of {node.name!r} "
+                    f"(resolving {path!r})"
+                )
+            node = nxt
+        return node
+
+    def addresses_of(self, name: str) -> List[str]:
+        """Every valid root-to-node path for a node (multi-path, Fig 4)."""
+        node = self.get_node(name)
+        paths: List[str] = []
+
+        def walk(current: AddressNode, suffix: List[str]) -> None:
+            if current.is_root():
+                paths.append(join_path([current.name] + suffix))
+                return
+            for parent in current.parents:
+                walk(parent, [current.name] + suffix)
+
+        walk(node, [])
+        return sorted(paths)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            parts = split_path(name)
+        except AddressError:
+            return False
+        return len(parts) == 1 and parts[0] in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[AddressNode]:
+        return iter(self._nodes.values())
+
+    def roots(self) -> List[AddressNode]:
+        return [n for n in self._nodes.values() if n.is_root()]
+
+    def total_blocks(self) -> int:
+        return sum(len(n.block_ids) for n in self._nodes.values())
+
+    def metadata_bytes(self) -> int:
+        """Control-plane storage footprint of the whole hierarchy (§6.4)."""
+        return sum(n.metadata_bytes() for n in self._nodes.values())
+
+    def to_dot(self) -> str:
+        """Render the hierarchy as Graphviz DOT (tasks + their blocks)."""
+        lines = [f'digraph "{self.job_id}" {{', "  rankdir=TB;"]
+        for node in self._nodes.values():
+            shape = "doublecircle" if node.expired else "box"
+            label = f"{node.name}\\n{len(node.block_ids)} blocks"
+            lines.append(f'  "{node.name}" [shape={shape}, label="{label}"];')
+        for node in self._nodes.values():
+            for child in node.children:
+                lines.append(f'  "{node.name}" -> "{child.name}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"AddressHierarchy(job={self.job_id!r}, nodes={len(self)})"

@@ -1,0 +1,102 @@
+"""Live-mode controller: a background expiry worker on the wall clock.
+
+Simulated runs call :meth:`JiffyController.tick` explicitly as the
+simulated clock advances; a live deployment instead runs the lease
+expiry worker periodically (§4.2.1: "a lease expiry worker that
+periodically traverses all address hierarchies"). :class:`LiveJiffy`
+owns that thread and provides a context-manager lifecycle.
+
+Thread-safety: the expiry worker and client requests are serialised
+through one lock — mirroring the single-core controller the paper
+measures in Fig 12(a); multi-core scaling happens across *shards*
+(each with its own lock), not within one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.config import JiffyConfig
+from repro.core.controller import JiffyController
+from repro.sim.clock import WallClock
+
+
+class LiveJiffy:
+    """A controller plus its periodic expiry worker.
+
+    Example:
+        with LiveJiffy(JiffyConfig(block_size=4096)) as live:
+            client = live.connect("my-job")
+            ...
+    """
+
+    def __init__(
+        self,
+        config: Optional[JiffyConfig] = None,
+        controller: Optional[JiffyController] = None,
+        expiry_interval_s: Optional[float] = None,
+    ) -> None:
+        if controller is None:
+            controller = JiffyController(config=config, clock=WallClock())
+        self.controller = controller
+        if expiry_interval_s is None:
+            # Half the lease duration: expiries are detected at most
+            # lease/2 late.
+            expiry_interval_s = controller.config.lease_duration / 2.0
+        if expiry_interval_s <= 0:
+            raise ValueError("expiry_interval_s must be positive")
+        self.expiry_interval_s = expiry_interval_s
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "LiveJiffy":
+        """Start the expiry worker (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return self
+        self._stop.clear()
+        self._worker = threading.Thread(
+            target=self._expiry_loop, name="jiffy-expiry", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the expiry worker and wait for it to exit."""
+        self._stop.set()
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+
+    def _expiry_loop(self) -> None:
+        while not self._stop.wait(self.expiry_interval_s):
+            with self._lock:
+                self.controller.tick()
+                self.ticks += 1
+
+    # ------------------------------------------------------------------
+
+    def connect(self, job_id: str):
+        """Open a client session (registers the job if needed)."""
+        from repro.core.client import connect
+
+        with self._lock:
+            return connect(self.controller, job_id)
+
+    def synchronized(self):
+        """The lock guarding controller access for client threads."""
+        return self._lock
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def __enter__(self) -> "LiveJiffy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,91 @@
+"""Data-structure partition metadata at the controller (§4.2.1).
+
+The metadata manager tracks, for each address prefix that hosts a data
+structure, how that structure's data is partitioned across its blocks —
+file offset ranges, queue head/tail block ids, KV hash-slot ownership.
+Clients cache this map and refresh it when they detect a stale view
+(the entry's version number bumps on every repartition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import AddressNotFoundError
+
+
+@dataclass
+class PartitionMetadata:
+    """One prefix's data-structure metadata entry.
+
+    Attributes:
+        ds_type: registered data-structure type name ("file", ...).
+        version: bumped on every partitioning change; clients compare
+            against their cached copy to detect scaling (§4.2.1).
+        partitioning: data-structure-specific map (opaque here).
+    """
+
+    ds_type: str
+    version: int = 0
+    partitioning: Dict[str, Any] = field(default_factory=dict)
+
+    def bump(self) -> int:
+        self.version += 1
+        return self.version
+
+
+class MetadataManager:
+    """Controller-side registry of partition metadata, keyed by prefix."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], PartitionMetadata] = {}
+        self.updates = 0
+        self.reads = 0
+
+    @staticmethod
+    def _key(job_id: str, prefix: str) -> Tuple[str, str]:
+        return (job_id, prefix)
+
+    def register(self, job_id: str, prefix: str, ds_type: str) -> PartitionMetadata:
+        """Create (or replace) the metadata entry for a prefix."""
+        entry = PartitionMetadata(ds_type=ds_type)
+        self._entries[self._key(job_id, prefix)] = entry
+        self.updates += 1
+        return entry
+
+    def get(self, job_id: str, prefix: str) -> PartitionMetadata:
+        """Fetch a prefix's metadata entry; raises if absent."""
+        self.reads += 1
+        try:
+            return self._entries[self._key(job_id, prefix)]
+        except KeyError:
+            raise AddressNotFoundError(
+                f"no data structure registered at {job_id}:{prefix}"
+            ) from None
+
+    def try_get(self, job_id: str, prefix: str) -> Optional[PartitionMetadata]:
+        """Like :meth:`get` but returns None instead of raising."""
+        self.reads += 1
+        return self._entries.get(self._key(job_id, prefix))
+
+    def update(self, job_id: str, prefix: str, **partitioning: Any) -> int:
+        """Merge keys into the partitioning map and bump the version."""
+        entry = self.get(job_id, prefix)
+        entry.partitioning.update(partitioning)
+        self.updates += 1
+        return entry.bump()
+
+    def remove(self, job_id: str, prefix: str) -> None:
+        """Drop the entry for a prefix (no-op if absent)."""
+        self._entries.pop(self._key(job_id, prefix), None)
+
+    def remove_job(self, job_id: str) -> int:
+        """Drop every entry belonging to a job; returns the count removed."""
+        doomed = [k for k in self._entries if k[0] == job_id]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,122 @@
+"""Subscription/notification interface (Table 1, §4.1).
+
+Tasks that consume intermediate data subscribe to operations on a data
+structure (e.g. a downstream task subscribes to ``enqueue`` on its input
+queue) and receive asynchronous notifications. The data plane keeps a
+subscription map from operation names to subscribed listener handles
+(§4.2.2); publishing an operation fans out to every matching listener.
+
+Listeners are poll-based: ``listener.get(timeout)`` returns the oldest
+pending notification or ``None``. Under a :class:`~repro.sim.clock\
+.SimClock` there is no blocking — the timeout exists for API fidelity and
+for wall-clock polling loops.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.sim.clock import Clock, WallClock
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A single delivered event: which op fired, with what payload."""
+
+    op: str
+    data: Any
+    timestamp: float
+
+
+class Listener:
+    """A handle over a stream of notifications for one subscription."""
+
+    def __init__(self, broker: "NotificationBroker", listener_id: int, op: str) -> None:
+        self._broker = broker
+        self.listener_id = listener_id
+        self.op = op
+        self._queue: Deque[Notification] = collections.deque()
+        self.closed = False
+
+    def _deliver(self, notification: Notification) -> None:
+        if not self.closed:
+            self._queue.append(notification)
+
+    def pending(self) -> int:
+        """Number of undelivered notifications."""
+        return len(self._queue)
+
+    def get(self, timeout: float = 0.0) -> Optional[Notification]:
+        """Pop the oldest notification, waiting up to ``timeout`` seconds.
+
+        Waiting only happens under a wall clock; with a simulated clock
+        the call returns immediately (events are only produced by code
+        the caller itself runs).
+        """
+        if self._queue:
+            return self._queue.popleft()
+        if timeout > 0 and isinstance(self._broker.clock, WallClock):
+            deadline = _time.monotonic() + timeout
+            while _time.monotonic() < deadline:
+                if self._queue:
+                    return self._queue.popleft()
+                _time.sleep(0.001)
+        return self._queue.popleft() if self._queue else None
+
+    def get_all(self) -> List[Notification]:
+        """Drain and return every pending notification."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    def close(self) -> None:
+        """Unsubscribe; pending notifications are discarded."""
+        self.closed = True
+        self._broker._unsubscribe(self)
+
+    def __repr__(self) -> str:
+        return f"Listener(id={self.listener_id}, op={self.op!r}, pending={len(self._queue)})"
+
+
+class NotificationBroker:
+    """Per-data-structure subscription map (op name -> listeners)."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else WallClock()
+        self._subs: Dict[str, List[Listener]] = collections.defaultdict(list)
+        self._ids = itertools.count()
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, op: str) -> Listener:
+        """Create a listener for operations named ``op``."""
+        listener = Listener(self, next(self._ids), op)
+        self._subs[op].append(listener)
+        return listener
+
+    def publish(self, op: str, data: Any = None) -> int:
+        """Notify every listener subscribed to ``op``; returns fan-out."""
+        self.published += 1
+        listeners = self._subs.get(op)
+        if not listeners:
+            return 0
+        notification = Notification(op=op, data=data, timestamp=self.clock.now())
+        count = 0
+        for listener in listeners:
+            if not listener.closed:
+                listener._deliver(notification)
+                count += 1
+        self.delivered += count
+        return count
+
+    def _unsubscribe(self, listener: Listener) -> None:
+        listeners = self._subs.get(listener.op, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    def subscriber_count(self, op: str) -> int:
+        return len([l for l in self._subs.get(op, []) if not l.closed])

@@ -1,0 +1,139 @@
+"""Chain replication at block granularity (§4.2.2).
+
+For applications needing fault tolerance for intermediate data, Jiffy
+supports chain replication [van Renesse & Schneider, OSDI '04]: each
+logical block is backed by a chain of physical replicas on distinct
+servers; writes enter at the head and propagate to the tail before they
+are acknowledged, reads are served by the tail, so committed reads always
+observe fully replicated data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.blocks.block import Block
+from repro.blocks.pool import MemoryPool
+from repro.errors import CapacityError, ReplicationError
+
+
+class ReplicatedBlock:
+    """A logical block over a chain of physical replicas."""
+
+    def __init__(self, chain: Sequence[Block]) -> None:
+        if not chain:
+            raise ReplicationError("replication chain must be non-empty")
+        servers = [b.server_id for b in chain]
+        if len(set(servers)) != len(servers):
+            raise ReplicationError(
+                f"chain replicas must live on distinct servers, got {servers}"
+            )
+        self.chain: List[Block] = list(chain)
+        self.writes_acked = 0
+        self.reads_served = 0
+
+    @property
+    def head(self) -> Block:
+        return self.chain[0]
+
+    @property
+    def tail(self) -> Block:
+        return self.chain[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.chain)
+
+    def write(self, apply_write: Callable[[Block], Any]) -> Any:
+        """Apply a write down the chain; ack (return) only after the tail.
+
+        ``apply_write`` mutates a replica's payload; it runs on every
+        replica head-to-tail, and the tail's return value is the ack.
+        """
+        result = None
+        for replica in self.chain:
+            result = apply_write(replica)
+        self.writes_acked += 1
+        return result
+
+    def read(self, apply_read: Callable[[Block], Any]) -> Any:
+        """Serve a read from the tail (committed data only)."""
+        self.reads_served += 1
+        return apply_read(self.tail)
+
+    def fail_replica(self, server_id: str) -> None:
+        """Drop the replica hosted on a failed server and splice the chain.
+
+        Chain repair: predecessors link to successors; the data is intact
+        on the survivors because writes were applied in chain order.
+        """
+        survivors = [b for b in self.chain if b.server_id != server_id]
+        if len(survivors) == len(self.chain):
+            raise ReplicationError(f"no replica on server {server_id}")
+        if not survivors:
+            raise ReplicationError("all replicas failed; data lost")
+        self.chain = survivors
+
+    def repair(self, new_replica: Block, copy_payload: Callable[[Block, Block], None]) -> None:
+        """Re-extend the chain with a fresh replica (copied from the tail)."""
+        if any(b.server_id == new_replica.server_id for b in self.chain):
+            raise ReplicationError(
+                f"chain already has a replica on {new_replica.server_id}"
+            )
+        copy_payload(self.tail, new_replica)
+        self.chain.append(new_replica)
+
+    def __repr__(self) -> str:
+        return f"ReplicatedBlock(chain={[b.block_id for b in self.chain]})"
+
+
+class ChainReplicator:
+    """Allocates replica chains across distinct servers of a pool."""
+
+    def __init__(self, pool: MemoryPool, replication_factor: int) -> None:
+        if replication_factor < 1:
+            raise ReplicationError("replication factor must be >= 1")
+        self.pool = pool
+        self.replication_factor = replication_factor
+
+    def allocate_chain(self) -> ReplicatedBlock:
+        """Allocate ``replication_factor`` blocks on distinct servers."""
+        replicas: List[Block] = []
+        used_servers: set = set()
+        try:
+            # The pool allocates least-loaded-first; retry until we have
+            # distinct servers, returning rejected blocks immediately.
+            attempts = 0
+            while len(replicas) < self.replication_factor:
+                attempts += 1
+                if attempts > 10 * self.replication_factor + 10:
+                    raise ReplicationError(
+                        "could not find enough distinct servers for chain"
+                    )
+                block = self.pool.allocate()
+                if block.server_id in used_servers:
+                    self.pool.reclaim(block.block_id)
+                    # All remaining free blocks may be on used servers.
+                    free_servers = {
+                        s.server_id
+                        for s in self.pool.servers()
+                        if s.free_blocks > 0
+                    }
+                    if free_servers <= used_servers:
+                        raise ReplicationError(
+                            "not enough distinct servers with free blocks "
+                            f"for replication factor {self.replication_factor}"
+                        )
+                    continue
+                used_servers.add(block.server_id)
+                replicas.append(block)
+        except (CapacityError, ReplicationError):
+            for block in replicas:
+                self.pool.reclaim(block.block_id)
+            raise
+        return ReplicatedBlock(replicas)
+
+    def release_chain(self, replicated: ReplicatedBlock) -> None:
+        """Return every replica of a chain to the pool."""
+        for block in replicated.chain:
+            self.pool.reclaim(block.block_id)

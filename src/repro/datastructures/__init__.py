@@ -1,0 +1,30 @@
+"""Jiffy built-in data structures (Table 2) and the registry for custom ones.
+
+* :class:`JiffyFile` — append-only file over offset-ranged blocks (§5.1)
+* :class:`JiffyQueue` — FIFO queue over a linked list of blocks (§5.2)
+* :class:`JiffyKVStore` — hash-slot-sharded KV store with cuckoo-hashed
+  blocks and hash-slot split/merge repartitioning (§5.3)
+"""
+
+from repro.datastructures.base import DataStructure, RepartitionEvent
+from repro.datastructures.cuckoo import CuckooHashTable
+from repro.datastructures.file import JiffyFile
+from repro.datastructures.queue import JiffyQueue
+from repro.datastructures.kvstore import JiffyKVStore
+from repro.datastructures.registry import (
+    DataStructureRegistry,
+    default_registry,
+    register_datastructure,
+)
+
+__all__ = [
+    "DataStructure",
+    "RepartitionEvent",
+    "CuckooHashTable",
+    "JiffyFile",
+    "JiffyQueue",
+    "JiffyKVStore",
+    "DataStructureRegistry",
+    "default_registry",
+    "register_datastructure",
+]

@@ -1,0 +1,215 @@
+"""Base machinery shared by Jiffy data structures.
+
+Implements the internal block API of Fig 6 in spirit: each data structure
+routes operations to blocks (``getBlock``), performs reads/writes/deletes
+against block payloads, and — the paper's key mechanism (§3.3) — watches
+block usage against the high/low thresholds, signalling the controller to
+allocate or reclaim blocks and repartitioning data *inside the data
+plane* so compute tasks never move bytes themselves.
+
+Repartitioning cost is modelled (the in-process move is instant): the
+paper reports ~1–1.5 ms to connect to the controller plus two EC2 round
+trips for the control exchange, plus the data-move time over a 10 Gbps
+link; each event is recorded with its modelled latency so Fig 11(b) can
+be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.blocks.block import Block
+from repro.core.controller import JiffyController
+from repro.core.hierarchy import AddressNode
+from repro.core.notifications import Listener, NotificationBroker
+from repro.errors import CapacityError, LeaseExpiredError
+from repro.sim.network import NetworkModel
+
+#: Modelled cost of the memory server establishing a controller
+#: connection during a repartition (§6.3: "~1-1.5ms").
+CONTROLLER_CONNECT_S = 1.25e-3
+
+#: Accounting overhead per stored item (object headers, length prefixes).
+ITEM_OVERHEAD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class RepartitionEvent:
+    """One block split/merge, with its modelled end-to-end latency."""
+
+    timestamp: float
+    kind: str  # "split" | "merge" | "extend" | "shrink"
+    bytes_moved: int
+    latency_s: float
+
+
+class DataStructure:
+    """A data structure bound to one address prefix of one job."""
+
+    DS_TYPE = "abstract"
+
+    def __init__(
+        self,
+        controller: JiffyController,
+        job_id: str,
+        prefix: str,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.controller = controller
+        self.job_id = job_id
+        self.prefix = prefix
+        self.network = network if network is not None else NetworkModel()
+        self.broker = NotificationBroker(controller.clock)
+        self.repartition_events: List[RepartitionEvent] = []
+        self._expired = False
+        self._meta = controller.register_datastructure(
+            job_id, prefix, self.DS_TYPE, self
+        )
+
+    # ------------------------------------------------------------------
+    # Node/lease plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def node(self) -> AddressNode:
+        return self.controller.hierarchy(self.job_id).get_node(self.prefix)
+
+    @property
+    def expired(self) -> bool:
+        return self._expired
+
+    def _check_alive(self) -> None:
+        if self._expired:
+            raise LeaseExpiredError(
+                f"lease expired for {self.job_id}:{self.prefix}; data was "
+                "flushed to the external store — use loadAddrPrefix to restore"
+            )
+
+    def _on_expiry_reclaimed(self) -> None:
+        """Controller hook: our blocks were reclaimed on lease expiry."""
+        self._expired = True
+        self._reset_partition_state()
+
+    def _revive(self) -> None:
+        self._expired = False
+        # Reviving implies a fresh lease: clear the node's expired mark
+        # (so the controller accepts allocations again) and restart its
+        # lease clock.
+        node = self.node
+        self.controller.leases.start(node)
+
+    def renew_lease(self) -> int:
+        """Convenience: renew this prefix's lease (DAG-propagated)."""
+        return self.controller.renew_lease(self.job_id, self.prefix)
+
+    # ------------------------------------------------------------------
+    # Block plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.controller.config.block_size
+
+    @property
+    def high_limit(self) -> int:
+        """Usable bytes per block before the high threshold trips."""
+        return int(self.block_size * self.controller.config.high_threshold)
+
+    @property
+    def low_limit(self) -> int:
+        """Bytes below which a block becomes a merge candidate."""
+        return int(self.block_size * self.controller.config.low_threshold)
+
+    def _allocate_block(self) -> Block:
+        """Overload-signal path: ask the controller for one more block."""
+        block = self.controller.try_allocate_block(self.job_id, self.prefix)
+        if block is None:
+            raise CapacityError(
+                f"no free blocks for {self.job_id}:{self.prefix}"
+            )
+        return block
+
+    def _reclaim_block(self, block: Block) -> None:
+        """Underload path: hand a drained block back to the controller."""
+        self.controller.reclaim_block(self.job_id, self.prefix, block.block_id)
+
+    def _get_block(self, block_id: str) -> Block:
+        return self.controller.pool.get_block(block_id)
+
+    def _reclaim_all_blocks(self) -> None:
+        """Release every block of this prefix (load-from-scratch path)."""
+        for block in list(self.blocks()):
+            self.controller.reclaim_block(self.job_id, self.prefix, block.block_id)
+
+    def blocks(self) -> List[Block]:
+        """Live blocks currently allocated to this prefix."""
+        return self.controller.blocks_of(self.job_id, self.prefix)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def allocated_bytes(self) -> int:
+        return len(self.node.block_ids) * self.block_size
+
+    def used_bytes(self) -> int:
+        return sum(b.used for b in self.blocks())
+
+    def utilization(self) -> float:
+        allocated = self.allocated_bytes()
+        return (self.used_bytes() / allocated) if allocated else 1.0
+
+    # ------------------------------------------------------------------
+    # Repartitioning cost model
+    # ------------------------------------------------------------------
+
+    def _record_repartition(self, kind: str, bytes_moved: int) -> RepartitionEvent:
+        latency = (
+            CONTROLLER_CONNECT_S
+            + self.network.rtt()  # trigger allocation / reclamation
+            + self.network.rtt()  # partition-metadata update
+        )
+        if bytes_moved:
+            latency += self.network.transfer(bytes_moved)
+        event = RepartitionEvent(
+            timestamp=self.controller.clock.now(),
+            kind=kind,
+            bytes_moved=bytes_moved,
+            latency_s=latency,
+        )
+        self.repartition_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Notifications (Table 1)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, op: str) -> Listener:
+        """Subscribe to operations of type ``op`` on this data structure."""
+        return self.broker.subscribe(op)
+
+    def _publish(self, op: str, data: Any = None) -> None:
+        self.broker.publish(op, data)
+
+    # ------------------------------------------------------------------
+    # Persistence interface used by the controller
+    # ------------------------------------------------------------------
+
+    def flush_to(self, store, external_path: str) -> int:
+        """Serialise contents into the external store; returns bytes."""
+        raise NotImplementedError
+
+    def load_from(self, store, external_path: str) -> int:
+        """Restore contents from the external store; returns bytes."""
+        raise NotImplementedError
+
+    def _reset_partition_state(self) -> None:
+        """Clear any client-side partition caching after reclamation."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.job_id}:{self.prefix}, "
+            f"blocks={len(self.node.block_ids)})"
+        )

@@ -1,0 +1,172 @@
+"""Jiffy File (§5.1): an append-only file over offset-ranged blocks.
+
+A file is a collection of blocks, each storing a fixed-size chunk. The
+controller's metadata manager keeps the block ↔ offset-range mapping;
+``getBlock`` routes requests by offset. Writes are append-only; reads are
+sequential or via ``seek`` with arbitrary offsets. Blocks are only ever
+added (no repartitioning, Table 2): when the tail block's usage crosses
+the high threshold it is sealed and a fresh block is allocated — the gap
+between the threshold and full capacity is the utilisation loss measured
+by the Fig 14(c) sensitivity sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.blocks.block import Block
+from repro.datastructures.base import DataStructure
+from repro.errors import DataStructureError
+
+
+class JiffyFile(DataStructure):
+    """Append-only byte file with random-access reads."""
+
+    DS_TYPE = "file"
+
+    def __init__(self, controller, job_id: str, prefix: str, **kwargs) -> None:
+        super().__init__(controller, job_id, prefix, **kwargs)
+        # (block_id, start_offset) per chunk, in offset order.
+        self._chunks: List[Tuple[str, int]] = []
+        self._size = 0
+        self._read_pos = 0
+        self._sync_metadata()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total bytes in the file."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def tell(self) -> int:
+        """Current sequential-read position."""
+        return self._read_pos
+
+    def _sync_metadata(self) -> None:
+        self.controller.metadata.update(
+            self.job_id, self.prefix, chunks=list(self._chunks), size=self._size
+        )
+
+    def _tail_block(self) -> Block:
+        """The writable tail chunk, allocating/extending as needed."""
+        if self._chunks:
+            block = self._get_block(self._chunks[-1][0])
+            if not block.sealed:
+                return block
+        block = self._allocate_block()
+        block.payload["data"] = bytearray()
+        self._chunks.append((block.block_id, self._size))
+        self._record_repartition("extend", 0)
+        self._sync_metadata()
+        return block
+
+    # ------------------------------------------------------------------
+    # Write path (writeOp = write/append)
+    # ------------------------------------------------------------------
+
+    def append(self, data: bytes) -> int:
+        """Append bytes to the file; returns the write's start offset.
+
+        Large writes split across blocks at the high-threshold boundary;
+        once a block crosses the threshold it is sealed and a new block
+        is allocated (the §3.3 overload signal).
+        """
+        self._check_alive()
+        if not isinstance(data, (bytes, bytearray)):
+            raise DataStructureError("file data must be bytes")
+        start_offset = self._size
+        remaining = memoryview(bytes(data))
+        while len(remaining) > 0:
+            block = self._tail_block()
+            room = self.high_limit - block.used
+            if room <= 0:
+                block.seal()
+                continue
+            take = min(room, len(remaining))
+            block.payload["data"].extend(remaining[:take])
+            block.add_used(take)
+            self._size += take
+            remaining = remaining[take:]
+            if block.used >= self.high_limit:
+                block.seal()
+        self._sync_metadata()
+        self._publish("write", {"offset": start_offset, "length": len(data)})
+        return start_offset
+
+    write = append  # Table 2 names the file writeOp "write".
+
+    # ------------------------------------------------------------------
+    # Read path (readOp = read, plus seek)
+    # ------------------------------------------------------------------
+
+    def seek(self, offset: int) -> None:
+        """Position the sequential-read cursor at an arbitrary offset."""
+        self._check_alive()
+        if not 0 <= offset <= self._size:
+            raise DataStructureError(
+                f"seek offset {offset} out of range [0, {self._size}]"
+            )
+        self._read_pos = offset
+
+    def read(self, length: int = -1) -> bytes:
+        """Sequential read from the cursor; -1 reads to end of file."""
+        self._check_alive()
+        if length < 0:
+            length = self._size - self._read_pos
+        data = self.read_at(self._read_pos, length)
+        self._read_pos += len(data)
+        return data
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Random-access read (getBlock routes by offset range)."""
+        self._check_alive()
+        if offset < 0 or length < 0:
+            raise DataStructureError("offset and length must be >= 0")
+        end = min(offset + length, self._size)
+        if offset >= self._size:
+            return b""
+        out = bytearray()
+        for block_id, start in self._chunks:
+            block = self._get_block(block_id)
+            chunk_len = block.used
+            chunk_end = start + chunk_len
+            if chunk_end <= offset:
+                continue
+            if start >= end:
+                break
+            lo = max(offset, start) - start
+            hi = min(end, chunk_end) - start
+            out.extend(block.payload["data"][lo:hi])
+        return bytes(out)
+
+    def readall(self) -> bytes:
+        """The whole file contents."""
+        return self.read_at(0, self._size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def flush_to(self, store, external_path: str) -> int:
+        """Persist the full file as one external object."""
+        data = self.read_at(0, self._size) if not self._expired else b""
+        store.put(external_path, data)
+        return len(data)
+
+    def load_from(self, store, external_path: str) -> int:
+        """Restore the file from the external store (after expiry)."""
+        data = store.get(external_path)
+        self._revive()
+        self._reclaim_all_blocks()
+        self._reset_partition_state()
+        self.append(data)
+        return len(data)
+
+    def _reset_partition_state(self) -> None:
+        self._chunks = []
+        self._size = 0
+        self._read_pos = 0

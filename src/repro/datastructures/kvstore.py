@@ -1,0 +1,289 @@
+"""Jiffy KV-Store (§5.3): hash-slot-sharded key-value storage.
+
+Keys hash to one of ``H`` hash slots (H=1024 by default); KV pairs are
+sharded across blocks such that each block owns one or more slots and a
+slot is never split across blocks. Each block stores its pairs in a
+cuckoo hash table. The controller's metadata manager holds the
+block ↔ hash-slot mapping, cached by clients and refreshed on scaling.
+
+Repartitioning (the only built-in data structure that needs it, Table 2):
+
+* **split** — when a block crosses the high usage threshold, half of its
+  hash slots are reassigned to a newly allocated block and the
+  corresponding pairs move with them;
+* **merge** — when a block falls below the low threshold (and the store
+  has more than one block), its slots merge into the lowest-usage peer
+  that can absorb them, and the drained block is reclaimed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blocks.block import Block
+from repro.codec import decode_kv_pairs, encode_kv_pairs
+from repro.datastructures.base import ITEM_OVERHEAD_BYTES, DataStructure
+from repro.datastructures.cuckoo import CuckooHashTable
+from repro.errors import DataStructureError, KeyNotFoundError
+
+
+def hash_slot(key: bytes, num_slots: int) -> int:
+    """Stable key → hash-slot mapping (process-independent)."""
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "little") % num_slots
+
+
+class JiffyKVStore(DataStructure):
+    """Key-value store with get/put/delete and slot-level elasticity."""
+
+    DS_TYPE = "kv_store"
+
+    def __init__(
+        self,
+        controller,
+        job_id: str,
+        prefix: str,
+        num_slots: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(controller, job_id, prefix, **kwargs)
+        self.num_slots = (
+            num_slots if num_slots is not None else controller.config.num_hash_slots
+        )
+        if self.num_slots <= 0:
+            raise DataStructureError("num_slots must be positive")
+        # slot -> block id; populated lazily on first write.
+        self._slot_map: Dict[int, str] = {}
+        self._size = 0
+        self.splits = 0
+        self.merges = 0
+        self._sync_metadata()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _canonical(key) -> bytes:
+        if isinstance(key, bytes):
+            return key
+        if isinstance(key, str):
+            return key.encode()
+        raise DataStructureError(
+            f"kv keys must be str or bytes, got {type(key).__name__}"
+        )
+
+    @staticmethod
+    def _pair_cost(key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + ITEM_OVERHEAD_BYTES
+
+    def _sync_metadata(self) -> None:
+        self.controller.metadata.update(
+            self.job_id,
+            self.prefix,
+            slot_map=dict(self._slot_map),
+            num_slots=self.num_slots,
+        )
+
+    def _init_block(self, slots: List[int]) -> Block:
+        block = self._allocate_block()
+        block.payload["table"] = CuckooHashTable()
+        block.payload["slots"] = set(slots)
+        for slot in slots:
+            self._slot_map[slot] = block.block_id
+        return block
+
+    def _block_for(self, key_bytes: bytes) -> Block:
+        """getBlock for KV ops: route by the key's hash slot."""
+        slot = hash_slot(key_bytes, self.num_slots)
+        block_id = self._slot_map.get(slot)
+        if block_id is None:
+            # First write to the store: one block owns every slot.
+            if not self._slot_map:
+                block = self._init_block(list(range(self.num_slots)))
+                self._sync_metadata()
+                return block
+            raise DataStructureError(f"hash slot {slot} has no owner block")
+        return self._get_block(block_id)
+
+    # ------------------------------------------------------------------
+    # Operations (Table 2: writeOp=put, readOp=get, deleteOp=delete)
+    # ------------------------------------------------------------------
+
+    def put(self, key, value: bytes) -> None:
+        """Insert or overwrite a key."""
+        self._check_alive()
+        key_bytes = self._canonical(key)
+        if not isinstance(value, (bytes, bytearray)):
+            raise DataStructureError("kv values must be bytes")
+        value = bytes(value)
+        cost = self._pair_cost(key_bytes, value)
+        while True:
+            block = self._block_for(key_bytes)
+            table: CuckooHashTable = block.payload["table"]
+            old_value = table.get(key_bytes, default=None)
+            if old_value is not None:
+                delta = cost - self._pair_cost(key_bytes, old_value)
+            else:
+                delta = cost
+            if block.used + delta <= self.high_limit:
+                break
+            # Overload signal (§3.3): split before the write lands so the
+            # block never physically overflows. The key may hash to
+            # either half after the split, so re-route.
+            if not self._split(block):
+                # Could not split (single slot or pool exhausted): allow
+                # filling up to raw capacity before failing outright.
+                if block.used + delta > block.capacity:
+                    raise DataStructureError(
+                        f"pair of {cost} bytes cannot fit in block "
+                        f"{block.block_id} (used={block.used}, "
+                        f"capacity={block.capacity})"
+                    )
+                break
+        if old_value is not None:
+            table.put(key_bytes, value)
+        else:
+            table.put(key_bytes, value)
+            self._size += 1
+        block.add_used(delta)
+        self._publish("put", {"key": key_bytes, "value": value})
+
+    def get(self, key) -> bytes:
+        """Fetch a key's value; raises :class:`KeyNotFoundError` if absent."""
+        self._check_alive()
+        key_bytes = self._canonical(key)
+        block = self._block_for(key_bytes)
+        value = block.payload["table"].get(key_bytes)
+        self._publish("get", {"key": key_bytes})
+        return value
+
+    def exists(self, key) -> bool:
+        """Whether a key is present."""
+        self._check_alive()
+        key_bytes = self._canonical(key)
+        if not self._slot_map:
+            return False
+        return key_bytes in self._block_for(key_bytes).payload["table"]
+
+    def delete(self, key) -> bytes:
+        """Remove a key; returns the old value."""
+        self._check_alive()
+        key_bytes = self._canonical(key)
+        block = self._block_for(key_bytes)
+        table: CuckooHashTable = block.payload["table"]
+        value = table.delete(key_bytes)
+        block.add_used(-min(self._pair_cost(key_bytes, value), block.used))
+        self._size -= 1
+        self._publish("delete", {"key": key_bytes})
+        if block.used < self.low_limit and len(self.node.block_ids) > 1:
+            self._merge(block)
+        return value
+
+    def multi_put(self, pairs) -> None:
+        """Insert many pairs in one (pipelined) request."""
+        for key, value in pairs:
+            self.put(key, value)
+
+    def multi_get(self, keys) -> List[bytes]:
+        """Fetch many keys in one (pipelined) request; order preserved."""
+        return [self.get(key) for key in keys]
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Every (key, value) pair, in arbitrary order."""
+        self._check_alive()
+        for block in self.blocks():
+            yield from block.payload["table"].items()
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------------
+    # Repartitioning (§3.3, §5.3)
+    # ------------------------------------------------------------------
+
+    def _split(self, block: Block) -> bool:
+        """Move half of an overloaded block's hash slots to a new block.
+
+        Returns True if a split happened; False when the pool is
+        exhausted or the block owns a single slot (slots are atomic).
+        """
+        if len(block.payload.get("slots", ())) <= 1:
+            return False  # A single slot cannot split.
+        new_block = self.controller.try_allocate_block(self.job_id, self.prefix)
+        if new_block is None:
+            return False  # Pool exhausted: stay overloaded rather than fail.
+        slots = sorted(block.payload["slots"])
+        moving = set(slots[len(slots) // 2 :])
+        new_block.payload["table"] = CuckooHashTable()
+        new_block.payload["slots"] = moving
+        table: CuckooHashTable = block.payload["table"]
+        new_table: CuckooHashTable = new_block.payload["table"]
+        moved_bytes = 0
+        for key_bytes, value in list(table.items()):
+            if hash_slot(key_bytes, self.num_slots) in moving:
+                table.delete(key_bytes)
+                new_table.put(key_bytes, value)
+                moved_bytes += self._pair_cost(key_bytes, value)
+        block.payload["slots"] -= moving
+        block.add_used(-min(moved_bytes, block.used))
+        new_block.set_used(moved_bytes)
+        for slot in moving:
+            self._slot_map[slot] = new_block.block_id
+        self.splits += 1
+        self._record_repartition("split", moved_bytes)
+        self._sync_metadata()
+        return True
+
+    def _merge(self, block: Block) -> None:
+        """Fold an underloaded block's slots into its lowest-usage peer."""
+        peers = [b for b in self.blocks() if b.block_id != block.block_id]
+        candidates = [
+            p for p in sorted(peers, key=lambda b: b.used)
+            if p.used + block.used <= self.high_limit
+        ]
+        if not candidates:
+            return  # No peer can absorb us without overloading.
+        target = candidates[0]
+        table: CuckooHashTable = block.payload["table"]
+        target_table: CuckooHashTable = target.payload["table"]
+        moved_bytes = 0
+        for key_bytes, value in table.pop_all():
+            target_table.put(key_bytes, value)
+            moved_bytes += self._pair_cost(key_bytes, value)
+        target.payload["slots"] |= block.payload["slots"]
+        for slot in block.payload["slots"]:
+            self._slot_map[slot] = target.block_id
+        target.add_used(moved_bytes)
+        self.merges += 1
+        self._record_repartition("merge", moved_bytes)
+        self._reclaim_block(block)
+        self._sync_metadata()
+
+    # ------------------------------------------------------------------
+    # Persistence (Piccolo-style checkpointing, §5.3)
+    # ------------------------------------------------------------------
+
+    def flush_to(self, store, external_path: str) -> int:
+        pairs = [] if self._expired else list(self.items())
+        data = encode_kv_pairs(pairs)
+        store.put(external_path, data)
+        return len(data)
+
+    def load_from(self, store, external_path: str) -> int:
+        data = store.get(external_path)
+        self._revive()
+        self._reclaim_all_blocks()
+        self._reset_partition_state()
+        for key_bytes, value in decode_kv_pairs(data):
+            self.put(key_bytes, value)
+        return len(data)
+
+    def _reset_partition_state(self) -> None:
+        self._slot_map = {}
+        self._size = 0

@@ -1,0 +1,183 @@
+"""Jiffy FIFO Queue (§5.2): a growing linked list of blocks.
+
+Each block stores multiple items plus a pointer to the next block; the
+controller only tracks the head and tail block ids (cached by clients).
+``getBlock`` routes enqueues to the tail and dequeues to the head. Blocks
+are added when the tail crosses the high threshold and removed when the
+head block is fully consumed — no data repartitioning is ever needed
+(Table 2). Consumers use notifications to learn of new items
+(subscription to ``enqueue``) and producers of new space (``dequeue``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.blocks.block import Block
+from repro.codec import decode_records, encode_records
+from repro.datastructures.base import ITEM_OVERHEAD_BYTES, DataStructure
+from repro.errors import DataStructureError, QueueEmptyError, QueueFullError
+
+
+class JiffyQueue(DataStructure):
+    """FIFO queue of byte items over linked blocks."""
+
+    DS_TYPE = "fifo_queue"
+
+    def __init__(
+        self,
+        controller,
+        job_id: str,
+        prefix: str,
+        max_queue_length: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(controller, job_id, prefix, **kwargs)
+        if max_queue_length is not None and max_queue_length <= 0:
+            raise DataStructureError("max_queue_length must be positive")
+        self.max_queue_length = max_queue_length
+        # Ordered segment list; head = first, tail = last.
+        self._segments: List[str] = []
+        self._num_items = 0
+        self._sync_metadata()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_items
+
+    def is_empty(self) -> bool:
+        return self._num_items == 0
+
+    @staticmethod
+    def _item_cost(item: bytes) -> int:
+        return len(item) + ITEM_OVERHEAD_BYTES
+
+    def _sync_metadata(self) -> None:
+        head = self._segments[0] if self._segments else None
+        tail = self._segments[-1] if self._segments else None
+        self.controller.metadata.update(
+            self.job_id, self.prefix, head=head, tail=tail
+        )
+
+    def _new_segment(self) -> Block:
+        block = self._allocate_block()
+        block.payload["items"] = []
+        block.payload["consumed"] = 0
+        if self._segments:
+            prev = self._get_block(self._segments[-1])
+            prev.payload["next"] = block.block_id
+        self._segments.append(block.block_id)
+        self._record_repartition("extend", 0)
+        self._sync_metadata()
+        return block
+
+    def _tail_for(self, cost: int) -> Block:
+        """getBlock for enqueue: the tail, extending the chain if full."""
+        if self._segments:
+            tail = self._get_block(self._segments[-1])
+            if tail.used + cost <= self.high_limit:
+                return tail
+        block = self._new_segment()
+        if cost > self.high_limit:
+            if cost > block.capacity:
+                raise DataStructureError(
+                    f"item of {cost} bytes exceeds block capacity "
+                    f"{block.capacity}"
+                )
+        return block
+
+    # ------------------------------------------------------------------
+    # Operations (writeOp=enqueue, readOp=dequeue)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, item: bytes) -> None:
+        """Append an item at the tail."""
+        self._check_alive()
+        if not isinstance(item, (bytes, bytearray)):
+            raise DataStructureError("queue items must be bytes")
+        if (
+            self.max_queue_length is not None
+            and self._num_items >= self.max_queue_length
+        ):
+            raise QueueFullError(
+                f"queue at max_queue_length={self.max_queue_length}"
+            )
+        item = bytes(item)
+        cost = self._item_cost(item)
+        block = self._tail_for(cost)
+        block.payload["items"].append(item)
+        block.add_used(cost)
+        self._num_items += 1
+        self._publish("enqueue", item)
+
+    def dequeue(self) -> bytes:
+        """Pop the oldest item from the head."""
+        self._check_alive()
+        if self._num_items == 0:
+            raise QueueEmptyError(f"queue {self.job_id}:{self.prefix} is empty")
+        head = self._get_block(self._segments[0])
+        items = head.payload["items"]
+        consumed = head.payload["consumed"]
+        item = items[consumed]
+        head.payload["consumed"] = consumed + 1
+        head.add_used(-self._item_cost(item))
+        self._num_items -= 1
+        # A fully consumed head block is returned to the controller —
+        # queue blocks are removed without repartitioning (Table 2).
+        if head.payload["consumed"] >= len(items) and len(self._segments) > 1:
+            self._segments.pop(0)
+            self._record_repartition("shrink", 0)
+            self._reclaim_block(head)
+            self._sync_metadata()
+        elif head.payload["consumed"] >= len(items) and self._num_items == 0:
+            # Keep one (now empty) segment but clear it for reuse.
+            head.payload["items"] = []
+            head.payload["consumed"] = 0
+            head.set_used(0)
+        self._publish("dequeue", item)
+        return item
+
+    def peek(self) -> bytes:
+        """The oldest item, without removing it."""
+        self._check_alive()
+        if self._num_items == 0:
+            raise QueueEmptyError(f"queue {self.job_id}:{self.prefix} is empty")
+        head = self._get_block(self._segments[0])
+        return head.payload["items"][head.payload["consumed"]]
+
+    def drain(self) -> List[bytes]:
+        """Dequeue everything currently in the queue."""
+        out: List[bytes] = []
+        while not self.is_empty():
+            out.append(self.dequeue())
+        return out
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _pending_items(self) -> List[bytes]:
+        pending: List[bytes] = []
+        for block_id in self._segments:
+            block = self._get_block(block_id)
+            pending.extend(block.payload["items"][block.payload["consumed"]:])
+        return pending
+
+    def flush_to(self, store, external_path: str) -> int:
+        data = encode_records([] if self._expired else self._pending_items())
+        store.put(external_path, data)
+        return len(data)
+
+    def load_from(self, store, external_path: str) -> int:
+        data = store.get(external_path)
+        self._revive()
+        self._reclaim_all_blocks()
+        self._reset_partition_state()
+        for item in decode_records(data):
+            self.enqueue(item)
+        return len(data)
+
+    def _reset_partition_state(self) -> None:
+        self._segments = []
+        self._num_items = 0

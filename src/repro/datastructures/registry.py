@@ -1,0 +1,75 @@
+"""Data structure type registry.
+
+``initDataStructure(addr, type)`` (Table 1) resolves type names through
+this registry. The three built-ins are pre-registered; applications add
+custom data structures by registering a :class:`DataStructure` subclass
+under a new type name — the paper's internal block API (Fig 6) is the
+extension point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.datastructures.base import DataStructure
+from repro.datastructures.file import JiffyFile
+from repro.datastructures.kvstore import JiffyKVStore
+from repro.datastructures.queue import JiffyQueue
+from repro.errors import DataStructureError
+
+
+class DataStructureRegistry:
+    """Maps data-structure type names to their implementation classes."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, Type[DataStructure]] = {}
+
+    def register(self, ds_type: str, cls: Type[DataStructure]) -> None:
+        """Register a type name; re-registration must match the class."""
+        if not ds_type:
+            raise DataStructureError("data structure type name must be non-empty")
+        existing = self._types.get(ds_type)
+        if existing is not None and existing is not cls:
+            raise DataStructureError(
+                f"type {ds_type!r} already registered to {existing.__name__}"
+            )
+        self._types[ds_type] = cls
+
+    def resolve(self, ds_type: str) -> Type[DataStructure]:
+        """Look up the class for a type name."""
+        try:
+            return self._types[ds_type]
+        except KeyError:
+            raise DataStructureError(
+                f"unknown data structure type {ds_type!r}; "
+                f"known: {sorted(self._types)}"
+            ) from None
+
+    def known_types(self) -> list:
+        return sorted(self._types)
+
+    def __contains__(self, ds_type: str) -> bool:
+        return ds_type in self._types
+
+
+#: The process-wide default registry with the Table 2 built-ins.
+default_registry = DataStructureRegistry()
+default_registry.register(JiffyFile.DS_TYPE, JiffyFile)
+default_registry.register(JiffyQueue.DS_TYPE, JiffyQueue)
+default_registry.register(JiffyKVStore.DS_TYPE, JiffyKVStore)
+
+
+def register_datastructure(ds_type: str) -> Callable[[Type[DataStructure]], Type[DataStructure]]:
+    """Class decorator registering a custom data structure type.
+
+    Example:
+        >>> @register_datastructure("my_set")
+        ... class JiffySet(DataStructure):
+        ...     DS_TYPE = "my_set"
+    """
+
+    def decorator(cls: Type[DataStructure]) -> Type[DataStructure]:
+        default_registry.register(ds_type, cls)
+        return cls
+
+    return decorator

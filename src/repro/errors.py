@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Jiffy reproduction.
+
+Every error raised by the library derives from :class:`JiffyError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases (bad addresses, capacity exhaustion,
+expired leases, ...) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class JiffyError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AddressError(JiffyError):
+    """An address or address-prefix is malformed or does not resolve."""
+
+
+class AddressExistsError(AddressError):
+    """Attempted to create an address-prefix that already exists."""
+
+
+class AddressNotFoundError(AddressError):
+    """An address-prefix does not exist in the hierarchy."""
+
+
+class PermissionError_(JiffyError):
+    """The caller lacks permission for the requested address-prefix."""
+
+
+class CapacityError(JiffyError):
+    """The data plane has no free blocks left to satisfy an allocation."""
+
+
+class LeaseExpiredError(JiffyError):
+    """The address-prefix lease expired and its blocks were reclaimed."""
+
+
+class DataStructureError(JiffyError):
+    """A data-structure operation failed (bad key, empty queue, ...)."""
+
+
+class KeyNotFoundError(DataStructureError):
+    """A KV-store ``get``/``delete`` referenced a missing key."""
+
+
+class QueueEmptyError(DataStructureError):
+    """A queue ``dequeue`` found no items."""
+
+
+class QueueFullError(DataStructureError):
+    """A bounded queue ``enqueue`` exceeded ``max_queue_length``."""
+
+
+class BlockError(JiffyError):
+    """A block-level operation failed (overflow, unknown block id, ...)."""
+
+
+class BlockFullError(BlockError):
+    """A write did not fit in the target block."""
+
+
+class ReplicationError(JiffyError):
+    """A chain-replication operation could not complete."""
+
+
+class RegistrationError(JiffyError):
+    """Job registration/deregistration failed (duplicate id, unknown id)."""
+
+
+class SimulationError(JiffyError):
+    """The discrete-event simulator was used incorrectly."""

@@ -1,0 +1,18 @@
+"""Experiment drivers — one module per paper figure/table.
+
+Each module exposes ``run(...)`` returning a structured result and
+``format_report(result)`` rendering the paper-style rows; the bench
+targets under ``benchmarks/`` call these and print the output that
+EXPERIMENTS.md records.
+
+| Module | Reproduces |
+|---|---|
+| :mod:`repro.experiments.fig1`  | Fig 1(a,b) workload variability |
+| :mod:`repro.experiments.fig9`  | Fig 9(a,b) slowdown & utilisation vs capacity |
+| :mod:`repro.experiments.fig10` | Fig 10(a,b) six-system latency/throughput |
+| :mod:`repro.experiments.fig11` | Fig 11(a) lifetime mgmt, 11(b) repartitioning |
+| :mod:`repro.experiments.fig12` | Fig 12(a,b) controller scalability |
+| :mod:`repro.experiments.fig13` | Fig 13(a) word-count, 13(b) ExCamera |
+| :mod:`repro.experiments.fig14` | Fig 14(a,b,c) sensitivity sweeps |
+| :mod:`repro.experiments.overheads` | §6.4 metadata storage overheads |
+"""

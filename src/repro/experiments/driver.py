@@ -1,0 +1,269 @@
+"""Trace replay against the *real* Jiffy system under a simulated clock.
+
+Fig 11(a) and Fig 14 measure how the functional system's allocated
+memory tracks the live intermediate data when a workload is replayed
+through actual data structures with real lease renewals and expiry. This
+driver converts :class:`~repro.workloads.snowflake.JobTrace` stage
+profiles into writes/reads against a chosen data structure type:
+
+* each job stage gets its own address prefix (``job/stage-i``), child of
+  the previous stage — so DAG-propagated renewals behave as in §3.2;
+* while a stage runs it appends/enqueues/puts its output linearly;
+* a stage's prefix is renewed while the stage or its consumer stage is
+  running; afterwards renewals stop and the lease expires, letting the
+  controller flush + reclaim the blocks;
+* queues are additionally drained by the consumer stage, modelling
+  consumption-driven demand drop.
+
+Renewals happen every ``lease/2`` seconds of simulated time regardless
+of the trace step, as a real job's renewal timer would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import JiffyConfig
+from repro.core.client import JiffyClient, connect
+from repro.core.controller import JiffyController
+from repro.datastructures.base import DataStructure
+from repro.errors import QueueEmptyError
+from repro.sim.clock import SimClock
+from repro.workloads.snowflake import JobTrace
+from repro.workloads.zipf import ZipfKeySampler
+
+#: Payload unit for queue items and KV values during replay. Chosen
+#: large enough that replaying a multi-hundred-MB (scaled) trace stays
+#: fast; all threshold/lease behaviour is per-byte, not per-item.
+ITEM_BYTES = 256
+
+
+@dataclass
+class ReplayResult:
+    """Time series recorded during a replay.
+
+    ``used_bytes`` is the data-plane block fill (bytes physically stored,
+    live or not-yet-reclaimed); ``demand_bytes`` is the live intermediate
+    data the trace says is needed at each instant. Utilisation compares
+    live demand against allocated capacity, matching the green-vs-red
+    areas of Fig 11(a)/Fig 14.
+    """
+
+    times: np.ndarray
+    used_bytes: np.ndarray
+    allocated_bytes: np.ndarray
+    demand_bytes: np.ndarray
+    repartition_latencies: List[float] = field(default_factory=list)
+    blocks_reclaimed_by_expiry: int = 0
+    prefixes_expired: int = 0
+
+    def avg_utilization(self) -> float:
+        """Mean live-demand/allocated over steps where anything is allocated."""
+        active = self.allocated_bytes > 0
+        if not active.any():
+            return 1.0
+        return float(
+            np.mean(
+                np.minimum(self.demand_bytes[active], self.allocated_bytes[active])
+                / self.allocated_bytes[active]
+            )
+        )
+
+    def avg_fill(self) -> float:
+        """Mean block fill (used/allocated) over active steps."""
+        active = self.allocated_bytes > 0
+        if not active.any():
+            return 1.0
+        return float(
+            np.mean(self.used_bytes[active] / self.allocated_bytes[active])
+        )
+
+
+class TraceReplayDriver:
+    """Replays job traces into real Jiffy data structures."""
+
+    def __init__(
+        self,
+        config: JiffyConfig,
+        ds_type: str = "file",
+        byte_scale: float = 1.0,
+        pool_blocks: Optional[int] = None,
+        seed: int = 17,
+    ) -> None:
+        if byte_scale <= 0:
+            raise ValueError("byte_scale must be positive")
+        self.config = config
+        self.ds_type = ds_type
+        self.byte_scale = byte_scale
+        self.clock = SimClock()
+        self.pool_blocks = pool_blocks
+        self.zipf = ZipfKeySampler(num_keys=4096, alpha=1.0, seed=seed)
+        self._key_seq = 0
+
+    # ------------------------------------------------------------------
+
+    def _scaled(self, nbytes: float) -> int:
+        return max(int(nbytes * self.byte_scale), 1)
+
+    def _required_blocks(self, jobs: Sequence[JobTrace]) -> int:
+        total = sum(self._scaled(j.total_intermediate_bytes()) for j in jobs)
+        blocks = math.ceil(4.0 * total / self.config.block_size)
+        return max(blocks + 16 * sum(len(j.stages) for j in jobs), 128)
+
+    def _write(self, ds: DataStructure, nbytes: int) -> None:
+        if self.ds_type == "file":
+            ds.append(b"x" * nbytes)
+        elif self.ds_type == "fifo_queue":
+            for _ in range(max(nbytes // ITEM_BYTES, 1)):
+                ds.enqueue(b"q" * ITEM_BYTES)
+        elif self.ds_type == "kv_store":
+            for _ in range(max(nbytes // ITEM_BYTES, 1)):
+                # Zipf-skewed hash-slot placement with unique keys, so
+                # live data grows as in the trace while block placement
+                # stays skewed (the paper's worst case for the KV store).
+                base = self.zipf.sample()
+                self._key_seq += 1
+                ds.put(base + b":" + str(self._key_seq).encode(), b"v" * ITEM_BYTES)
+        else:
+            raise ValueError(f"unsupported ds_type {self.ds_type!r}")
+
+    def _consume(self, ds: DataStructure, nbytes: int) -> None:
+        if self.ds_type != "fifo_queue":
+            return  # files/KV stores shed data via lease expiry only
+        for _ in range(max(nbytes // ITEM_BYTES, 1)):
+            try:
+                ds.dequeue()
+            except QueueEmptyError:
+                return
+
+    # ------------------------------------------------------------------
+
+    def replay(
+        self,
+        jobs: Sequence[JobTrace],
+        t_end: Optional[float] = None,
+        dt: float = 1.0,
+    ) -> ReplayResult:
+        """Replay ``jobs`` and record used/allocated over time."""
+        if t_end is None:
+            t_end = max(j.end_time for j in jobs) + 2 * self.config.lease_duration
+        pool_blocks = self.pool_blocks or self._required_blocks(jobs)
+        controller = JiffyController(
+            config=self.config, clock=self.clock, default_blocks=pool_blocks
+        )
+
+        clients: Dict[str, JiffyClient] = {}
+        structures: Dict[str, DataStructure] = {}  # "job/stage-i" handles
+        written: Dict[str, int] = {}
+        consumed: Dict[str, int] = {}
+
+        def stage_key(job: JobTrace, idx: int) -> str:
+            return f"{job.job_id}#{idx}"
+
+        renew_interval = self.config.lease_duration / 2.0
+        steps = int(math.ceil(t_end / dt))
+        times = np.zeros(steps)
+        used = np.zeros(steps)
+        allocated = np.zeros(steps)
+        demand = np.zeros(steps)
+        repartition_latencies: List[float] = []
+
+        def renew_active(now: float) -> None:
+            for job in jobs:
+                client = clients.get(job.job_id)
+                if client is None:
+                    continue
+                for i, stage in enumerate(job.stages):
+                    consumer_end = (
+                        job.stages[i + 1].end if i + 1 < len(job.stages) else stage.end
+                    )
+                    key = stage_key(job, i)
+                    if key in structures and stage.start <= now < consumer_end:
+                        client.renew_lease(f"stage-{i}")
+
+        for step in range(steps):
+            now = self.clock.now()
+            for job in jobs:
+                if not (job.submit_time <= now < job.end_time):
+                    continue
+                client = clients.get(job.job_id)
+                if client is None:
+                    client = connect(controller, job.job_id)
+                    clients[job.job_id] = client
+                for i, stage in enumerate(job.stages):
+                    key = stage_key(job, i)
+                    if stage.start <= now < stage.end and key not in structures:
+                        parent = f"stage-{i - 1}" if i > 0 else None
+                        client.create_addr_prefix(f"stage-{i}", parent=parent)
+                        kwargs = {}
+                        if self.ds_type == "kv_store":
+                            # A hash slot must fit in one block (§5.3):
+                            # size the slot space so the stage's data
+                            # spreads across slots with split headroom.
+                            expected_blocks = math.ceil(
+                                self._scaled(stage.output_bytes)
+                                / self.config.block_size
+                            )
+                            kwargs["num_slots"] = max(64, 16 * expected_blocks)
+                        structures[key] = client.init_data_structure(
+                            f"stage-{i}", self.ds_type, **kwargs
+                        )
+                        written[key] = 0
+                        consumed[key] = 0
+                    if key not in structures:
+                        continue
+                    ds = structures[key]
+                    total_out = self._scaled(stage.output_bytes)
+                    # Producer: write this stage's output linearly.
+                    if stage.start <= now < stage.end and not ds.expired:
+                        frac = min((now + dt - stage.start) / stage.duration, 1.0)
+                        target = int(total_out * frac)
+                        delta = target - written[key]
+                        if delta > 0:
+                            self._write(ds, delta)
+                            written[key] = target
+                    # Consumer: drain the previous stage's queue.
+                    if i + 1 < len(job.stages):
+                        consumer = job.stages[i + 1]
+                        if consumer.start <= now < consumer.end and not ds.expired:
+                            frac = min(
+                                (now + dt - consumer.start) / consumer.duration, 1.0
+                            )
+                            target = int(total_out * frac)
+                            delta = target - consumed[key]
+                            if delta > 0:
+                                self._consume(ds, delta)
+                                consumed[key] = target
+
+            # Renew + expire at the job's own lease cadence within [now, now+dt).
+            rounds = max(int(math.ceil(dt / renew_interval)), 1)
+            sub_dt = dt / rounds
+            for _ in range(rounds):
+                renew_active(self.clock.now())
+                self.clock.advance(sub_dt)
+                controller.tick()
+
+            times[step] = now
+            used[step] = controller.pool.used_bytes()
+            allocated[step] = controller.pool.allocated_bytes()
+            demand[step] = sum(
+                self.byte_scale * job.demand_at(now) for job in jobs
+            )
+
+        for ds in structures.values():
+            repartition_latencies.extend(
+                e.latency_s for e in ds.repartition_events
+            )
+        return ReplayResult(
+            times=times,
+            used_bytes=used,
+            allocated_bytes=allocated,
+            demand_bytes=demand,
+            repartition_latencies=repartition_latencies,
+            blocks_reclaimed_by_expiry=controller.blocks_reclaimed_by_expiry,
+            prefixes_expired=controller.prefixes_expired,
+        )

@@ -1,0 +1,102 @@
+"""Fig 1: intermediate-data variability in the (synthetic) Snowflake trace.
+
+(a) per-tenant intermediate data over a 1-hour window, normalised by the
+    tenant's mean usage — the paper shows swings across 2+ orders of
+    magnitude;
+(b) aggregate data normalised by peak — provisioning every tenant for
+    its peak yields average utilisation well under 25 % (the paper
+    measures 19 % across tenants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.workloads.snowflake import SnowflakeWorkloadGenerator, demand_series
+
+
+@dataclass
+class Fig1Result:
+    times_min: np.ndarray
+    #: tenant -> demand normalised by the tenant's mean (Fig 1a)
+    normalized_by_mean: Dict[str, np.ndarray]
+    #: tenant -> demand normalised by the tenant's peak (Fig 1b)
+    normalized_by_peak: Dict[str, np.ndarray]
+    #: tenant -> peak/mean demand ratio
+    peak_to_mean: Dict[str, float]
+    #: average utilisation if every tenant provisions for its peak
+    avg_utilization_peak_provisioned: float
+
+
+def run(
+    num_tenants: int = 4,
+    duration_s: float = 3600.0,
+    dt: float = 30.0,
+    seed: int = 11,
+) -> Fig1Result:
+    """Generate tenants and compute the Fig 1 statistics.
+
+    The Fig 1 calibration is burstier than the Fig 9 one (higher
+    size sigma, sparser arrivals): the paper's per-tenant 1-hour windows
+    show order-of-magnitude demand spikes and <10 % peak-provisioned
+    utilisation per window.
+    """
+    gen = SnowflakeWorkloadGenerator(seed=seed, sigma_output=3.0)
+    tenants = gen.generate(
+        num_tenants=num_tenants,
+        duration_s=duration_s,
+        job_arrival_rate=1.0 / 240.0,
+    )
+    times = None
+    by_mean: Dict[str, np.ndarray] = {}
+    by_peak: Dict[str, np.ndarray] = {}
+    ratios: Dict[str, float] = {}
+    utilizations: List[float] = []
+    for tenant_id, jobs in tenants.items():
+        ts, demand = demand_series(jobs, 0.0, duration_s, dt)
+        times = ts
+        active = demand[demand > 0]
+        mean = float(active.mean()) if active.size else 0.0
+        peak = float(demand.max())
+        if mean <= 0 or peak <= 0:
+            continue
+        by_mean[tenant_id] = demand / mean
+        by_peak[tenant_id] = demand / peak
+        ratios[tenant_id] = peak / mean
+        utilizations.append(mean / peak)
+    return Fig1Result(
+        times_min=times / 60.0,
+        normalized_by_mean=by_mean,
+        normalized_by_peak=by_peak,
+        peak_to_mean=ratios,
+        avg_utilization_peak_provisioned=float(np.mean(utilizations)),
+    )
+
+
+def format_report(result: Fig1Result) -> str:
+    rows = [
+        [
+            tenant,
+            f"{ratio:.1f}x",
+            f"{float(result.normalized_by_mean[tenant].max()):.1f}",
+            f"{float(result.normalized_by_mean[tenant][result.normalized_by_mean[tenant] > 0].min()):.3f}"
+            if (result.normalized_by_mean[tenant] > 0).any()
+            else "-",
+        ]
+        for tenant, ratio in sorted(result.peak_to_mean.items())
+    ]
+    table = format_table(
+        ["tenant", "peak/mean", "max (norm-by-mean)", "min (norm-by-mean)"],
+        rows,
+        title="Fig 1(a): per-tenant intermediate data variability",
+    )
+    footer = (
+        "\nFig 1(b): avg utilisation when provisioned for peak = "
+        f"{result.avg_utilization_peak_provisioned:.1%} "
+        "(paper: <10% per-window, 19% across tenants)"
+    )
+    return table + footer

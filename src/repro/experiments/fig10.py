@@ -1,0 +1,109 @@
+"""Fig 10: latency and single-client throughput for six storage systems.
+
+The paper profiles synchronous ops from one AWS Lambda client against
+S3, DynamoDB, Apache Crail, ElastiCache, Pocket and Jiffy over object
+sizes 8 B – 128 MB. Offline we evaluate the calibrated device curves of
+:mod:`repro.storage.tier` at the same sizes; the qualitative targets are
+
+* in-memory stores (Crail/ElastiCache/Pocket/Jiffy) sub-millisecond for
+  small objects, Jiffy marginally fastest (optimised RPC + cuckoo
+  hashing);
+* DynamoDB a few ms and capped at 128 KB objects;
+* S3 tens of ms, competitive only at very large objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.config import KB, MB
+from repro.storage.tier import SIX_SYSTEMS, StorageTier
+
+#: The paper's x-axis: 8B to 128MB in 16x steps.
+OBJECT_SIZES = [8, 128, 2 * KB, 32 * KB, 512 * KB, 8 * MB, 128 * MB]
+
+
+@dataclass
+class Fig10Result:
+    sizes: List[int]
+    #: system -> per-size mean latency seconds (None where unsupported)
+    read_latency: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    write_latency: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    #: system -> per-size single-client MB/s (None where unsupported)
+    read_mbps: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    write_mbps: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+
+def run(sizes: Optional[List[int]] = None) -> Fig10Result:
+    """Evaluate every system's device curve at each object size."""
+    sizes = list(sizes) if sizes is not None else list(OBJECT_SIZES)
+    result = Fig10Result(sizes=sizes)
+    for tier in SIX_SYSTEMS:
+        reads: List[Optional[float]] = []
+        writes: List[Optional[float]] = []
+        rth: List[Optional[float]] = []
+        wth: List[Optional[float]] = []
+        for size in sizes:
+            if not tier.supports(size):
+                reads.append(None)
+                writes.append(None)
+                rth.append(None)
+                wth.append(None)
+                continue
+            reads.append(tier.read_latency(size))
+            writes.append(tier.write_latency(size))
+            rth.append(tier.read_throughput_mbps(size))
+            wth.append(tier.write_throughput_mbps(size))
+        result.read_latency[tier.name] = reads
+        result.write_latency[tier.name] = writes
+        result.read_mbps[tier.name] = rth
+        result.write_mbps[tier.name] = wth
+    return result
+
+
+def _size_label(size: int) -> str:
+    if size >= MB:
+        return f"{size // MB}MB"
+    if size >= KB:
+        return f"{size // KB}KB"
+    return f"{size}B"
+
+
+def _latency_label(latency: Optional[float]) -> str:
+    if latency is None:
+        return "-"
+    if latency >= 1.0:
+        return f"{latency:.2f}s"
+    if latency >= 1e-3:
+        return f"{latency * 1e3:.2f}ms"
+    return f"{latency * 1e6:.0f}us"
+
+
+def format_report(result: Fig10Result) -> str:
+    systems = list(result.read_latency)
+    parts = []
+    for title, table in (
+        ("Fig 10(a) read latency", result.read_latency),
+        ("Fig 10(a) write latency", result.write_latency),
+    ):
+        rows = [
+            [_size_label(size)] + [_latency_label(table[s][i]) for s in systems]
+            for i, size in enumerate(result.sizes)
+        ]
+        parts.append(format_table(["object size"] + systems, rows, title=title))
+    for title, table in (
+        ("Fig 10(b) read MB/s (single sync client)", result.read_mbps),
+        ("Fig 10(b) write MB/s (single sync client)", result.write_mbps),
+    ):
+        rows = [
+            [_size_label(size)]
+            + [
+                f"{table[s][i]:.1f}" if table[s][i] is not None else "-"
+                for s in systems
+            ]
+            for i, size in enumerate(result.sizes)
+        ]
+        parts.append(format_table(["object size"] + systems, rows, title=title))
+    return "\n\n".join(parts)

@@ -1,0 +1,166 @@
+"""Fig 9: job slowdown and resource utilisation under constrained capacity.
+
+Replays a Snowflake-style workload through the three allocation policies
+(ElastiCache / Pocket / Jiffy) at capacities from 100 % down to 20 % of
+the workload's peak demand. Slowdowns are normalised to each system's
+own 100 %-capacity job times, exactly as the paper does ("slowdown is
+computed relative to the job completion time with 100 % capacity").
+
+Paper targets: ElastiCache 4.7× @60 %, 34× @20 %; Pocket 3.2× @60 %,
+>4.1× @20 %; Jiffy 1.3× @60 %, <2.5× @20 %; Jiffy utilisation up to ~3×
+better than the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.baselines import ElastiCachePolicy, JiffyBlockPolicy, PocketPolicy
+from repro.baselines.base import (
+    AllocationPolicy,
+    CapacityTimeline,
+    SpillCostModel,
+)
+from repro.config import KB, MB
+from repro.storage.tier import DRAM_TIER, S3_TIER, SSD_TIER
+from repro.workloads.snowflake import (
+    JobTrace,
+    SnowflakeWorkloadGenerator,
+    demand_series,
+)
+
+#: Spill-object size: shuffle-style intermediate objects (256 KB).
+SPILL_OBJECT_BYTES = 256 * KB
+
+#: Concurrent jobs sharing the spill tier's bandwidth.
+SPILL_CONTENTION = 8.0
+
+
+@dataclass
+class Fig9Result:
+    capacity_fractions: List[float]
+    #: system -> list of avg slowdowns (aligned with capacity_fractions)
+    slowdowns: Dict[str, List[float]] = field(default_factory=dict)
+    #: system -> list of avg utilisations
+    utilizations: Dict[str, List[float]] = field(default_factory=dict)
+    num_jobs: int = 0
+    peak_demand_bytes: float = 0.0
+
+
+def make_policies() -> List[AllocationPolicy]:
+    """The three compared systems with the shared cost model."""
+    return [
+        ElastiCachePolicy(
+            SpillCostModel(DRAM_TIER, S3_TIER, SPILL_OBJECT_BYTES, SPILL_CONTENTION)
+        ),
+        PocketPolicy(
+            SpillCostModel(DRAM_TIER, SSD_TIER, SPILL_OBJECT_BYTES, SPILL_CONTENTION)
+        ),
+        JiffyBlockPolicy(
+            SpillCostModel(DRAM_TIER, SSD_TIER, SPILL_OBJECT_BYTES, SPILL_CONTENTION)
+        ),
+    ]
+
+
+def generate_workload(
+    num_tenants: int = 50,
+    duration_s: float = 3600.0,
+    job_arrival_rate: float = 1.0 / 120.0,
+    seed: int = 7,
+) -> List[JobTrace]:
+    """The Fig 9 workload (scaled-down Snowflake window)."""
+    gen = SnowflakeWorkloadGenerator(
+        seed=seed,
+        mean_stage_output=256 * MB,
+        mean_stage_duration=60.0,
+        mean_stages=4.0,
+    )
+    tenants = gen.generate(
+        num_tenants=num_tenants,
+        duration_s=duration_s,
+        job_arrival_rate=job_arrival_rate,
+    )
+    return [job for jobs in tenants.values() for job in jobs]
+
+
+def run(
+    num_tenants: int = 50,
+    duration_s: float = 3600.0,
+    capacity_fractions: Sequence[float] = (1.0, 0.8, 0.6, 0.4, 0.2),
+    dt: float = 10.0,
+    seed: int = 7,
+) -> Fig9Result:
+    """Replay the workload at each capacity fraction for each system."""
+    jobs = generate_workload(num_tenants=num_tenants, duration_s=duration_s, seed=seed)
+    timeline = CapacityTimeline(0.0, duration_s, dt)
+    _, demand = demand_series(jobs, 0.0, duration_s, dt)
+    peak = float(demand.max())
+
+    policies = make_policies()
+    baseline_times = {
+        p.name: p.replay(jobs, peak, timeline).job_times for p in policies
+    }
+
+    result = Fig9Result(
+        capacity_fractions=list(capacity_fractions),
+        num_jobs=len(jobs),
+        peak_demand_bytes=peak,
+    )
+    for policy in policies:
+        result.slowdowns[policy.name] = []
+        result.utilizations[policy.name] = []
+        base = baseline_times[policy.name]
+        for fraction in capacity_fractions:
+            replay = policy.replay(jobs, peak * fraction, timeline)
+            slowdown = float(
+                np.mean([replay.job_times[j] / base[j] for j in replay.job_times])
+            )
+            result.slowdowns[policy.name].append(slowdown)
+            result.utilizations[policy.name].append(replay.avg_utilization)
+    return result
+
+
+def jiffy_vs_pocket_improvement(result: Fig9Result) -> List[float]:
+    """Jiffy's job-time improvement factor over Pocket per capacity."""
+    return [
+        p / j
+        for p, j in zip(result.slowdowns["Pocket"], result.slowdowns["Jiffy"])
+    ]
+
+
+def format_report(result: Fig9Result) -> str:
+    systems = list(result.slowdowns)
+    rows_a = []
+    rows_b = []
+    for i, fraction in enumerate(result.capacity_fractions):
+        rows_a.append(
+            [f"{fraction:.0%}"] + [f"{result.slowdowns[s][i]:.2f}x" for s in systems]
+        )
+        rows_b.append(
+            [f"{fraction:.0%}"]
+            + [f"{result.utilizations[s][i]:.1%}" for s in systems]
+        )
+    part_a = format_table(
+        ["capacity"] + systems,
+        rows_a,
+        title=f"Fig 9(a): avg job slowdown vs capacity ({result.num_jobs} jobs)",
+    )
+    part_b = format_table(
+        ["capacity"] + systems,
+        rows_b,
+        title="Fig 9(b): avg resource utilisation vs capacity",
+    )
+    improvements = jiffy_vs_pocket_improvement(result)
+    footer = (
+        "\nJiffy-vs-Pocket job-time improvement: "
+        + ", ".join(
+            f"{f:.0%}:{x:.2f}x"
+            for f, x in zip(result.capacity_fractions, improvements)
+        )
+        + "  (paper: 1.6-2.5x)"
+    )
+    return part_a + "\n\n" + part_b + footer

@@ -1,0 +1,42 @@
+"""Programming models on Jiffy (§5).
+
+Serverless incarnations of four distributed programming frameworks,
+built purely on the public Jiffy API:
+
+* :mod:`repro.frameworks.mapreduce` — MapReduce over shuffle files (§5.1)
+* :mod:`repro.frameworks.dataflow` — Dryad-style dataflow DAGs with
+  file/queue channels (§5.2)
+* :mod:`repro.frameworks.streaming` — StreamScope-style continuous
+  pipelines over queues (§5.2)
+* :mod:`repro.frameworks.piccolo` — Piccolo shared-state tables with
+  user accumulators (§5.3)
+* :mod:`repro.frameworks.serverless` — the simulated Lambda substrate
+  the above run on (task launch, progress tracking, lease renewal)
+"""
+
+from repro.frameworks.serverless import LambdaRuntime, MasterProcess, TaskResult
+from repro.frameworks.mapreduce import MapReduceJob
+from repro.frameworks.dataflow import (
+    Channel,
+    DataflowGraph,
+    StreamingVertex,
+    Vertex,
+)
+from repro.frameworks.streaming import StreamPipeline, StreamStage
+from repro.frameworks.piccolo import PiccoloJob, PiccoloTable, accumulators
+
+__all__ = [
+    "LambdaRuntime",
+    "MasterProcess",
+    "TaskResult",
+    "MapReduceJob",
+    "Channel",
+    "DataflowGraph",
+    "StreamingVertex",
+    "Vertex",
+    "StreamPipeline",
+    "StreamStage",
+    "PiccoloJob",
+    "PiccoloTable",
+    "accumulators",
+]

@@ -1,0 +1,269 @@
+"""Dryad-style dataflow on Jiffy (§5.2).
+
+Programmers describe an application as a DAG whose vertices are
+computations and whose edges are data channels. Channels are Jiffy files
+(batch: ready when fully written) or Jiffy FIFO queues (streaming: ready
+as soon as items exist). The runtime schedules a vertex when all its
+input channels are ready, mirroring Dryad's rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.codec import decode_records, encode_records
+from repro.core.client import JiffyClient, connect
+from repro.core.controller import JiffyController
+from repro.errors import DataStructureError, QueueEmptyError
+from repro.frameworks.serverless import LambdaRuntime, MasterProcess
+
+#: Sentinel marking the end of a queue channel's stream.
+_EOS = b"\x00__jiffy_eos__"
+
+
+class Channel:
+    """A directed data edge backed by a Jiffy file or queue."""
+
+    def __init__(self, name: str, ds, kind: str) -> None:
+        if kind not in ("file", "queue"):
+            raise ValueError("channel kind must be 'file' or 'queue'")
+        self.name = name
+        self.kind = kind
+        self._ds = ds
+        self._closed = False
+        # Push-path consumers (streaming vertices) attached to this
+        # queue channel; invoked synchronously on every write/close.
+        self._on_item_hooks: List[Callable[[str, bytes], None]] = []
+        self._on_close_hooks: List[Callable[[], None]] = []
+
+    def write(self, item: bytes) -> None:
+        """Append one item to the channel."""
+        if self._closed:
+            raise DataStructureError(f"channel {self.name} is closed")
+        if self.kind == "file":
+            self._ds.append(encode_records([item]))
+        else:
+            self._ds.enqueue(item)
+        for hook in self._on_item_hooks:
+            hook(self.name, item)
+
+    def close(self) -> None:
+        """Mark the channel complete (file channels become 'ready')."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.kind == "queue":
+            self._ds.enqueue(_EOS)
+        for hook in self._on_close_hooks:
+            hook()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ready(self) -> bool:
+        """Dryad readiness: files when complete, queues when non-empty."""
+        if self.kind == "file":
+            return self._closed
+        return len(self._ds) > 0
+
+    def read_all(self) -> List[bytes]:
+        """Drain the channel (file: decode records; queue: until EOS)."""
+        if self.kind == "file":
+            if not self._closed:
+                raise DataStructureError(
+                    f"file channel {self.name} read before it was closed"
+                )
+            return decode_records(self._ds.readall())
+        items: List[bytes] = []
+        while True:
+            try:
+                item = self._ds.dequeue()
+            except QueueEmptyError:
+                if self._closed:
+                    break
+                raise
+            if item == _EOS:
+                break
+            items.append(item)
+        return items
+
+    def subscribe(self, op: str = "enqueue"):
+        """Notification listener for queue channels (data availability)."""
+        return self._ds.subscribe(op)
+
+
+@dataclass
+class Vertex:
+    """One DAG vertex: a computation from input channels to outputs.
+
+    ``fn(inputs, outputs)`` receives fully materialised input item lists
+    and emits by calling ``outputs[i].write(...)``; the runtime closes
+    the vertex's output channels when the function returns.
+    """
+
+    name: str
+    fn: Callable[[List[List[bytes]], List[Channel]], None]
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StreamingVertex:
+    """A continuous operator on queue channels (StreamScope-style §5.2).
+
+    ``on_item(channel_name, item, outputs)`` fires for every item the
+    moment it is written to any subscribed input queue — items flow
+    through the vertex while upstream producers are still running.
+    ``on_close(outputs)`` fires once every input channel has closed; the
+    runtime then closes the vertex's outputs.
+    """
+
+    name: str
+    on_item: Callable[[str, bytes, List[Channel]], None]
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    on_close: Optional[Callable[[List[Channel]], None]] = None
+
+
+class DataflowGraph:
+    """A Dryad job: vertices + typed channels, executed over Jiffy."""
+
+    def __init__(
+        self,
+        controller: JiffyController,
+        job_id: str,
+        runtime: Optional[LambdaRuntime] = None,
+    ) -> None:
+        self.client: JiffyClient = connect(controller, job_id)
+        self.master = MasterProcess(self.client, runtime)
+        self._vertices: Dict[str, Vertex] = {}
+        self._streaming: Dict[str, StreamingVertex] = {}
+        self._channels: Dict[str, Channel] = {}
+        self._writer_of: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        if vertex.name in self._vertices or vertex.name in self._streaming:
+            raise ValueError(f"duplicate vertex {vertex.name!r}")
+        self._vertices[vertex.name] = vertex
+        for channel_name in vertex.outputs:
+            if channel_name in self._writer_of:
+                raise ValueError(
+                    f"channel {channel_name!r} already has writer "
+                    f"{self._writer_of[channel_name]!r}"
+                )
+            self._writer_of[channel_name] = vertex.name
+
+    def add_streaming_vertex(self, vertex: StreamingVertex) -> None:
+        """Attach a continuous operator to its input queue channels.
+
+        Items flow through the vertex the moment upstream writes them —
+        no stage barrier — so a downstream pipeline advances while its
+        producers are still running (StreamScope's model).
+        """
+        if vertex.name in self._vertices or vertex.name in self._streaming:
+            raise ValueError(f"duplicate vertex {vertex.name!r}")
+        for channel_name in vertex.inputs:
+            if self._channels[channel_name].kind != "queue":
+                raise ValueError(
+                    "streaming vertices consume queue channels only; "
+                    f"{channel_name!r} is a file"
+                )
+        for channel_name in vertex.outputs:
+            if channel_name in self._writer_of:
+                raise ValueError(
+                    f"channel {channel_name!r} already has writer "
+                    f"{self._writer_of[channel_name]!r}"
+                )
+            self._writer_of[channel_name] = vertex.name
+        self._streaming[vertex.name] = vertex
+        outputs = [self._channels[c] for c in vertex.outputs]
+        remaining_inputs = {"open": len(vertex.inputs)}
+
+        def on_item(channel_name: str, item: bytes) -> None:
+            # Drain the queue immediately: push delivery consumes the
+            # item so the Jiffy queue does not accumulate.
+            self._channels[channel_name]._ds.dequeue()
+            vertex.on_item(channel_name, item, outputs)
+
+        def on_close() -> None:
+            remaining_inputs["open"] -= 1
+            if remaining_inputs["open"] == 0:
+                if vertex.on_close is not None:
+                    vertex.on_close(outputs)
+                for output in outputs:
+                    output.close()
+
+        for channel_name in vertex.inputs:
+            channel = self._channels[channel_name]
+            channel._on_item_hooks.append(on_item)
+            channel._on_close_hooks.append(on_close)
+
+    def add_channel(self, name: str, kind: str = "file") -> Channel:
+        """Create a channel backed by a fresh Jiffy prefix."""
+        if name in self._channels:
+            raise ValueError(f"duplicate channel {name!r}")
+        prefix = f"chan-{name}"
+        self.client.create_addr_prefix(prefix)
+        self.master.track_prefix(prefix)
+        ds_type = "file" if kind == "file" else "fifo_queue"
+        ds = self.client.init_data_structure(prefix, ds_type)
+        channel = Channel(name, ds, kind)
+        self._channels[name] = channel
+        return channel
+
+    def channel(self, name: str) -> Channel:
+        return self._channels[name]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _topo_order(self) -> List[Vertex]:
+        order: List[Vertex] = []
+        done: set = set()
+        remaining = dict(self._vertices)
+        while remaining:
+            progress = False
+            for name, vertex in list(remaining.items()):
+                producers = {
+                    self._writer_of.get(c) for c in vertex.inputs
+                } - {None}
+                if producers <= done:
+                    order.append(vertex)
+                    done.add(name)
+                    del remaining[name]
+                    progress = True
+            if not progress:
+                raise ValueError(
+                    f"dataflow graph has a cycle among {sorted(remaining)}"
+                )
+        return order
+
+    def run(self) -> Dict[str, object]:
+        """Execute every vertex in dependency order.
+
+        Each vertex runs as a serverless task via the master; its output
+        channels are closed when it completes (so downstream file
+        channels become ready). Returns per-vertex TaskResults.
+        """
+        results = {}
+        for vertex in self._topo_order():
+            def task(task_id: str, v: Vertex = vertex) -> None:
+                inputs = [self._channels[c].read_all() for c in v.inputs]
+                outputs = [self._channels[c] for c in v.outputs]
+                v.fn(inputs, outputs)
+
+            stage = self.master.run_stage({vertex.name: task})
+            for channel_name in vertex.outputs:
+                self._channels[channel_name].close()
+            results[vertex.name] = stage[vertex.name]
+        return results
+
+    def finish(self, flush: bool = False) -> int:
+        return self.client.deregister(flush=flush)

@@ -1,0 +1,145 @@
+"""MapReduce on Jiffy (§5.1).
+
+Map and reduce functions run as serverless tasks; intermediate KV pairs
+flow through *shuffle files* — one Jiffy file per reducer, written by
+every map task (Jiffy's per-operator atomicity makes concurrent appends
+from multiple mappers safe) and read whole by its reducer.
+
+The address hierarchy mirrors the job structure: a ``map-stage`` root
+prefix with one ``shuffle-r`` child per reducer, so a single lease
+renewal by the master covers the whole shuffle state (§3.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.codec import decode_kv_pairs, encode_kv_pairs
+from repro.core.client import JiffyClient, connect
+from repro.core.controller import JiffyController
+from repro.frameworks.serverless import LambdaRuntime, MasterProcess
+
+#: map_fn(record) -> iterable of (key, value) pairs
+MapFn = Callable[[Any], Iterable[Tuple[bytes, bytes]]]
+#: reduce_fn(key, values) -> value
+ReduceFn = Callable[[bytes, List[bytes]], bytes]
+
+
+def _partition_of(key: bytes, num_reducers: int) -> int:
+    digest = hashlib.blake2b(key, digest_size=4).digest()
+    return int.from_bytes(digest, "little") % num_reducers
+
+
+class MapReduceJob:
+    """One MapReduce job executed over Jiffy shuffle files."""
+
+    def __init__(
+        self,
+        controller: JiffyController,
+        job_id: str,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        num_reducers: int = 4,
+        combiner: ReduceFn = None,
+        runtime: LambdaRuntime = None,
+    ) -> None:
+        if num_reducers <= 0:
+            raise ValueError("num_reducers must be positive")
+        self.client: JiffyClient = connect(controller, job_id)
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        # Optional map-side combiner: merges each map task's values per
+        # key before the shuffle, shrinking the intermediate data
+        # (classic MR; must be associative like the reduce function).
+        self.combiner = combiner
+        self.num_reducers = num_reducers
+        self.shuffle_bytes_written = 0
+        self.master = MasterProcess(self.client, runtime)
+        # Address hierarchy: shuffle files hang off the map stage.
+        self.client.create_addr_prefix("map-stage")
+        self.master.track_prefix("map-stage")
+        self._shuffles = []
+        for r in range(num_reducers):
+            name = f"shuffle-{r}"
+            self.client.create_addr_prefix(name, parent="map-stage")
+            self._shuffles.append(self.client.init_data_structure(name, "file"))
+
+    # ------------------------------------------------------------------
+
+    def _combine(
+        self, pairs: List[Tuple[bytes, bytes]]
+    ) -> List[Tuple[bytes, bytes]]:
+        if self.combiner is None:
+            return pairs
+        grouped: Dict[bytes, List[bytes]] = {}
+        for key, value in pairs:
+            grouped.setdefault(key, []).append(value)
+        return [
+            (key, self.combiner(key, values)) for key, values in grouped.items()
+        ]
+
+    def _map_task(self, records: Sequence[Any]) -> Callable[[str], int]:
+        def task(task_id: str) -> int:
+            buckets: List[List[Tuple[bytes, bytes]]] = [
+                [] for _ in range(self.num_reducers)
+            ]
+            for record in records:
+                for key, value in self.map_fn(record):
+                    buckets[_partition_of(key, self.num_reducers)].append(
+                        (key, value)
+                    )
+            emitted = 0
+            for r, pairs in enumerate(buckets):
+                if pairs:
+                    encoded = encode_kv_pairs(self._combine(pairs))
+                    self._shuffles[r].append(encoded)
+                    self.shuffle_bytes_written += len(encoded)
+                    emitted += len(pairs)
+            return emitted
+
+        return task
+
+    def _reduce_task(self, r: int) -> Callable[[str], Dict[bytes, bytes]]:
+        def task(task_id: str) -> Dict[bytes, bytes]:
+            raw = self._shuffles[r].readall()
+            grouped: Dict[bytes, List[bytes]] = {}
+            for key, value in decode_kv_pairs(raw):
+                grouped.setdefault(key, []).append(value)
+            return {
+                key: self.reduce_fn(key, values) for key, values in grouped.items()
+            }
+
+        return task
+
+    # ------------------------------------------------------------------
+
+    def run(self, input_partitions: Sequence[Sequence[Any]]) -> Dict[bytes, bytes]:
+        """Execute map then reduce; returns the merged reduce output.
+
+        ``input_partitions`` is one record list per map task.
+        """
+        map_tasks = {
+            f"map-{i}": self._map_task(partition)
+            for i, partition in enumerate(input_partitions)
+        }
+        self.master.run_stage(map_tasks)
+
+        reduce_tasks = {
+            f"reduce-{r}": self._reduce_task(r) for r in range(self.num_reducers)
+        }
+        results = self.master.run_stage(reduce_tasks)
+
+        merged: Dict[bytes, bytes] = {}
+        for result in results.values():
+            overlap = merged.keys() & result.value.keys()
+            if overlap:
+                raise RuntimeError(
+                    f"reducers produced overlapping keys: {sorted(overlap)[:3]}"
+                )
+            merged.update(result.value)
+        return merged
+
+    def finish(self, flush: bool = False) -> int:
+        """Release the job's Jiffy resources."""
+        return self.client.deregister(flush=flush)

@@ -1,0 +1,174 @@
+"""Piccolo on Jiffy (§5.3).
+
+Piccolo [OSDI '10] is a data-centric programming model: *kernel
+functions* run in parallel and share mutable state through distributed
+key-value tables; *control functions* create the tables and coordinate
+kernels; concurrent updates to the same key are resolved by user-defined
+**accumulators** (sum, max, ...). On Jiffy, kernels are serverless
+tasks, the shared state lives in Jiffy KV-stores, the master renews
+leases, and checkpointing flushes tables to the external store.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.client import JiffyClient, connect
+from repro.core.controller import JiffyController
+from repro.datastructures.kvstore import JiffyKVStore
+from repro.errors import KeyNotFoundError
+from repro.frameworks.serverless import LambdaRuntime, MasterProcess
+
+#: accumulator(existing_value, update) -> merged value (all bytes)
+Accumulator = Callable[[bytes, bytes], bytes]
+
+
+class accumulators:
+    """Built-in accumulators over little-endian encodings."""
+
+    @staticmethod
+    def replace(existing: bytes, update: bytes) -> bytes:
+        return update
+
+    @staticmethod
+    def sum_i64(existing: bytes, update: bytes) -> bytes:
+        (a,) = struct.unpack("<q", existing)
+        (b,) = struct.unpack("<q", update)
+        return struct.pack("<q", a + b)
+
+    @staticmethod
+    def max_i64(existing: bytes, update: bytes) -> bytes:
+        (a,) = struct.unpack("<q", existing)
+        (b,) = struct.unpack("<q", update)
+        return struct.pack("<q", max(a, b))
+
+    @staticmethod
+    def min_f64(existing: bytes, update: bytes) -> bytes:
+        (a,) = struct.unpack("<d", existing)
+        (b,) = struct.unpack("<d", update)
+        return struct.pack("<d", min(a, b))
+
+    @staticmethod
+    def concat(existing: bytes, update: bytes) -> bytes:
+        return existing + update
+
+    @staticmethod
+    def encode_i64(value: int) -> bytes:
+        return struct.pack("<q", value)
+
+    @staticmethod
+    def decode_i64(data: bytes) -> int:
+        return struct.unpack("<q", data)[0]
+
+    @staticmethod
+    def encode_f64(value: float) -> bytes:
+        return struct.pack("<d", value)
+
+    @staticmethod
+    def decode_f64(data: bytes) -> float:
+        return struct.unpack("<d", data)[0]
+
+
+class PiccoloTable:
+    """A shared mutable table with accumulator-merged updates."""
+
+    def __init__(self, name: str, kv: JiffyKVStore, accumulator: Accumulator) -> None:
+        self.name = name
+        self._kv = kv
+        self.accumulator = accumulator
+
+    def update(self, key, delta: bytes) -> None:
+        """Merge ``delta`` into the key via the accumulator."""
+        try:
+            existing = self._kv.get(key)
+        except KeyNotFoundError:
+            self._kv.put(key, delta)
+            return
+        self._kv.put(key, self.accumulator(existing, delta))
+
+    def put(self, key, value: bytes) -> None:
+        """Overwrite a key (bypassing the accumulator)."""
+        self._kv.put(key, value)
+
+    def get(self, key) -> bytes:
+        return self._kv.get(key)
+
+    def get_default(self, key, default: bytes) -> bytes:
+        try:
+            return self._kv.get(key)
+        except KeyNotFoundError:
+            return default
+
+    def items(self):
+        return self._kv.items()
+
+    def __len__(self) -> int:
+        return len(self._kv)
+
+
+class PiccoloJob:
+    """Control process: creates tables, runs kernels, checkpoints."""
+
+    def __init__(
+        self,
+        controller: JiffyController,
+        job_id: str,
+        runtime: Optional[LambdaRuntime] = None,
+    ) -> None:
+        self.controller = controller
+        self.client: JiffyClient = connect(controller, job_id)
+        self.master = MasterProcess(self.client, runtime)
+        self._tables: Dict[str, PiccoloTable] = {}
+
+    def create_table(
+        self,
+        name: str,
+        accumulator: Accumulator = accumulators.replace,
+        num_slots: Optional[int] = None,
+    ) -> PiccoloTable:
+        """Control function: create a shared KV table."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        prefix = f"table-{name}"
+        self.client.create_addr_prefix(prefix)
+        self.master.track_prefix(prefix)
+        kwargs = {} if num_slots is None else {"num_slots": num_slots}
+        kv = self.client.init_data_structure(prefix, "kv_store", **kwargs)
+        table = PiccoloTable(name, kv, accumulator)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> PiccoloTable:
+        return self._tables[name]
+
+    def run_kernels(
+        self,
+        kernel_fn: Callable[[str, int, Dict[str, PiccoloTable]], Any],
+        num_kernels: int,
+    ) -> Dict[str, Any]:
+        """Launch ``num_kernels`` kernel instances over the shared tables.
+
+        ``kernel_fn(task_id, kernel_index, tables)`` encodes the
+        sequential per-kernel logic; concurrent same-key updates merge
+        through each table's accumulator.
+        """
+        tasks = {}
+        for k in range(num_kernels):
+            def task(task_id: str, index: int = k) -> Any:
+                return kernel_fn(task_id, index, self._tables)
+
+            tasks[f"kernel-{k}"] = task
+        results = self.master.run_stage(tasks)
+        return {tid: r.value for tid, r in results.items()}
+
+    def checkpoint(self, table_name: str, external_path: str) -> int:
+        """Flush a table to the external store (Piccolo checkpointing)."""
+        return self.client.flush_addr_prefix(f"table-{table_name}", external_path)
+
+    def restore(self, table_name: str, external_path: str) -> int:
+        """Load a table back from a checkpoint."""
+        return self.client.load_addr_prefix(f"table-{table_name}", external_path)
+
+    def finish(self, flush: bool = False) -> int:
+        return self.client.deregister(flush=flush)

@@ -1,0 +1,122 @@
+"""A simulated serverless (Lambda-style) execution substrate.
+
+The paper runs its programming models as AWS Lambda functions talking to
+Jiffy over the network. Offline, tasks are Python callables executed by
+a :class:`LambdaRuntime`; each invocation gets its own short-lived
+context, and a :class:`MasterProcess` — mirroring §5.1's "master process
+[that] launches, tracks progress of, and handles failures for tasks" —
+drives launches, retries failed tasks, and renews Jiffy leases on behalf
+of the job.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.client import JiffyClient
+from repro.errors import JiffyError
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task invocation."""
+
+    task_id: str
+    succeeded: bool
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+
+
+class LambdaRuntime:
+    """Executes task callables with bounded retries.
+
+    A task is ``fn(task_id) -> value``; exceptions mark the attempt
+    failed and the runtime retries up to ``max_attempts`` (Lambda-style
+    at-least-once execution — tasks must therefore be idempotent, which
+    the §5 frameworks guarantee by writing to task-private prefixes).
+    """
+
+    def __init__(self, max_attempts: int = 3) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.invocations = 0
+        self.failures = 0
+
+    def invoke(self, task_id: str, fn: Callable[[str], Any]) -> TaskResult:
+        """Run one task with retries."""
+        last_error = None
+        for attempt in range(1, self.max_attempts + 1):
+            self.invocations += 1
+            try:
+                value = fn(task_id)
+                return TaskResult(
+                    task_id=task_id, succeeded=True, value=value, attempts=attempt
+                )
+            except Exception as exc:  # noqa: BLE001 — task code is arbitrary
+                self.failures += 1
+                last_error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+        return TaskResult(
+            task_id=task_id,
+            succeeded=False,
+            error=last_error,
+            attempts=self.max_attempts,
+        )
+
+    def map(
+        self, tasks: Dict[str, Callable[[str], Any]]
+    ) -> Dict[str, TaskResult]:
+        """Run a set of independent tasks (a serverless stage)."""
+        return {task_id: self.invoke(task_id, fn) for task_id, fn in tasks.items()}
+
+
+class MasterProcess:
+    """Job master: launches stages and renews leases between them."""
+
+    def __init__(
+        self,
+        client: JiffyClient,
+        runtime: Optional[LambdaRuntime] = None,
+    ) -> None:
+        self.client = client
+        self.runtime = runtime if runtime is not None else LambdaRuntime()
+        self._lease_prefixes: List[str] = []
+
+    def track_prefix(self, prefix: str) -> None:
+        """Add a prefix whose lease this master keeps alive."""
+        if prefix not in self._lease_prefixes:
+            self._lease_prefixes.append(prefix)
+
+    def renew_all(self) -> int:
+        """Renew every tracked prefix; returns nodes renewed."""
+        renewed = 0
+        for prefix in self._lease_prefixes:
+            try:
+                renewed += self.client.renew_lease(prefix)
+            except JiffyError:
+                continue  # prefix may have been deliberately released
+        return renewed
+
+    def run_stage(
+        self, tasks: Dict[str, Callable[[str], Any]]
+    ) -> Dict[str, TaskResult]:
+        """Run one stage of tasks, renewing leases before and after.
+
+        Raises :class:`RuntimeError` if any task exhausts its retries —
+        stage barriers in the §5 frameworks must not silently drop data.
+        """
+        self.renew_all()
+        results = self.runtime.map(tasks)
+        self.renew_all()
+        failed = [r for r in results.values() if not r.succeeded]
+        if failed:
+            summary = "; ".join(f"{r.task_id}: {r.error}" for r in failed[:3])
+            raise RuntimeError(
+                f"{len(failed)} task(s) failed after retries: {summary}"
+            )
+        return results

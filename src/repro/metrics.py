@@ -1,0 +1,58 @@
+"""Operational metrics snapshot for a running deployment.
+
+Aggregates the counters the subsystems already maintain (controller ops,
+lease traffic, scaling signals, pool occupancy, external-store traffic)
+into one flat dict — the shape a monitoring agent would scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.blocks.tiered import TieredMemoryPool
+from repro.core.controller import JiffyController
+
+
+def snapshot(controller: JiffyController) -> Dict[str, Any]:
+    """A flat point-in-time metrics view of a controller."""
+    pool = controller.pool
+    metrics: Dict[str, Any] = {
+        # Control plane
+        "controller.ops_handled": controller.ops_handled,
+        "controller.jobs": len(controller.jobs()),
+        "controller.prefixes_expired": controller.prefixes_expired,
+        "controller.scale_up_signals": controller.scale_up_signals,
+        "controller.scale_down_signals": controller.scale_down_signals,
+        "controller.metadata_bytes": controller.metadata_bytes(),
+        # Leases
+        "leases.renewal_requests": controller.leases.renewal_requests,
+        "leases.renewals_applied": controller.leases.renewals_applied,
+        "leases.expirations": controller.leases.expirations,
+        # Allocation
+        "allocator.allocations": controller.allocator.allocations,
+        "allocator.reclamations": controller.allocator.reclamations,
+        "allocator.failed_allocations": controller.allocator.failed_allocations,
+        # Data plane
+        "pool.servers": pool.num_servers,
+        "pool.total_blocks": pool.total_blocks,
+        "pool.allocated_blocks": pool.allocated_blocks,
+        "pool.free_blocks": pool.free_blocks,
+        "pool.used_bytes": pool.used_bytes(),
+        "pool.allocated_bytes": pool.allocated_bytes(),
+        "pool.utilization": controller.utilization(),
+        # External store
+        "external.objects": len(controller.external_store),
+        "external.bytes_written": controller.external_store.bytes_written,
+        "external.bytes_read": controller.external_store.bytes_read,
+    }
+    if isinstance(pool, TieredMemoryPool):
+        metrics["pool.spilled_blocks"] = pool.spilled_blocks()
+        metrics["pool.spilled_bytes"] = pool.spilled_bytes()
+        metrics["pool.spill_allocations"] = pool.spill_allocations
+    return metrics
+
+
+def format_snapshot(metrics: Dict[str, Any]) -> str:
+    """Render a snapshot as aligned ``key value`` lines."""
+    width = max(len(k) for k in metrics) if metrics else 0
+    return "\n".join(f"{k.ljust(width)}  {v}" for k, v in sorted(metrics.items()))

@@ -1,0 +1,177 @@
+"""Message framing and envelope serialisation for the RPC layer.
+
+Wire format (framed transport, like Thrift's TFramedTransport):
+
+    [4-byte LE frame length][frame bytes]
+
+A frame is an envelope::
+
+    kind(1B: 0=request, 1=response) | seq(8B LE) | status(1B) |
+    method (length-prefixed utf-8)  | payload records
+
+Payload values are a restricted set (bytes, str, int, float, bool,
+None, and flat lists/tuples of those), enough for every control- and
+data-plane method; complex objects stay out of the envelope on purpose,
+as in the real system.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from repro.errors import JiffyError
+
+_LEN = struct.Struct("<I")
+_SEQ = struct.Struct("<Q")
+
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+class RpcError(JiffyError):
+    """A remote call failed (transport or handler error)."""
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    seq: int
+    method: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    seq: int
+    status: int
+    value: Any = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+# -- value (de)serialisation -------------------------------------------
+
+_T_NONE, _T_BYTES, _T_STR, _T_INT, _T_FLOAT, _T_BOOL, _T_LIST = range(7)
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out.extend(_LEN.pack(len(value)))
+        out.extend(value)
+    elif isinstance(value, str):
+        raw = value.encode()
+        out.append(_T_STR)
+        out.extend(_LEN.pack(len(raw)))
+        out.extend(raw)
+    elif isinstance(value, int):
+        raw = value.to_bytes(16, "little", signed=True)
+        out.append(_T_INT)
+        out.extend(raw)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(struct.pack("<d", value))
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out.extend(_LEN.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise RpcError(
+            f"unserialisable RPC value of type {type(value).__name__}"
+        )
+
+
+def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_BOOL:
+        return bool(data[pos]), pos + 1
+    if tag == _T_BYTES:
+        (n,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        return bytes(data[pos : pos + n]), pos + n
+    if tag == _T_STR:
+        (n,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        return data[pos : pos + n].decode(), pos + n
+    if tag == _T_INT:
+        return int.from_bytes(data[pos : pos + 16], "little", signed=True), pos + 16
+    if tag == _T_FLOAT:
+        (v,) = struct.unpack_from("<d", data, pos)
+        return v, pos + 8
+    if tag == _T_LIST:
+        (n,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        items: List[Any] = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        return items, pos
+    raise RpcError(f"unknown value tag {tag}")
+
+
+# -- envelopes ----------------------------------------------------------
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialise a request/response into one framed byte string."""
+    body = bytearray()
+    if isinstance(message, RpcRequest):
+        body.append(KIND_REQUEST)
+        body.extend(_SEQ.pack(message.seq))
+        body.append(STATUS_OK)
+        raw_method = message.method.encode()
+        body.extend(_LEN.pack(len(raw_method)))
+        body.extend(raw_method)
+        _encode_value(list(message.args), body)
+    elif isinstance(message, RpcResponse):
+        body.append(KIND_RESPONSE)
+        body.extend(_SEQ.pack(message.seq))
+        body.append(message.status)
+        raw_err = message.error.encode()
+        body.extend(_LEN.pack(len(raw_err)))
+        body.extend(raw_err)
+        _encode_value(message.value, body)
+    else:
+        raise RpcError(f"cannot encode {type(message).__name__}")
+    return bytes(_LEN.pack(len(body))) + bytes(body)
+
+
+def decode_message(frame: bytes) -> Any:
+    """Parse one framed byte string back into a request/response."""
+    if len(frame) < _LEN.size:
+        raise RpcError("truncated frame header")
+    (length,) = _LEN.unpack_from(frame, 0)
+    body = frame[_LEN.size : _LEN.size + length]
+    if len(body) != length:
+        raise RpcError("truncated frame body")
+    kind = body[0]
+    (seq,) = _SEQ.unpack_from(body, 1)
+    status = body[9]
+    (n,) = _LEN.unpack_from(body, 10)
+    pos = 10 + _LEN.size
+    text = body[pos : pos + n].decode()
+    pos += n
+    value, pos = _decode_value(body, pos)
+    if pos != len(body):
+        raise RpcError("trailing bytes in frame")
+    if kind == KIND_REQUEST:
+        return RpcRequest(seq=seq, method=text, args=tuple(value))
+    if kind == KIND_RESPONSE:
+        return RpcResponse(seq=seq, status=status, value=value, error=text)
+    raise RpcError(f"unknown message kind {kind}")

@@ -1,0 +1,126 @@
+"""The Jiffy controller served over the RPC layer.
+
+Wires a :class:`~repro.core.controller.JiffyController` behind an
+:class:`~repro.rpc.server.RpcServer` and provides a typed client proxy,
+so the control plane can be exercised through the full
+serialise → network → queue → execute → respond path. This is how the
+Fig 12 queueing-validation experiment measures the throughput-latency
+curve *emergently* instead of assuming M/M/1.
+
+Only control operations with wire-serialisable arguments are exposed;
+data-plane operations go directly to memory servers in the real system
+(clients read/write blocks without the controller on the path, §2).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core.controller import JiffyController
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcServer
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkModel
+
+#: Control methods exposed over RPC (all have wire-friendly signatures).
+CONTROL_METHODS = (
+    "renew_lease",
+    "get_lease_duration",
+)
+
+
+def serve_controller(
+    controller: JiffyController,
+    loop: EventLoop,
+    service_time_s: float = 10e-6,
+) -> RpcServer:
+    """Expose a controller's control-plane surface on an RPC server."""
+    server = RpcServer(loop, service_time_s=service_time_s)
+    for method in CONTROL_METHODS:
+        server.register(method, getattr(controller, method))
+
+    # Methods needing light marshalling get explicit wrappers.
+    def register_job(job_id: str) -> bool:
+        controller.register_job(job_id)
+        return True
+
+    def create_addr_prefix(job_id: str, name: str, parents: Sequence[str]) -> bool:
+        controller.create_addr_prefix(job_id, name, parents=list(parents))
+        return True
+
+    def create_hierarchy(job_id: str, dag_json: str) -> bool:
+        dag: Mapping[str, List[str]] = json.loads(dag_json)
+        controller.create_hierarchy(job_id, dag)
+        return True
+
+    def allocate_block(job_id: str, prefix: str) -> str:
+        return controller.allocate_block(job_id, prefix).block_id
+
+    def reclaim_block(job_id: str, prefix: str, block_id: str) -> bool:
+        controller.reclaim_block(job_id, prefix, block_id)
+        return True
+
+    def resolve(job_id: str, prefix: str) -> str:
+        return controller.resolve(job_id, prefix).name
+
+    def deregister_job(job_id: str) -> int:
+        return controller.deregister_job(job_id)
+
+    server.register("register_job", register_job)
+    server.register("create_addr_prefix", create_addr_prefix)
+    server.register("create_hierarchy", create_hierarchy)
+    server.register("allocate_block", allocate_block)
+    server.register("reclaim_block", reclaim_block)
+    server.register("resolve", resolve)
+    server.register("deregister_job", deregister_job)
+    return server
+
+
+class RemoteController:
+    """Typed client proxy over the RPC transport."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        server: RpcServer,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self._rpc = RpcClient(loop, server, network=network)
+
+    def register_job(self, job_id: str) -> None:
+        self._rpc.call("register_job", job_id)
+
+    def deregister_job(self, job_id: str) -> int:
+        return self._rpc.call("deregister_job", job_id)
+
+    def create_addr_prefix(
+        self, job_id: str, name: str, parents: Sequence[str] = ()
+    ) -> None:
+        self._rpc.call("create_addr_prefix", job_id, name, list(parents))
+
+    def create_hierarchy(self, job_id: str, dag: Mapping[str, Sequence[str]]) -> None:
+        self._rpc.call(
+            "create_hierarchy", job_id, json.dumps({k: list(v) for k, v in dag.items()})
+        )
+
+    def renew_lease(self, job_id: str, prefix: str) -> int:
+        return self._rpc.call("renew_lease", job_id, prefix)
+
+    def get_lease_duration(self, job_id: str, prefix: str) -> float:
+        return self._rpc.call("get_lease_duration", job_id, prefix)
+
+    def allocate_block(self, job_id: str, prefix: str) -> str:
+        return self._rpc.call("allocate_block", job_id, prefix)
+
+    def reclaim_block(self, job_id: str, prefix: str, block_id: str) -> None:
+        self._rpc.call("reclaim_block", job_id, prefix, block_id)
+
+    def resolve(self, job_id: str, prefix: str) -> str:
+        return self._rpc.call("resolve", job_id, prefix)
+
+    def renew_many(self, renewals: Sequence[tuple]) -> List[int]:
+        """Pipelined lease renewals ``[(job_id, prefix), ...]``."""
+        return self._rpc.pipeline(
+            [("renew_lease", job_id, prefix) for job_id, prefix in renewals]
+        )

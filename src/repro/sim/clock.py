@@ -1,0 +1,68 @@
+"""Clock abstraction: simulated and wall-clock time sources.
+
+Jiffy's lease machinery only needs a monotonically non-decreasing
+``now()``. Experiments that replay multi-hour traces in milliseconds use
+:class:`SimClock`; live deployments and latency micro-benchmarks use
+:class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source used throughout the system."""
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        ...
+
+
+class SimClock:
+    """A manually advanced clock for deterministic simulation.
+
+    Time only moves when the owner calls :meth:`advance` or :meth:`set`,
+    which makes lease-expiry behaviour exactly reproducible.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError("simulated time must start >= 0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def set(self, t: float) -> float:
+        """Jump to absolute time ``t`` (must not move backwards)."""
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move simulated time backwards ({t} < {self._now})"
+            )
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+class WallClock:
+    """Monotonic wall-clock time (seconds since an arbitrary origin)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def __repr__(self) -> str:
+        return "WallClock()"

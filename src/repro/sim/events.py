@@ -1,0 +1,144 @@
+"""A small discrete-event simulator.
+
+Used by the trace-driven experiments (Fig 9, Fig 11(a), Fig 14) to replay
+hours of the Snowflake-style workload in milliseconds: events are
+scheduled at absolute simulated times, and :meth:`EventLoop.run` pops them
+in time order, advancing the shared :class:`~repro.sim.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue discrete-event loop bound to a :class:`SimClock`.
+
+    Example:
+        >>> clock = SimClock()
+        >>> loop = EventLoop(clock)
+        >>> hits = []
+        >>> _ = loop.schedule_at(2.0, lambda: hits.append(clock.now()))
+        >>> _ = loop.schedule_at(1.0, lambda: hits.append(clock.now()))
+        >>> loop.run()
+        >>> hits
+        [1.0, 2.0]
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule_at(
+        self, when: float, action: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``when``."""
+        if when < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now()}"
+            )
+        event = Event(time=when, seq=next(self._seq), action=action, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now() + delay, action, name=name)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        until: Optional[float] = None,
+        name: str = "",
+    ) -> None:
+        """Schedule ``action`` periodically until simulated time ``until``.
+
+        The first firing happens one ``interval`` from now. Periodic
+        scheduling re-arms lazily from inside the event so a later
+        ``cancel`` of the chain is possible by raising StopIteration from
+        the action.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+
+        def fire() -> None:
+            try:
+                action()
+            except StopIteration:
+                return
+            next_time = self.clock.now() + interval
+            if until is None or next_time <= until:
+                self.schedule_at(next_time, fire, name=name)
+
+        self.schedule_after(interval, fire, name=name)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process the next event. Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.set(event.time)
+            event.action()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run until the queue empties or simulated time passes ``until``.
+
+        Returns the number of events processed by this call. ``max_events``
+        is a runaway-loop backstop.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.set(until)
+                break
+            if not self.step():
+                break
+            processed += 1
+        else:
+            raise SimulationError(f"event loop exceeded max_events={max_events}")
+        return processed

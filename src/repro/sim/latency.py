@@ -1,0 +1,101 @@
+"""Latency distributions for modelled devices and networks.
+
+The paper's device-level results (Fig 10, Fig 11(b)) come from real EC2
+deployments we cannot access; the reproduction models each device as a
+base latency plus a bandwidth term, with optional log-normal jitter (a
+standard fit for datacentre RPC latency tails).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Protocol
+
+
+class LatencyModel(Protocol):
+    """Maps a transfer size in bytes to a latency sample in seconds."""
+
+    def sample(self, size_bytes: int = 0) -> float:
+        ...
+
+    def mean(self, size_bytes: int = 0) -> float:
+        ...
+
+
+class ConstantLatency:
+    """Deterministic latency: ``base + size / bandwidth``.
+
+    Args:
+        base_s: fixed per-operation latency in seconds.
+        bandwidth_bps: sustained transfer bandwidth in bytes/second;
+            ``None`` means the size term is ignored.
+    """
+
+    def __init__(self, base_s: float, bandwidth_bps: Optional[float] = None) -> None:
+        if base_s < 0:
+            raise ValueError("base latency must be >= 0")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.base_s = base_s
+        self.bandwidth_bps = bandwidth_bps
+
+    def mean(self, size_bytes: int = 0) -> float:
+        latency = self.base_s
+        if self.bandwidth_bps is not None:
+            latency += size_bytes / self.bandwidth_bps
+        return latency
+
+    def sample(self, size_bytes: int = 0) -> float:
+        return self.mean(size_bytes)
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency(base={self.base_s}, bw={self.bandwidth_bps})"
+
+
+class LogNormalLatency:
+    """Log-normal jitter around a :class:`ConstantLatency` mean.
+
+    The base component is multiplied by a log-normal factor with unit
+    median and shape ``sigma``; the bandwidth (size) component is kept
+    deterministic, matching the observation that datacentre tail latency
+    is dominated by fixed-cost queueing rather than link speed.
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        bandwidth_bps: Optional[float] = None,
+        sigma: float = 0.25,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self._const = ConstantLatency(base_s, bandwidth_bps)
+        self.sigma = sigma
+        self.rng = rng if rng is not None else random.Random(0xC0FFEE)
+
+    @property
+    def base_s(self) -> float:
+        return self._const.base_s
+
+    @property
+    def bandwidth_bps(self) -> Optional[float]:
+        return self._const.bandwidth_bps
+
+    def mean(self, size_bytes: int = 0) -> float:
+        # Mean of a log-normal with median 1 is exp(sigma^2 / 2).
+        jitter_mean = math.exp(self.sigma * self.sigma / 2.0)
+        size_term = self._const.mean(size_bytes) - self._const.base_s
+        return self._const.base_s * jitter_mean + size_term
+
+    def sample(self, size_bytes: int = 0) -> float:
+        jitter = self.rng.lognormvariate(0.0, self.sigma) if self.sigma else 1.0
+        size_term = self._const.mean(size_bytes) - self._const.base_s
+        return self._const.base_s * jitter + size_term
+
+    def __repr__(self) -> str:
+        return (
+            f"LogNormalLatency(base={self.base_s}, bw={self.bandwidth_bps}, "
+            f"sigma={self.sigma})"
+        )

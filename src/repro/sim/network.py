@@ -1,0 +1,68 @@
+"""Datacentre network model used by latency-sensitive experiments.
+
+Calibrated to the paper's environment: EC2 m4.16xlarge instances with
+10 Gbps (placement-group 25 Gbps burst) links and 100–200 µs intra-EC2
+round trips (§6.3: "two round-trips (100-200 µs in EC2)").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.latency import LogNormalLatency
+
+#: Intra-EC2 one-way base latency (seconds). Two round trips measure
+#: 100–200 µs in the paper, i.e. ~25–50 µs one-way; we use 37.5 µs.
+EC2_ONE_WAY_LATENCY_S = 37.5e-6
+
+#: 10 Gbps link in bytes/second.
+TEN_GBPS = 10e9 / 8.0
+
+
+class NetworkModel:
+    """Models message transfer latency between two hosts.
+
+    ``rtt(size)`` is a request/response pair where the request carries
+    ``size`` payload bytes; ``transfer(size)`` is a one-way bulk move.
+    """
+
+    def __init__(
+        self,
+        one_way_latency_s: float = EC2_ONE_WAY_LATENCY_S,
+        bandwidth_bps: float = TEN_GBPS,
+        sigma: float = 0.2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if one_way_latency_s < 0:
+            raise ValueError("one-way latency must be >= 0")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.one_way_latency_s = one_way_latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._model = LogNormalLatency(
+            base_s=one_way_latency_s,
+            bandwidth_bps=bandwidth_bps,
+            sigma=sigma,
+            rng=rng,
+        )
+
+    def transfer(self, size_bytes: int) -> float:
+        """One-way latency to move ``size_bytes`` between two hosts."""
+        return self._model.sample(size_bytes)
+
+    def transfer_mean(self, size_bytes: int) -> float:
+        return self._model.mean(size_bytes)
+
+    def rtt(self, request_bytes: int = 0, response_bytes: int = 0) -> float:
+        """Round-trip latency for a request/response exchange."""
+        return self.transfer(request_bytes) + self.transfer(response_bytes)
+
+    def rtt_mean(self, request_bytes: int = 0, response_bytes: int = 0) -> float:
+        return self.transfer_mean(request_bytes) + self.transfer_mean(response_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkModel(one_way={self.one_way_latency_s * 1e6:.1f}us, "
+            f"bw={self.bandwidth_bps * 8 / 1e9:.0f}Gbps)"
+        )

@@ -1,0 +1,37 @@
+"""Storage tier models and the external persistent store.
+
+:mod:`repro.storage.tier` models the six systems of Fig 10 (S3,
+DynamoDB, Apache Crail, ElastiCache, Pocket, Jiffy) plus local SSD as
+latency/bandwidth device curves; :mod:`repro.storage.external` is the
+S3-like flush/load target used by lease expiry and ``flushAddrPrefix``.
+"""
+
+from repro.storage.tier import (
+    StorageTier,
+    TierKind,
+    DRAM_TIER,
+    SSD_TIER,
+    S3_TIER,
+    DYNAMODB_TIER,
+    CRAIL_TIER,
+    ELASTICACHE_TIER,
+    POCKET_TIER,
+    JIFFY_TIER,
+    SIX_SYSTEMS,
+)
+from repro.storage.external import ExternalStore
+
+__all__ = [
+    "StorageTier",
+    "TierKind",
+    "DRAM_TIER",
+    "SSD_TIER",
+    "S3_TIER",
+    "DYNAMODB_TIER",
+    "CRAIL_TIER",
+    "ELASTICACHE_TIER",
+    "POCKET_TIER",
+    "JIFFY_TIER",
+    "SIX_SYSTEMS",
+    "ExternalStore",
+]

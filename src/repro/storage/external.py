@@ -1,0 +1,96 @@
+"""External persistent store (S3-like) used for flush/load and spill.
+
+Jiffy flushes an address-prefix's data here on lease expiry (§3.2) and on
+explicit ``flushAddrPrefix`` calls (Table 1), and loads it back via
+``loadAddrPrefix``. It is also the overflow target for the ElastiCache
+baseline in Fig 9.
+
+The store is an in-process object map keyed by path; each operation
+optionally charges latency from a :class:`~repro.storage.tier.StorageTier`
+model so trace-driven experiments can account for spill cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import AddressNotFoundError
+from repro.storage.tier import S3_TIER, StorageTier
+
+
+class ExternalStore:
+    """A flat, durable object store with path-prefix listing.
+
+    Keys are ``/``-separated paths (e.g. ``"job-1/map-3/part-0"``), which
+    matches how address prefixes are serialised when flushed.
+    """
+
+    def __init__(self, tier: StorageTier = S3_TIER) -> None:
+        self.tier = tier
+        self._objects: Dict[str, bytes] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_count = 0
+        self.get_count = 0
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._objects
+
+    def put(self, path: str, data: bytes) -> float:
+        """Store ``data`` at ``path``; returns the modelled write latency."""
+        if not path:
+            raise ValueError("external-store path must be non-empty")
+        self._objects[path] = bytes(data)
+        self.bytes_written += len(data)
+        self.put_count += 1
+        return self.tier.write_latency(len(data))
+
+    def get(self, path: str) -> bytes:
+        """Fetch the object at ``path``; raises if absent."""
+        try:
+            data = self._objects[path]
+        except KeyError:
+            raise AddressNotFoundError(f"no external object at {path!r}") from None
+        self.bytes_read += len(data)
+        self.get_count += 1
+        return data
+
+    def get_latency(self, path: str) -> float:
+        """Modelled read latency for the object at ``path``."""
+        return self.tier.read_latency(len(self.get(path)))
+
+    def delete(self, path: str) -> None:
+        """Remove the object at ``path``; raises if absent."""
+        try:
+            del self._objects[path]
+        except KeyError:
+            raise AddressNotFoundError(f"no external object at {path!r}") from None
+
+    def list(self, prefix: str = "") -> List[str]:
+        """All object paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._objects if p.startswith(prefix))
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Remove every object under ``prefix``; returns the count removed."""
+        doomed = self.list(prefix)
+        for path in doomed:
+            del self._objects[path]
+        return len(doomed)
+
+    def size_of(self, path: str) -> int:
+        """Size in bytes of the object at ``path``."""
+        if path not in self._objects:
+            raise AddressNotFoundError(f"no external object at {path!r}")
+        return len(self._objects[path])
+
+    def total_bytes(self) -> int:
+        """Total bytes currently stored."""
+        return sum(len(v) for v in self._objects.values())
+
+    def iter_items(self, prefix: str = "") -> Iterator[tuple]:
+        """Yield ``(path, data)`` for every object under ``prefix``."""
+        for path in self.list(prefix):
+            yield path, self._objects[path]

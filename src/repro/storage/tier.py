@@ -1,0 +1,227 @@
+"""Latency/bandwidth models for the storage systems the paper compares.
+
+Fig 10 benchmarks six systems from an AWS Lambda client with a
+single-threaded synchronous loop, over object sizes 8 B – 128 MB. We
+cannot deploy those services offline, so each is modelled as a device
+curve ``latency(size) = base + size / bandwidth`` with log-normal jitter,
+calibrated to the published figure:
+
+* In-memory stores (ElastiCache, Pocket, Crail, Jiffy) are
+  sub-millisecond for small objects; Jiffy/Pocket edge out ElastiCache
+  thanks to leaner RPC stacks (§6.2 attributes Jiffy's small win to its
+  optimized RPC layer and cuckoo hashing).
+* DynamoDB sits at a few milliseconds and rejects objects > 400 KB (the
+  paper notes a 128 KB practical cap for its benchmark; we enforce that).
+* S3 has tens-of-milliseconds first-byte latency but high bandwidth for
+  large objects.
+
+Throughput in Fig 10(b) is single-client synchronous MB/s, i.e. simply
+``size / latency(size)`` — the same definition is used here.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.config import KB, MB
+from repro.errors import DataStructureError
+from repro.sim.latency import LogNormalLatency
+
+
+class TierKind(enum.Enum):
+    """Broad class of a storage tier, used by allocation policies."""
+
+    MEMORY = "memory"
+    SSD = "ssd"
+    OBJECT_STORE = "object_store"
+    KV_SERVICE = "kv_service"
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """A named storage device/service with read and write latency curves.
+
+    Attributes:
+        name: human-readable system name ("S3", "Jiffy", ...).
+        kind: broad device class.
+        read_base_s / write_base_s: fixed per-op latency in seconds.
+        read_bw_bps / write_bw_bps: sustained bandwidth in bytes/second.
+        max_object_bytes: per-object size cap (DynamoDB), or None.
+        sigma: log-normal jitter shape for sampled latencies.
+    """
+
+    name: str
+    kind: TierKind
+    read_base_s: float
+    write_base_s: float
+    read_bw_bps: float
+    write_bw_bps: float
+    max_object_bytes: Optional[int] = None
+    sigma: float = 0.15
+
+    def _check_size(self, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise ValueError("object size must be >= 0")
+        if self.max_object_bytes is not None and size_bytes > self.max_object_bytes:
+            raise DataStructureError(
+                f"{self.name} rejects objects larger than "
+                f"{self.max_object_bytes} bytes (got {size_bytes})"
+            )
+
+    def supports(self, size_bytes: int) -> bool:
+        """Whether this tier accepts objects of the given size."""
+        return self.max_object_bytes is None or size_bytes <= self.max_object_bytes
+
+    def read_latency(self, size_bytes: int) -> float:
+        """Mean read latency in seconds for an object of ``size_bytes``."""
+        self._check_size(size_bytes)
+        return self.read_base_s + size_bytes / self.read_bw_bps
+
+    def write_latency(self, size_bytes: int) -> float:
+        """Mean write latency in seconds for an object of ``size_bytes``."""
+        self._check_size(size_bytes)
+        return self.write_base_s + size_bytes / self.write_bw_bps
+
+    def sample_read_latency(
+        self, size_bytes: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Jittered read-latency sample."""
+        self._check_size(size_bytes)
+        model = LogNormalLatency(
+            self.read_base_s, self.read_bw_bps, sigma=self.sigma, rng=rng
+        )
+        return model.sample(size_bytes)
+
+    def sample_write_latency(
+        self, size_bytes: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Jittered write-latency sample."""
+        self._check_size(size_bytes)
+        model = LogNormalLatency(
+            self.write_base_s, self.write_bw_bps, sigma=self.sigma, rng=rng
+        )
+        return model.sample(size_bytes)
+
+    def read_throughput_mbps(self, size_bytes: int) -> float:
+        """Single synchronous client read throughput in MB/s."""
+        if size_bytes == 0:
+            return 0.0
+        return (size_bytes / MB) / self.read_latency(size_bytes)
+
+    def write_throughput_mbps(self, size_bytes: int) -> float:
+        """Single synchronous client write throughput in MB/s."""
+        if size_bytes == 0:
+            return 0.0
+        return (size_bytes / MB) / self.write_latency(size_bytes)
+
+
+def _gbps(g: float) -> float:
+    return g * 1e9 / 8.0
+
+
+# Calibration notes (targets from Fig 10, single Lambda client):
+#   Jiffy/Pocket/Crail/ElastiCache small-object latency: 0.2–0.5 ms.
+#   DynamoDB: ~3-10 ms, 128 KB object cap in the benchmark.
+#   S3: ~15-30 ms small reads, ~30-60 ms small writes; large-object
+#   bandwidth ~70-90 MB/s from one client.
+#   Large-object bandwidth for ALL remote systems is capped by the
+#   Lambda client's NIC (~600 Mbps), which is why the paper's MB/s
+#   curves top out near 80 MB/s and all systems' latencies converge
+#   around a second at 128 MB. The in-memory tiers below carry that
+#   client-path bandwidth; DRAM_TIER/SSD_TIER model the *in-cluster*
+#   device path used for spill accounting, not the Lambda NIC.
+
+DRAM_TIER = StorageTier(
+    name="DRAM",
+    kind=TierKind.MEMORY,
+    read_base_s=200e-6,
+    write_base_s=220e-6,
+    read_bw_bps=_gbps(8.0),
+    write_bw_bps=_gbps(8.0),
+)
+
+SSD_TIER = StorageTier(
+    name="SSD",
+    kind=TierKind.SSD,
+    read_base_s=900e-6,
+    write_base_s=1.1e-3,
+    read_bw_bps=500 * MB,
+    write_bw_bps=350 * MB,
+)
+
+S3_TIER = StorageTier(
+    name="S3",
+    kind=TierKind.OBJECT_STORE,
+    read_base_s=18e-3,
+    write_base_s=35e-3,
+    read_bw_bps=85 * MB,
+    write_bw_bps=70 * MB,
+    sigma=0.35,
+)
+
+DYNAMODB_TIER = StorageTier(
+    name="DynamoDB",
+    kind=TierKind.KV_SERVICE,
+    read_base_s=3.5e-3,
+    write_base_s=6.0e-3,
+    read_bw_bps=30 * MB,
+    write_bw_bps=15 * MB,
+    max_object_bytes=128 * KB,
+    sigma=0.3,
+)
+
+CRAIL_TIER = StorageTier(
+    name="Apache Crail",
+    kind=TierKind.MEMORY,
+    read_base_s=280e-6,
+    write_base_s=300e-6,
+    read_bw_bps=76 * MB,
+    write_bw_bps=74 * MB,
+)
+
+ELASTICACHE_TIER = StorageTier(
+    name="ElastiCache",
+    kind=TierKind.MEMORY,
+    read_base_s=330e-6,
+    write_base_s=350e-6,
+    read_bw_bps=68 * MB,
+    write_bw_bps=66 * MB,
+)
+
+POCKET_TIER = StorageTier(
+    name="Pocket",
+    kind=TierKind.MEMORY,
+    read_base_s=260e-6,
+    write_base_s=280e-6,
+    read_bw_bps=78 * MB,
+    write_bw_bps=76 * MB,
+)
+
+# Jiffy's RPC-layer optimizations (§4.2.2) give it a small edge over
+# Pocket/ElastiCache for small objects.
+JIFFY_TIER = StorageTier(
+    name="Jiffy",
+    kind=TierKind.MEMORY,
+    read_base_s=230e-6,
+    write_base_s=250e-6,
+    read_bw_bps=80 * MB,
+    write_bw_bps=78 * MB,
+)
+
+#: The six systems of Fig 10 in the paper's legend order.
+SIX_SYSTEMS: Tuple[StorageTier, ...] = (
+    S3_TIER,
+    DYNAMODB_TIER,
+    CRAIL_TIER,
+    ELASTICACHE_TIER,
+    POCKET_TIER,
+    JIFFY_TIER,
+)
+
+#: Quick lookup by name for the experiment drivers.
+TIER_BY_NAME: Dict[str, StorageTier] = {t.name: t for t in SIX_SYSTEMS}
+TIER_BY_NAME["DRAM"] = DRAM_TIER
+TIER_BY_NAME["SSD"] = SSD_TIER

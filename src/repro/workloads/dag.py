@@ -1,0 +1,70 @@
+"""Random execution-DAG generation for jobs.
+
+Produces DAGs in the ``{task: [parent tasks]}`` form consumed by
+``createHierarchy`` (Table 1). Layered DAGs model the multi-stage jobs
+of Fig 3; linear DAGs model simple pipelines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+
+def linear_dag(num_tasks: int, prefix: str = "T") -> Dict[str, List[str]]:
+    """A chain T1 -> T2 -> ... -> Tn."""
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    dag: Dict[str, List[str]] = {f"{prefix}1": []}
+    for i in range(2, num_tasks + 1):
+        dag[f"{prefix}{i}"] = [f"{prefix}{i - 1}"]
+    return dag
+
+
+def layered_dag(
+    num_layers: int,
+    width: int,
+    fan_in: int = 2,
+    seed: Optional[int] = None,
+    prefix: str = "T",
+) -> Dict[str, List[str]]:
+    """A layered DAG: every task reads from up to ``fan_in`` tasks of the
+    previous layer (each previous-layer task feeds at least one child, so
+    no output is orphaned).
+    """
+    if num_layers <= 0 or width <= 0 or fan_in <= 0:
+        raise ValueError("layers, width and fan_in must be positive")
+    rng = random.Random(seed)
+    dag: Dict[str, List[str]] = {}
+    layers: List[List[str]] = []
+    counter = 1
+    for layer_idx in range(num_layers):
+        layer = [f"{prefix}{counter + i}" for i in range(width)]
+        counter += width
+        if layer_idx == 0:
+            for task in layer:
+                dag[task] = []
+        else:
+            prev = layers[-1]
+            for task in layer:
+                k = min(fan_in, len(prev))
+                dag[task] = sorted(rng.sample(prev, k))
+            # Ensure every upstream task feeds someone.
+            fed = {p for task in layer for p in dag[task]}
+            for orphan in (set(prev) - fed):
+                target = rng.choice(layer)
+                if orphan not in dag[target]:
+                    dag[target].append(orphan)
+        layers.append(layer)
+    return dag
+
+
+def map_reduce_dag(num_maps: int, num_reduces: int) -> Dict[str, List[str]]:
+    """The classic all-to-all two-stage MR DAG."""
+    if num_maps <= 0 or num_reduces <= 0:
+        raise ValueError("num_maps and num_reduces must be positive")
+    maps = [f"map-{i}" for i in range(num_maps)]
+    dag: Dict[str, List[str]] = {m: [] for m in maps}
+    for j in range(num_reduces):
+        dag[f"reduce-{j}"] = list(maps)
+    return dag

@@ -1,0 +1,244 @@
+"""Synthetic Snowflake-like analytics workload (substitute for [20]).
+
+The paper's motivating analysis (Fig 1) and macro experiments (Fig 9,
+Fig 11(a), Fig 14) replay the publicly released Snowflake dataset. That
+dataset is not available offline, so this generator synthesises job
+traces matching the statistics the paper reports:
+
+* intermediate data for a tenant varies by ~2 orders of magnitude around
+  its mean over minutes (Fig 1(a): 0.01–1000× normalised range);
+* provisioning each tenant for its peak yields average utilisation well
+  under 25 % (the paper measures 19 % across tenants);
+* jobs are multi-stage: each stage writes intermediate data that lives
+  until its consuming stage finishes, so per-job demand rises and falls
+  (TPC-DS stages span 0.8 MB – 66 GB, five orders of magnitude).
+
+The knobs below (log-normal sigma for stage output sizes, stage counts,
+Poisson job arrivals) were chosen so the generated traces reproduce the
+Fig 1 shape; ``tests/workloads/test_snowflake.py`` asserts the published
+statistics hold for generated traces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MB
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a job: writes ``output_bytes`` over its duration.
+
+    The stage's output is intermediate data that must stay available
+    until the *next* stage finishes consuming it; the final stage's
+    output is the job result, persisted externally at job end.
+    """
+
+    index: int
+    start: float  # absolute time the stage starts running
+    duration: float
+    output_bytes: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class JobTrace:
+    """A multi-stage analytics job with a time-varying memory demand."""
+
+    job_id: str
+    tenant_id: str
+    submit_time: float
+    stages: List[Stage] = field(default_factory=list)
+
+    @property
+    def end_time(self) -> float:
+        return self.stages[-1].end if self.stages else self.submit_time
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.submit_time
+
+    def total_intermediate_bytes(self) -> int:
+        return sum(s.output_bytes for s in self.stages)
+
+    def demand_at(self, t: float) -> float:
+        """Intermediate-data bytes held at absolute time ``t``.
+
+        Stage ``i``'s output accumulates linearly while the stage runs
+        and is freed when stage ``i+1`` finishes (its consumer is done);
+        the last stage's output is freed at job end.
+        """
+        if t < self.submit_time or t >= self.end_time or not self.stages:
+            return 0.0
+        total = 0.0
+        for i, stage in enumerate(self.stages):
+            freed_at = (
+                self.stages[i + 1].end if i + 1 < len(self.stages) else stage.end
+            )
+            if t < stage.start or t >= freed_at:
+                continue
+            if t < stage.end:
+                frac = (t - stage.start) / stage.duration if stage.duration else 1.0
+                total += stage.output_bytes * frac
+            else:
+                total += stage.output_bytes
+        return total
+
+    def peak_demand(self, resolution: int = 200) -> float:
+        """Max of :meth:`demand_at` sampled across the job's lifetime."""
+        if not self.stages:
+            return 0.0
+        times = np.linspace(self.submit_time, self.end_time, resolution, endpoint=False)
+        return float(max(self.demand_at(t) for t in times))
+
+    def mean_demand(self, resolution: int = 200) -> float:
+        """Time-average demand across the job's lifetime."""
+        if not self.stages or self.duration <= 0:
+            return 0.0
+        times = np.linspace(self.submit_time, self.end_time, resolution, endpoint=False)
+        return float(np.mean([self.demand_at(t) for t in times]))
+
+
+def demand_series(
+    jobs: Sequence[JobTrace],
+    t_start: float,
+    t_end: float,
+    dt: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate demand over time for a set of jobs.
+
+    Returns ``(times, demand_bytes)`` sampled every ``dt`` seconds.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    times = np.arange(t_start, t_end, dt)
+    demand = np.zeros_like(times)
+    for job in jobs:
+        if job.end_time <= t_start or job.submit_time >= t_end:
+            continue
+        for k, t in enumerate(times):
+            if job.submit_time <= t < job.end_time:
+                demand[k] += job.demand_at(t)
+    return times, demand
+
+
+class SnowflakeWorkloadGenerator:
+    """Generates tenants' job traces with Snowflake-like burstiness.
+
+    Args:
+        seed: RNG seed for reproducible traces.
+        mean_stage_output: median stage output size in bytes.
+        sigma_output: log-normal sigma of stage output sizes — 2.3 spans
+            ~4 orders of magnitude at ±2σ, matching the paper's TPC-DS
+            observation.
+        mean_stage_duration / sigma_duration: log-normal stage runtimes.
+        mean_stages: average number of stages per job (geometric, >= 2).
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        mean_stage_output: float = 8.0 * MB,
+        sigma_output: float = 2.3,
+        mean_stage_duration: float = 30.0,
+        sigma_duration: float = 0.8,
+        mean_stages: float = 4.0,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.mean_stage_output = mean_stage_output
+        self.sigma_output = sigma_output
+        self.mean_stage_duration = mean_stage_duration
+        self.sigma_duration = sigma_duration
+        self.mean_stages = mean_stages
+
+    def _num_stages(self) -> int:
+        # Geometric with mean `mean_stages`, floored at 2 (map + reduce).
+        p = 1.0 / max(self.mean_stages - 1.0, 1.0)
+        n = 2
+        while self.rng.random() > p and n < 16:
+            n += 1
+        return n
+
+    def _stage_output(self, tenant_scale: float) -> int:
+        size = tenant_scale * self.rng.lognormvariate(
+            math.log(self.mean_stage_output), self.sigma_output
+        )
+        return max(int(size), 1)
+
+    def _stage_duration(self) -> float:
+        return max(
+            self.rng.lognormvariate(
+                math.log(self.mean_stage_duration), self.sigma_duration
+            ),
+            1.0,
+        )
+
+    def generate_job(
+        self, job_id: str, tenant_id: str, submit_time: float, tenant_scale: float = 1.0
+    ) -> JobTrace:
+        """Generate one multi-stage job submitted at ``submit_time``."""
+        stages: List[Stage] = []
+        t = submit_time
+        for i in range(self._num_stages()):
+            duration = self._stage_duration()
+            stages.append(
+                Stage(
+                    index=i,
+                    start=t,
+                    duration=duration,
+                    output_bytes=self._stage_output(tenant_scale),
+                )
+            )
+            t += duration
+        return JobTrace(
+            job_id=job_id, tenant_id=tenant_id, submit_time=submit_time, stages=stages
+        )
+
+    def generate_tenant(
+        self,
+        tenant_id: str,
+        duration_s: float,
+        job_arrival_rate: float = 1.0 / 120.0,
+        tenant_scale: Optional[float] = None,
+    ) -> List[JobTrace]:
+        """Poisson job arrivals for one tenant over ``duration_s`` seconds.
+
+        ``tenant_scale`` multiplies stage output sizes; by default it is
+        drawn log-normally so tenants differ in size by orders of
+        magnitude, as in the Snowflake dataset.
+        """
+        if tenant_scale is None:
+            tenant_scale = self.rng.lognormvariate(0.0, 1.0)
+        jobs: List[JobTrace] = []
+        t = self.rng.expovariate(job_arrival_rate)
+        i = 0
+        while t < duration_s:
+            jobs.append(
+                self.generate_job(f"{tenant_id}/job-{i}", tenant_id, t, tenant_scale)
+            )
+            t += self.rng.expovariate(job_arrival_rate)
+            i += 1
+        return jobs
+
+    def generate(
+        self,
+        num_tenants: int,
+        duration_s: float,
+        job_arrival_rate: float = 1.0 / 120.0,
+    ) -> Dict[str, List[JobTrace]]:
+        """Traces for ``num_tenants`` tenants over a shared time window."""
+        return {
+            f"tenant-{i}": self.generate_tenant(
+                f"tenant-{i}", duration_s, job_arrival_rate
+            )
+            for i in range(num_tenants)
+        }

@@ -1,0 +1,75 @@
+"""Synthetic text with a Zipf word-frequency distribution.
+
+Substitute for the Wikipedia dataset in the streaming word-count
+experiment (Fig 13(a)): natural-language word frequencies are famously
+Zipfian, which is the property the partition/count pipeline exercises
+(hot words concentrate on few partitions).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List
+
+
+class SyntheticTextGenerator:
+    """Generates sentences over a fixed Zipf-weighted vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary_size: int = 5000,
+        alpha: float = 1.05,
+        seed: int = 29,
+        min_sentence_words: int = 5,
+        max_sentence_words: int = 20,
+    ) -> None:
+        if vocabulary_size <= 0:
+            raise ValueError("vocabulary_size must be positive")
+        if min_sentence_words <= 0 or max_sentence_words < min_sentence_words:
+            raise ValueError("invalid sentence length bounds")
+        self.rng = random.Random(seed)
+        self.min_sentence_words = min_sentence_words
+        self.max_sentence_words = max_sentence_words
+        self.vocabulary = self._build_vocabulary(vocabulary_size)
+        weights = [(rank + 1) ** (-alpha) for rank in range(vocabulary_size)]
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+        # Precompute cumulative weights for random.choices.
+        self._cum_weights: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cum_weights.append(acc)
+
+    def _build_vocabulary(self, size: int) -> List[str]:
+        words: List[str] = []
+        seen = set()
+        while len(words) < size:
+            length = self.rng.randint(3, 10)
+            word = "".join(self.rng.choice(string.ascii_lowercase) for _ in range(length))
+            if word not in seen:
+                seen.add(word)
+                words.append(word)
+        return words
+
+    def word(self) -> str:
+        """One Zipf-weighted word."""
+        return self.rng.choices(
+            self.vocabulary, cum_weights=self._cum_weights, k=1
+        )[0]
+
+    def sentence(self) -> str:
+        """One sentence of Zipf-weighted words."""
+        n = self.rng.randint(self.min_sentence_words, self.max_sentence_words)
+        return " ".join(
+            self.rng.choices(self.vocabulary, cum_weights=self._cum_weights, k=n)
+        )
+
+    def sentences(self, n: int) -> List[str]:
+        """``n`` independent sentences."""
+        return [self.sentence() for _ in range(n)]
+
+    def corpus_bytes(self, n_sentences: int) -> bytes:
+        """A newline-joined corpus, encoded."""
+        return "\n".join(self.sentences(n_sentences)).encode()

@@ -1,0 +1,95 @@
+"""Trace serialisation: save/load job traces as JSON Lines.
+
+Lets users who *do* have access to the Snowflake dataset (or any other
+trace source) convert it into the :class:`JobTrace` form the experiments
+replay, and lets generated synthetic traces be frozen to disk so runs
+are exactly reproducible across machines.
+
+Format: one JSON object per line::
+
+    {"job_id": ..., "tenant_id": ..., "submit_time": ...,
+     "stages": [{"index": 0, "start": ..., "duration": ...,
+                 "output_bytes": ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.workloads.snowflake import JobTrace, Stage
+
+PathLike = Union[str, Path]
+
+
+def trace_to_dict(job: JobTrace) -> dict:
+    """One job as a JSON-serialisable dict."""
+    return {
+        "job_id": job.job_id,
+        "tenant_id": job.tenant_id,
+        "submit_time": job.submit_time,
+        "stages": [
+            {
+                "index": s.index,
+                "start": s.start,
+                "duration": s.duration,
+                "output_bytes": s.output_bytes,
+            }
+            for s in job.stages
+        ],
+    }
+
+
+def trace_from_dict(record: dict) -> JobTrace:
+    """Parse one job dict back into a :class:`JobTrace`."""
+    try:
+        stages = [
+            Stage(
+                index=int(s["index"]),
+                start=float(s["start"]),
+                duration=float(s["duration"]),
+                output_bytes=int(s["output_bytes"]),
+            )
+            for s in record["stages"]
+        ]
+        return JobTrace(
+            job_id=str(record["job_id"]),
+            tenant_id=str(record["tenant_id"]),
+            submit_time=float(record["submit_time"]),
+            stages=stages,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed trace record: {exc}") from exc
+
+
+def save_traces(jobs: Iterable[JobTrace], path: PathLike) -> int:
+    """Write jobs as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for job in jobs:
+            fh.write(json.dumps(trace_to_dict(job)))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def iter_traces(path: PathLike) -> Iterator[JobTrace]:
+    """Stream jobs from a JSONL trace file."""
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            yield trace_from_dict(record)
+
+
+def load_traces(path: PathLike) -> List[JobTrace]:
+    """Load a whole JSONL trace file."""
+    return list(iter_traces(path))

@@ -1,0 +1,64 @@
+"""Zipf-distributed key sampling.
+
+§6.3: "the inserted keys were sampled from a Zipf distribution over the
+keyspace since the Snowflake dataset does not provide access patterns" —
+the skew is what drives the KV-store's worst-case block splitting in
+Fig 11(a).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class ZipfKeySampler:
+    """Samples keys ``key-000...`` with Zipf(alpha) popularity.
+
+    Rank 1 is the most popular key. ``alpha=1.0`` is classic Zipf;
+    larger values are more skewed.
+    """
+
+    def __init__(
+        self, num_keys: int, alpha: float = 1.0, seed: int = 13
+    ) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.num_keys = num_keys
+        self.alpha = alpha
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, num_keys + 1, dtype=float)
+        weights = ranks ** (-alpha)
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+        width = len(str(num_keys - 1))
+        self._key_names: List[bytes] = [
+            f"key-{i:0{width}d}".encode() for i in range(num_keys)
+        ]
+
+    def sample(self) -> bytes:
+        """One key, Zipf-distributed by rank."""
+        u = self._rng.random()
+        rank = int(np.searchsorted(self._cdf, u))
+        return self._key_names[min(rank, self.num_keys - 1)]
+
+    def sample_many(self, n: int) -> List[bytes]:
+        """``n`` independent key samples."""
+        us = self._rng.random(n)
+        ranks = np.searchsorted(self._cdf, us)
+        return [self._key_names[min(int(r), self.num_keys - 1)] for r in ranks]
+
+    def probability_of_rank(self, rank: int) -> float:
+        """P(key at ``rank``), 1-indexed."""
+        if not 1 <= rank <= self.num_keys:
+            raise ValueError(f"rank must be in [1, {self.num_keys}]")
+        return float(self._probs[rank - 1])
+
+    def key_at_rank(self, rank: int) -> bytes:
+        """The key name at a popularity rank (1 = hottest)."""
+        if not 1 <= rank <= self.num_keys:
+            raise ValueError(f"rank must be in [1, {self.num_keys}]")
+        return self._key_names[rank - 1]

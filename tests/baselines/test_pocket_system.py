@@ -1,0 +1,135 @@
+"""Functional Pocket system + head-to-head against functional Jiffy."""
+
+import pytest
+
+from repro.baselines.pocket_system import PocketSystem
+from repro.blocks.tiered import TieredMemoryPool
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import CapacityError, KeyNotFoundError, RegistrationError
+from repro.sim.clock import SimClock
+
+
+def make_pool(dram_blocks=8):
+    pool = TieredMemoryPool(block_size=KB, spill_server_blocks=16)
+    pool.add_server(num_blocks=dram_blocks)
+    return pool
+
+
+@pytest.fixture
+def pocket():
+    return PocketSystem(make_pool())
+
+
+class TestRegistration:
+    def test_reserves_declared_blocks(self, pocket):
+        pocket.register_job("j", declared_bytes=3 * KB)
+        assert pocket.reserved_bytes() == 3 * KB
+        assert pocket.pool.allocated_blocks == 3
+
+    def test_duplicate_rejected(self, pocket):
+        pocket.register_job("j", KB)
+        with pytest.raises(RegistrationError):
+            pocket.register_job("j", KB)
+
+    def test_bad_declaration(self, pocket):
+        with pytest.raises(RegistrationError):
+            pocket.register_job("j", 0)
+
+    def test_overflow_job_lands_on_ssd_wholesale(self, pocket):
+        pocket.register_job("big", 6 * KB)
+        bucket = pocket.register_job("late", 4 * KB)  # only 2 DRAM left
+        assert bucket.on_ssd()
+        assert pocket.jobs_on_ssd == 1
+
+    def test_deregister_releases(self, pocket):
+        pocket.register_job("j", 4 * KB)
+        assert pocket.deregister_job("j") == 4
+        assert pocket.pool.allocated_blocks == 0
+
+    def test_unknown_job(self, pocket):
+        with pytest.raises(RegistrationError):
+            pocket.bucket("ghost")
+
+
+class TestBucketOps:
+    def test_put_get_delete(self, pocket):
+        bucket = pocket.register_job("j", 4 * KB)
+        bucket.put(b"k", b"v")
+        assert bucket.get(b"k") == b"v"
+        assert bucket.delete(b"k") == b"v"
+        with pytest.raises(KeyNotFoundError):
+            bucket.get(b"k")
+
+    def test_overwrite_accounting(self, pocket):
+        bucket = pocket.register_job("j", 4 * KB)
+        bucket.put(b"k", b"short")
+        used = bucket.used_bytes()
+        bucket.put(b"k", b"much-longer-value")
+        assert bucket.used_bytes() > used
+        assert len(bucket) == 1
+
+    def test_under_declared_job_hits_hard_wall(self, pocket):
+        """Pocket cannot grow a job's allocation — the §2.1 problem."""
+        bucket = pocket.register_job("tiny", KB)  # one block
+        with pytest.raises(CapacityError):
+            for i in range(100):
+                bucket.put(f"key-{i}".encode(), b"v" * 40)
+
+
+class TestHeadToHead:
+    """Same pool size, same workload: Jiffy multiplexes, Pocket cannot."""
+
+    WAVES = 4
+    WAVE_BYTES = 5 * KB  # each wave's data; DRAM holds 8 blocks total
+
+    def test_pocket_strands_reservations_jiffy_reuses(self):
+        # Pocket: sequential jobs each declare their peak; reservations
+        # persist (no lifetime management), so later jobs go to SSD.
+        pocket = PocketSystem(make_pool(dram_blocks=8))
+        ssd_jobs = 0
+        for wave in range(self.WAVES):
+            bucket = pocket.register_job(f"job-{wave}", self.WAVE_BYTES)
+            for i in range(40):
+                bucket.put(f"w{wave}-k{i}".encode(), b"v" * 64)
+            ssd_jobs += bucket.on_ssd()
+            # The job finishes its useful work here — but without
+            # leases nothing is reclaimed until explicit deregister,
+            # which a crashed job never issues.
+        assert ssd_jobs >= 2
+
+        # Jiffy: identical waves against the same-size pool; leases
+        # reclaim each wave's blocks so every wave runs from DRAM.
+        clock = SimClock()
+        controller = JiffyController(
+            JiffyConfig(block_size=KB),
+            pool=make_pool(dram_blocks=8),
+            clock=clock,
+        )
+        for wave in range(self.WAVES):
+            client = connect(controller, f"job-{wave}")
+            client.create_addr_prefix("data")
+            kv = client.init_data_structure("data", "kv_store", num_slots=64)
+            for i in range(40):
+                kv.put(f"w{wave}-k{i}".encode(), b"v" * 64)
+            assert all(b.tier == "dram" for b in kv.blocks()), f"wave {wave}"
+            clock.advance(2.0)
+            controller.tick()  # the wave's lease lapses; DRAM frees
+
+    def test_pocket_utilization_below_jiffy(self):
+        pocket = PocketSystem(make_pool(dram_blocks=8))
+        bucket = pocket.register_job("job", 8 * KB)  # peak declaration
+        for i in range(10):
+            bucket.put(f"k{i}".encode(), b"v" * 32)  # uses a sliver
+        assert pocket.utilization() < 0.2
+
+        controller = JiffyController(
+            JiffyConfig(block_size=KB), pool=make_pool(8), clock=SimClock()
+        )
+        client = connect(controller, "job")
+        client.create_addr_prefix("data")
+        kv = client.init_data_structure("data", "kv_store", num_slots=8)
+        for i in range(10):
+            kv.put(f"k{i}".encode(), b"v" * 32)
+        assert controller.utilization() > pocket.utilization()

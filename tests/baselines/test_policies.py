@@ -1,0 +1,178 @@
+"""Allocation policies: invariants that make the Fig 9 comparison fair."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ElastiCachePolicy,
+    JiffyBlockPolicy,
+    PocketPolicy,
+)
+from repro.baselines.base import (
+    CapacityTimeline,
+    SpillCostModel,
+    job_demand_profile,
+    job_io_profile,
+)
+from repro.config import MB
+from repro.storage.tier import DRAM_TIER, S3_TIER, SSD_TIER
+from repro.workloads.snowflake import JobTrace, SnowflakeWorkloadGenerator, Stage
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = SnowflakeWorkloadGenerator(
+        seed=5, mean_stage_output=32 * MB, mean_stage_duration=40.0
+    )
+    tenants = gen.generate(num_tenants=8, duration_s=1200.0, job_arrival_rate=1 / 60)
+    return [j for js in tenants.values() for j in js]
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return CapacityTimeline(0.0, 1200.0, 10.0)
+
+
+@pytest.fixture(scope="module")
+def peak(workload, timeline):
+    from repro.workloads.snowflake import demand_series
+
+    _, demand = demand_series(workload, 0.0, 1200.0, 10.0)
+    return float(demand.max())
+
+
+def policies():
+    return [
+        ElastiCachePolicy(SpillCostModel(DRAM_TIER, S3_TIER)),
+        PocketPolicy(SpillCostModel(DRAM_TIER, SSD_TIER)),
+        JiffyBlockPolicy(SpillCostModel(DRAM_TIER, SSD_TIER), block_size=8 * MB),
+    ]
+
+
+class TestProfiles:
+    def test_demand_profile_matches_demand_at(self, workload, timeline):
+        job = workload[0]
+        i0, demand = job_demand_profile(job, timeline)
+        times = timeline.times()
+        for k in range(0, demand.size, max(demand.size // 5, 1)):
+            assert demand[k] == pytest.approx(job.demand_at(times[i0 + k]))
+
+    def test_io_profile_conserves_bytes(self, timeline):
+        job = JobTrace(
+            "j", "t", 100.0,
+            [Stage(0, 100.0, 50.0, 10_000), Stage(1, 150.0, 50.0, 20_000)],
+        )
+        _, io = job_io_profile(job, timeline)
+        # Every stage's output written once and read once.
+        assert io.sum() == pytest.approx(2 * 30_000, rel=1e-6)
+
+    def test_out_of_window_job_is_empty(self, timeline):
+        job = JobTrace("j", "t", 5000.0, [Stage(0, 5000.0, 10.0, 100)])
+        i0, demand = job_demand_profile(job, timeline)
+        assert demand.size == 0
+
+
+class TestPolicyInvariants:
+    @pytest.mark.parametrize("policy", policies(), ids=lambda p: p.name)
+    def test_slowdowns_at_least_one(self, policy, workload, timeline, peak):
+        result = policy.replay(workload, 0.4 * peak, timeline)
+        assert all(s >= 1.0 for s in result.job_slowdowns.values())
+        assert set(result.job_slowdowns) == {j.job_id for j in workload}
+
+    @pytest.mark.parametrize("policy", policies(), ids=lambda p: p.name)
+    def test_memory_never_exceeds_capacity(self, policy, workload, timeline, peak):
+        capacity = 0.3 * peak
+        result = policy.replay(workload, capacity, timeline)
+        assert (result.in_memory_bytes <= capacity * (1 + 1e-9)).all()
+
+    @pytest.mark.parametrize("policy", policies(), ids=lambda p: p.name)
+    def test_more_capacity_never_hurts(self, policy, workload, timeline, peak):
+        low = policy.replay(workload, 0.2 * peak, timeline)
+        high = policy.replay(workload, 0.8 * peak, timeline)
+        assert high.avg_slowdown <= low.avg_slowdown + 1e-9
+
+    @pytest.mark.parametrize("policy", policies(), ids=lambda p: p.name)
+    def test_spill_zero_implies_no_slowdown(self, policy, workload, timeline, peak):
+        result = policy.replay(workload, 10 * peak, timeline)
+        for job_id, spilled in result.job_spilled_bytes.items():
+            if spilled == 0:
+                assert result.job_slowdowns[job_id] == 1.0
+
+
+class TestFig9Shape:
+    def test_jiffy_beats_baselines_under_constraint(self, workload, timeline, peak):
+        capacity = 0.3 * peak
+        results = {p.name: p.replay(workload, capacity, timeline) for p in policies()}
+        assert (
+            results["Jiffy"].avg_slowdown
+            <= results["Pocket"].avg_slowdown + 1e-9
+        )
+        assert (
+            results["Jiffy"].avg_slowdown
+            <= results["Elasticache"].avg_slowdown + 1e-9
+        )
+
+    def test_jiffy_utilization_highest_under_constraint(
+        self, workload, timeline, peak
+    ):
+        capacity = 0.3 * peak
+        results = {p.name: p.replay(workload, capacity, timeline) for p in policies()}
+        assert (
+            results["Jiffy"].avg_utilization
+            >= results["Pocket"].avg_utilization
+        )
+        assert (
+            results["Jiffy"].avg_utilization
+            >= results["Elasticache"].avg_utilization
+        )
+
+    def test_jiffy_utilization_improves_as_capacity_shrinks(
+        self, workload, timeline, peak
+    ):
+        jiffy = JiffyBlockPolicy(
+            SpillCostModel(DRAM_TIER, SSD_TIER), block_size=8 * MB
+        )
+        at_80 = jiffy.replay(workload, 0.8 * peak, timeline).avg_utilization
+        at_20 = jiffy.replay(workload, 0.2 * peak, timeline).avg_utilization
+        assert at_20 > at_80
+
+
+class TestCostModel:
+    def test_zero_spill_is_free(self):
+        assert SpillCostModel().penalty_seconds(0) == 0.0
+
+    def test_penalty_monotone_in_bytes(self):
+        model = SpillCostModel(DRAM_TIER, SSD_TIER)
+        assert model.penalty_seconds(2 * MB) > model.penalty_seconds(MB) > 0
+
+    def test_s3_spill_costlier_than_ssd(self):
+        s3 = SpillCostModel(DRAM_TIER, S3_TIER)
+        ssd = SpillCostModel(DRAM_TIER, SSD_TIER)
+        assert s3.penalty_seconds(100 * MB) > ssd.penalty_seconds(100 * MB)
+
+    def test_contention_scales_penalty(self):
+        base = SpillCostModel(DRAM_TIER, SSD_TIER, contention=1.0)
+        contended = SpillCostModel(DRAM_TIER, SSD_TIER, contention=8.0)
+        assert contended.penalty_seconds(100 * MB) > base.penalty_seconds(100 * MB)
+
+
+class TestPocketModes:
+    def test_mean_declaration_spills_more_than_peak_when_uncontended(
+        self, workload, timeline, peak
+    ):
+        cost = SpillCostModel(DRAM_TIER, SSD_TIER)
+        peak_mode = PocketPolicy(cost, declare="peak").replay(
+            workload, 10 * peak, timeline
+        )
+        mean_mode = PocketPolicy(cost, declare="mean").replay(
+            workload, 10 * peak, timeline
+        )
+        total_peak = sum(peak_mode.job_spilled_bytes.values())
+        total_mean = sum(mean_mode.job_spilled_bytes.values())
+        assert total_mean > total_peak
+
+    def test_bad_modes(self):
+        with pytest.raises(ValueError):
+            PocketPolicy(declare="median")
+        with pytest.raises(ValueError):
+            PocketPolicy(admission="magic")

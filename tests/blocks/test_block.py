@@ -1,0 +1,78 @@
+"""Memory blocks: usage accounting, thresholds, sealing, reset."""
+
+import pytest
+
+from repro.blocks.block import Block
+from repro.errors import BlockError
+
+
+@pytest.fixture
+def block():
+    return Block("s0:0", "s0", capacity=1000)
+
+
+class TestUsage:
+    def test_initial_state(self, block):
+        assert block.used == 0
+        assert block.free == 1000
+        assert block.usage == 0.0
+        assert not block.sealed
+
+    def test_set_and_add_used(self, block):
+        block.set_used(400)
+        assert block.usage == pytest.approx(0.4)
+        block.add_used(100)
+        assert block.used == 500
+        block.add_used(-500)
+        assert block.used == 0
+
+    def test_overflow_rejected(self, block):
+        with pytest.raises(BlockError):
+            block.set_used(1001)
+        block.set_used(999)
+        with pytest.raises(BlockError):
+            block.add_used(2)
+
+    def test_negative_rejected(self, block):
+        with pytest.raises(BlockError):
+            block.set_used(-1)
+        with pytest.raises(BlockError):
+            block.add_used(-1)
+
+    def test_fits(self, block):
+        block.set_used(900)
+        assert block.fits(100)
+        assert not block.fits(101)
+
+
+class TestThresholds:
+    def test_above_high(self, block):
+        block.set_used(960)
+        assert block.above(0.95)
+        block.set_used(950)
+        assert not block.above(0.95)
+
+    def test_below_low(self, block):
+        block.set_used(49)
+        assert block.below(0.05)
+        block.set_used(50)
+        assert not block.below(0.05)
+
+
+class TestLifecycle:
+    def test_seal(self, block):
+        block.seal()
+        assert block.sealed
+
+    def test_reset_clears_everything(self, block):
+        block.payload["data"] = bytearray(b"xyz")
+        block.set_used(3)
+        block.seal()
+        block.reset()
+        assert block.payload == {}
+        assert block.used == 0
+        assert not block.sealed
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(BlockError):
+            Block("x", "s", capacity=0)

@@ -1,0 +1,70 @@
+"""Memory servers: allocation, reclamation, accounting."""
+
+import pytest
+
+from repro.blocks.server import MemoryServer
+from repro.errors import BlockError, CapacityError
+
+
+@pytest.fixture
+def server():
+    return MemoryServer("s0", num_blocks=4, block_size=100)
+
+
+class TestAllocation:
+    def test_allocates_all_blocks_then_fails(self, server):
+        blocks = [server.allocate() for _ in range(4)]
+        assert len({b.block_id for b in blocks}) == 4
+        assert server.free_blocks == 0
+        with pytest.raises(CapacityError):
+            server.allocate()
+
+    def test_deterministic_first_allocation(self, server):
+        assert server.allocate().block_id == "s0:0"
+
+    def test_reclaim_and_reuse(self, server):
+        block = server.allocate()
+        block.payload["x"] = 1
+        block.set_used(50)
+        server.reclaim(block.block_id)
+        assert server.free_blocks == 4
+        fresh = server.get(block.block_id)
+        assert fresh.used == 0
+        assert fresh.payload == {}
+
+    def test_double_reclaim_rejected(self, server):
+        block = server.allocate()
+        server.reclaim(block.block_id)
+        with pytest.raises(BlockError):
+            server.reclaim(block.block_id)
+
+    def test_unknown_block_rejected(self, server):
+        with pytest.raises(BlockError):
+            server.get("s0:99")
+        with pytest.raises(BlockError):
+            server.reclaim("other:0")
+
+
+class TestAccounting:
+    def test_capacity_bytes(self, server):
+        assert server.capacity_bytes == 400
+
+    def test_used_bytes_counts_only_allocated(self, server):
+        a = server.allocate()
+        b = server.allocate()
+        a.set_used(30)
+        b.set_used(20)
+        assert server.used_bytes() == 50
+        server.reclaim(b.block_id)
+        assert server.used_bytes() == 30
+
+    def test_iter_allocated(self, server):
+        a = server.allocate()
+        server.allocate()
+        ids = {blk.block_id for blk in server.iter_allocated()}
+        assert a.block_id in ids
+        assert len(ids) == 2
+
+    def test_bad_num_blocks(self):
+        with pytest.raises(BlockError):
+            MemoryServer("s", num_blocks=0, block_size=10)

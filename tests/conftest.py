@@ -1,0 +1,31 @@
+"""Shared fixtures: a simulated clock and a small live deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def config() -> JiffyConfig:
+    """Small blocks (1 KB) so tests exercise multi-block behaviour cheaply."""
+    return JiffyConfig(block_size=KB)
+
+
+@pytest.fixture
+def controller(clock: SimClock, config: JiffyConfig) -> JiffyController:
+    return JiffyController(config=config, clock=clock, default_blocks=256)
+
+
+@pytest.fixture
+def client(controller: JiffyController):
+    return connect(controller, "test-job")

@@ -1,0 +1,62 @@
+"""Access control (§4.2.1): per-prefix permissions on the client path."""
+
+import pytest
+
+from repro.core.client import connect
+from repro.errors import PermissionError_, RegistrationError
+
+
+class TestOwnerAccess:
+    def test_owner_principal_defaults_to_job(self, controller):
+        client = connect(controller, "job")
+        assert client.principal == "job"
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file")  # no error
+
+    def test_foreign_principal_denied(self, controller):
+        owner = connect(controller, "job")
+        owner.create_addr_prefix("t")
+        owner.init_data_structure("t", "file")
+        stranger = connect(controller, "job", principal="intruder")
+        with pytest.raises(PermissionError_):
+            stranger.init_data_structure("t", "kv_store")
+        with pytest.raises(PermissionError_):
+            stranger.attach_data_structure("t")
+
+
+class TestGrants:
+    def test_grant_enables_sharing(self, controller):
+        owner = connect(controller, "job")
+        owner.create_addr_prefix("t")
+        shared = owner.init_data_structure("t", "kv_store", num_slots=8)
+        shared.put(b"k", b"v")
+        owner.grant("t", "analyst")
+        analyst = connect(controller, "job", principal="analyst")
+        handle = analyst.attach_data_structure("t")
+        assert handle is shared
+        assert handle.get(b"k") == b"v"
+
+    def test_grants_are_per_prefix(self, controller):
+        owner = connect(controller, "job")
+        owner.create_addr_prefix("public")
+        owner.create_addr_prefix("private")
+        owner.init_data_structure("public", "file")
+        owner.init_data_structure("private", "file")
+        owner.grant("public", "guest")
+        guest = connect(controller, "job", principal="guest")
+        guest.attach_data_structure("public")
+        with pytest.raises(PermissionError_):
+            guest.attach_data_structure("private")
+
+    def test_non_owner_cannot_grant(self, controller):
+        owner = connect(controller, "job")
+        owner.create_addr_prefix("t")
+        stranger = connect(controller, "job", principal="stranger")
+        with pytest.raises(PermissionError_):
+            stranger.grant("t", "accomplice")
+
+    def test_attach_requires_bound_structure(self, controller):
+        owner = connect(controller, "job")
+        owner.create_addr_prefix("bare")
+        with pytest.raises(RegistrationError):
+            owner.attach_data_structure("bare")

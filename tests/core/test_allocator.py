@@ -1,0 +1,132 @@
+"""Block allocator: ownership tracking, reclamation, exhaustion."""
+
+import pytest
+
+from repro.blocks.pool import MemoryPool
+from repro.core.allocator import BlockAllocator
+from repro.core.hierarchy import AddressHierarchy
+from repro.errors import BlockError, CapacityError
+
+
+@pytest.fixture
+def pool():
+    pool = MemoryPool(block_size=100)
+    pool.add_server(num_blocks=4, server_id="a")
+    return pool
+
+
+@pytest.fixture
+def allocator(pool):
+    return BlockAllocator(pool)
+
+
+@pytest.fixture
+def nodes():
+    h = AddressHierarchy("job")
+    return h.add_node("t1"), h.add_node("t2")
+
+
+class TestAllocation:
+    def test_allocate_records_ownership(self, allocator, nodes):
+        t1, _ = nodes
+        block = allocator.allocate(t1)
+        assert block.block_id in t1.block_ids
+        assert allocator.owner_of(block.block_id) == ("job", "t1")
+        assert allocator.allocations == 1
+
+    def test_blocks_of(self, allocator, nodes):
+        t1, _ = nodes
+        a = allocator.allocate(t1)
+        b = allocator.allocate(t1)
+        assert [blk.block_id for blk in allocator.blocks_of(t1)] == [
+            a.block_id,
+            b.block_id,
+        ]
+
+    def test_exhaustion_counted(self, allocator, nodes):
+        t1, _ = nodes
+        for _ in range(4):
+            allocator.allocate(t1)
+        with pytest.raises(CapacityError):
+            allocator.allocate(t1)
+        assert allocator.failed_allocations == 1
+        assert allocator.try_allocate(t1) is None
+        assert allocator.failed_allocations == 2
+
+
+class TestReclamation:
+    def test_reclaim(self, allocator, nodes):
+        t1, _ = nodes
+        block = allocator.allocate(t1)
+        allocator.reclaim(t1, block.block_id)
+        assert t1.block_ids == []
+        assert allocator.free_blocks == 4
+        with pytest.raises(BlockError):
+            allocator.owner_of(block.block_id)
+
+    def test_reclaim_wrong_owner_rejected(self, allocator, nodes):
+        t1, t2 = nodes
+        block = allocator.allocate(t1)
+        with pytest.raises(BlockError):
+            allocator.reclaim(t2, block.block_id)
+        # Ownership unchanged after the failed reclaim.
+        assert allocator.owner_of(block.block_id) == ("job", "t1")
+
+    def test_reclaim_all(self, allocator, nodes):
+        t1, t2 = nodes
+        for _ in range(3):
+            allocator.allocate(t1)
+        allocator.allocate(t2)
+        assert allocator.reclaim_all(t1) == 3
+        assert t1.block_ids == []
+        assert len(t2.block_ids) == 1
+        assert allocator.reclamations == 3
+
+    def test_quota_enforced(self, allocator, nodes):
+        t1, _ = nodes
+        allocator.set_quota("job", 2)
+        allocator.allocate(t1)
+        allocator.allocate(t1)
+        with pytest.raises(CapacityError, match="quota"):
+            allocator.allocate(t1)
+        assert allocator.quota_rejections == 1
+        # Pool still has capacity — the quota, not exhaustion, blocked it.
+        assert allocator.free_blocks == 2
+
+    def test_quota_frees_with_reclamation(self, allocator, nodes):
+        t1, _ = nodes
+        allocator.set_quota("job", 1)
+        block = allocator.allocate(t1)
+        allocator.reclaim(t1, block.block_id)
+        allocator.allocate(t1)  # under quota again
+
+    def test_quota_spans_prefixes_of_one_job(self, allocator, nodes):
+        t1, t2 = nodes
+        allocator.set_quota("job", 2)
+        allocator.allocate(t1)
+        allocator.allocate(t2)
+        assert allocator.blocks_held_by("job") == 2
+        with pytest.raises(CapacityError):
+            allocator.allocate(t1)
+
+    def test_quota_removal(self, allocator, nodes):
+        t1, _ = nodes
+        allocator.set_quota("job", 0)
+        with pytest.raises(CapacityError):
+            allocator.allocate(t1)
+        allocator.set_quota("job", None)
+        allocator.allocate(t1)
+        assert allocator.quota_of("job") is None
+
+    def test_negative_quota_rejected(self, allocator):
+        with pytest.raises(BlockError):
+            allocator.set_quota("job", -1)
+
+    def test_isolation_between_prefixes(self, allocator, nodes):
+        # §3.1: reclaiming one prefix's blocks never touches another's.
+        t1, t2 = nodes
+        allocator.allocate(t1)
+        b2 = allocator.allocate(t2)
+        b2.set_used(10)
+        allocator.reclaim_all(t1)
+        assert allocator.blocks_of(t2)[0].used == 10

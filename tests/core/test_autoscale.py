@@ -1,0 +1,104 @@
+"""Cluster-capacity autoscaling (footnote 4)."""
+
+import pytest
+
+from repro.blocks.pool import MemoryPool
+from repro.core.autoscale import ClusterAutoscaler
+
+
+@pytest.fixture
+def pool():
+    pool = MemoryPool(block_size=100)
+    pool.add_server(num_blocks=10)
+    return pool
+
+
+class TestScaleUp:
+    def test_adds_servers_when_free_low(self, pool):
+        scaler = ClusterAutoscaler(pool, blocks_per_server=10, low_free_fraction=0.2)
+        for _ in range(9):  # 1/10 free = 10% < 20%
+            pool.allocate()
+        actions = scaler.evaluate()
+        assert actions and all(a.kind == "add" for a in actions)
+        assert scaler.free_fraction() >= 0.2
+
+    def test_no_action_in_band(self, pool):
+        scaler = ClusterAutoscaler(pool, blocks_per_server=10)
+        for _ in range(6):  # 40% free: inside [10%, 50%]
+            pool.allocate()
+        assert scaler.evaluate() == []
+
+    def test_respects_max_servers(self, pool):
+        scaler = ClusterAutoscaler(
+            pool,
+            blocks_per_server=1,
+            low_free_fraction=0.9,
+            high_free_fraction=0.99,
+            max_servers=3,
+        )
+        for _ in range(10):
+            pool.allocate()
+        scaler.evaluate()
+        assert pool.num_servers == 3
+
+
+class TestScaleDown:
+    def test_removes_idle_servers_when_free_high(self, pool):
+        pool.add_server(num_blocks=10)
+        pool.add_server(num_blocks=10)
+        scaler = ClusterAutoscaler(
+            pool, blocks_per_server=10, high_free_fraction=0.5
+        )
+        actions = scaler.evaluate()  # 100% free, 3 servers
+        assert any(a.kind == "remove" for a in actions)
+        assert pool.num_servers >= scaler.min_servers
+
+    def test_never_below_min_servers(self, pool):
+        scaler = ClusterAutoscaler(
+            pool,
+            blocks_per_server=10,
+            low_free_fraction=0.05,
+            high_free_fraction=0.1,
+            min_servers=1,
+        )
+        scaler.evaluate()
+        assert pool.num_servers == 1
+
+    def test_loaded_servers_not_removed(self):
+        pool = MemoryPool(block_size=100)
+        pool.add_server(num_blocks=2, server_id="a")
+        pool.add_server(num_blocks=2, server_id="b")
+        # One block on each server (least-loaded placement alternates).
+        pool.allocate()
+        pool.allocate()
+        scaler = ClusterAutoscaler(pool, blocks_per_server=2, high_free_fraction=0.3)
+        scaler.evaluate()
+        assert pool.num_servers == 2  # both servers hold data
+
+    def test_scale_down_keeps_low_watermark(self, pool):
+        # Removing the only spare server would cross the low watermark.
+        pool.add_server(num_blocks=10)
+        for _ in range(9):
+            pool.allocate()
+        scaler = ClusterAutoscaler(
+            pool,
+            blocks_per_server=10,
+            low_free_fraction=0.5,
+            high_free_fraction=0.54,
+        )
+        scaler.evaluate()
+        assert scaler.free_fraction() >= 0.5
+
+
+class TestValidation:
+    def test_bad_band(self, pool):
+        with pytest.raises(ValueError):
+            ClusterAutoscaler(pool, 10, low_free_fraction=0.6, high_free_fraction=0.5)
+
+    def test_bad_blocks_per_server(self, pool):
+        with pytest.raises(ValueError):
+            ClusterAutoscaler(pool, 0)
+
+    def test_bad_min_servers(self, pool):
+        with pytest.raises(ValueError):
+            ClusterAutoscaler(pool, 10, min_servers=0)

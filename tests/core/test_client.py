@@ -1,0 +1,103 @@
+"""The user-facing API (Table 1), including camelCase aliases."""
+
+import pytest
+
+from repro.core.client import JiffyClient, connect
+from repro.errors import DataStructureError, RegistrationError
+
+
+class TestConnect:
+    def test_connect_registers(self, controller):
+        client = connect(controller, "jobA")
+        assert controller.is_registered("jobA")
+        assert isinstance(client, JiffyClient)
+
+    def test_connect_existing_job(self, controller):
+        controller.register_job("jobA")
+        client = connect(controller, "jobA")
+        assert client.job_id == "jobA"
+
+    def test_connect_without_register(self, controller):
+        with pytest.raises(RegistrationError):
+            connect(controller, "ghost", register=False)
+
+
+class TestAddressHierarchyApi:
+    def test_create_addr_prefix_with_parent(self, client):
+        client.create_addr_prefix("t1")
+        node = client.create_addr_prefix("t2", parent="t1")
+        assert [p.name for p in node.parents] == ["t1"]
+
+    def test_create_addr_prefix_multi_parent(self, client):
+        client.create_addr_prefix("a")
+        client.create_addr_prefix("b")
+        node = client.create_addr_prefix("c", parent="a", parents=["b"])
+        assert sorted(p.name for p in node.parents) == ["a", "b"]
+
+    def test_create_hierarchy(self, client):
+        hierarchy = client.create_hierarchy({"t2": ["t1"], "t3": ["t2"]})
+        assert len(hierarchy) == 3
+
+    def test_flush_and_load(self, client, controller):
+        client.create_addr_prefix("t1")
+        f = client.init_data_structure("t1", "file")
+        f.append(b"persisted-data")
+        nbytes = client.flush_addr_prefix("t1", "ckpt/t1")
+        assert nbytes == len(b"persisted-data")
+        assert controller.external_store.get("ckpt/t1") == b"persisted-data"
+        # Mutate, then restore the checkpoint.
+        f.append(b"-more")
+        client.load_addr_prefix("t1", "ckpt/t1")
+        assert f.readall() == b"persisted-data"
+
+
+class TestLeaseApi:
+    def test_get_lease_duration_default(self, client, config):
+        client.create_addr_prefix("t1")
+        assert client.get_lease_duration("t1") == config.lease_duration
+
+    def test_renew_lease_propagates(self, client):
+        client.create_hierarchy({"t2": ["t1"], "t3": ["t2"]})
+        assert client.renew_lease("t2") == 3  # t1 (parent), t2, t3 (desc)
+
+    def test_renew_many(self, client):
+        client.create_addr_prefix("a")
+        client.create_addr_prefix("b")
+        assert client.renew_leases(["a", "b"]) == 2
+
+
+class TestDataStructureApi:
+    @pytest.mark.parametrize("ds_type", ["file", "fifo_queue", "kv_store"])
+    def test_init_builtin_types(self, client, ds_type):
+        client.create_addr_prefix(f"p-{ds_type}")
+        ds = client.init_data_structure(f"p-{ds_type}", ds_type)
+        assert ds.DS_TYPE == ds_type
+
+    def test_unknown_type_rejected(self, client):
+        client.create_addr_prefix("p")
+        with pytest.raises(DataStructureError):
+            client.init_data_structure("p", "btree")
+
+    def test_kwargs_forwarded(self, client):
+        client.create_addr_prefix("q")
+        queue = client.init_data_structure("q", "fifo_queue", max_queue_length=5)
+        assert queue.max_queue_length == 5
+
+    def test_deregister(self, client, controller):
+        client.create_addr_prefix("t1")
+        client.init_data_structure("t1", "file").append(b"x" * 100)
+        client.deregister()
+        assert not controller.is_registered(client.job_id)
+        assert controller.pool.allocated_blocks == 0
+
+
+class TestPaperAliases:
+    def test_camelcase_aliases_are_bound(self, client):
+        client.createAddrPrefix("t1")
+        assert client.getLeaseDuration("t1") == client.get_lease_duration("t1")
+        client.renewLease("t1")
+        ds = client.initDataStructure("t1", "kv_store", num_slots=4)
+        ds.put(b"k", b"v")
+        client.flushAddrPrefix("t1", "x")
+        client.loadAddrPrefix("t1", "x")
+        assert ds.get(b"k") == b"v"

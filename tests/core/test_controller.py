@@ -1,0 +1,195 @@
+"""The unified control plane: registration, leases, expiry, flush/load."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.errors import (
+    CapacityError,
+    PermissionError_,
+    RegistrationError,
+)
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=clock, default_blocks=64
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, controller):
+        controller.register_job("j1")
+        assert controller.is_registered("j1")
+        assert controller.jobs() == ["j1"]
+
+    def test_duplicate_rejected(self, controller):
+        controller.register_job("j1")
+        with pytest.raises(RegistrationError):
+            controller.register_job("j1")
+
+    def test_empty_id_rejected(self, controller):
+        with pytest.raises(RegistrationError):
+            controller.register_job("")
+
+    def test_unknown_job_rejected(self, controller):
+        with pytest.raises(RegistrationError):
+            controller.create_addr_prefix("nope", "t1")
+
+    def test_deregister_releases_blocks(self, controller):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=3)
+        assert controller.pool.allocated_blocks == 3
+        reclaimed = controller.deregister_job("j1")
+        assert reclaimed == 3
+        assert controller.pool.allocated_blocks == 0
+        assert not controller.is_registered("j1")
+
+    def test_block_size_mismatch_rejected(self, clock):
+        from repro.blocks.pool import MemoryPool
+
+        pool = MemoryPool(block_size=512)
+        pool.add_server(4)
+        with pytest.raises(ValueError):
+            JiffyController(JiffyConfig(block_size=KB), pool=pool, clock=clock)
+
+
+class TestPrefixes:
+    def test_create_with_initial_capacity(self, controller):
+        controller.register_job("j1")
+        node = controller.create_addr_prefix("j1", "t1", initial_blocks=2)
+        assert len(node.block_ids) == 2
+
+    def test_create_hierarchy(self, controller):
+        controller.register_job("j1")
+        hierarchy = controller.create_hierarchy("j1", {"b": ["a"], "c": ["b"]})
+        assert len(hierarchy) == 3
+        assert controller.resolve("j1", "a/b/c").name == "c"
+
+    def test_create_hierarchy_twice_rejected(self, controller):
+        controller.register_job("j1")
+        controller.create_hierarchy("j1", {"a": []})
+        with pytest.raises(RegistrationError):
+            controller.create_hierarchy("j1", {"b": []})
+
+    def test_per_prefix_lease_duration(self, controller):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", lease_duration=7.5)
+        assert controller.get_lease_duration("j1", "t1") == 7.5
+
+    def test_permissions(self, controller):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1")
+        controller.check_permission("j1", "t1", "j1")  # owner always may
+        with pytest.raises(PermissionError_):
+            controller.check_permission("j1", "t1", "intruder")
+        controller.grant("j1", "t1", "intruder")
+        controller.check_permission("j1", "t1", "intruder")
+
+
+class TestLeaseExpiry:
+    def test_expiry_reclaims_blocks(self, controller, clock):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=2)
+        clock.advance(1.5)
+        expired = controller.tick()
+        assert [n.name for n in expired] == ["t1"]
+        assert controller.pool.allocated_blocks == 0
+        assert controller.prefixes_expired == 1
+        assert controller.blocks_reclaimed_by_expiry == 2
+
+    def test_renewal_prevents_expiry(self, controller, clock):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=1)
+        for _ in range(5):
+            clock.advance(0.6)
+            controller.renew_lease("j1", "t1")
+            assert controller.tick() == []
+        assert controller.pool.allocated_blocks == 1
+
+    def test_expiry_flushes_datastructure(self, controller, clock):
+        from repro.core.client import connect
+
+        client = connect(controller, "j1")
+        client.create_addr_prefix("t1")
+        kv = client.init_data_structure("t1", "kv_store", num_slots=8)
+        kv.put(b"k", b"v")
+        clock.advance(2.0)
+        controller.tick()
+        assert "j1/t1" in controller.external_store
+        assert kv.expired
+
+    def test_flush_disabled(self, clock):
+        controller = JiffyController(
+            JiffyConfig(block_size=KB, flush_on_expiry=False),
+            clock=clock,
+            default_blocks=16,
+        )
+        from repro.core.client import connect
+
+        client = connect(controller, "j1")
+        client.create_addr_prefix("t1")
+        kv = client.init_data_structure("t1", "kv_store", num_slots=8)
+        kv.put(b"k", b"v")
+        clock.advance(2.0)
+        controller.tick()
+        assert len(controller.external_store) == 0
+
+
+class TestBlockOps:
+    def test_allocate_and_reclaim(self, controller):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1")
+        block = controller.allocate_block("j1", "t1")
+        assert controller.scale_up_signals == 1
+        controller.reclaim_block("j1", "t1", block.block_id)
+        assert controller.scale_down_signals == 1
+        assert controller.pool.allocated_blocks == 0
+
+    def test_try_allocate_on_exhaustion(self, clock):
+        controller = JiffyController(
+            JiffyConfig(block_size=KB), clock=clock, default_blocks=1
+        )
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=1)
+        assert controller.try_allocate_block("j1", "t1") is None
+        with pytest.raises(CapacityError):
+            controller.allocate_block("j1", "t1")
+
+
+class TestStatistics:
+    def test_utilization(self, controller):
+        assert controller.utilization() == 1.0
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1")
+        block = controller.allocate_block("j1", "t1")
+        block.set_used(512)
+        assert controller.utilization() == pytest.approx(0.5)
+
+    def test_per_job_accounting(self, controller):
+        controller.register_job("j1")
+        controller.register_job("j2")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=2)
+        controller.create_addr_prefix("j2", "t1", initial_blocks=1)
+        assert controller.allocated_bytes("j1") == 2 * KB
+        assert controller.allocated_bytes("j2") == KB
+        assert controller.allocated_bytes() == 3 * KB
+
+    def test_ops_counter_increments(self, controller):
+        before = controller.ops_handled
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1")
+        controller.renew_lease("j1", "t1")
+        assert controller.ops_handled == before + 3
+
+    def test_metadata_bytes(self, controller):
+        controller.register_job("j1")
+        controller.create_addr_prefix("j1", "t1", initial_blocks=2)
+        assert controller.metadata_bytes() == 64 + 16

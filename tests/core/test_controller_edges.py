@@ -1,0 +1,129 @@
+"""Controller edge cases not covered by the mainline tests."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import (
+    AddressNotFoundError,
+    LeaseExpiredError,
+    RegistrationError,
+)
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=clock, default_blocks=64
+    )
+
+
+class TestDeregistration:
+    def test_deregister_with_flush_persists_data(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file").append(b"keep-me" * 10)
+        client.deregister(flush=True)
+        assert controller.external_store.get("j/t") == b"keep-me" * 10
+
+    def test_deregister_without_flush_drops_data(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file").append(b"gone")
+        client.deregister(flush=False)
+        assert len(controller.external_store) == 0
+
+    def test_reregistration_after_deregister(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        client.deregister()
+        fresh = connect(controller, "j")  # same id, fresh hierarchy
+        fresh.create_addr_prefix("t")  # no AddressExistsError
+        assert len(controller.hierarchy("j")) == 1
+
+    def test_metadata_cleared_on_deregister(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "kv_store", num_slots=4)
+        client.deregister()
+        assert len(controller.metadata) == 0
+
+
+class TestFlushLoadEdges:
+    def test_load_unknown_external_path(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file")
+        with pytest.raises(AddressNotFoundError):
+            client.load_addr_prefix("t", "never/written")
+
+    def test_flush_prefix_without_datastructure_is_noop(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("bare")
+        assert client.flush_addr_prefix("bare", "x") == 0
+        assert "x" not in controller.external_store
+
+    def test_load_prefix_without_datastructure_rejected(self, controller):
+        client = connect(controller, "j")
+        client.create_addr_prefix("bare")
+        controller.external_store.put("x", b"data")
+        with pytest.raises(RegistrationError):
+            client.load_addr_prefix("bare", "x")
+
+    def test_flush_then_expiry_overwrites_with_latest(self, controller, clock):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        f = client.init_data_structure("t", "file")
+        f.append(b"v1")
+        client.flush_addr_prefix("t", "j/t")
+        f.append(b"v2")
+        clock.advance(2.0)
+        controller.tick()  # expiry flush to the default path j/t
+        assert controller.external_store.get("j/t") == b"v1v2"
+
+
+class TestExpiredPrefixSemantics:
+    def test_allocation_to_expired_prefix_rejected(self, controller, clock):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t", initial_blocks=1)
+        clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            controller.allocate_block("j", "t")
+
+    def test_renewal_revives_expired_empty_prefix(self, controller, clock):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t")
+        clock.advance(2.0)
+        controller.tick()
+        client.renew_lease("t")  # clears the expired mark
+        block = controller.allocate_block("j", "t")
+        assert block is not None
+
+    def test_tick_idempotent_between_expiries(self, controller, clock):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t", initial_blocks=2)
+        clock.advance(2.0)
+        assert len(controller.tick()) == 1
+        assert controller.tick() == []
+        assert controller.blocks_reclaimed_by_expiry == 2
+
+
+class TestResolutionEdges:
+    def test_resolve_rejects_detours(self, controller):
+        controller.register_job("j")
+        controller.create_hierarchy("j", {"b": ["a"], "c": ["b"], "d": ["a"]})
+        with pytest.raises(AddressNotFoundError):
+            controller.resolve("j", "a/d/c")  # c is not d's child
+
+    def test_grant_on_missing_prefix(self, controller):
+        controller.register_job("j")
+        with pytest.raises(AddressNotFoundError):
+            controller.grant("j", "ghost", "anyone")

@@ -1,0 +1,80 @@
+"""Max-min fair-share quotas layered on the allocator (§3.1)."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.core.fairness import FairShareManager
+from repro.errors import CapacityError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=SimClock(), default_blocks=12
+    )
+
+
+class TestShares:
+    def test_equal_split_when_all_want_more(self, controller):
+        for i in range(3):
+            controller.register_job(f"j{i}")
+            controller.create_addr_prefix(f"j{i}", "t", initial_blocks=4)
+        shares = FairShareManager(controller).compute_shares()
+        assert shares == {"j0": 4, "j1": 4, "j2": 4}
+
+    def test_small_jobs_release_surplus(self, controller):
+        controller.register_job("small")
+        controller.create_addr_prefix("small", "t", initial_blocks=1)
+        controller.register_job("big")
+        controller.create_addr_prefix("big", "t", initial_blocks=6)
+        shares = FairShareManager(controller).compute_shares()
+        # 12 blocks over 2 jobs = 6 each; small only needs 1 but keeps
+        # headroom up to its split; big gets the rest.
+        assert shares["small"] == 6
+        assert shares["big"] == 6
+
+    def test_no_jobs(self, controller):
+        assert FairShareManager(controller).compute_shares() == {}
+
+    def test_reserve_blocks_withheld(self, controller):
+        controller.register_job("j")
+        shares = FairShareManager(controller, reserve_blocks=4).compute_shares()
+        assert shares["j"] == 8
+
+    def test_bad_reserve(self, controller):
+        with pytest.raises(ValueError):
+            FairShareManager(controller, reserve_blocks=-1)
+
+
+class TestEnforcement:
+    def test_applied_quotas_bound_a_hog(self, controller):
+        """A hog cannot starve a later-arriving job once shares apply."""
+        hog = connect(controller, "hog")
+        hog.create_addr_prefix("t")
+        hog_file = hog.init_data_structure("t", "file")
+        hog_file.append(b"x" * 7 * KB)  # grabs most of the 12-block pool
+
+        victim = connect(controller, "victim")
+        victim.create_addr_prefix("t")
+        manager = FairShareManager(controller)
+        manager.apply()  # 6 blocks each
+
+        # The hog (already over quota at 8 blocks) cannot grow...
+        with pytest.raises(CapacityError, match="quota"):
+            controller.allocate_block("hog", "t")
+        # ...but the victim can claim its share.
+        victim_file = victim.init_data_structure("t", "file")
+        victim_file.append(b"y" * 3 * KB)
+        assert victim_file.readall() == b"y" * 3 * KB
+
+    def test_shares_track_job_arrival(self, controller):
+        manager = FairShareManager(controller)
+        controller.register_job("a")
+        assert manager.apply() == {"a": 12}
+        controller.register_job("b")
+        shares = manager.apply()
+        assert shares == {"a": 6, "b": 6}
+        assert manager.passes == 2

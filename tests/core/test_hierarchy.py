@@ -1,0 +1,172 @@
+"""Hierarchical addressing (§3.1) — including the paper's Fig 4 example."""
+
+import pytest
+
+from repro.core.hierarchy import AddressHierarchy, join_path, split_path
+from repro.errors import (
+    AddressError,
+    AddressExistsError,
+    AddressNotFoundError,
+)
+
+#: The execution DAG of Fig 3 / address hierarchy of Fig 4.
+FIG4_DAG = {
+    "T1": [],
+    "T2": [],
+    "T3": [],
+    "T4": [],
+    "T5": ["T1", "T2"],
+    "T6": ["T4"],
+    "T7": ["T3", "T5", "T6"],
+    "T8": ["T7"],
+    "T9": ["T7"],
+}
+
+
+@pytest.fixture
+def fig4():
+    return AddressHierarchy.from_dag("job", FIG4_DAG)
+
+
+class TestPaths:
+    def test_split_slash(self):
+        assert split_path("T4/T6/B6_2") == ["T4", "T6", "B6_2"]
+
+    def test_split_dotted_paper_form(self):
+        assert split_path("T4.T6.B6_2") == ["T4", "T6", "B6_2"]
+
+    def test_split_leading_separator(self):
+        assert split_path("/T4/T6") == ["T4", "T6"]
+
+    @pytest.mark.parametrize("bad", ["", "/", "a//b", None, 42])
+    def test_split_rejects_bad(self, bad):
+        with pytest.raises(AddressError):
+            split_path(bad)  # type: ignore[arg-type]
+
+    def test_join_roundtrip(self):
+        assert join_path(["a", "b"]) == "a/b"
+        assert split_path(join_path(["a", "b"])) == ["a", "b"]
+
+    def test_join_empty_rejected(self):
+        with pytest.raises(AddressError):
+            join_path([])
+
+
+class TestConstruction:
+    def test_add_root_and_child(self):
+        h = AddressHierarchy("j")
+        root = h.add_node("t1")
+        child = h.add_node("t2", parents=["t1"])
+        assert root.is_root()
+        assert not child.is_root()
+        assert root.child("t2") is child
+
+    def test_duplicate_name_rejected(self):
+        h = AddressHierarchy("j")
+        h.add_node("t1")
+        with pytest.raises(AddressExistsError):
+            h.add_node("t1")
+
+    def test_multi_component_name_rejected(self):
+        h = AddressHierarchy("j")
+        with pytest.raises(AddressError):
+            h.add_node("a/b")
+
+    def test_unknown_parent_rejected(self):
+        h = AddressHierarchy("j")
+        with pytest.raises(AddressNotFoundError):
+            h.add_node("t2", parents=["nope"])
+
+    def test_from_dag_creates_implicit_roots(self):
+        h = AddressHierarchy.from_dag("j", {"b": ["a"]})
+        assert h.get_node("a").is_root()
+
+    def test_cycle_rejected(self):
+        h = AddressHierarchy.from_dag("j", {"b": ["a"], "c": ["b"]})
+        with pytest.raises(AddressError):
+            h.add_parent("a", "c")
+
+    def test_self_parent_rejected(self):
+        h = AddressHierarchy("j")
+        h.add_node("a")
+        with pytest.raises(AddressError):
+            h.add_parent("a", "a")
+
+    def test_remove_node(self, fig4):
+        fig4.remove_node("T9")
+        assert "T9" not in fig4
+        assert all(c.name != "T9" for c in fig4.get_node("T7").children)
+
+    def test_remove_node_with_blocks_rejected(self, fig4):
+        fig4.get_node("T9").block_ids.append("s:0")
+        with pytest.raises(AddressError):
+            fig4.remove_node("T9")
+
+
+class TestFig4Resolution:
+    def test_resolve_full_path(self, fig4):
+        assert fig4.resolve("T4/T6") is fig4.get_node("T6")
+
+    def test_resolve_dotted(self, fig4):
+        assert fig4.resolve("T4.T6") is fig4.get_node("T6")
+
+    def test_resolution_validates_edges(self, fig4):
+        with pytest.raises(AddressNotFoundError):
+            fig4.resolve("T4/T7")  # T7 is not a child of T4
+
+    def test_path_must_start_at_root(self, fig4):
+        with pytest.raises(AddressError):
+            fig4.resolve("T6/T7")  # T6 is not a root
+
+    def test_block_has_multiple_addresses(self, fig4):
+        # Fig 4: B7_1 is addressable via T4.T6.T7, T3.T7, T2.T5.T7 and
+        # T1.T5.T7 — one path per root-to-T7 walk.
+        assert fig4.addresses_of("T7") == [
+            "T1/T5/T7",
+            "T2/T5/T7",
+            "T3/T7",
+            "T4/T6/T7",
+        ]
+        for path in fig4.addresses_of("T7"):
+            assert fig4.resolve(path) is fig4.get_node("T7")
+
+    def test_roots(self, fig4):
+        assert sorted(n.name for n in fig4.roots()) == ["T1", "T2", "T3", "T4"]
+
+
+class TestTopology:
+    def test_ancestors(self, fig4):
+        names = {n.name for n in fig4.get_node("T7").ancestors()}
+        assert names == {"T1", "T2", "T3", "T4", "T5", "T6"}
+
+    def test_descendants(self, fig4):
+        names = {n.name for n in fig4.get_node("T5").descendants()}
+        assert names == {"T7", "T8", "T9"}
+
+    def test_leaf_has_no_descendants(self, fig4):
+        assert fig4.get_node("T8").descendants() == set()
+
+    def test_contains(self, fig4):
+        assert "T5" in fig4
+        assert "T99" not in fig4
+        assert "a//b" not in fig4
+
+    def test_len(self, fig4):
+        assert len(fig4) == 9
+
+
+class TestMetadata:
+    def test_metadata_accounting(self, fig4):
+        # §6.4: 64 bytes per task, 8 bytes per block.
+        node = fig4.get_node("T7")
+        assert node.metadata_bytes() == 64
+        node.block_ids.extend(["a", "b", "c"])
+        assert node.metadata_bytes() == 64 + 24
+        assert fig4.metadata_bytes() == 9 * 64 + 24
+
+    def test_total_blocks(self, fig4):
+        fig4.get_node("T5").block_ids.append("x")
+        assert fig4.total_blocks() == 1
+
+    def test_permissions_default_to_job(self, fig4):
+        assert fig4.get_node("T1").permissions == {"job"}

@@ -1,0 +1,122 @@
+"""Property-based tests on hierarchical-addressing invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hierarchy import AddressHierarchy, split_path
+from repro.core.lease import LeaseManager
+from repro.sim.clock import SimClock
+
+
+@st.composite
+def random_dags(draw):
+    """A random layered DAG as {task: [parents]} with 2-5 layers."""
+    num_layers = draw(st.integers(min_value=2, max_value=5))
+    widths = [
+        draw(st.integers(min_value=1, max_value=4)) for _ in range(num_layers)
+    ]
+    dag = {}
+    layers = []
+    counter = 0
+    for layer_idx, width in enumerate(widths):
+        layer = [f"n{counter + i}" for i in range(width)]
+        counter += width
+        if layer_idx == 0:
+            for task in layer:
+                dag[task] = []
+        else:
+            prev = layers[-1]
+            for task in layer:
+                k = draw(st.integers(min_value=1, max_value=len(prev)))
+                dag[task] = sorted(
+                    draw(
+                        st.lists(
+                            st.sampled_from(prev),
+                            min_size=k,
+                            max_size=k,
+                            unique=True,
+                        )
+                    )
+                )
+        layers.append(layer)
+    return dag
+
+
+class TestHierarchyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_ancestors_descendants_are_duals(self, dag):
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+        nodes = list(hierarchy.nodes())
+        for a in nodes:
+            for b in nodes:
+                assert (a in b.ancestors()) == (b in a.descendants())
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_every_reported_address_resolves_to_the_node(self, dag):
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+        for node in hierarchy.nodes():
+            addresses = hierarchy.addresses_of(node.name)
+            assert addresses, node.name
+            for address in addresses:
+                assert hierarchy.resolve(address) is node
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_address_count_equals_root_walks(self, dag):
+        # Number of valid addresses of a node = number of distinct
+        # root-to-node paths (hard-link analogy, §3.1).
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+
+        def count_paths(node):
+            if node.is_root():
+                return 1
+            return sum(count_paths(p) for p in node.parents)
+
+        for node in hierarchy.nodes():
+            assert len(hierarchy.addresses_of(node.name)) == count_paths(node)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_no_node_is_its_own_ancestor(self, dag):
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+        for node in hierarchy.nodes():
+            assert node not in node.ancestors()
+            assert node not in node.descendants()
+
+
+class TestLeaseProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags(), data=st.data())
+    def test_renewal_covers_exactly_parents_self_descendants(self, dag, data):
+        clock = SimClock()
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+        manager = LeaseManager(clock, 1.0)
+        names = sorted(n.name for n in hierarchy.nodes())
+        target = hierarchy.get_node(data.draw(st.sampled_from(names)))
+        clock.advance(0.5)
+        renewed = manager.renew(target)
+        expected = {target} | set(target.parents) | target.descendants()
+        assert renewed == len(expected)
+        now = clock.now()
+        for node in hierarchy.nodes():
+            if node in expected:
+                assert node.last_renewal == now
+            else:
+                assert node.last_renewal == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(dag=random_dags())
+    def test_expiry_is_monotone_in_time(self, dag):
+        clock = SimClock()
+        hierarchy = AddressHierarchy.from_dag("j", dag)
+        manager = LeaseManager(clock, 1.0)
+        for node in hierarchy.nodes():
+            manager.start(node)
+        clock.advance(0.99)
+        assert manager.collect_expired([hierarchy]) == []
+        clock.advance(0.02)
+        expired = manager.collect_expired([hierarchy])
+        assert {n.name for n in expired} == {n.name for n in hierarchy.nodes()}

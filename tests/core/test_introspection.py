@@ -1,0 +1,72 @@
+"""Operator introspection: hierarchy DOT export and per-job accounting."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=clock, default_blocks=64
+    )
+
+
+class TestDotExport:
+    def test_dot_contains_nodes_and_edges(self, controller):
+        controller.register_job("j")
+        controller.create_hierarchy("j", {"t2": ["t1"], "t3": ["t1"]})
+        dot = controller.hierarchy("j").to_dot()
+        assert dot.startswith('digraph "j"')
+        assert '"t1" -> "t2";' in dot
+        assert '"t1" -> "t3";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_marks_expired_nodes(self, controller, clock):
+        controller.register_job("j")
+        controller.create_addr_prefix("j", "t1", initial_blocks=1)
+        clock.advance(2.0)
+        controller.tick()
+        dot = controller.hierarchy("j").to_dot()
+        assert "doublecircle" in dot
+
+    def test_dot_shows_block_counts(self, controller):
+        controller.register_job("j")
+        controller.create_addr_prefix("j", "t1", initial_blocks=3)
+        assert "3 blocks" in controller.hierarchy("j").to_dot()
+
+
+class TestDescribeJob:
+    def test_rows_cover_every_prefix(self, controller):
+        client = connect(controller, "j")
+        client.create_hierarchy({"t2": ["t1"]})
+        f = client.init_data_structure("t1", "file")
+        f.append(b"x" * 700)
+        rows = controller.describe_job("j")
+        assert [r["prefix"] for r in rows] == ["t1", "t2"]
+        t1 = rows[0]
+        assert t1["ds_type"] == "file"
+        assert t1["blocks"] == 1
+        assert t1["used_bytes"] == 700
+        assert t1["allocated_bytes"] == KB
+        assert not t1["expired"]
+        assert 0 < t1["lease_remaining_s"] <= 1.0
+
+    def test_expired_prefixes_reported(self, controller, clock):
+        client = connect(controller, "j")
+        client.create_addr_prefix("t1")
+        client.init_data_structure("t1", "file").append(b"x")
+        clock.advance(2.0)
+        controller.tick()
+        rows = controller.describe_job("j")
+        assert rows[0]["expired"]
+        assert rows[0]["blocks"] == 0
+        assert rows[0]["lease_remaining_s"] < 0

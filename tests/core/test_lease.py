@@ -1,0 +1,140 @@
+"""Lease management (§3.2) — including the paper's Fig 5 example."""
+
+import pytest
+
+from repro.core.hierarchy import AddressHierarchy
+from repro.core.lease import LeaseManager
+from repro.sim.clock import SimClock
+
+FIG4_DAG = {
+    "T1": [],
+    "T2": [],
+    "T3": [],
+    "T4": [],
+    "T5": ["T1", "T2"],
+    "T6": ["T4"],
+    "T7": ["T3", "T5", "T6"],
+    "T8": ["T7"],
+    "T9": ["T7"],
+}
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def manager(clock):
+    return LeaseManager(clock, default_lease_duration=1.0)
+
+
+@pytest.fixture
+def fig4(clock):
+    hierarchy = AddressHierarchy.from_dag("job", FIG4_DAG)
+    for node in hierarchy.nodes():
+        node.last_renewal = clock.now()
+    return hierarchy
+
+
+class TestFig5Propagation:
+    def test_renewing_t7_covers_parents_and_descendants(self, manager, fig4, clock):
+        clock.advance(0.9)
+        t7 = fig4.get_node("T7")
+        renewed = manager.renew(t7)
+        # Fig 5: T7's renewal covers T3, T5, T6 (parents) and T8, T9
+        # (descendants) — 6 nodes including T7 itself.
+        assert renewed == 6
+        now = clock.now()
+        for name in ("T7", "T3", "T5", "T6", "T8", "T9"):
+            assert fig4.get_node(name).last_renewal == now
+
+    def test_t1_t2_t4_not_renewed(self, manager, fig4, clock):
+        clock.advance(0.9)
+        manager.renew(fig4.get_node("T7"))
+        # Transitive ancestors whose data T7 does not read stay stale.
+        for name in ("T1", "T2", "T4"):
+            assert fig4.get_node(name).last_renewal == 0.0
+
+    def test_unpropagated_renewal_touches_only_target(self, manager, fig4, clock):
+        clock.advance(0.5)
+        assert manager.renew(fig4.get_node("T7"), propagate=False) == 1
+        assert fig4.get_node("T8").last_renewal == 0.0
+
+    def test_renewal_counters(self, manager, fig4):
+        manager.renew(fig4.get_node("T7"))
+        manager.renew(fig4.get_node("T1"))
+        assert manager.renewal_requests == 2
+        # T7 covered 6 nodes; T1 covers itself + descendants T5,T7,T8,T9.
+        assert manager.renewals_applied == 6 + 5
+
+
+class TestExpiry:
+    def test_not_expired_within_lease(self, manager, fig4, clock):
+        clock.advance(0.99)
+        assert not manager.is_expired(fig4.get_node("T1"))
+
+    def test_expired_after_lease(self, manager, fig4, clock):
+        clock.advance(1.01)
+        assert manager.is_expired(fig4.get_node("T1"))
+
+    def test_collect_expired_marks_once(self, manager, fig4, clock):
+        clock.advance(2.0)
+        first = manager.collect_expired([fig4])
+        assert len(first) == 9
+        second = manager.collect_expired([fig4])
+        assert second == []
+        assert manager.expirations == 9
+
+    def test_renewal_clears_expired_flag(self, manager, fig4, clock):
+        clock.advance(2.0)
+        manager.collect_expired([fig4])
+        t7 = fig4.get_node("T7")
+        assert t7.expired
+        manager.renew(t7)
+        assert not t7.expired
+
+    def test_dependent_task_keeps_failed_parents_data_alive(
+        self, manager, fig4, clock
+    ):
+        # §3.2: if a task fails but its dependent is alive and renewing,
+        # the failed task's data stays in memory. T8 renews; its parent
+        # T7's lease stays fresh even though T7 itself stopped renewing.
+        for _ in range(5):
+            clock.advance(0.5)
+            manager.renew(fig4.get_node("T8"))
+        expired = manager.collect_expired([fig4])
+        assert fig4.get_node("T7") not in expired
+
+    def test_remaining(self, manager, fig4, clock):
+        node = fig4.get_node("T1")
+        assert manager.remaining(node) == pytest.approx(1.0)
+        clock.advance(0.25)
+        assert manager.remaining(node) == pytest.approx(0.75)
+        clock.advance(1.0)
+        assert manager.remaining(node) < 0
+
+
+class TestPerPrefixDurations:
+    def test_custom_lease_duration(self, manager, fig4, clock):
+        node = fig4.get_node("T1")
+        node.lease_duration = 10.0
+        assert manager.lease_duration_of(node) == 10.0
+        clock.advance(5.0)
+        assert not manager.is_expired(node)
+        assert manager.is_expired(fig4.get_node("T2"))
+
+    def test_default_duration(self, manager, fig4):
+        assert manager.lease_duration_of(fig4.get_node("T2")) == 1.0
+
+    def test_bad_default_rejected(self, clock):
+        with pytest.raises(ValueError):
+            LeaseManager(clock, default_lease_duration=0.0)
+
+    def test_start_sets_timestamp(self, manager, fig4, clock):
+        clock.advance(3.0)
+        node = fig4.get_node("T1")
+        node.expired = True
+        manager.start(node)
+        assert node.last_renewal == 3.0
+        assert not node.expired

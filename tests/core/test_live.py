@@ -1,0 +1,68 @@
+"""Live-mode controller: real-time lease expiry in a background thread."""
+
+import time
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.live import LiveJiffy
+
+
+@pytest.fixture
+def live():
+    config = JiffyConfig(block_size=KB, lease_duration=0.1)
+    jiffy = LiveJiffy(config)
+    yield jiffy
+    jiffy.stop()
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with LiveJiffy(JiffyConfig(block_size=KB, lease_duration=0.1)) as live:
+            assert live.running
+        assert not live.running
+
+    def test_start_is_idempotent(self, live):
+        live.start()
+        worker = live._worker
+        live.start()
+        assert live._worker is worker
+
+    def test_default_interval_is_half_lease(self, live):
+        assert live.expiry_interval_s == pytest.approx(0.05)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            LiveJiffy(JiffyConfig(block_size=KB), expiry_interval_s=0)
+
+
+class TestRealTimeExpiry:
+    def test_unrenewed_lease_expires_in_real_time(self, live):
+        live.start()
+        client = live.connect("job")
+        with live.synchronized():
+            client.create_addr_prefix("t")
+            ds = client.init_data_structure("t", "file")
+            ds.append(b"x" * 100)
+        deadline = time.monotonic() + 3.0
+        while time.monotonic() < deadline and not ds.expired:
+            time.sleep(0.02)
+        assert ds.expired
+        assert live.controller.pool.allocated_blocks == 0
+        assert live.ticks >= 1
+
+    def test_renewed_lease_survives(self, live):
+        live.start()
+        client = live.connect("job")
+        with live.synchronized():
+            client.create_addr_prefix("t")
+            ds = client.init_data_structure("t", "file")
+            ds.append(b"y" * 100)
+        # Renew for ~6 lease periods.
+        for _ in range(12):
+            time.sleep(0.05)
+            with live.synchronized():
+                client.renew_lease("t")
+        assert not ds.expired
+        with live.synchronized():
+            assert ds.readall() == b"y" * 100

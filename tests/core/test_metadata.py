@@ -1,0 +1,74 @@
+"""Metadata manager: versioning and client cache-refresh protocol."""
+
+import pytest
+
+from repro.core.metadata import MetadataManager
+from repro.errors import AddressNotFoundError
+
+
+@pytest.fixture
+def manager():
+    return MetadataManager()
+
+
+class TestRegistry:
+    def test_register_and_get(self, manager):
+        entry = manager.register("j", "t1", "file")
+        assert entry.ds_type == "file"
+        assert entry.version == 0
+        assert manager.get("j", "t1") is entry
+
+    def test_get_missing_raises(self, manager):
+        with pytest.raises(AddressNotFoundError):
+            manager.get("j", "t1")
+
+    def test_try_get(self, manager):
+        assert manager.try_get("j", "t1") is None
+        manager.register("j", "t1", "file")
+        assert manager.try_get("j", "t1") is not None
+
+    def test_keys_scoped_by_job(self, manager):
+        manager.register("j1", "t1", "file")
+        manager.register("j2", "t1", "kv_store")
+        assert manager.get("j1", "t1").ds_type == "file"
+        assert manager.get("j2", "t1").ds_type == "kv_store"
+
+
+class TestVersioning:
+    def test_update_bumps_version(self, manager):
+        manager.register("j", "t1", "kv_store")
+        v1 = manager.update("j", "t1", slot_map={0: "b0"})
+        v2 = manager.update("j", "t1", slot_map={0: "b1"})
+        assert (v1, v2) == (1, 2)
+        assert manager.get("j", "t1").partitioning["slot_map"] == {0: "b1"}
+
+    def test_client_cache_refresh_protocol(self, manager):
+        # A client caches (version, partitioning); on mismatch it
+        # refetches — exactly what §4.2.1 describes.
+        manager.register("j", "t1", "kv_store")
+        manager.update("j", "t1", slot_map={0: "b0"})
+        cached_version = manager.get("j", "t1").version
+        manager.update("j", "t1", slot_map={0: "b1"})
+        assert manager.get("j", "t1").version != cached_version
+
+    def test_update_merges_keys(self, manager):
+        manager.register("j", "t1", "file")
+        manager.update("j", "t1", chunks=[("b0", 0)])
+        manager.update("j", "t1", size=100)
+        partitioning = manager.get("j", "t1").partitioning
+        assert partitioning == {"chunks": [("b0", 0)], "size": 100}
+
+
+class TestRemoval:
+    def test_remove(self, manager):
+        manager.register("j", "t1", "file")
+        manager.remove("j", "t1")
+        assert manager.try_get("j", "t1") is None
+        manager.remove("j", "t1")  # idempotent
+
+    def test_remove_job(self, manager):
+        manager.register("j", "t1", "file")
+        manager.register("j", "t2", "file")
+        manager.register("k", "t1", "file")
+        assert manager.remove_job("j") == 2
+        assert len(manager) == 1

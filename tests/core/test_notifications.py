@@ -1,0 +1,76 @@
+"""Notifications: subscription map semantics and listener behaviour."""
+
+import pytest
+
+from repro.core.notifications import NotificationBroker
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def broker():
+    return NotificationBroker(SimClock())
+
+
+class TestPubSub:
+    def test_publish_without_subscribers(self, broker):
+        assert broker.publish("put", b"x") == 0
+
+    def test_single_subscriber(self, broker):
+        listener = broker.subscribe("enqueue")
+        assert broker.publish("enqueue", b"item") == 1
+        notification = listener.get()
+        assert notification.op == "enqueue"
+        assert notification.data == b"item"
+
+    def test_fanout(self, broker):
+        listeners = [broker.subscribe("put") for _ in range(3)]
+        assert broker.publish("put", 1) == 3
+        assert all(l.get().data == 1 for l in listeners)
+
+    def test_op_filtering(self, broker):
+        enq = broker.subscribe("enqueue")
+        deq = broker.subscribe("dequeue")
+        broker.publish("enqueue", b"a")
+        assert enq.pending() == 1
+        assert deq.pending() == 0
+
+    def test_notification_timestamped_with_clock(self):
+        clock = SimClock()
+        broker = NotificationBroker(clock)
+        listener = broker.subscribe("op")
+        clock.advance(4.2)
+        broker.publish("op")
+        assert listener.get().timestamp == 4.2
+
+
+class TestListener:
+    def test_fifo_order(self, broker):
+        listener = broker.subscribe("op")
+        for i in range(3):
+            broker.publish("op", i)
+        assert [listener.get().data for _ in range(3)] == [0, 1, 2]
+
+    def test_get_empty_returns_none(self, broker):
+        assert broker.subscribe("op").get() is None
+
+    def test_get_all_drains(self, broker):
+        listener = broker.subscribe("op")
+        broker.publish("op", 1)
+        broker.publish("op", 2)
+        drained = listener.get_all()
+        assert [n.data for n in drained] == [1, 2]
+        assert listener.pending() == 0
+
+    def test_close_unsubscribes(self, broker):
+        listener = broker.subscribe("op")
+        listener.close()
+        assert broker.publish("op") == 0
+        assert broker.subscriber_count("op") == 0
+
+    def test_counters(self, broker):
+        broker.subscribe("op")
+        broker.subscribe("op")
+        broker.publish("op")
+        broker.publish("other")
+        assert broker.published == 2
+        assert broker.delivered == 2

@@ -1,0 +1,135 @@
+"""Chain replication (§4.2.2): write/read discipline, failover, repair."""
+
+import pytest
+
+from repro.blocks.pool import MemoryPool
+from repro.core.replication import ChainReplicator, ReplicatedBlock
+from repro.errors import ReplicationError
+
+
+@pytest.fixture
+def pool():
+    pool = MemoryPool(block_size=100)
+    for name in ("a", "b", "c"):
+        pool.add_server(num_blocks=2, server_id=name)
+    return pool
+
+
+@pytest.fixture
+def replicator(pool):
+    return ChainReplicator(pool, replication_factor=3)
+
+
+def write_value(value):
+    def apply(block):
+        block.payload["v"] = value
+        return value
+
+    return apply
+
+
+def read_value(block):
+    return block.payload.get("v")
+
+
+class TestChainDiscipline:
+    def test_chain_spans_distinct_servers(self, replicator):
+        chain = replicator.allocate_chain()
+        servers = [b.server_id for b in chain.chain]
+        assert len(set(servers)) == 3
+
+    def test_write_reaches_every_replica(self, replicator):
+        chain = replicator.allocate_chain()
+        chain.write(write_value(42))
+        assert all(b.payload["v"] == 42 for b in chain.chain)
+        assert chain.writes_acked == 1
+
+    def test_read_served_by_tail(self, replicator):
+        chain = replicator.allocate_chain()
+        chain.write(write_value("x"))
+        # Simulate a head that is ahead of the tail: reads still see the
+        # tail's (committed) state.
+        chain.head.payload["v"] = "uncommitted"
+        assert chain.read(read_value) == "x"
+
+    def test_single_replica_chain(self, pool):
+        replicator = ChainReplicator(pool, replication_factor=1)
+        chain = replicator.allocate_chain()
+        chain.write(write_value(1))
+        assert chain.read(read_value) == 1
+
+
+class TestFailover:
+    def test_fail_middle_replica(self, replicator):
+        chain = replicator.allocate_chain()
+        chain.write(write_value(7))
+        victim = chain.chain[1].server_id
+        chain.fail_replica(victim)
+        assert chain.length == 2
+        assert chain.read(read_value) == 7
+
+    def test_fail_tail_promotes_predecessor(self, replicator):
+        chain = replicator.allocate_chain()
+        chain.write(write_value(9))
+        chain.fail_replica(chain.tail.server_id)
+        assert chain.read(read_value) == 9
+
+    def test_fail_unknown_server(self, replicator):
+        chain = replicator.allocate_chain()
+        with pytest.raises(ReplicationError):
+            chain.fail_replica("not-a-server")
+
+    def test_losing_all_replicas_is_fatal(self, replicator):
+        chain = replicator.allocate_chain()
+        servers = [b.server_id for b in chain.chain]
+        chain.fail_replica(servers[0])
+        chain.fail_replica(servers[1])
+        with pytest.raises(ReplicationError):
+            chain.fail_replica(servers[2])
+
+    def test_repair_extends_chain(self, pool, replicator):
+        chain = replicator.allocate_chain()
+        chain.write(write_value("data"))
+        failed = chain.chain[0].server_id
+        chain.fail_replica(failed)
+        replacement = pool.allocate()
+        while replacement.server_id != failed:
+            # Grab a block specifically from the failed server.
+            replacement = pool.allocate()
+
+        def copy(src, dst):
+            dst.payload.update(src.payload)
+
+        chain.repair(replacement, copy)
+        assert chain.length == 3
+        assert chain.tail.payload["v"] == "data"
+
+    def test_repair_duplicate_server_rejected(self, replicator, pool):
+        chain = replicator.allocate_chain()
+        dup = pool.allocate()  # all servers already host a replica
+        def copy(src, dst):
+            dst.payload.update(src.payload)
+        with pytest.raises(ReplicationError):
+            chain.repair(dup, copy)
+
+
+class TestAllocation:
+    def test_not_enough_servers(self, pool):
+        replicator = ChainReplicator(pool, replication_factor=4)
+        with pytest.raises(ReplicationError):
+            replicator.allocate_chain()
+        # Failed allocation must not leak blocks.
+        assert pool.allocated_blocks == 0
+
+    def test_release_chain(self, pool, replicator):
+        chain = replicator.allocate_chain()
+        replicator.release_chain(chain)
+        assert pool.allocated_blocks == 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplicatedBlock([])
+
+    def test_bad_factor(self, pool):
+        with pytest.raises(ReplicationError):
+            ChainReplicator(pool, replication_factor=0)

@@ -1,0 +1,88 @@
+"""Controller sharding: routing stability, balance, shard independence."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.sharding import ShardedController
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def sharded():
+    return ShardedController(
+        4, JiffyConfig(block_size=KB), clock=SimClock(), blocks_per_shard=32
+    )
+
+
+class TestRouting:
+    def test_routing_is_stable(self, sharded):
+        shard = sharded.shard_for("job-x")
+        assert all(sharded.shard_for("job-x") is shard for _ in range(10))
+
+    def test_jobs_spread_across_shards(self, sharded):
+        for i in range(64):
+            sharded.register_job(f"job-{i}")
+        loads = sharded.shard_loads()
+        assert sum(loads) == 64
+        # Hash routing should hit every shard with 64 jobs on 4 shards.
+        assert all(load > 0 for load in loads)
+        assert max(loads) <= 3 * min(loads) + 4
+
+    def test_requests_route_to_owner_shard(self, sharded):
+        sharded.register_job("j")
+        sharded.create_addr_prefix("j", "t1")
+        owner = sharded.shard_for("j")
+        assert owner.is_registered("j")
+        others = [s for s in sharded.shards if s is not owner]
+        assert all(not s.is_registered("j") for s in others)
+
+
+class TestDelegation:
+    def test_full_lifecycle_through_sharded_api(self, sharded):
+        sharded.register_job("j")
+        sharded.create_hierarchy("j", {"t2": ["t1"]})
+        assert sharded.renew_lease("j", "t2") == 2
+        block = sharded.allocate_block("j", "t2")
+        assert sharded.allocated_bytes() == KB
+        sharded.reclaim_block("j", "t2", block.block_id)
+        assert sharded.deregister_job("j") == 0
+
+    def test_tick_covers_all_shards(self):
+        clock = SimClock()
+        sharded = ShardedController(
+            3, JiffyConfig(block_size=KB), clock=clock, blocks_per_shard=16
+        )
+        for i in range(9):
+            sharded.register_job(f"job-{i}")
+            sharded.create_addr_prefix(f"job-{i}", "t", initial_blocks=1)
+        clock.advance(2.0)
+        expired = sharded.tick()
+        assert len(expired) == 9
+
+    def test_aggregate_ops(self, sharded):
+        sharded.register_job("a")
+        sharded.register_job("b")
+        assert sharded.ops_handled == 2
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedController(0)
+
+
+class TestIsolation:
+    def test_shard_capacity_is_private(self):
+        # Exhausting one shard's pool must not affect another job on a
+        # different shard.
+        sharded = ShardedController(
+            2, JiffyConfig(block_size=KB), clock=SimClock(), blocks_per_shard=2
+        )
+        # Find two jobs on different shards.
+        jobs = [f"job-{i}" for i in range(16)]
+        a = next(j for j in jobs if sharded.shard_for(j) is sharded.shards[0])
+        b = next(j for j in jobs if sharded.shard_for(j) is sharded.shards[1])
+        sharded.register_job(a)
+        sharded.register_job(b)
+        sharded.create_addr_prefix(a, "t", initial_blocks=2)  # shard 0 full
+        assert sharded.try_allocate_block(a, "t") is None
+        node = sharded.create_addr_prefix(b, "t", initial_blocks=1)
+        assert len(node.block_ids) == 1

@@ -1,0 +1,106 @@
+"""DataStructure base machinery: thresholds, cost model, accounting."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.datastructures.base import CONTROLLER_CONNECT_S, DataStructure
+from repro.errors import CapacityError, LeaseExpiredError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=KB, low_threshold=0.1, high_threshold=0.9),
+        clock=SimClock(),
+        default_blocks=4,
+    )
+
+
+@pytest.fixture
+def ds(controller):
+    client = connect(controller, "job")
+    client.create_addr_prefix("p")
+    return client.init_data_structure("p", "file")
+
+
+class TestThresholds:
+    def test_limits_derived_from_config(self, ds):
+        assert ds.block_size == KB
+        assert ds.high_limit == int(0.9 * KB)
+        assert ds.low_limit == int(0.1 * KB)
+
+
+class TestBlockPlumbing:
+    def test_allocate_raises_when_pool_empty(self, ds, controller):
+        for _ in range(4):
+            ds._allocate_block()
+        with pytest.raises(CapacityError):
+            ds._allocate_block()
+
+    def test_reclaim_all_blocks(self, ds, controller):
+        for _ in range(3):
+            ds._allocate_block()
+        ds._reclaim_all_blocks()
+        assert controller.pool.allocated_blocks == 0
+        assert ds.node.block_ids == []
+
+
+class TestAccounting:
+    def test_empty_utilization_is_one(self, ds):
+        assert ds.allocated_bytes() == 0
+        assert ds.utilization() == 1.0
+
+    def test_used_and_allocated(self, ds):
+        block = ds._allocate_block()
+        block.set_used(512)
+        assert ds.allocated_bytes() == KB
+        assert ds.used_bytes() == 512
+        assert ds.utilization() == pytest.approx(0.5)
+
+
+class TestRepartitionCostModel:
+    def test_event_fields(self, ds):
+        event = ds._record_repartition("split", 64 * KB)
+        assert event.kind == "split"
+        assert event.bytes_moved == 64 * KB
+        assert event.latency_s > CONTROLLER_CONNECT_S
+        assert ds.repartition_events[-1] is event
+
+    def test_data_moves_cost_more(self, ds):
+        no_data = ds._record_repartition("extend", 0)
+        with_data = ds._record_repartition("split", 10 * 1024 * 1024)
+        assert with_data.latency_s > no_data.latency_s
+
+    def test_timestamps_use_controller_clock(self, ds, controller):
+        controller.clock.advance(3.0)
+        event = ds._record_repartition("merge", 0)
+        assert event.timestamp == 3.0
+
+
+class TestLeaseGuard:
+    def test_check_alive_raises_after_expiry(self, ds, controller):
+        ds.append(b"x")
+        controller.clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            ds._check_alive()
+
+    def test_renew_lease_convenience(self, ds, controller):
+        controller.clock.advance(0.5)
+        assert ds.renew_lease() == 1
+        assert ds.node.last_renewal == controller.clock.now()
+
+
+class TestAbstractHooks:
+    def test_base_hooks_are_abstract(self, controller):
+        connect(controller, "j2").create_addr_prefix("x")
+        base = DataStructure.__new__(DataStructure)
+        with pytest.raises(NotImplementedError):
+            DataStructure.flush_to(base, None, "p")
+        with pytest.raises(NotImplementedError):
+            DataStructure.load_from(base, None, "p")
+        with pytest.raises(NotImplementedError):
+            DataStructure._reset_partition_state(base)

@@ -1,0 +1,141 @@
+"""Cuckoo hash table: correctness, growth, and model-based properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures.cuckoo import (
+    BUCKET_SLOTS,
+    ChainedHashTable,
+    CuckooHashTable,
+)
+from repro.errors import KeyNotFoundError
+
+
+@pytest.fixture
+def table():
+    return CuckooHashTable(initial_buckets=4)
+
+
+class TestBasicOps:
+    def test_put_get(self, table):
+        assert table.put(b"k", b"v") is True
+        assert table.get(b"k") == b"v"
+        assert len(table) == 1
+
+    def test_update_returns_false(self, table):
+        table.put(b"k", b"v1")
+        assert table.put(b"k", b"v2") is False
+        assert table.get(b"k") == b"v2"
+        assert len(table) == 1
+
+    def test_get_missing(self, table):
+        with pytest.raises(KeyNotFoundError):
+            table.get(b"missing")
+        assert table.get(b"missing", default=None) is None
+
+    def test_str_keys_canonicalised(self, table):
+        table.put("key", b"v")
+        assert table.get(b"key") == b"v"
+        assert "key" in table
+
+    def test_bad_key_type(self, table):
+        with pytest.raises(TypeError):
+            table.put(123, b"v")
+
+    def test_delete(self, table):
+        table.put(b"k", b"v")
+        assert table.delete(b"k") == b"v"
+        assert b"k" not in table
+        with pytest.raises(KeyNotFoundError):
+            table.delete(b"k")
+
+    def test_items_and_keys(self, table):
+        for i in range(10):
+            table.put(f"k{i}".encode(), i)
+        assert sorted(table.keys()) == sorted(f"k{i}".encode() for i in range(10))
+        assert dict(table.items())[b"k3"] == 3
+
+    def test_pop_all(self, table):
+        table.put(b"a", 1)
+        table.put(b"b", 2)
+        items = dict(table.pop_all())
+        assert items == {b"a": 1, b"b": 2}
+        assert len(table) == 0
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        table = CuckooHashTable(initial_buckets=1)
+        n = 10 * BUCKET_SLOTS
+        for i in range(n):
+            table.put(f"key-{i}".encode(), i)
+        assert len(table) == n
+        assert table.rehashes >= 1
+        for i in range(n):
+            assert table.get(f"key-{i}".encode()) == i
+
+    def test_two_bucket_probe_bound_for_lookups(self):
+        # The cuckoo property: any lookup probes at most two buckets.
+        table = CuckooHashTable(initial_buckets=8)
+        for i in range(50):
+            table.put(f"k{i}".encode(), i)
+        table.probes = 0
+        for i in range(50):
+            table.get(f"k{i}".encode())
+        assert table.probes <= 2 * 50
+
+    def test_load_factor(self, table):
+        assert table.load_factor == 0.0
+        table.put(b"k", 1)
+        assert 0 < table.load_factor <= 1
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]),
+                st.binary(min_size=1, max_size=8),
+                st.binary(max_size=8),
+            ),
+            max_size=200,
+        )
+    )
+    def test_matches_dict_model(self, ops):
+        table = CuckooHashTable(initial_buckets=1)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                table.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                if key in model:
+                    assert table.delete(key) == model.pop(key)
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        table.delete(key)
+            else:
+                assert table.get(key, default=None) == model.get(key)
+        assert len(table) == len(model)
+        assert dict(table.items()) == model
+
+
+class TestChainedBaseline:
+    def test_same_interface(self):
+        table = ChainedHashTable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == b"v"
+        assert b"k" in table
+        assert table.delete(b"k") == b"v"
+        with pytest.raises(KeyNotFoundError):
+            table.get(b"k")
+
+    def test_grows(self):
+        table = ChainedHashTable(initial_buckets=1)
+        for i in range(100):
+            table.put(f"k{i}".encode(), i)
+        assert table.rehashes >= 1
+        assert len(table) == 100
+        assert all(table.get(f"k{i}".encode()) == i for i in range(100))

@@ -1,0 +1,169 @@
+"""Jiffy File (§5.1): append-only semantics, offset routing, elasticity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import DataStructureError, LeaseExpiredError
+from repro.sim.clock import SimClock
+
+
+def make_file(block_size=KB, blocks=64, high=0.95):
+    clock = SimClock()
+    controller = JiffyController(
+        JiffyConfig(block_size=block_size, high_threshold=high),
+        clock=clock,
+        default_blocks=blocks,
+    )
+    client = connect(controller, "job")
+    client.create_addr_prefix("f")
+    return client.init_data_structure("f", "file"), controller, clock
+
+
+class TestAppendRead:
+    def test_empty_file(self):
+        f, _, _ = make_file()
+        assert f.size == 0
+        assert f.readall() == b""
+        assert f.read_at(0, 10) == b""
+
+    def test_append_returns_offset(self):
+        f, _, _ = make_file()
+        assert f.append(b"abc") == 0
+        assert f.append(b"def") == 3
+        assert f.size == 6
+
+    def test_readall_roundtrip(self):
+        f, _, _ = make_file()
+        f.append(b"hello ")
+        f.append(b"world")
+        assert f.readall() == b"hello world"
+
+    def test_read_at_spanning_blocks(self):
+        f, _, _ = make_file(block_size=100)
+        data = bytes(range(256)) * 4  # 1024 bytes over ~11 blocks
+        f.append(data)
+        assert f.read_at(90, 200) == data[90:290]
+        assert f.read_at(0, len(data)) == data
+
+    def test_read_past_end_truncates(self):
+        f, _, _ = make_file()
+        f.append(b"12345")
+        assert f.read_at(3, 100) == b"45"
+        assert f.read_at(100, 5) == b""
+
+    def test_bad_args(self):
+        f, _, _ = make_file()
+        with pytest.raises(DataStructureError):
+            f.append("not-bytes")  # type: ignore[arg-type]
+        with pytest.raises(DataStructureError):
+            f.read_at(-1, 5)
+
+
+class TestSeekSequentialRead:
+    def test_seek_and_read(self):
+        f, _, _ = make_file()
+        f.append(b"0123456789")
+        f.seek(4)
+        assert f.read(3) == b"456"
+        assert f.tell() == 7
+        assert f.read() == b"789"
+
+    def test_seek_bounds(self):
+        f, _, _ = make_file()
+        f.append(b"abc")
+        f.seek(3)
+        with pytest.raises(DataStructureError):
+            f.seek(4)
+        with pytest.raises(DataStructureError):
+            f.seek(-1)
+
+
+class TestElasticity:
+    def test_blocks_added_on_threshold(self):
+        f, controller, _ = make_file(block_size=1000, high=0.9)
+        f.append(b"x" * 850)
+        assert len(f.node.block_ids) == 1
+        f.append(b"x" * 100)  # crosses 900-byte threshold, splits write
+        assert len(f.node.block_ids) == 2
+
+    def test_blocks_never_removed_by_appends(self):
+        f, _, _ = make_file(block_size=100)
+        f.append(b"x" * 1000)
+        blocks = len(f.node.block_ids)
+        f.append(b"y" * 10)
+        assert len(f.node.block_ids) >= blocks
+
+    def test_large_append_splits_across_blocks(self):
+        f, _, _ = make_file(block_size=100, high=1.0)
+        f.append(b"a" * 350)
+        assert len(f.node.block_ids) == 4
+        assert f.readall() == b"a" * 350
+
+    def test_block_fill_capped_at_threshold(self):
+        f, _, _ = make_file(block_size=1000, high=0.8)
+        f.append(b"x" * 3000)
+        for block in f.blocks()[:-1]:
+            assert block.used == 800
+
+    def test_repartition_events_recorded(self):
+        f, _, _ = make_file(block_size=100)
+        f.append(b"x" * 300)
+        kinds = {e.kind for e in f.repartition_events}
+        assert kinds == {"extend"}
+        assert all(e.latency_s > 0 for e in f.repartition_events)
+
+
+class TestLifecycle:
+    def test_expiry_then_reload(self):
+        f, controller, clock = make_file()
+        f.append(b"important" * 50)
+        clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            f.readall()
+        with pytest.raises(LeaseExpiredError):
+            f.append(b"more")
+        f.load_from(controller.external_store, "job/f")
+        assert f.readall() == b"important" * 50
+
+    def test_flush_explicit_path(self):
+        f, controller, _ = make_file()
+        f.append(b"data")
+        nbytes = f.flush_to(controller.external_store, "ckpt")
+        assert nbytes == 4
+        assert controller.external_store.get("ckpt") == b"data"
+
+    def test_accounting(self):
+        f, _, _ = make_file(block_size=100, high=1.0)
+        f.append(b"x" * 150)
+        assert f.used_bytes() == 150
+        assert f.allocated_bytes() == 200
+        assert f.utilization() == pytest.approx(0.75)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(chunks=st.lists(st.binary(max_size=300), max_size=20))
+    def test_file_equals_concatenation(self, chunks):
+        f, _, _ = make_file(block_size=128, blocks=256)
+        reference = bytearray()
+        for chunk in chunks:
+            f.append(chunk)
+            reference.extend(chunk)
+        assert f.readall() == bytes(reference)
+        assert f.size == len(reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=1000),
+        offset=st.integers(min_value=0, max_value=1200),
+        length=st.integers(min_value=0, max_value=1200),
+    )
+    def test_read_at_matches_slicing(self, data, offset, length):
+        f, _, _ = make_file(block_size=64, blocks=256)
+        f.append(data)
+        assert f.read_at(offset, length) == data[offset : offset + length]

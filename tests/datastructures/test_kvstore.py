@@ -1,0 +1,279 @@
+"""Jiffy KV-Store (§5.3): hash slots, split/merge repartitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.datastructures.kvstore import hash_slot
+from repro.errors import (
+    DataStructureError,
+    KeyNotFoundError,
+    LeaseExpiredError,
+)
+from repro.sim.clock import SimClock
+
+
+def make_kv(block_size=KB, blocks=128, num_slots=16, low=0.05, high=0.95):
+    clock = SimClock()
+    controller = JiffyController(
+        JiffyConfig(block_size=block_size, low_threshold=low, high_threshold=high),
+        clock=clock,
+        default_blocks=blocks,
+    )
+    client = connect(controller, "job")
+    client.create_addr_prefix("kv")
+    return (
+        client.init_data_structure("kv", "kv_store", num_slots=num_slots),
+        controller,
+        clock,
+    )
+
+
+class TestBasicOps:
+    def test_put_get_delete(self):
+        kv, _, _ = make_kv()
+        kv.put(b"k", b"v")
+        assert kv.get(b"k") == b"v"
+        assert kv.exists(b"k")
+        assert kv.delete(b"k") == b"v"
+        assert not kv.exists(b"k")
+
+    def test_get_missing(self):
+        kv, _, _ = make_kv()
+        with pytest.raises(KeyNotFoundError):
+            kv.get(b"missing")
+
+    def test_overwrite_updates_size_accounting(self):
+        kv, _, _ = make_kv()
+        kv.put(b"k", b"small")
+        used_small = kv.used_bytes()
+        kv.put(b"k", b"much-larger-value" * 3)
+        assert kv.used_bytes() > used_small
+        assert len(kv) == 1
+
+    def test_str_keys(self):
+        kv, _, _ = make_kv()
+        kv.put("strkey", b"v")
+        assert kv.get(b"strkey") == b"v"
+
+    def test_bad_value_type(self):
+        kv, _, _ = make_kv()
+        with pytest.raises(DataStructureError):
+            kv.put(b"k", "string-value")  # type: ignore[arg-type]
+
+    def test_items_and_keys(self):
+        kv, _, _ = make_kv()
+        for i in range(20):
+            kv.put(f"k{i}".encode(), str(i).encode())
+        assert dict(kv.items())[b"k7"] == b"7"
+        assert len(list(kv.keys())) == 20
+
+
+class TestHashSlots:
+    def test_slot_stable(self):
+        assert hash_slot(b"key", 1024) == hash_slot(b"key", 1024)
+
+    def test_slot_in_range(self):
+        for i in range(100):
+            assert 0 <= hash_slot(f"k{i}".encode(), 16) < 16
+
+    def test_slot_fully_contained_in_one_block(self):
+        # §5.3: a hash slot is never split across blocks.
+        kv, controller, _ = make_kv(num_slots=64)
+        for i in range(200):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        for slot, block_id in kv._slot_map.items():
+            block = controller.pool.get_block(block_id)
+            assert slot in block.payload["slots"]
+
+    def test_every_slot_owned_after_first_write(self):
+        kv, _, _ = make_kv(num_slots=8)
+        kv.put(b"k", b"v")
+        assert sorted(kv._slot_map) == list(range(8))
+
+
+class TestSplit:
+    def test_split_on_high_threshold(self):
+        kv, _, _ = make_kv(block_size=512)
+        for i in range(40):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        assert kv.splits >= 1
+        assert len(kv.node.block_ids) >= 2
+        # All data still reachable after splits.
+        for i in range(40):
+            assert kv.get(f"key-{i}".encode()) == b"v" * 20
+
+    def test_split_halves_slot_ownership(self):
+        kv, controller, _ = make_kv(block_size=512, num_slots=16)
+        for i in range(30):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        if kv.splits:
+            slot_counts = {}
+            for slot, block_id in kv._slot_map.items():
+                slot_counts[block_id] = slot_counts.get(block_id, 0) + 1
+            assert sum(slot_counts.values()) == 16
+
+    def test_metadata_version_bumped_on_split(self):
+        kv, controller, _ = make_kv(block_size=512)
+        version = controller.metadata.get("job", "kv").version
+        for i in range(40):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        assert controller.metadata.get("job", "kv").version > version
+
+    def test_single_slot_block_cannot_split(self):
+        kv, _, _ = make_kv(block_size=256, num_slots=1)
+        # Everything lands in the one slot; it can fill to capacity but
+        # never split.
+        for i in range(5):
+            kv.put(f"k{i}".encode(), b"v" * 20)
+        assert kv.splits == 0
+        assert len(kv.node.block_ids) == 1
+
+    def test_block_never_overflows_capacity(self):
+        kv, controller, _ = make_kv(block_size=512)
+        for i in range(60):
+            kv.put(f"key-{i}".encode(), b"v" * 25)
+        for block in kv.blocks():
+            assert block.used <= block.capacity
+
+
+class TestMerge:
+    def test_merge_on_low_threshold(self):
+        kv, _, _ = make_kv(block_size=512, low=0.2)
+        for i in range(40):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        blocks_at_peak = len(kv.node.block_ids)
+        for i in range(40):
+            kv.delete(f"key-{i}".encode())
+        assert kv.merges >= 1
+        assert len(kv.node.block_ids) < blocks_at_peak
+
+    def test_data_intact_after_merges(self):
+        kv, _, _ = make_kv(block_size=512, low=0.2)
+        for i in range(40):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        for i in range(0, 40, 2):
+            kv.delete(f"key-{i}".encode())
+        for i in range(1, 40, 2):
+            assert kv.get(f"key-{i}".encode()) == b"v" * 20
+
+    def test_repartition_events_recorded(self):
+        kv, _, _ = make_kv(block_size=512, low=0.2)
+        for i in range(40):
+            kv.put(f"key-{i}".encode(), b"v" * 20)
+        for i in range(40):
+            kv.delete(f"key-{i}".encode())
+        kinds = {e.kind for e in kv.repartition_events}
+        assert "split" in kinds
+        assert "merge" in kinds
+        split_bytes = [
+            e.bytes_moved for e in kv.repartition_events if e.kind == "split"
+        ]
+        assert all(b > 0 for b in split_bytes)
+
+
+class TestBatchOps:
+    def test_multi_put_get(self):
+        kv, _, _ = make_kv()
+        kv.multi_put([(f"k{i}".encode(), str(i).encode()) for i in range(10)])
+        values = kv.multi_get([f"k{i}".encode() for i in range(10)])
+        assert values == [str(i).encode() for i in range(10)]
+
+    def test_multi_get_missing_raises(self):
+        kv, _, _ = make_kv()
+        kv.put(b"a", b"1")
+        with pytest.raises(KeyNotFoundError):
+            kv.multi_get([b"a", b"missing"])
+
+
+class TestSlotMapInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(min_value=0, max_value=60),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_slots_partition_exactly_once(self, ops):
+        """After any op sequence, every hash slot is owned by exactly
+        one block, and block 'slots' sets partition the slot space."""
+        kv, controller, _ = make_kv(
+            block_size=256, blocks=512, num_slots=16, low=0.2
+        )
+        live = set()
+        for op, key_i in ops:
+            key = f"key-{key_i}".encode()
+            if op == "put":
+                kv.put(key, b"v" * 20)
+                live.add(key)
+            elif key in live:
+                kv.delete(key)
+                live.discard(key)
+        if not kv._slot_map:
+            return  # nothing ever written
+        # Every slot owned exactly once.
+        assert sorted(kv._slot_map) == list(range(16))
+        # Block slot sets are disjoint and cover the space.
+        union = set()
+        for block in kv.blocks():
+            slots = block.payload["slots"]
+            assert not (union & slots)
+            union |= slots
+        assert union == set(range(16))
+        # The slot map agrees with the blocks' own slot sets.
+        for slot, block_id in kv._slot_map.items():
+            assert slot in controller.pool.get_block(block_id).payload["slots"]
+
+
+class TestLifecycle:
+    def test_expiry_flush_reload(self):
+        kv, controller, clock = make_kv()
+        for i in range(25):
+            kv.put(f"k{i}".encode(), str(i).encode())
+        clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            kv.get(b"k0")
+        kv.load_from(controller.external_store, "job/kv")
+        assert len(kv) == 25
+        assert kv.get(b"k13") == b"13"
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(min_value=0, max_value=30),
+                st.binary(max_size=40),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_dict_model_through_repartitioning(self, ops):
+        kv, _, _ = make_kv(block_size=256, blocks=512, num_slots=8, low=0.2)
+        model = {}
+        for op, key_i, value in ops:
+            key = f"key-{key_i}".encode()
+            if op == "put":
+                kv.put(key, value)
+                model[key] = value
+            else:
+                if key in model:
+                    assert kv.delete(key) == model.pop(key)
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        kv.delete(key)
+        assert len(kv) == len(model)
+        assert dict(kv.items()) == model
+        # Usage accounting is conserved across splits/merges.
+        expected = sum(len(k) + len(v) + 16 for k, v in model.items())
+        assert kv.used_bytes() == expected

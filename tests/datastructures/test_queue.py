@@ -1,0 +1,197 @@
+"""Jiffy FIFO Queue (§5.2): ordering, linked blocks, notifications."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import (
+    DataStructureError,
+    LeaseExpiredError,
+    QueueEmptyError,
+    QueueFullError,
+)
+from repro.sim.clock import SimClock
+
+
+def make_queue(block_size=KB, blocks=64, **kwargs):
+    clock = SimClock()
+    controller = JiffyController(
+        JiffyConfig(block_size=block_size), clock=clock, default_blocks=blocks
+    )
+    client = connect(controller, "job")
+    client.create_addr_prefix("q")
+    return (
+        client.init_data_structure("q", "fifo_queue", **kwargs),
+        controller,
+        clock,
+    )
+
+
+class TestFifoSemantics:
+    def test_enqueue_dequeue_order(self):
+        q, _, _ = make_queue()
+        for item in (b"a", b"b", b"c"):
+            q.enqueue(item)
+        assert [q.dequeue() for _ in range(3)] == [b"a", b"b", b"c"]
+
+    def test_len_and_empty(self):
+        q, _, _ = make_queue()
+        assert q.is_empty()
+        q.enqueue(b"x")
+        assert len(q) == 1
+        q.dequeue()
+        assert q.is_empty()
+
+    def test_dequeue_empty_raises(self):
+        q, _, _ = make_queue()
+        with pytest.raises(QueueEmptyError):
+            q.dequeue()
+
+    def test_peek(self):
+        q, _, _ = make_queue()
+        q.enqueue(b"first")
+        q.enqueue(b"second")
+        assert q.peek() == b"first"
+        assert len(q) == 2
+
+    def test_peek_empty_raises(self):
+        q, _, _ = make_queue()
+        with pytest.raises(QueueEmptyError):
+            q.peek()
+
+    def test_drain(self):
+        q, _, _ = make_queue()
+        for i in range(5):
+            q.enqueue(str(i).encode())
+        assert q.drain() == [b"0", b"1", b"2", b"3", b"4"]
+        assert q.is_empty()
+
+    def test_interleaved_producer_consumer(self):
+        q, _, _ = make_queue()
+        q.enqueue(b"1")
+        q.enqueue(b"2")
+        assert q.dequeue() == b"1"
+        q.enqueue(b"3")
+        assert q.dequeue() == b"2"
+        assert q.dequeue() == b"3"
+
+    def test_bad_item_type(self):
+        q, _, _ = make_queue()
+        with pytest.raises(DataStructureError):
+            q.enqueue("str")  # type: ignore[arg-type]
+
+
+class TestBoundedQueue:
+    def test_max_queue_length(self):
+        q, _, _ = make_queue(max_queue_length=2)
+        q.enqueue(b"a")
+        q.enqueue(b"b")
+        with pytest.raises(QueueFullError):
+            q.enqueue(b"c")
+        q.dequeue()
+        q.enqueue(b"c")  # space again
+
+    def test_bad_bound(self):
+        with pytest.raises(DataStructureError):
+            make_queue(max_queue_length=0)
+
+
+class TestLinkedBlocks:
+    def test_tail_blocks_added_as_queue_grows(self):
+        q, _, _ = make_queue(block_size=256)
+        for i in range(20):
+            q.enqueue(b"x" * 50)
+        assert len(q.node.block_ids) > 1
+
+    def test_head_blocks_reclaimed_as_queue_drains(self):
+        q, controller, _ = make_queue(block_size=256)
+        for _ in range(20):
+            q.enqueue(b"x" * 50)
+        peak_blocks = len(q.node.block_ids)
+        for _ in range(20):
+            q.dequeue()
+        assert len(q.node.block_ids) < peak_blocks
+        assert controller.scale_down_signals > 0
+
+    def test_blocks_form_linked_list(self):
+        q, controller, _ = make_queue(block_size=256)
+        for _ in range(20):
+            q.enqueue(b"x" * 50)
+        segments = q._segments
+        for prev_id, next_id in zip(segments, segments[1:]):
+            assert controller.pool.get_block(prev_id).payload["next"] == next_id
+
+    def test_oversized_item_rejected(self):
+        q, _, _ = make_queue(block_size=128)
+        with pytest.raises(DataStructureError):
+            q.enqueue(b"x" * 1000)
+
+    def test_usage_accounting_matches_pending_items(self):
+        q, _, _ = make_queue()
+        q.enqueue(b"x" * 100)
+        q.enqueue(b"y" * 50)
+        assert q.used_bytes() == (100 + 16) + (50 + 16)
+        q.dequeue()
+        assert q.used_bytes() == 50 + 16
+
+
+class TestNotifications:
+    def test_enqueue_notification(self):
+        q, _, _ = make_queue()
+        listener = q.subscribe("enqueue")
+        q.enqueue(b"item")
+        assert listener.get().data == b"item"
+
+    def test_dequeue_notification_signals_space(self):
+        q, _, _ = make_queue(max_queue_length=1)
+        listener = q.subscribe("dequeue")
+        q.enqueue(b"a")
+        q.dequeue()
+        assert listener.get().data == b"a"
+
+
+class TestLifecycle:
+    def test_expiry_flushes_pending_items_only(self):
+        q, controller, clock = make_queue()
+        q.enqueue(b"gone")
+        q.enqueue(b"kept-1")
+        q.enqueue(b"kept-2")
+        q.dequeue()
+        clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            q.enqueue(b"x")
+        q.load_from(controller.external_store, "job/q")
+        assert q.drain() == [b"kept-1", b"kept-2"]
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("enq"), st.binary(max_size=60)),
+                st.tuples(st.just("deq"), st.just(b"")),
+            ),
+            max_size=150,
+        )
+    )
+    def test_matches_deque_model(self, ops):
+        q, _, _ = make_queue(block_size=256, blocks=512)
+        model = collections.deque()
+        for op, payload in ops:
+            if op == "enq":
+                q.enqueue(payload)
+                model.append(payload)
+            else:
+                if model:
+                    assert q.dequeue() == model.popleft()
+                else:
+                    with pytest.raises(QueueEmptyError):
+                        q.dequeue()
+            assert len(q) == len(model)

@@ -1,0 +1,47 @@
+"""Ablation drivers at unit scale."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestLeaseAblation:
+    def test_propagation_saves_messages(self):
+        result = ablations.run_lease_ablation(pipeline_depth=6, steps=30)
+        assert result.propagated_messages < result.naive_messages
+        assert result.message_reduction > 0.4
+
+    def test_naive_scheme_is_correct_just_chatty(self):
+        result = ablations.run_lease_ablation()
+        assert result.naive_premature_expiries == 0
+
+    def test_deeper_pipelines_widen_the_gap(self):
+        shallow = ablations.run_lease_ablation(pipeline_depth=3, steps=30)
+        deep = ablations.run_lease_ablation(pipeline_depth=12, steps=30)
+        assert deep.message_reduction > shallow.message_reduction
+
+
+class TestRepartitionAblation:
+    def test_dataplane_moves_nothing_over_client_path(self):
+        result = ablations.run_repartition_ablation(num_pairs=800)
+        assert result.dataplane_client_bytes == 0
+        assert result.clientside_client_bytes > 0
+        assert result.network_reduction == 1.0
+
+
+class TestGranularityAblation:
+    def test_oracle_still_overallocates(self):
+        result = ablations.run_granularity_ablation(
+            num_tenants=5, duration_s=900.0
+        )
+        assert result.oracle_overhead > 1.2
+        assert result.jiffy_avg_allocated >= result.demand_avg
+        assert result.oracle_avg_reserved > result.jiffy_avg_allocated
+
+
+class TestHashingAblation:
+    def test_cuckoo_probe_bound(self):
+        result = ablations.run_hashing_ablation(num_keys=1000, num_lookups=3000)
+        assert result.cuckoo_probes_per_lookup <= 2.0
+        assert result.chained_probes_per_lookup > result.cuckoo_probes_per_lookup
+        assert 0 < result.probe_reduction < 1

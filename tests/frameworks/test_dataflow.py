@@ -1,0 +1,266 @@
+"""Dryad-style dataflow (§5.2): channels, readiness, scheduling."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.errors import DataStructureError
+from repro.frameworks.dataflow import (
+    Channel,
+    DataflowGraph,
+    StreamingVertex,
+    Vertex,
+)
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=4 * KB), clock=SimClock(), default_blocks=512
+    )
+
+
+@pytest.fixture
+def graph(controller):
+    return DataflowGraph(controller, "df")
+
+
+def emit(*items):
+    def fn(inputs, outputs):
+        for item in items:
+            outputs[0].write(item)
+
+    return fn
+
+
+class TestChannels:
+    def test_file_channel_roundtrip(self, graph):
+        channel = graph.add_channel("c", "file")
+        channel.write(b"one")
+        channel.write(b"two")
+        channel.close()
+        assert channel.read_all() == [b"one", b"two"]
+
+    def test_file_channel_not_ready_until_closed(self, graph):
+        channel = graph.add_channel("c", "file")
+        channel.write(b"x")
+        assert not channel.ready()
+        channel.close()
+        assert channel.ready()
+
+    def test_file_read_before_close_rejected(self, graph):
+        channel = graph.add_channel("c", "file")
+        with pytest.raises(DataStructureError):
+            channel.read_all()
+
+    def test_queue_channel_ready_when_nonempty(self, graph):
+        channel = graph.add_channel("q", "queue")
+        assert not channel.ready()
+        channel.write(b"item")
+        assert channel.ready()
+
+    def test_queue_read_all_until_eos(self, graph):
+        channel = graph.add_channel("q", "queue")
+        channel.write(b"a")
+        channel.write(b"b")
+        channel.close()
+        assert channel.read_all() == [b"a", b"b"]
+
+    def test_write_after_close_rejected(self, graph):
+        channel = graph.add_channel("c", "file")
+        channel.close()
+        with pytest.raises(DataStructureError):
+            channel.write(b"late")
+
+    def test_queue_channel_notifications(self, graph):
+        channel = graph.add_channel("q", "queue")
+        listener = channel.subscribe("enqueue")
+        channel.write(b"data")
+        assert listener.get().data == b"data"
+
+    def test_duplicate_channel_rejected(self, graph):
+        graph.add_channel("c")
+        with pytest.raises(ValueError):
+            graph.add_channel("c")
+
+    def test_bad_kind(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_channel("x", "socket")
+
+
+class TestExecution:
+    def test_linear_pipeline(self, graph):
+        graph.add_channel("raw", "file")
+        graph.add_channel("cooked", "file")
+
+        def transform(inputs, outputs):
+            for item in inputs[0]:
+                outputs[0].write(item.upper())
+
+        graph.add_vertex(Vertex("src", emit(b"a", b"b"), [], ["raw"]))
+        graph.add_vertex(Vertex("xform", transform, ["raw"], ["cooked"]))
+        graph.run()
+        assert graph.channel("cooked").read_all() == [b"A", b"B"]
+
+    def test_diamond_dag(self, graph):
+        for name in ("src", "left", "right", "merged"):
+            graph.add_channel(name, "file")
+
+        def split(inputs, outputs):
+            for i, item in enumerate(inputs[0]):
+                outputs[i % 2].write(item)
+
+        def merge(inputs, outputs):
+            for item in sorted(inputs[0] + inputs[1]):
+                outputs[0].write(item)
+
+        graph.add_vertex(Vertex("a", emit(b"1", b"2", b"3"), [], ["src"]))
+        graph.add_vertex(Vertex("b", split, ["src"], ["left", "right"]))
+        graph.add_vertex(Vertex("c", merge, ["left", "right"], ["merged"]))
+        graph.run()
+        assert graph.channel("merged").read_all() == [b"1", b"2", b"3"]
+
+    def test_vertices_run_in_dependency_order(self, graph):
+        order = []
+        graph.add_channel("c1")
+        graph.add_channel("c2")
+
+        def record(name, outputs_data=()):
+            def fn(inputs, outputs):
+                order.append(name)
+                for out, item in zip(outputs, outputs_data):
+                    out.write(item)
+
+            return fn
+
+        # Add in reverse order; scheduler must still sort.
+        graph.add_vertex(Vertex("sink", record("sink"), ["c2"], []))
+        graph.add_vertex(Vertex("mid", record("mid", [b"x"]), ["c1"], ["c2"]))
+        graph.add_vertex(Vertex("root", record("root", [b"x"]), [], ["c1"]))
+        graph.run()
+        assert order == ["root", "mid", "sink"]
+
+    def test_cycle_detected(self, graph):
+        graph.add_channel("c1")
+        graph.add_channel("c2")
+        graph.add_vertex(Vertex("a", emit(), ["c2"], ["c1"]))
+        graph.add_vertex(Vertex("b", emit(), ["c1"], ["c2"]))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.run()
+
+    def test_duplicate_vertex_or_writer_rejected(self, graph):
+        graph.add_channel("c")
+        graph.add_vertex(Vertex("v", emit(), [], ["c"]))
+        with pytest.raises(ValueError):
+            graph.add_vertex(Vertex("v", emit(), [], []))
+        with pytest.raises(ValueError):
+            graph.add_vertex(Vertex("w", emit(), [], ["c"]))
+
+    def test_finish_releases_resources(self, graph, controller):
+        graph.add_channel("c")
+        graph.add_vertex(Vertex("v", emit(b"data"), [], ["c"]))
+        graph.run()
+        graph.finish()
+        assert controller.pool.allocated_blocks == 0
+
+
+class TestStreamingVertices:
+    def test_items_flow_before_producer_finishes(self, graph):
+        """The pipelined property: the consumer observes each item
+        immediately, interleaved with the producer's writes."""
+        graph.add_channel("stream", "queue")
+        order = []
+        graph.add_streaming_vertex(
+            StreamingVertex(
+                "sink",
+                on_item=lambda ch, item, outs: order.append(("consumed", item)),
+                inputs=["stream"],
+            )
+        )
+        channel = graph.channel("stream")
+        for item in (b"1", b"2", b"3"):
+            order.append(("produced", item))
+            channel.write(item)
+        channel.close()
+        assert order == [
+            ("produced", b"1"),
+            ("consumed", b"1"),
+            ("produced", b"2"),
+            ("consumed", b"2"),
+            ("produced", b"3"),
+            ("consumed", b"3"),
+        ]
+
+    def test_streaming_chain_cascades(self, graph):
+        """item -> double -> sink, all synchronously pipelined."""
+        graph.add_channel("in", "queue")
+        graph.add_channel("mid", "queue")
+        seen = []
+        graph.add_streaming_vertex(
+            StreamingVertex(
+                "double",
+                on_item=lambda ch, item, outs: outs[0].write(item * 2),
+                inputs=["in"],
+                outputs=["mid"],
+            )
+        )
+        graph.add_streaming_vertex(
+            StreamingVertex(
+                "sink",
+                on_item=lambda ch, item, outs: seen.append(item),
+                inputs=["mid"],
+            )
+        )
+        graph.channel("in").write(b"x")
+        assert seen == [b"xx"]  # already through BOTH stages
+
+    def test_close_propagates_and_fires_on_close(self, graph):
+        graph.add_channel("in", "queue")
+        graph.add_channel("out", "queue")
+        finalized = []
+        graph.add_streaming_vertex(
+            StreamingVertex(
+                "agg",
+                on_item=lambda ch, item, outs: None,
+                inputs=["in"],
+                outputs=["out"],
+                on_close=lambda outs: (outs[0].write(b"total"), finalized.append(1)),
+            )
+        )
+        graph.channel("in").write(b"a")
+        graph.channel("in").close()
+        assert finalized == [1]
+        assert graph.channel("out").closed
+        assert graph.channel("out").read_all() == [b"total"]
+
+    def test_queue_drained_by_push_delivery(self, graph):
+        graph.add_channel("in", "queue")
+        graph.add_streaming_vertex(
+            StreamingVertex("sink", lambda ch, i, o: None, inputs=["in"])
+        )
+        for i in range(10):
+            graph.channel("in").write(str(i).encode())
+        # Push delivery consumed every item from the Jiffy queue.
+        assert len(graph.channel("in")._ds) == 0
+
+    def test_streaming_on_file_channel_rejected(self, graph):
+        graph.add_channel("f", "file")
+        with pytest.raises(ValueError, match="queue channels only"):
+            graph.add_streaming_vertex(
+                StreamingVertex("s", lambda ch, i, o: None, inputs=["f"])
+            )
+
+    def test_batch_vertex_feeds_streaming_vertex(self, graph):
+        graph.add_channel("batch-out", "queue")
+        seen = []
+        graph.add_streaming_vertex(
+            StreamingVertex(
+                "tail",
+                on_item=lambda ch, item, outs: seen.append(item),
+                inputs=["batch-out"],
+            )
+        )
+        graph.add_vertex(Vertex("head", emit(b"a", b"b"), [], ["batch-out"]))
+        graph.run()
+        assert seen == [b"a", b"b"]

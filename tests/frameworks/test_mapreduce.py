@@ -1,0 +1,182 @@
+"""MapReduce on Jiffy (§5.1): correctness, shuffle routing, failures."""
+
+import collections
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.frameworks.mapreduce import MapReduceJob, _partition_of
+from repro.frameworks.serverless import LambdaRuntime
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=4 * KB), clock=SimClock(), default_blocks=1024
+    )
+
+
+def word_count_map(record):
+    for word in record.split():
+        yield word.encode(), b"1"
+
+
+def word_count_reduce(key, values):
+    return str(len(values)).encode()
+
+
+class TestWordCount:
+    DOCS = [
+        ["the quick brown fox", "jumps over the lazy dog"],
+        ["the dog barks", "the fox runs"],
+    ]
+
+    def reference_counts(self):
+        counts = collections.Counter(
+            w for part in self.DOCS for doc in part for w in doc.split()
+        )
+        return {w.encode(): str(c).encode() for w, c in counts.items()}
+
+    def test_matches_reference(self, controller):
+        job = MapReduceJob(
+            controller, "wc", word_count_map, word_count_reduce, num_reducers=3
+        )
+        assert job.run(self.DOCS) == self.reference_counts()
+
+    def test_single_reducer(self, controller):
+        job = MapReduceJob(
+            controller, "wc", word_count_map, word_count_reduce, num_reducers=1
+        )
+        assert job.run(self.DOCS) == self.reference_counts()
+
+    def test_many_reducers(self, controller):
+        job = MapReduceJob(
+            controller, "wc", word_count_map, word_count_reduce, num_reducers=8
+        )
+        assert job.run(self.DOCS) == self.reference_counts()
+
+    def test_finish_releases_resources(self, controller):
+        job = MapReduceJob(
+            controller, "wc", word_count_map, word_count_reduce, num_reducers=2
+        )
+        job.run(self.DOCS)
+        job.finish()
+        assert controller.pool.allocated_blocks == 0
+
+
+class TestShuffle:
+    def test_partition_stable_and_in_range(self):
+        for key in (b"a", b"hello", b"x" * 100):
+            p = _partition_of(key, 7)
+            assert p == _partition_of(key, 7)
+            assert 0 <= p < 7
+
+    def test_same_key_same_reducer(self, controller):
+        # Values for one key must meet in exactly one reduce output.
+        seen_partitions = {}
+
+        def spy_reduce(key, values):
+            seen_partitions.setdefault(key, len(values))
+            return str(len(values)).encode()
+
+        job = MapReduceJob(controller, "wc", word_count_map, spy_reduce, 4)
+        job.run([["a a", "a"], ["a a a"]])
+        assert seen_partitions[b"a"] == 6
+
+    def test_hierarchy_structure(self, controller):
+        MapReduceJob(controller, "wc", word_count_map, word_count_reduce, 2)
+        hierarchy = controller.hierarchy("wc")
+        shuffle0 = hierarchy.get_node("shuffle-0")
+        assert [p.name for p in shuffle0.parents] == ["map-stage"]
+
+    def test_master_renewal_covers_shuffles(self, controller):
+        # A single renewal of map-stage must cover all shuffle prefixes
+        # (DAG propagation to descendants).
+        job = MapReduceJob(controller, "wc", word_count_map, word_count_reduce, 4)
+        assert job.client.renew_lease("map-stage") == 5
+
+
+class TestCombiner:
+    DOCS = [["a a a b", "a b"], ["a a c"]]
+
+    @staticmethod
+    def sum_combiner(key, values):
+        return str(sum(int(v) for v in values)).encode()
+
+    def test_combiner_preserves_results(self, controller):
+        plain = MapReduceJob(
+            controller, "wc1", word_count_map, self.sum_combiner, num_reducers=2
+        )
+        expected = plain.run(self.DOCS)
+        combined = MapReduceJob(
+            controller,
+            "wc2",
+            word_count_map,
+            self.sum_combiner,
+            num_reducers=2,
+            combiner=self.sum_combiner,
+        )
+        assert combined.run(self.DOCS) == expected
+        assert expected[b"a"] == b"6"
+
+    def test_combiner_shrinks_shuffle(self, controller):
+        plain = MapReduceJob(
+            controller, "wc1", word_count_map, self.sum_combiner, num_reducers=2
+        )
+        plain.run(self.DOCS)
+        combined = MapReduceJob(
+            controller,
+            "wc2",
+            word_count_map,
+            self.sum_combiner,
+            num_reducers=2,
+            combiner=self.sum_combiner,
+        )
+        combined.run(self.DOCS)
+        assert combined.shuffle_bytes_written < plain.shuffle_bytes_written
+
+
+class TestFailures:
+    def test_flaky_map_task_retried_without_duplicate_data(self, controller):
+        # A map task that crashes after writing would double-write on
+        # retry; our map tasks buffer and write at the end, so a crash
+        # before writing is safely retryable.
+        crashes = {"left": 1}
+
+        def flaky_map(record):
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise RuntimeError("lambda preempted")
+            return word_count_map(record)
+
+        job = MapReduceJob(
+            controller,
+            "wc",
+            flaky_map,
+            word_count_reduce,
+            num_reducers=2,
+            runtime=LambdaRuntime(max_attempts=3),
+        )
+        result = job.run([["a b a"]])
+        assert result == {b"a": b"2", b"b": b"1"}
+
+    def test_permanently_failing_reduce_raises(self, controller):
+        def bad_reduce(key, values):
+            raise ValueError("reducer bug")
+
+        job = MapReduceJob(
+            controller,
+            "wc",
+            word_count_map,
+            bad_reduce,
+            num_reducers=2,
+            runtime=LambdaRuntime(max_attempts=2),
+        )
+        with pytest.raises(RuntimeError, match="failed after retries"):
+            job.run([["a b"]])
+
+    def test_bad_reducer_count(self, controller):
+        with pytest.raises(ValueError):
+            MapReduceJob(controller, "wc", word_count_map, word_count_reduce, 0)

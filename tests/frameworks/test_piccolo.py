@@ -1,0 +1,117 @@
+"""Piccolo (§5.3): accumulators, kernel sharing, checkpointing."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.frameworks.piccolo import PiccoloJob, accumulators
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=4 * KB), clock=SimClock(), default_blocks=512
+    )
+
+
+@pytest.fixture
+def job(controller):
+    return PiccoloJob(controller, "piccolo")
+
+
+class TestAccumulators:
+    def test_sum(self):
+        a = accumulators.encode_i64(5)
+        b = accumulators.encode_i64(7)
+        assert accumulators.decode_i64(accumulators.sum_i64(a, b)) == 12
+
+    def test_max(self):
+        a = accumulators.encode_i64(5)
+        b = accumulators.encode_i64(7)
+        assert accumulators.decode_i64(accumulators.max_i64(a, b)) == 7
+
+    def test_min_f64(self):
+        a = accumulators.encode_f64(1.5)
+        b = accumulators.encode_f64(0.5)
+        assert accumulators.decode_f64(accumulators.min_f64(a, b)) == 0.5
+
+    def test_replace_and_concat(self):
+        assert accumulators.replace(b"old", b"new") == b"new"
+        assert accumulators.concat(b"ab", b"cd") == b"abcd"
+
+    def test_negative_i64_roundtrip(self):
+        assert accumulators.decode_i64(accumulators.encode_i64(-42)) == -42
+
+
+class TestTables:
+    def test_update_merges_via_accumulator(self, job):
+        table = job.create_table("t", accumulators.sum_i64, num_slots=8)
+        table.update(b"k", accumulators.encode_i64(3))
+        table.update(b"k", accumulators.encode_i64(4))
+        assert accumulators.decode_i64(table.get(b"k")) == 7
+
+    def test_first_update_inserts(self, job):
+        table = job.create_table("t", accumulators.sum_i64, num_slots=8)
+        table.update(b"k", accumulators.encode_i64(9))
+        assert accumulators.decode_i64(table.get(b"k")) == 9
+
+    def test_put_bypasses_accumulator(self, job):
+        table = job.create_table("t", accumulators.sum_i64, num_slots=8)
+        table.update(b"k", accumulators.encode_i64(5))
+        table.put(b"k", accumulators.encode_i64(100))
+        assert accumulators.decode_i64(table.get(b"k")) == 100
+
+    def test_get_default(self, job):
+        table = job.create_table("t", num_slots=8)
+        assert table.get_default(b"missing", b"fallback") == b"fallback"
+
+    def test_duplicate_table_rejected(self, job):
+        job.create_table("t", num_slots=8)
+        with pytest.raises(ValueError):
+            job.create_table("t")
+
+
+class TestKernels:
+    def test_kernels_share_state(self, job):
+        table = job.create_table("counts", accumulators.sum_i64, num_slots=8)
+
+        def kernel(task_id, index, tables):
+            tables["counts"].update(b"total", accumulators.encode_i64(index))
+
+        job.run_kernels(kernel, 5)
+        assert accumulators.decode_i64(table.get(b"total")) == 0 + 1 + 2 + 3 + 4
+
+    def test_kernel_results_returned(self, job):
+        job.create_table("t", num_slots=8)
+        results = job.run_kernels(lambda tid, i, tables: i * i, 4)
+        assert results == {f"kernel-{i}": i * i for i in range(4)}
+
+    def test_kernels_see_all_tables(self, job):
+        job.create_table("a", num_slots=8)
+        job.create_table("b", num_slots=8)
+
+        def kernel(task_id, index, tables):
+            return sorted(tables)
+
+        results = job.run_kernels(kernel, 1)
+        assert results["kernel-0"] == ["a", "b"]
+
+
+class TestCheckpointing:
+    def test_checkpoint_and_restore(self, job, controller):
+        table = job.create_table("t", accumulators.sum_i64, num_slots=8)
+        for i in range(10):
+            table.update(f"k{i}".encode(), accumulators.encode_i64(i))
+        nbytes = job.checkpoint("t", "ckpt/t")
+        assert nbytes > 0
+        # Diverge, then roll back to the checkpoint.
+        table.update(b"k0", accumulators.encode_i64(100))
+        job.restore("t", "ckpt/t")
+        assert accumulators.decode_i64(table.get(b"k0")) == 0
+        assert len(table) == 10
+
+    def test_finish(self, job, controller):
+        job.create_table("t", num_slots=8)
+        job.finish()
+        assert not controller.is_registered("piccolo")

@@ -1,0 +1,82 @@
+"""Serverless substrate: retries, failure propagation, lease upkeep."""
+
+import pytest
+
+from repro.frameworks.serverless import LambdaRuntime, MasterProcess
+
+
+class TestLambdaRuntime:
+    def test_successful_task(self):
+        runtime = LambdaRuntime()
+        result = runtime.invoke("t1", lambda tid: tid.upper())
+        assert result.succeeded
+        assert result.value == "T1"
+        assert result.attempts == 1
+
+    def test_retries_transient_failures(self):
+        runtime = LambdaRuntime(max_attempts=3)
+        attempts = []
+
+        def flaky(task_id):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        result = runtime.invoke("t", flaky)
+        assert result.succeeded
+        assert result.attempts == 3
+        assert runtime.failures == 2
+
+    def test_permanent_failure(self):
+        runtime = LambdaRuntime(max_attempts=2)
+
+        def broken(task_id):
+            raise ValueError("bad input")
+
+        result = runtime.invoke("t", broken)
+        assert not result.succeeded
+        assert "bad input" in result.error
+        assert result.attempts == 2
+
+    def test_map_runs_all(self):
+        runtime = LambdaRuntime()
+        results = runtime.map({f"t{i}": (lambda tid: tid) for i in range(5)})
+        assert len(results) == 5
+        assert all(r.succeeded for r in results.values())
+
+    def test_bad_max_attempts(self):
+        with pytest.raises(ValueError):
+            LambdaRuntime(max_attempts=0)
+
+
+class TestMasterProcess:
+    def test_stage_renews_tracked_leases(self, client, clock):
+        client.create_addr_prefix("t1")
+        master = MasterProcess(client)
+        master.track_prefix("t1")
+        clock.advance(0.9)
+        master.run_stage({"task": lambda tid: None})
+        node = client.controller.resolve("test-job", "t1")
+        assert node.last_renewal == clock.now()
+
+    def test_stage_failure_raises(self, client):
+        master = MasterProcess(client, LambdaRuntime(max_attempts=1))
+
+        def boom(task_id):
+            raise RuntimeError("kaput")
+
+        with pytest.raises(RuntimeError, match="kaput"):
+            master.run_stage({"bad": boom})
+
+    def test_tracking_is_idempotent(self, client):
+        client.create_addr_prefix("t1")
+        master = MasterProcess(client)
+        master.track_prefix("t1")
+        master.track_prefix("t1")
+        assert master.renew_all() == 1
+
+    def test_renew_all_survives_released_prefix(self, client):
+        master = MasterProcess(client)
+        master.track_prefix("ghost")  # never created
+        assert master.renew_all() == 0

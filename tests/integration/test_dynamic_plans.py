@@ -1,0 +1,88 @@
+"""Dynamic query plans (§3.1): the hierarchy grows during execution.
+
+"Jiffy initializes the hierarchy to a single node, and deduces the rest
+on-the-fly based on the intermediate data dependencies between the
+job's tasks ... this allows Jiffy to support dynamic query plans, where
+the DAG is not known a priori" — e.g. QOOP-style re-planning.
+"""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import AddressError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=clock, default_blocks=64
+    )
+
+
+class TestOnTheFlyDeduction:
+    def test_hierarchy_built_incrementally(self, controller):
+        """Tasks register as they launch, naming the producers whose
+        data they consume — no upfront DAG."""
+        client = connect(controller, "adaptive-query")
+        # Stage 1 launches first; nothing else is known yet.
+        client.create_addr_prefix("scan-A")
+        client.create_addr_prefix("scan-B")
+        # The planner decides on a hash join and launches it.
+        client.create_addr_prefix("join", parents=["scan-A", "scan-B"])
+        # A late re-plan adds an aggregation over the join.
+        client.create_addr_prefix("agg", parent="join")
+        hierarchy = controller.hierarchy("adaptive-query")
+        assert hierarchy.resolve("scan-A/join/agg").name == "agg"
+        assert hierarchy.resolve("scan-B/join/agg").name == "agg"
+
+    def test_late_dependency_edge(self, controller, clock):
+        """A task discovers mid-run that it also reads another output;
+        the new edge immediately affects lease propagation."""
+        client = connect(controller, "job")
+        client.create_addr_prefix("build-side")
+        client.create_addr_prefix("probe-side")
+        client.create_addr_prefix("join", parent="build-side")
+        # Mid-execution: the join switches strategy and starts reading
+        # the probe side's intermediate data too.
+        client.add_dependency("join", "probe-side")
+        # Renewing the join now keeps BOTH inputs alive.
+        clock.advance(0.9)
+        renewed = client.renew_lease("join")
+        assert renewed == 3
+        clock.advance(0.9)
+        client.renew_lease("join")
+        assert controller.tick() == []  # nothing expired
+
+    def test_replanned_subtree_expires_independently(self, controller, clock):
+        """An abandoned plan branch (re-planning) simply stops being
+        renewed and its resources flow back."""
+        client = connect(controller, "job")
+        client.create_addr_prefix("scan")
+        client.create_addr_prefix("plan-v1", parent="scan")
+        old = client.init_data_structure("plan-v1", "file")
+        old.append(b"obsolete" * 50)
+        # Re-plan: a new operator subtree replaces plan-v1.
+        client.create_addr_prefix("plan-v2", parent="scan")
+        new = client.init_data_structure("plan-v2", "file")
+        new.append(b"current" * 50)
+        for _ in range(3):
+            clock.advance(0.7)
+            client.renew_lease("plan-v2")
+            controller.tick()
+        assert old.expired  # the abandoned branch was reclaimed
+        assert not new.expired
+
+    def test_cycle_still_rejected_dynamically(self, controller):
+        client = connect(controller, "job")
+        client.create_addr_prefix("a")
+        client.create_addr_prefix("b", parent="a")
+        with pytest.raises(AddressError):
+            client.add_dependency("a", "b")

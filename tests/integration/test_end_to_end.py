@@ -1,0 +1,143 @@
+"""End-to-end scenarios: multiplexing across jobs, churn, the paper's
+headline mechanisms working together."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import LeaseExpiredError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=clock, default_blocks=32
+    )
+
+
+class TestCapacityMultiplexing:
+    def test_blocks_freed_by_one_job_serve_another(self, controller, clock):
+        """The core Jiffy claim: capacity freed at lease expiry is
+        immediately reusable by a concurrent job."""
+        a = connect(controller, "job-a")
+        a.create_addr_prefix("t")
+        fa = a.init_data_structure("t", "file")
+        fa.append(b"x" * 28 * KB)  # nearly fills the 32-block pool
+        used_blocks = controller.pool.allocated_blocks
+        assert used_blocks >= 29
+
+        b = connect(controller, "job-b")
+        b.create_addr_prefix("t")
+        fb = b.init_data_structure("t", "file")
+        with pytest.raises(Exception):
+            fb.append(b"y" * 10 * KB)  # pool exhausted mid-write
+
+        # Job A stops renewing; its lease lapses and blocks free up.
+        clock.advance(1.5)
+        b.renew_lease("t")
+        controller.tick()
+        assert controller.pool.free_blocks >= used_blocks
+
+        # Job B can now allocate (the partial write above may have
+        # consumed some blocks; fresh appends proceed).
+        fb.append(b"z" * 5 * KB)
+        assert fb.readall().endswith(b"z" * 5 * KB)
+
+    def test_job_a_data_flushed_not_lost(self, controller, clock):
+        a = connect(controller, "job-a")
+        a.create_addr_prefix("t")
+        fa = a.init_data_structure("t", "file")
+        fa.append(b"precious" * 100)
+        clock.advance(2.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            fa.readall()
+        # §3.2: expiry flushes to persistent storage — data survives.
+        a.load_addr_prefix("t", "job-a/t")
+        assert fa.readall() == b"precious" * 100
+
+
+class TestTaskLevelIsolation:
+    def test_one_tasks_expiry_leaves_siblings_untouched(self, controller, clock):
+        client = connect(controller, "job")
+        client.create_hierarchy({"t1": [], "t2": []})
+        f1 = client.init_data_structure("t1", "file")
+        f2 = client.init_data_structure("t2", "file")
+        f1.append(b"a" * 2000)
+        f2.append(b"b" * 2000)
+        # Only t2 keeps renewing.
+        for _ in range(3):
+            clock.advance(0.8)
+            client.renew_lease("t2")
+            controller.tick()
+        assert f1.expired
+        assert not f2.expired
+        assert f2.readall() == b"b" * 2000
+
+    def test_churn_many_short_lived_tasks(self, controller, clock):
+        """Task arrival/departure must not leak blocks (§3.1 churn)."""
+        client = connect(controller, "job")
+        for wave in range(10):
+            name = f"task-{wave}"
+            client.create_addr_prefix(name)
+            ds = client.init_data_structure(name, "fifo_queue")
+            for i in range(5):
+                ds.enqueue(b"payload" * 10)
+            clock.advance(1.5)  # the wave's lease lapses
+            controller.tick()
+        assert controller.pool.allocated_blocks == 0
+        assert controller.prefixes_expired == 10
+
+
+class TestDagLifetimes:
+    def test_downstream_task_keeps_upstream_data_alive(self, controller, clock):
+        """Fig 5 end-to-end: a consumer's renewals protect its inputs."""
+        client = connect(controller, "job")
+        client.create_hierarchy({"reduce": ["map"]})
+        map_out = client.init_data_structure("map", "file")
+        map_out.append(b"shuffle" * 50)
+        # The map task dies; only the reduce task renews.
+        for _ in range(4):
+            clock.advance(0.7)
+            client.renew_lease("reduce")
+            controller.tick()
+        assert not map_out.expired
+        assert map_out.readall() == b"shuffle" * 50
+
+    def test_whole_chain_expires_when_job_dies(self, controller, clock):
+        client = connect(controller, "job")
+        client.create_hierarchy({"b": ["a"], "c": ["b"]})
+        for prefix in ("a", "b", "c"):
+            client.init_data_structure(prefix, "file").append(b"x" * 500)
+        clock.advance(5.0)
+        expired = controller.tick()
+        assert {n.name for n in expired} == {"a", "b", "c"}
+        assert controller.pool.allocated_blocks == 0
+
+
+class TestMultiJobWorkflow:
+    def test_concurrent_jobs_with_different_structures(self, controller, clock):
+        jobs = {}
+        for i, ds_type in enumerate(["file", "fifo_queue", "kv_store"]):
+            client = connect(controller, f"job-{i}")
+            client.create_addr_prefix("data")
+            kwargs = {"num_slots": 8} if ds_type == "kv_store" else {}
+            jobs[ds_type] = client.init_data_structure("data", ds_type, **kwargs)
+
+        jobs["file"].append(b"f" * 100)
+        jobs["fifo_queue"].enqueue(b"q1")
+        jobs["kv_store"].put(b"k", b"v")
+        clock.advance(0.5)
+        for i in range(3):
+            connect(controller, f"job-{i}").renew_lease("data")
+        controller.tick()
+        assert jobs["file"].readall() == b"f" * 100
+        assert jobs["fifo_queue"].peek() == b"q1"
+        assert jobs["kv_store"].get(b"k") == b"v"

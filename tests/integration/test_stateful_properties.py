@@ -1,0 +1,158 @@
+"""Stateful property testing of the whole control plane.
+
+A hypothesis rule-based state machine drives a controller through random
+sequences of job registration, prefix creation, block allocation,
+renewals, time advances, and expiry passes — and checks the invariants
+that must hold after *every* step:
+
+* conservation: free + allocated blocks == pool total;
+* no block is owned by two prefixes;
+* every block id in a hierarchy node is allocated in the pool;
+* expired nodes hold no blocks;
+* the controller's metadata accounting matches the hierarchy contents.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import settings
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.errors import CapacityError
+from repro.sim.clock import SimClock
+
+JOB_IDS = [f"job-{i}" for i in range(3)]
+PREFIXES = [f"t{i}" for i in range(4)]
+
+
+class ControlPlaneMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.controller = JiffyController(
+            JiffyConfig(block_size=KB),
+            clock=self.clock,
+            default_blocks=24,
+        )
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(job=st.sampled_from(JOB_IDS))
+    def register(self, job):
+        if not self.controller.is_registered(job):
+            self.controller.register_job(job)
+
+    @rule(job=st.sampled_from(JOB_IDS))
+    def deregister(self, job):
+        if self.controller.is_registered(job):
+            self.controller.deregister_job(job)
+
+    @rule(
+        job=st.sampled_from(JOB_IDS),
+        prefix=st.sampled_from(PREFIXES),
+        parent=st.none() | st.sampled_from(PREFIXES),
+    )
+    def create_prefix(self, job, prefix, parent):
+        if not self.controller.is_registered(job):
+            return
+        hierarchy = self.controller.hierarchy(job)
+        if prefix in hierarchy:
+            return
+        parents = []
+        if parent is not None and parent != prefix and parent in hierarchy:
+            parents = [parent]
+        self.controller.create_addr_prefix(job, prefix, parents=parents)
+
+    @rule(job=st.sampled_from(JOB_IDS), prefix=st.sampled_from(PREFIXES))
+    def allocate(self, job, prefix):
+        if (
+            self.controller.is_registered(job)
+            and prefix in self.controller.hierarchy(job)
+            and not self.controller.hierarchy(job).get_node(prefix).expired
+        ):
+            self.controller.try_allocate_block(job, prefix)
+
+    @rule(job=st.sampled_from(JOB_IDS), prefix=st.sampled_from(PREFIXES))
+    def reclaim_one(self, job, prefix):
+        if not self.controller.is_registered(job):
+            return
+        hierarchy = self.controller.hierarchy(job)
+        if prefix not in hierarchy:
+            return
+        node = hierarchy.get_node(prefix)
+        if node.block_ids:
+            self.controller.reclaim_block(job, prefix, node.block_ids[0])
+
+    @rule(job=st.sampled_from(JOB_IDS), prefix=st.sampled_from(PREFIXES))
+    def renew(self, job, prefix):
+        if (
+            self.controller.is_registered(job)
+            and prefix in self.controller.hierarchy(job)
+        ):
+            self.controller.renew_lease(job, prefix)
+
+    @rule(dt=st.floats(min_value=0.01, max_value=1.5))
+    def advance_time(self, dt):
+        self.clock.advance(dt)
+
+    @rule()
+    def tick(self):
+        self.controller.tick()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def block_conservation(self):
+        pool = self.controller.pool
+        assert pool.free_blocks + pool.allocated_blocks == pool.total_blocks
+
+    @invariant()
+    def ownership_is_unique(self):
+        seen = set()
+        for job in self.controller.jobs():
+            for node in self.controller.hierarchy(job).nodes():
+                for block_id in node.block_ids:
+                    assert block_id not in seen, f"{block_id} owned twice"
+                    seen.add(block_id)
+        assert len(seen) == self.controller.pool.allocated_blocks
+
+    @invariant()
+    def node_blocks_are_live(self):
+        for job in self.controller.jobs():
+            for node in self.controller.hierarchy(job).nodes():
+                for block_id in node.block_ids:
+                    block = self.controller.pool.get_block(block_id)
+                    assert block.capacity == self.controller.config.block_size
+
+    @invariant()
+    def expired_nodes_hold_nothing(self):
+        # After a tick, a node marked expired must have been drained.
+        for job in self.controller.jobs():
+            for node in self.controller.hierarchy(job).nodes():
+                if node.expired:
+                    assert node.block_ids == []
+
+    @invariant()
+    def metadata_accounting_matches(self):
+        expected = 0
+        for job in self.controller.jobs():
+            hierarchy = self.controller.hierarchy(job)
+            expected += sum(
+                64 + 8 * len(n.block_ids) for n in hierarchy.nodes()
+            )
+        assert self.controller.metadata_bytes() == expected
+
+
+TestControlPlaneStateMachine = ControlPlaneMachine.TestCase
+TestControlPlaneStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

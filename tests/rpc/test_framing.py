@@ -1,0 +1,90 @@
+"""RPC framing: round trips for every supported value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpc.framing import (
+    RpcError,
+    RpcRequest,
+    RpcResponse,
+    STATUS_ERROR,
+    decode_message,
+    encode_message,
+)
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+class TestRequests:
+    def test_roundtrip_simple(self):
+        req = RpcRequest(seq=7, method="renew_lease", args=("job", "t1"))
+        assert decode_message(encode_message(req)) == req
+
+    def test_roundtrip_mixed_args(self):
+        req = RpcRequest(
+            seq=1,
+            method="put",
+            args=(b"key", b"value", 42, 3.14, True, None, ["a", b"b", 1]),
+        )
+        assert decode_message(encode_message(req)) == req
+
+    def test_empty_args(self):
+        req = RpcRequest(seq=0, method="tick")
+        assert decode_message(encode_message(req)) == req
+
+    @given(
+        seq=st.integers(min_value=0, max_value=2**63),
+        method=st.text(min_size=1, max_size=32),
+        args=st.lists(scalar, max_size=8),
+    )
+    def test_roundtrip_property(self, seq, method, args):
+        req = RpcRequest(seq=seq, method=method, args=tuple(args))
+        assert decode_message(encode_message(req)) == req
+
+
+class TestResponses:
+    def test_ok_response(self):
+        resp = RpcResponse(seq=3, status=0, value=b"payload")
+        decoded = decode_message(encode_message(resp))
+        assert decoded == resp
+        assert decoded.ok
+
+    def test_error_response(self):
+        resp = RpcResponse(seq=3, status=STATUS_ERROR, error="boom")
+        decoded = decode_message(encode_message(resp))
+        assert not decoded.ok
+        assert decoded.error == "boom"
+
+    @given(value=st.one_of(scalar, st.lists(scalar, max_size=6)))
+    def test_roundtrip_property(self, value):
+        resp = RpcResponse(seq=1, status=0, value=value)
+        assert decode_message(encode_message(resp)) == resp
+
+
+class TestMalformed:
+    def test_unserialisable_value(self):
+        with pytest.raises(RpcError):
+            encode_message(RpcRequest(seq=0, method="m", args=({"no": "dicts"},)))
+
+    def test_truncated_frame(self):
+        frame = encode_message(RpcRequest(seq=0, method="m"))
+        with pytest.raises(RpcError):
+            decode_message(frame[:-1])
+
+    def test_garbage_kind(self):
+        frame = bytearray(encode_message(RpcRequest(seq=0, method="m")))
+        frame[4] = 99  # corrupt the kind byte
+        with pytest.raises(RpcError):
+            decode_message(bytes(frame))
+
+    def test_not_a_message(self):
+        with pytest.raises(RpcError):
+            encode_message("just a string")

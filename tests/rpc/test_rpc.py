@@ -1,0 +1,137 @@
+"""RPC server/client: calls, errors, multiplexing, queueing, pipelining."""
+
+import pytest
+
+from repro.rpc.client import RpcClient
+from repro.rpc.framing import RpcError
+from repro.rpc.server import RpcServer
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(SimClock())
+
+
+@pytest.fixture
+def server(loop):
+    server = RpcServer(loop, service_time_s=10e-6)
+    server.register("echo", lambda x: x)
+    server.register("add", lambda a, b: a + b)
+    server.register("boom", lambda: 1 / 0)
+    return server
+
+
+@pytest.fixture
+def client(loop, server):
+    return RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+
+
+class TestCalls:
+    def test_echo(self, client):
+        assert client.call("echo", b"hello") == b"hello"
+
+    def test_add(self, client):
+        assert client.call("add", 2, 3) == 5
+
+    def test_handler_exception_surfaces(self, client):
+        with pytest.raises(RpcError, match="division"):
+            client.call("boom")
+
+    def test_unknown_method(self, client, server):
+        with pytest.raises(RpcError, match="unknown method"):
+            client.call("nope")
+        assert server.stats.errors == 1
+
+    def test_call_advances_simulated_time(self, client, loop):
+        before = loop.clock.now()
+        client.call("echo", b"x")
+        # At least two network transfers + service time elapsed.
+        assert loop.clock.now() > before + 2 * 30e-6
+
+    def test_call_latency_at_least_rtt_plus_service(self, client, loop, server):
+        network = client.network
+        before = loop.clock.now()
+        client.call("echo", b"x" * 100)
+        elapsed = loop.clock.now() - before
+        assert elapsed >= server.service_time_s
+
+
+class TestMultiplexing:
+    def test_sessions_share_one_server(self, loop, server):
+        a = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        b = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        assert a.call("echo", b"a") == b"a"
+        assert b.call("echo", b"b") == b"b"
+        assert server.stats.requests_served == 2
+
+    def test_fifo_queueing_under_load(self, loop, server):
+        """Back-to-back requests queue: later arrivals wait for earlier
+        service completions, so measured latency grows with queue depth."""
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        client.pipeline([("echo", b"x")] * 50)
+        latencies = server.stats.latencies
+        assert latencies[-1] > latencies[0]
+        # The last request waited ~49 service times.
+        assert latencies[-1] >= 40 * server.service_time_s
+
+    def test_utilization_accounting(self, loop, server):
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        client.pipeline([("echo", b"x")] * 10)
+        assert 0 < server.utilization <= 1.0
+
+
+class TestPipelining:
+    def test_pipeline_results_in_order(self, client):
+        results = client.pipeline([("add", i, i) for i in range(10)])
+        assert results == [2 * i for i in range(10)]
+
+    def test_pipeline_faster_than_sync_loop(self, loop, server):
+        """Pipelining pays ~one RTT total instead of one per request —
+        the §6.2 pipelining effect (disabled in Fig 10 for fairness)."""
+        network = NetworkModel(sigma=0.0)
+        sync_client = RpcClient(loop, server, network=network)
+        start = loop.clock.now()
+        for _ in range(20):
+            sync_client.call("echo", b"x")
+        sync_elapsed = loop.clock.now() - start
+
+        pipelined = RpcClient(loop, server, network=network)
+        start = loop.clock.now()
+        pipelined.pipeline([("echo", b"x")] * 20)
+        pipe_elapsed = loop.clock.now() - start
+        assert pipe_elapsed < sync_elapsed / 2
+
+
+class TestRegistration:
+    def test_duplicate_method_rejected(self, server):
+        with pytest.raises(RpcError):
+            server.register("echo", lambda x: x)
+
+    def test_register_object(self, loop):
+        class Service:
+            def ping(self):
+                return b"pong"
+
+            def double(self, x):
+                return 2 * x
+
+        server = RpcServer(loop)
+        server.register_object(Service(), ["ping", "double"])
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        assert client.call("ping") == b"pong"
+        assert client.call("double", 21) == 42
+
+    def test_per_method_service_time(self, loop):
+        server = RpcServer(loop, service_time_s=1e-6)
+        server.register("slow", lambda: None, service_time_s=1e-3)
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        start = loop.clock.now()
+        client.call("slow")
+        assert loop.clock.now() - start >= 1e-3
+
+    def test_bad_service_time(self, loop):
+        with pytest.raises(RpcError):
+            RpcServer(loop, service_time_s=0)

@@ -1,0 +1,58 @@
+"""Clocks: determinism, monotonicity, protocol conformance."""
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock, SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now() == 2.0
+
+    def test_advance_zero_is_fine(self):
+        clock = SimClock(start=3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_set_forward(self):
+        clock = SimClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backwards_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(SimulationError):
+            clock.set(9.0)
+
+    def test_is_clock_protocol(self):
+        assert isinstance(SimClock(), Clock)
+
+
+class TestWallClock:
+    def test_monotone_nondecreasing(self):
+        clock = WallClock()
+        a = clock.now()
+        time.sleep(0.002)
+        assert clock.now() >= a
+
+    def test_is_clock_protocol(self):
+        assert isinstance(WallClock(), Clock)

@@ -1,0 +1,124 @@
+"""Discrete-event loop: ordering, cancellation, periodic scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(SimClock())
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, loop):
+        hits = []
+        loop.schedule_at(3.0, lambda: hits.append(3))
+        loop.schedule_at(1.0, lambda: hits.append(1))
+        loop.schedule_at(2.0, lambda: hits.append(2))
+        loop.run()
+        assert hits == [1, 2, 3]
+
+    def test_fifo_for_equal_times(self, loop):
+        hits = []
+        loop.schedule_at(1.0, lambda: hits.append("a"))
+        loop.schedule_at(1.0, lambda: hits.append("b"))
+        loop.run()
+        assert hits == ["a", "b"]
+
+    def test_clock_advances_to_event_time(self, loop):
+        seen = []
+        loop.schedule_at(4.5, lambda: seen.append(loop.clock.now()))
+        loop.run()
+        assert seen == [4.5]
+
+    def test_schedule_after(self, loop):
+        loop.clock.set(2.0)
+        seen = []
+        loop.schedule_after(1.0, lambda: seen.append(loop.clock.now()))
+        loop.run()
+        assert seen == [3.0]
+
+    def test_schedule_in_past_rejected(self, loop):
+        loop.clock.set(5.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_from_events(self, loop):
+        hits = []
+
+        def first():
+            hits.append("first")
+            loop.schedule_after(1.0, lambda: hits.append("second"))
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        assert hits == ["first", "second"]
+        assert loop.clock.now() == 2.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, loop):
+        hits = []
+        loop.schedule_at(1.0, lambda: hits.append(1))
+        loop.schedule_at(10.0, lambda: hits.append(10))
+        processed = loop.run(until=5.0)
+        assert processed == 1
+        assert hits == [1]
+        assert loop.clock.now() == 5.0
+        # The later event is still pending.
+        loop.run()
+        assert hits == [1, 10]
+
+    def test_max_events_guard(self, loop):
+        def rearm():
+            loop.schedule_after(1.0, rearm)
+
+        loop.schedule_after(1.0, rearm)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, loop):
+        hits = []
+        event = loop.schedule_at(1.0, lambda: hits.append("x"))
+        event.cancel()
+        loop.run()
+        assert hits == []
+
+    def test_peek_skips_cancelled(self, loop):
+        event = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert loop.peek_time() == 2.0
+
+
+class TestPeriodic:
+    def test_schedule_every(self, loop):
+        hits = []
+        loop.schedule_every(1.0, lambda: hits.append(loop.clock.now()), until=4.5)
+        loop.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_periodic_stops_on_stopiteration(self, loop):
+        hits = []
+
+        def action():
+            hits.append(loop.clock.now())
+            if len(hits) >= 2:
+                raise StopIteration
+
+        loop.schedule_every(1.0, action, until=100.0)
+        loop.run()
+        assert hits == [1.0, 2.0]
+
+    def test_bad_interval_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.schedule_every(0.0, lambda: None)

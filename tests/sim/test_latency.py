@@ -1,0 +1,58 @@
+"""Latency models: determinism, size scaling, jitter statistics."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import ConstantLatency, LogNormalLatency
+
+
+class TestConstantLatency:
+    def test_base_only(self):
+        model = ConstantLatency(base_s=1e-3)
+        assert model.sample(0) == pytest.approx(1e-3)
+        assert model.sample(10**9) == pytest.approx(1e-3)
+
+    def test_bandwidth_term(self):
+        model = ConstantLatency(base_s=1e-3, bandwidth_bps=1e6)
+        assert model.sample(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_mean_equals_sample(self):
+        model = ConstantLatency(base_s=2e-3, bandwidth_bps=1e9)
+        assert model.mean(12345) == model.sample(12345)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(base_s=-1.0)
+        with pytest.raises(ValueError):
+            ConstantLatency(base_s=1.0, bandwidth_bps=0)
+
+
+class TestLogNormalLatency:
+    def test_zero_sigma_is_deterministic(self):
+        model = LogNormalLatency(base_s=1e-3, sigma=0.0)
+        samples = [model.sample(0) for _ in range(10)]
+        assert all(s == pytest.approx(1e-3) for s in samples)
+
+    def test_samples_positive_and_spread(self):
+        model = LogNormalLatency(base_s=1e-3, sigma=0.5, rng=random.Random(1))
+        samples = [model.sample(0) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+        assert max(samples) > min(samples)
+
+    def test_empirical_mean_close_to_model_mean(self):
+        model = LogNormalLatency(base_s=1e-3, sigma=0.3, rng=random.Random(2))
+        samples = [model.sample(0) for _ in range(20_000)]
+        empirical = sum(samples) / len(samples)
+        assert empirical == pytest.approx(model.mean(0), rel=0.05)
+
+    def test_size_term_is_deterministic(self):
+        model = LogNormalLatency(
+            base_s=0.0, bandwidth_bps=1e6, sigma=0.9, rng=random.Random(3)
+        )
+        # With zero base, only the deterministic size term remains.
+        assert model.sample(1_000_000) == pytest.approx(1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(base_s=1.0, sigma=-0.1)

@@ -1,0 +1,48 @@
+"""Network model: EC2 calibration and transfer/RTT composition."""
+
+import random
+
+import pytest
+
+from repro.config import MB
+from repro.sim.network import EC2_ONE_WAY_LATENCY_S, NetworkModel, TEN_GBPS
+
+
+class TestCalibration:
+    def test_two_round_trips_match_paper(self):
+        # §6.3: two EC2 round trips take 100-200us.
+        model = NetworkModel()
+        two_rtts = 2 * model.rtt_mean()
+        assert 100e-6 <= two_rtts <= 200e-6
+
+    def test_default_bandwidth_is_10gbps(self):
+        assert NetworkModel().bandwidth_bps == TEN_GBPS
+
+    def test_half_block_move_in_hundreds_of_ms(self):
+        # §6.3: repartitioning ~64MB takes a few hundred ms on 10Gbps.
+        model = NetworkModel()
+        move = model.transfer_mean(64 * MB)
+        assert 0.02 <= move <= 0.5
+
+
+class TestComposition:
+    def test_transfer_grows_with_size(self):
+        model = NetworkModel(sigma=0.0)
+        assert model.transfer(MB) > model.transfer(0)
+
+    def test_rtt_is_two_transfers(self):
+        model = NetworkModel(sigma=0.0)
+        assert model.rtt(100, 200) == pytest.approx(
+            model.transfer(100) + model.transfer(200)
+        )
+
+    def test_jitter_reproducible_with_seeded_rng(self):
+        a = NetworkModel(rng=random.Random(7))
+        b = NetworkModel(rng=random.Random(7))
+        assert [a.transfer(0) for _ in range(5)] == [b.transfer(0) for _ in range(5)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(one_way_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bps=0.0)

@@ -1,0 +1,93 @@
+"""External store: put/get/delete, prefix listing, accounting."""
+
+import pytest
+
+from repro.errors import AddressNotFoundError
+from repro.storage.external import ExternalStore
+
+
+@pytest.fixture
+def store():
+    return ExternalStore()
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self, store):
+        store.put("job/t1", b"hello")
+        assert store.get("job/t1") == b"hello"
+
+    def test_put_overwrites(self, store):
+        store.put("p", b"old")
+        store.put("p", b"new")
+        assert store.get("p") == b"new"
+        assert len(store) == 1
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(AddressNotFoundError):
+            store.get("nope")
+
+    def test_empty_path_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("", b"x")
+
+    def test_contains(self, store):
+        store.put("a", b"1")
+        assert "a" in store
+        assert "b" not in store
+
+    def test_delete(self, store):
+        store.put("a", b"1")
+        store.delete("a")
+        assert "a" not in store
+        with pytest.raises(AddressNotFoundError):
+            store.delete("a")
+
+    def test_put_returns_modelled_latency(self, store):
+        latency = store.put("a", b"x" * 1000)
+        assert latency > 0
+
+    def test_data_copied_not_aliased(self, store):
+        buf = bytearray(b"abc")
+        store.put("a", bytes(buf))
+        buf[0] = ord("z")
+        assert store.get("a") == b"abc"
+
+
+class TestPrefixOps:
+    def test_list_by_prefix_sorted(self, store):
+        store.put("job1/t2", b"")
+        store.put("job1/t1", b"")
+        store.put("job2/t1", b"")
+        assert store.list("job1/") == ["job1/t1", "job1/t2"]
+        assert store.list() == ["job1/t1", "job1/t2", "job2/t1"]
+
+    def test_delete_prefix(self, store):
+        store.put("j/a", b"")
+        store.put("j/b", b"")
+        store.put("k/a", b"")
+        assert store.delete_prefix("j/") == 2
+        assert store.list() == ["k/a"]
+
+    def test_iter_items(self, store):
+        store.put("p/a", b"1")
+        store.put("p/b", b"2")
+        assert list(store.iter_items("p/")) == [("p/a", b"1"), ("p/b", b"2")]
+
+
+class TestAccounting:
+    def test_byte_counters(self, store):
+        store.put("a", b"xxxx")
+        store.get("a")
+        store.get("a")
+        assert store.bytes_written == 4
+        assert store.bytes_read == 8
+        assert store.put_count == 1
+        assert store.get_count == 2
+
+    def test_total_bytes_and_size_of(self, store):
+        store.put("a", b"12345")
+        store.put("b", b"123")
+        assert store.total_bytes() == 8
+        assert store.size_of("a") == 5
+        with pytest.raises(AddressNotFoundError):
+            store.size_of("c")

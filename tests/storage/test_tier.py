@@ -1,0 +1,86 @@
+"""Storage tiers: Fig 10's qualitative device ordering must hold."""
+
+import pytest
+
+from repro.config import KB, MB
+from repro.errors import DataStructureError
+from repro.storage.tier import (
+    CRAIL_TIER,
+    DRAM_TIER,
+    DYNAMODB_TIER,
+    ELASTICACHE_TIER,
+    JIFFY_TIER,
+    POCKET_TIER,
+    S3_TIER,
+    SIX_SYSTEMS,
+    SSD_TIER,
+)
+
+IN_MEMORY = (CRAIL_TIER, ELASTICACHE_TIER, POCKET_TIER, JIFFY_TIER)
+
+
+class TestFig10Ordering:
+    def test_in_memory_stores_are_submillisecond_small_objects(self):
+        for tier in IN_MEMORY:
+            assert tier.read_latency(128) < 1e-3, tier.name
+            assert tier.write_latency(128) < 1e-3, tier.name
+
+    def test_jiffy_fastest_in_memory_store(self):
+        # §6.2: Jiffy's optimised RPC layer edges out the others.
+        for tier in (CRAIL_TIER, ELASTICACHE_TIER, POCKET_TIER):
+            assert JIFFY_TIER.read_latency(2 * KB) < tier.read_latency(2 * KB)
+
+    def test_persistent_stores_much_slower_for_small_objects(self):
+        for tier in (S3_TIER, DYNAMODB_TIER):
+            assert tier.read_latency(128) > 5 * JIFFY_TIER.read_latency(128)
+
+    def test_s3_slowest_small_reads(self):
+        others = [t for t in SIX_SYSTEMS if t.name != "S3"]
+        assert all(
+            S3_TIER.read_latency(128) > t.read_latency(128) for t in others
+        )
+
+    def test_dynamodb_object_cap(self):
+        # The paper notes DynamoDB only supports small objects (128KB in
+        # its benchmark).
+        assert DYNAMODB_TIER.supports(128 * KB)
+        assert not DYNAMODB_TIER.supports(129 * KB)
+        with pytest.raises(DataStructureError):
+            DYNAMODB_TIER.read_latency(MB)
+
+    def test_throughput_grows_with_object_size(self):
+        for tier in SIX_SYSTEMS:
+            sizes = [KB, 32 * KB]
+            if tier.max_object_bytes is None:
+                sizes.append(8 * MB)
+            mbps = [tier.read_throughput_mbps(s) for s in sizes]
+            assert mbps == sorted(mbps), tier.name
+
+
+class TestTierMechanics:
+    def test_latency_linear_in_size(self):
+        lat_1mb = DRAM_TIER.read_latency(MB)
+        lat_2mb = DRAM_TIER.read_latency(2 * MB)
+        assert lat_2mb - lat_1mb == pytest.approx(MB / DRAM_TIER.read_bw_bps)
+
+    def test_zero_size_throughput_is_zero(self):
+        assert DRAM_TIER.read_throughput_mbps(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DRAM_TIER.read_latency(-1)
+
+    def test_sampled_latency_positive(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(100):
+            assert SSD_TIER.sample_read_latency(KB, rng) > 0
+            assert SSD_TIER.sample_write_latency(KB, rng) > 0
+
+    def test_ssd_between_dram_and_s3(self):
+        assert (
+            DRAM_TIER.read_latency(MB)
+            < SSD_TIER.read_latency(MB)
+            < S3_TIER.read_latency(MB)
+        )

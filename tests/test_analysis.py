@@ -1,0 +1,72 @@
+"""Analysis helpers: CDFs, percentiles, ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_points, percentile, summarize_latencies
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestCdf:
+    def test_cdf_points_sorted(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert fractions[-1] == 1.0
+        assert fractions[0] == pytest.approx(1 / 3)
+
+    def test_cdf_empty(self):
+        values, fractions = cdf_points([])
+        assert values.size == 0 and fractions.size == 0
+
+    def test_percentile(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == pytest.approx(50.5)
+        assert percentile(samples, 0) == 1
+        assert percentile(samples, 100) == 100
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summary_keys_and_ordering(self):
+        summary = summarize_latencies(np.random.default_rng(1).random(1000))
+        assert set(summary) == {"min", "p50", "p90", "p99", "mean", "max"}
+        assert (
+            summary["min"]
+            <= summary["p50"]
+            <= summary["p90"]
+            <= summary["p99"]
+            <= summary["max"]
+        )
+
+    def test_summary_empty(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        table = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_table_title(self):
+        table = format_table(["x"], [[1]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.12345], [12.3], [1234.5]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "12.30" in table
+        assert "1234" in table or "1235" in table
+
+    def test_series(self):
+        out = format_series("x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        assert "s1" in out and "s2" in out
+        assert "40" in out

@@ -1,0 +1,63 @@
+"""Record framing codec: round trips, malformed input, properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec import (
+    decode_kv_pairs,
+    decode_records,
+    encode_kv_pairs,
+    encode_records,
+)
+
+
+class TestRecords:
+    def test_empty(self):
+        assert decode_records(encode_records([])) == []
+        assert encode_records([]) == b""
+
+    def test_single(self):
+        assert decode_records(encode_records([b"abc"])) == [b"abc"]
+
+    def test_preserves_order_and_empties(self):
+        records = [b"", b"x", b"", b"yy"]
+        assert decode_records(encode_records(records)) == records
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            encode_records(["not-bytes"])  # type: ignore[list-item]
+
+    def test_truncated_length_prefix(self):
+        data = encode_records([b"hello"])
+        with pytest.raises(ValueError):
+            decode_records(data[:2])
+
+    def test_truncated_body(self):
+        data = encode_records([b"hello"])
+        with pytest.raises(ValueError):
+            decode_records(data[:-1])
+
+    @given(st.lists(st.binary(max_size=200), max_size=50))
+    def test_roundtrip_property(self, records):
+        assert decode_records(encode_records(records)) == records
+
+
+class TestKvPairs:
+    def test_roundtrip(self):
+        pairs = [(b"k1", b"v1"), (b"k2", b""), (b"", b"v3")]
+        assert decode_kv_pairs(encode_kv_pairs(pairs)) == pairs
+
+    def test_odd_record_count_rejected(self):
+        data = encode_records([b"only-one"])
+        with pytest.raises(ValueError):
+            decode_kv_pairs(data)
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(max_size=64), st.binary(max_size=64)),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, pairs):
+        assert decode_kv_pairs(encode_kv_pairs(pairs)) == pairs

@@ -1,0 +1,135 @@
+"""Edge cases across the public surface: empty data, huge structures,
+boundary sizes, odd-but-legal inputs."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=SimClock(), default_blocks=512
+    )
+
+
+@pytest.fixture
+def client(controller):
+    return connect(controller, "edge")
+
+
+class TestEmptyData:
+    def test_zero_byte_append(self, client):
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        assert f.append(b"") == 0
+        assert f.size == 0
+        # An empty append must not allocate anything.
+        assert f.allocated_bytes() == 0
+
+    def test_empty_value_kv(self, client):
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=4)
+        kv.put(b"k", b"")
+        assert kv.get(b"k") == b""
+
+    def test_empty_queue_item(self, client):
+        client.create_addr_prefix("q")
+        q = client.init_data_structure("q", "fifo_queue")
+        q.enqueue(b"")
+        assert q.dequeue() == b""
+
+    def test_flush_empty_structure(self, client, controller):
+        client.create_addr_prefix("f")
+        client.init_data_structure("f", "file")
+        assert client.flush_addr_prefix("f", "empty") == 0
+        assert controller.external_store.get("empty") == b""
+
+    def test_load_empty_flush(self, client, controller):
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=4)
+        client.flush_addr_prefix("kv", "ckpt")
+        kv.put(b"later", b"v")
+        client.load_addr_prefix("kv", "ckpt")
+        assert len(kv) == 0
+
+
+class TestBoundarySizes:
+    def test_append_exactly_high_limit(self, client, controller):
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        limit = f.high_limit
+        f.append(b"x" * limit)
+        assert len(f.node.block_ids) == 1
+        f.append(b"y")  # the very next byte needs a new block
+        assert len(f.node.block_ids) == 2
+        assert f.readall() == b"x" * limit + b"y"
+
+    def test_single_byte_reads_across_boundary(self, client):
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        limit = f.high_limit
+        f.append(bytes(range(256)) * 8)
+        # Read the two bytes straddling the first block boundary.
+        straddle = f.read_at(limit - 1, 2)
+        whole = f.readall()
+        assert straddle == whole[limit - 1 : limit + 1]
+
+    def test_key_as_long_as_value_space_allows(self, client):
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=4)
+        long_key = b"k" * 500
+        kv.put(long_key, b"v" * 300)
+        assert kv.get(long_key) == b"v" * 300
+
+
+class TestOddInputs:
+    def test_binary_keys_with_nulls(self, client):
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=8)
+        weird = b"\x00\xff\x00key"
+        kv.put(weird, b"v")
+        assert kv.get(weird) == b"v"
+        assert kv.delete(weird) == b"v"
+
+    def test_unicode_string_keys(self, client):
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=8)
+        kv.put("clé-日本語", b"v")
+        assert kv.get("clé-日本語".encode()) == b"v"
+
+    def test_prefix_names_with_dots_rejected_as_multi_component(self, client):
+        # Dots are path separators (paper notation), so a dotted name is
+        # a multi-component path and cannot be a single prefix name.
+        from repro.errors import AddressError
+
+        with pytest.raises(AddressError):
+            client.create_addr_prefix("a.b")
+
+
+class TestScaleGuards:
+    def test_wide_hierarchy_stays_fast(self, controller):
+        """1000 prefixes under one root: creation + renewal must stay
+        linear (guards against accidental quadratic traversals)."""
+        import time
+
+        controller.register_job("wide")
+        controller.create_addr_prefix("wide", "root")
+        start = time.perf_counter()
+        for i in range(1000):
+            controller.create_addr_prefix("wide", f"t{i}", parents=["root"])
+        controller.renew_lease("wide", "root")  # covers all 1001
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+        assert controller.hierarchy("wide").metadata_bytes() == 1001 * 64
+
+    def test_many_small_files_one_job(self, client, controller):
+        client.create_addr_prefix("root")
+        for i in range(64):
+            client.create_addr_prefix(f"f{i}", parent="root")
+            ds = client.init_data_structure(f"f{i}", "file")
+            ds.append(b"z" * 10)
+        assert controller.pool.allocated_blocks == 64

@@ -1,0 +1,62 @@
+"""The shipped examples must run end to end (they double as docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, EXAMPLES
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_readme_quickstart_snippet():
+    """The README's code block must stay executable."""
+    from repro import JiffyController, JiffyConfig, connect
+    from repro.config import KB
+    from repro.sim import SimClock
+
+    clock = SimClock()
+    controller = JiffyController(JiffyConfig(block_size=4 * KB), clock=clock)
+
+    client = connect(controller, "my-job")
+    client.create_hierarchy({"map": [], "reduce": ["map"]})
+
+    shuffle = client.init_data_structure("map", "file")
+    shuffle.append(b"intermediate data")
+
+    counts = client.init_data_structure("reduce", "kv_store")
+    counts.put(b"word", b"42")
+
+    assert client.renew_lease("reduce") == 2
+    clock.advance(2.0)
+    controller.tick()
+    client.load_addr_prefix("reduce", "my-job/reduce")
+    assert counts.get(b"word") == b"42"
+
+
+def test_package_docstring_example():
+    import doctest
+
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,73 @@
+"""Metrics snapshots reflect system activity."""
+
+import pytest
+
+from repro.blocks.tiered import TieredMemoryPool
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.metrics import format_snapshot, snapshot
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def controller():
+    return JiffyController(
+        JiffyConfig(block_size=KB), clock=SimClock(), default_blocks=32
+    )
+
+
+class TestSnapshot:
+    def test_counts_activity(self, controller):
+        client = connect(controller, "job")
+        client.create_addr_prefix("t")
+        kv = client.init_data_structure("t", "kv_store", num_slots=8)
+        for i in range(30):
+            kv.put(f"k{i}".encode(), b"v" * 30)
+        metrics = snapshot(controller)
+        assert metrics["controller.jobs"] == 1
+        assert metrics["allocator.allocations"] >= 1
+        assert metrics["pool.used_bytes"] > 0
+        assert 0 < metrics["pool.utilization"] <= 1.0
+
+    def test_expiry_visible(self, controller):
+        client = connect(controller, "job")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file").append(b"x" * 100)
+        controller.clock.advance(2.0)
+        controller.tick()
+        metrics = snapshot(controller)
+        assert metrics["controller.prefixes_expired"] == 1
+        assert metrics["leases.expirations"] >= 1
+        assert metrics["external.objects"] == 1
+        assert metrics["external.bytes_written"] == 100
+
+    def test_tiered_pool_metrics(self):
+        pool = TieredMemoryPool(block_size=KB, spill_server_blocks=8)
+        pool.add_server(num_blocks=1)
+        controller = JiffyController(
+            JiffyConfig(block_size=KB), pool=pool, clock=SimClock()
+        )
+        client = connect(controller, "job")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file").append(b"z" * 3 * KB)
+        metrics = snapshot(controller)
+        assert metrics["pool.spilled_blocks"] > 0
+        assert metrics["pool.spill_allocations"] > 0
+
+    def test_plain_pool_has_no_spill_keys(self, controller):
+        metrics = snapshot(controller)
+        assert "pool.spilled_blocks" not in metrics
+
+
+class TestFormatting:
+    def test_aligned_output(self, controller):
+        text = format_snapshot(snapshot(controller))
+        lines = text.splitlines()
+        assert len(lines) > 10
+        # keys sorted
+        keys = [line.split()[0] for line in lines]
+        assert keys == sorted(keys)
+
+    def test_empty(self):
+        assert format_snapshot({}) == ""

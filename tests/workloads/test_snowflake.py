@@ -1,0 +1,127 @@
+"""Snowflake-like generator: published statistics must hold (Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.snowflake import (
+    JobTrace,
+    SnowflakeWorkloadGenerator,
+    Stage,
+    demand_series,
+)
+
+
+@pytest.fixture
+def gen():
+    return SnowflakeWorkloadGenerator(seed=3)
+
+
+class TestJobStructure:
+    def test_job_has_multiple_stages(self, gen):
+        job = gen.generate_job("j", "t", submit_time=0.0)
+        assert len(job.stages) >= 2
+        # Stages are back-to-back.
+        for a, b in zip(job.stages, job.stages[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_job_times(self, gen):
+        job = gen.generate_job("j", "t", submit_time=10.0)
+        assert job.submit_time == 10.0
+        assert job.end_time > 10.0
+        assert job.duration == pytest.approx(
+            sum(s.duration for s in job.stages)
+        )
+
+    def test_reproducible_with_seed(self):
+        a = SnowflakeWorkloadGenerator(seed=9).generate_job("j", "t", 0.0)
+        b = SnowflakeWorkloadGenerator(seed=9).generate_job("j", "t", 0.0)
+        assert [s.output_bytes for s in a.stages] == [
+            s.output_bytes for s in b.stages
+        ]
+
+
+class TestDemandModel:
+    def _simple_job(self):
+        return JobTrace(
+            "j",
+            "t",
+            0.0,
+            [
+                Stage(0, 0.0, 10.0, 1000),
+                Stage(1, 10.0, 10.0, 2000),
+            ],
+        )
+
+    def test_zero_outside_lifetime(self):
+        job = self._simple_job()
+        assert job.demand_at(-1.0) == 0.0
+        assert job.demand_at(25.0) == 0.0
+
+    def test_linear_rampup_during_stage(self):
+        job = self._simple_job()
+        assert job.demand_at(5.0) == pytest.approx(500.0)
+
+    def test_stage_output_freed_when_consumer_finishes(self):
+        job = self._simple_job()
+        # At t=15, stage0's 1000 bytes are held (consumer running) plus
+        # stage1's half-written 1000.
+        assert job.demand_at(15.0) == pytest.approx(2000.0)
+        # Stage-0 data dies at stage-1 end (t=20 == job end here).
+        assert job.demand_at(20.0) == 0.0
+
+    def test_peak_exceeds_mean(self, gen):
+        job = gen.generate_job("j", "t", 0.0)
+        assert job.peak_demand() >= job.mean_demand() > 0
+
+    def test_total_intermediate_bytes(self):
+        job = self._simple_job()
+        assert job.total_intermediate_bytes() == 3000
+
+
+class TestPublishedStatistics:
+    def test_peak_to_mean_ratio_is_large(self, gen):
+        # Fig 1(a): order-of-magnitude variability per tenant.
+        tenants = gen.generate(num_tenants=8, duration_s=3600.0)
+        ratios = []
+        for jobs in tenants.values():
+            _, demand = demand_series(jobs, 0, 3600.0, 30.0)
+            active = demand[demand > 0]
+            if active.size:
+                ratios.append(demand.max() / active.mean())
+        assert np.mean(ratios) > 4.0
+
+    def test_peak_provisioned_utilization_low(self, gen):
+        # Fig 1(b): average utilisation well under 50% when provisioned
+        # for peak (paper: 19%).
+        tenants = gen.generate(num_tenants=8, duration_s=3600.0)
+        utils = []
+        for jobs in tenants.values():
+            _, demand = demand_series(jobs, 0, 3600.0, 30.0)
+            if demand.max() > 0:
+                utils.append(demand.mean() / demand.max())
+        assert np.mean(utils) < 0.5
+
+    def test_stage_sizes_span_orders_of_magnitude(self, gen):
+        # §2.1: TPC-DS intermediate sizes span 5 orders of magnitude.
+        jobs = [gen.generate_job(f"j{i}", "t", 0.0) for i in range(200)]
+        sizes = [s.output_bytes for j in jobs for s in j.stages]
+        assert max(sizes) / max(min(sizes), 1) > 1e3
+
+
+class TestDemandSeries:
+    def test_sum_of_jobs(self, gen):
+        jobs = [gen.generate_job(f"j{i}", "t", 10.0 * i) for i in range(3)]
+        times, demand = demand_series(jobs, 0.0, 100.0, 1.0)
+        assert times.shape == demand.shape
+        k = 42
+        expected = sum(j.demand_at(times[k]) for j in jobs)
+        assert demand[k] == pytest.approx(expected)
+
+    def test_bad_dt(self, gen):
+        with pytest.raises(ValueError):
+            demand_series([], 0, 10, 0)
+
+    def test_poisson_arrivals_within_window(self, gen):
+        jobs = gen.generate_tenant("t", duration_s=1000.0, job_arrival_rate=0.05)
+        assert all(0 <= j.submit_time < 1000.0 for j in jobs)
+        assert len(jobs) > 10  # rate 0.05 over 1000s ~ 50 expected

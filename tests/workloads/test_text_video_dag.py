@@ -1,0 +1,113 @@
+"""Text, video and DAG workload generators."""
+
+import collections
+
+import networkx as nx
+import pytest
+
+from repro.workloads.dag import layered_dag, linear_dag, map_reduce_dag
+from repro.workloads.text import SyntheticTextGenerator
+from repro.workloads.video import VideoWorkload
+
+
+class TestText:
+    def test_sentence_word_bounds(self):
+        gen = SyntheticTextGenerator(seed=1, min_sentence_words=3, max_sentence_words=7)
+        for sentence in gen.sentences(50):
+            assert 3 <= len(sentence.split()) <= 7
+
+    def test_vocabulary_fixed(self):
+        gen = SyntheticTextGenerator(vocabulary_size=100, seed=2)
+        vocab = set(gen.vocabulary)
+        assert len(vocab) == 100
+        words = {w for s in gen.sentences(100) for w in s.split()}
+        assert words <= vocab
+
+    def test_zipfian_frequencies(self):
+        gen = SyntheticTextGenerator(vocabulary_size=500, seed=3)
+        counts = collections.Counter(
+            w for s in gen.sentences(2000) for w in s.split()
+        )
+        top_frac = counts.most_common(1)[0][1] / sum(counts.values())
+        assert top_frac > 0.02  # a hot head exists
+
+    def test_corpus_bytes(self):
+        gen = SyntheticTextGenerator(seed=4)
+        corpus = gen.corpus_bytes(10)
+        assert corpus.count(b"\n") == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTextGenerator(vocabulary_size=0)
+        with pytest.raises(ValueError):
+            SyntheticTextGenerator(min_sentence_words=5, max_sentence_words=3)
+
+
+class TestVideo:
+    def test_chunk_layout(self):
+        workload = VideoWorkload(num_chunks=8, frames_per_chunk=6, frame_bytes=1000)
+        assert len(workload) == 8
+        assert workload.chunks[0].raw_bytes == 6000
+        assert workload.total_raw_bytes() == 48_000
+
+    def test_state_bytes_is_one_frame(self):
+        workload = VideoWorkload(frame_bytes=2048)
+        assert workload.chunks[0].state_bytes == 2048
+
+    def test_frame_data_deterministic(self):
+        workload = VideoWorkload(frame_bytes=64)
+        chunk = workload.chunks[2]
+        assert workload.frame_data(chunk, 1) == workload.frame_data(chunk, 1)
+        assert len(workload.frame_data(chunk, 0)) == 64
+
+    def test_frame_index_bounds(self):
+        workload = VideoWorkload()
+        with pytest.raises(ValueError):
+            workload.frame_data(workload.chunks[0], 99)
+
+    def test_encode_cost_jitter_bounded(self):
+        workload = VideoWorkload(base_encode_cost_s=10.0, cost_jitter=0.2, seed=7)
+        for chunk in workload.chunks:
+            assert 8.0 <= chunk.encode_cost_s <= 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoWorkload(num_chunks=0)
+
+
+class TestDags:
+    def test_linear(self):
+        dag = linear_dag(4)
+        assert dag == {"T1": [], "T2": ["T1"], "T3": ["T2"], "T4": ["T3"]}
+
+    def test_layered_is_acyclic(self):
+        dag = layered_dag(4, 5, seed=1)
+        g = nx.DiGraph()
+        for task, parents in dag.items():
+            g.add_node(task)
+            for p in parents:
+                g.add_edge(p, task)
+        assert nx.is_directed_acyclic_graph(g)
+        assert g.number_of_nodes() == 20
+
+    def test_layered_no_orphan_outputs(self):
+        dag = layered_dag(3, 4, fan_in=1, seed=2)
+        non_sinks = {p for parents in dag.values() for p in parents}
+        # Every task in the first two layers must feed someone.
+        sinks = set(dag) - non_sinks
+        # All sinks must be in the last layer (T9..T12 for 3x4).
+        last_layer = {f"T{i}" for i in range(9, 13)}
+        assert sinks <= last_layer
+
+    def test_map_reduce_dag(self):
+        dag = map_reduce_dag(3, 2)
+        assert dag["reduce-0"] == ["map-0", "map-1", "map-2"]
+        assert dag["map-1"] == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_dag(0)
+        with pytest.raises(ValueError):
+            layered_dag(0, 1)
+        with pytest.raises(ValueError):
+            map_reduce_dag(0, 1)

@@ -1,0 +1,75 @@
+"""TPC-DS-shaped workloads: the §2.1 intra-query size spread."""
+
+import pytest
+
+from repro.config import MB
+from repro.workloads.tpcds import (
+    Q_JOIN_HEAVY,
+    TEMPLATES,
+    TpcdsWorkloadGenerator,
+)
+
+
+class TestTemplates:
+    def test_join_heavy_spread_matches_paper(self):
+        # §2.1: 0.8MB to 66GB in one query = ~5 orders of magnitude.
+        assert Q_JOIN_HEAVY.size_spread > 1e4
+
+    def test_all_templates_well_formed(self):
+        for template in TEMPLATES.values():
+            assert len(template.stages) >= 2
+            assert all(s > 0 and d > 0 for s, d in template.stages)
+
+
+class TestGeneration:
+    def test_paper_quoted_range_at_full_scale(self):
+        gen = TpcdsWorkloadGenerator(size_jitter=1.0, seed=1)
+        query = gen.generate_query("q", "t", 0.0, Q_JOIN_HEAVY)
+        sizes = [s.output_bytes for s in query.stages]
+        assert max(sizes) == pytest.approx(66 * 1024 * MB, rel=0.01)
+        assert min(sizes) == pytest.approx(0.81 * MB, rel=0.05)
+
+    def test_ratios_preserved_at_laptop_scale(self):
+        gen = TpcdsWorkloadGenerator(
+            scale_bytes=1 * MB, size_jitter=1.0, seed=2
+        )
+        query = gen.generate_query("q", "t", 0.0, Q_JOIN_HEAVY)
+        sizes = [s.output_bytes for s in query.stages]
+        assert max(sizes) / max(min(sizes), 1) > 1e4
+
+    def test_stages_back_to_back(self):
+        gen = TpcdsWorkloadGenerator(seed=3)
+        query = gen.generate_query("q", "t", 5.0)
+        assert query.submit_time == 5.0
+        for a, b in zip(query.stages, query.stages[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_jitter_varies_sizes(self):
+        gen = TpcdsWorkloadGenerator(size_jitter=2.0, seed=4)
+        a = gen.generate_query("a", "t", 0.0, Q_JOIN_HEAVY)
+        b = gen.generate_query("b", "t", 0.0, Q_JOIN_HEAVY)
+        assert [s.output_bytes for s in a.stages] != [
+            s.output_bytes for s in b.stages
+        ]
+
+    def test_mix_round_robins_templates(self):
+        gen = TpcdsWorkloadGenerator(seed=5)
+        jobs = gen.generate_mix(6, duration_s=600.0)
+        assert len(jobs) == 6
+        assert all(0 <= j.submit_time <= 600.0 for j in jobs)
+        stage_counts = {len(j.stages) for j in jobs}
+        assert len(stage_counts) > 1  # different templates used
+
+    def test_demand_profile_usable(self):
+        gen = TpcdsWorkloadGenerator(scale_bytes=10 * MB, seed=6)
+        query = gen.generate_query("q", "t", 0.0, Q_JOIN_HEAVY)
+        mid_join = query.stages[1].start + query.stages[1].duration / 2
+        assert query.demand_at(mid_join) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TpcdsWorkloadGenerator(scale_bytes=0)
+        with pytest.raises(ValueError):
+            TpcdsWorkloadGenerator(size_jitter=0.5)
+        with pytest.raises(ValueError):
+            TpcdsWorkloadGenerator().generate_mix(0, 100.0)

@@ -1,0 +1,77 @@
+"""Trace serialisation: round trips and malformed input."""
+
+import json
+
+import pytest
+
+from repro.workloads.snowflake import SnowflakeWorkloadGenerator
+from repro.workloads.traceio import (
+    iter_traces,
+    load_traces,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+@pytest.fixture
+def jobs():
+    gen = SnowflakeWorkloadGenerator(seed=21)
+    return [gen.generate_job(f"j{i}", "tenant", 10.0 * i) for i in range(5)]
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, jobs):
+        for job in jobs:
+            restored = trace_from_dict(trace_to_dict(job))
+            assert restored == job
+
+    def test_file_roundtrip(self, jobs, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert save_traces(jobs, path) == 5
+        assert load_traces(path) == jobs
+
+    def test_streaming_iteration(self, jobs, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_traces(jobs, path)
+        seen = [job.job_id for job in iter_traces(path)]
+        assert seen == [f"j{i}" for i in range(5)]
+
+    def test_blank_lines_ignored(self, jobs, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_traces(jobs[:1], path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_traces(path)) == 1
+
+    def test_demand_preserved(self, jobs, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_traces(jobs, path)
+        restored = load_traces(path)
+        for a, b in zip(jobs, restored):
+            t = (a.submit_time + a.end_time) / 2
+            assert a.demand_at(t) == b.demand_at(t)
+
+
+class TestMalformed:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_traces(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"job_id": "j"}) + "\n")
+        with pytest.raises(ValueError, match="malformed trace record"):
+            load_traces(path)
+
+    def test_bad_stage_type(self):
+        record = {
+            "job_id": "j",
+            "tenant_id": "t",
+            "submit_time": 0.0,
+            "stages": [{"index": 0, "start": 0, "duration": "soon", "output_bytes": 1}],
+        }
+        with pytest.raises(ValueError):
+            trace_from_dict(record)

@@ -1,0 +1,64 @@
+"""Zipf sampler: skew, determinism, bounds."""
+
+import collections
+
+import pytest
+
+from repro.workloads.zipf import ZipfKeySampler
+
+
+class TestSampling:
+    def test_keys_in_range(self):
+        sampler = ZipfKeySampler(num_keys=100, seed=1)
+        for key in sampler.sample_many(500):
+            assert key.startswith(b"key-")
+            assert 0 <= int(key[4:]) < 100
+
+    def test_rank1_is_hottest(self):
+        sampler = ZipfKeySampler(num_keys=50, alpha=1.2, seed=2)
+        counts = collections.Counter(sampler.sample_many(20_000))
+        hottest_key, _ = counts.most_common(1)[0]
+        assert hottest_key == sampler.key_at_rank(1)
+
+    def test_skew_increases_with_alpha(self):
+        low = ZipfKeySampler(num_keys=100, alpha=0.5, seed=3)
+        high = ZipfKeySampler(num_keys=100, alpha=2.0, seed=3)
+        top_low = collections.Counter(low.sample_many(10_000)).most_common(1)[0][1]
+        top_high = collections.Counter(high.sample_many(10_000)).most_common(1)[0][1]
+        assert top_high > top_low
+
+    def test_alpha_zero_is_uniformish(self):
+        sampler = ZipfKeySampler(num_keys=10, alpha=0.0, seed=4)
+        counts = collections.Counter(sampler.sample_many(20_000))
+        fractions = [c / 20_000 for c in counts.values()]
+        assert max(fractions) < 0.2  # ~0.1 each
+
+    def test_deterministic_with_seed(self):
+        a = ZipfKeySampler(num_keys=100, seed=5).sample_many(50)
+        b = ZipfKeySampler(num_keys=100, seed=5).sample_many(50)
+        assert a == b
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfKeySampler(num_keys=20, alpha=1.0)
+        total = sum(sampler.probability_of_rank(r) for r in range(1, 21))
+        assert total == pytest.approx(1.0)
+
+    def test_monotone_in_rank(self):
+        sampler = ZipfKeySampler(num_keys=20, alpha=1.0)
+        probs = [sampler.probability_of_rank(r) for r in range(1, 21)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_rank_bounds(self):
+        sampler = ZipfKeySampler(num_keys=5)
+        with pytest.raises(ValueError):
+            sampler.probability_of_rank(0)
+        with pytest.raises(ValueError):
+            sampler.key_at_rank(6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeySampler(num_keys=0)
+        with pytest.raises(ValueError):
+            ZipfKeySampler(num_keys=5, alpha=-1.0)
