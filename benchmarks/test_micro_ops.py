@@ -9,7 +9,7 @@ import itertools
 
 import pytest
 
-from repro.config import KB, MB, JiffyConfig
+from repro.config import MB, JiffyConfig
 from repro.core.client import connect
 from repro.core.controller import JiffyController
 from repro.datastructures.cuckoo import CuckooHashTable

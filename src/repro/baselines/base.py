@@ -21,12 +21,12 @@ capacity".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import MB
-from repro.storage.tier import S3_TIER, SSD_TIER, DRAM_TIER, StorageTier
+from repro.storage.tier import SSD_TIER, DRAM_TIER, StorageTier
 from repro.workloads.snowflake import JobTrace
 
 

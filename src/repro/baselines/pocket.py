@@ -14,7 +14,7 @@ instantaneous demand exceeds the average).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

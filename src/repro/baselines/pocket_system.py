@@ -16,18 +16,13 @@ same :class:`~repro.blocks.tiered.TieredMemoryPool`:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.blocks.block import Block
 from repro.blocks.tiered import TieredMemoryPool
 from repro.datastructures.base import ITEM_OVERHEAD_BYTES
 from repro.datastructures.cuckoo import CuckooHashTable
-from repro.errors import (
-    CapacityError,
-    DataStructureError,
-    KeyNotFoundError,
-    RegistrationError,
-)
+from repro.errors import CapacityError, DataStructureError, RegistrationError
 
 
 class PocketBucket:

@@ -10,7 +10,7 @@ the low threshold makes the block a merge candidate.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.errors import BlockError
 

@@ -11,7 +11,7 @@ with its tier so experiments can account spill traffic and latency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool

@@ -6,6 +6,12 @@
 
 Each subcommand prints the same paper-style rows the bench targets
 record in EXPERIMENTS.md.
+
+Telemetry inspection rides alongside the figure commands:
+
+    python -m repro telemetry metrics           # Prometheus-style dump
+    python -m repro telemetry metrics --json    # JSON export
+    python -m repro telemetry trace --tail 20   # span tree of a run
 """
 
 from __future__ import annotations
@@ -130,6 +136,79 @@ COMMANDS: Dict[str, Callable[[bool], str]] = {
 }
 
 
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description="Run an instrumented mini-workload and inspect its "
+        "metrics and trace spans.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the metrics registry after a demo run"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="JSON export instead of "
+        "Prometheus text exposition"
+    )
+    metrics.add_argument(
+        "--quick", action="store_true", help="smaller demo workload"
+    )
+    metrics.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write the run's spans to a JSONL trace file",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="render a span tree (from a demo run or a JSONL file)"
+    )
+    tr.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="JSONL trace file to read (default: run a quick demo)",
+    )
+    tr.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the last N spans",
+    )
+    return parser
+
+
+def telemetry_main(argv: List[str]) -> int:
+    from repro.telemetry import demo
+    from repro.telemetry.tracer import format_trace, read_trace_file
+
+    args = build_telemetry_parser().parse_args(argv)
+    if args.action == "metrics":
+        result = demo.run(quick=args.quick, trace_path=args.trace_out)
+        if args.json:
+            print(result.registry.to_json(indent=2))
+        else:
+            print(result.registry.render_prometheus(), end="")
+        if args.trace_out:
+            print(f"# trace written to {args.trace_out}", file=sys.stderr)
+    else:  # trace
+        if args.path is not None:
+            try:
+                events = read_trace_file(args.path, tail=args.tail)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+                return 1
+        else:
+            result = demo.run(quick=True)
+            events = [span.to_dict() for span in result.tracer.finished()]
+            if args.tail is not None:
+                events = events[-args.tail :] if args.tail > 0 else []
+        print(format_trace(events))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -149,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:

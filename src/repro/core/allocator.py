@@ -9,12 +9,14 @@ while physical blocks are shared across all jobs at block granularity.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
 from repro.core.hierarchy import AddressNode
 from repro.errors import BlockError, CapacityError
+from repro.telemetry import MetricsRegistry
 
 
 class BlockAllocator:
@@ -26,16 +28,39 @@ class BlockAllocator:
     block quota enforced at allocation time.
     """
 
-    def __init__(self, pool: MemoryPool) -> None:
+    def __init__(
+        self, pool: MemoryPool, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.pool = pool
         # block id -> (job id, prefix name)
         self._owner: Dict[BlockId, Tuple[str, str]] = {}
         self._job_blocks: Dict[str, int] = {}
         self._quotas: Dict[str, int] = {}
-        self.allocations = 0
-        self.reclamations = 0
-        self.failed_allocations = 0
-        self.quota_rejections = 0
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self._c_allocations = self.telemetry.counter("allocator.allocations")
+        self._c_reclamations = self.telemetry.counter("allocator.reclamations")
+        self._c_failed = self.telemetry.counter("allocator.failed_allocations")
+        self._c_quota_rejections = self.telemetry.counter(
+            "allocator.quota_rejections"
+        )
+        self._c_spill = self.telemetry.counter("pool.spill.allocations")
+        self._h_alloc = self.telemetry.histogram("pool.alloc.latency_s")
+
+    @property
+    def allocations(self) -> int:
+        return self._c_allocations.value
+
+    @property
+    def reclamations(self) -> int:
+        return self._c_reclamations.value
+
+    @property
+    def failed_allocations(self) -> int:
+        return self._c_failed.value
+
+    @property
+    def quota_rejections(self) -> int:
+        return self._c_quota_rejections.value
 
     # ------------------------------------------------------------------
     # Policy hook: per-job quotas
@@ -64,19 +89,23 @@ class BlockAllocator:
         when the job's quota is reached."""
         quota = self._quotas.get(node.job_id)
         if quota is not None and self.blocks_held_by(node.job_id) >= quota:
-            self.quota_rejections += 1
+            self._c_quota_rejections.inc()
             raise CapacityError(
                 f"job {node.job_id!r} is at its quota of {quota} blocks"
             )
+        alloc_start = perf_counter()
         try:
             block = self.pool.allocate()
         except CapacityError:
-            self.failed_allocations += 1
+            self._c_failed.inc()
             raise
+        self._h_alloc.record(perf_counter() - alloc_start)
+        if block.tier != "dram":
+            self._c_spill.inc()
         self._owner[block.block_id] = (node.job_id, node.name)
         self._job_blocks[node.job_id] = self.blocks_held_by(node.job_id) + 1
         node.block_ids.append(block.block_id)
-        self.allocations += 1
+        self._c_allocations.inc()
         return block
 
     def try_allocate(self, node: AddressNode) -> Optional[Block]:
@@ -102,7 +131,7 @@ class BlockAllocator:
         else:
             self._job_blocks.pop(node.job_id, None)
         self.pool.reclaim(block_id)
-        self.reclamations += 1
+        self._c_reclamations.inc()
 
     def reclaim_all(self, node: AddressNode) -> int:
         """Reclaim every block of ``node``; returns the count reclaimed."""

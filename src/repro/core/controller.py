@@ -16,7 +16,8 @@ thread and simulations call as the clock advances.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
@@ -31,6 +32,8 @@ from repro.errors import (
 )
 from repro.sim.clock import Clock, WallClock
 from repro.storage.external import ExternalStore
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import trace
 
 
 class JiffyController:
@@ -44,6 +47,11 @@ class JiffyController:
         clock: time source for leases; defaults to the wall clock.
         external_store: flush/load target for expired or persisted data.
         default_blocks: pool size when ``pool`` is omitted.
+        registry: metrics registry this deployment records into. Defaults
+            to a fresh :class:`~repro.telemetry.MetricsRegistry`, so two
+            controllers in one process never mix their numbers; pass
+            ``repro.telemetry.get_registry()`` to publish process-wide, or
+            a registry created with ``enabled=False`` for a no-op mode.
     """
 
     def __init__(
@@ -53,6 +61,7 @@ class JiffyController:
         clock: Optional[Clock] = None,
         external_store: Optional[ExternalStore] = None,
         default_blocks: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else JiffyConfig()
         self.clock = clock if clock is not None else WallClock()
@@ -68,16 +77,50 @@ class JiffyController:
         self.external_store = (
             external_store if external_store is not None else ExternalStore()
         )
-        self.allocator = BlockAllocator(pool)
-        self.leases = LeaseManager(self.clock, self.config.lease_duration)
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self.allocator = BlockAllocator(pool, registry=self.telemetry)
+        self.leases = LeaseManager(
+            self.clock, self.config.lease_duration, registry=self.telemetry
+        )
         self.metadata = MetadataManager()
         self._jobs: Dict[str, AddressHierarchy] = {}
-        # Control-plane op counter: every externally visible request.
-        self.ops_handled = 0
-        self.scale_up_signals = 0
-        self.scale_down_signals = 0
-        self.prefixes_expired = 0
-        self.blocks_reclaimed_by_expiry = 0
+        # Control-plane counters live in the registry; the attribute
+        # names below are kept as read-through properties.
+        self._c_ops = self.telemetry.counter("controller.ops_handled")
+        self._c_scale_up = self.telemetry.counter("controller.scale_up_signals")
+        self._c_scale_down = self.telemetry.counter("controller.scale_down_signals")
+        self._c_expired = self.telemetry.counter("controller.prefixes_expired")
+        self._c_expiry_reclaimed = self.telemetry.counter(
+            "controller.blocks_reclaimed_by_expiry"
+        )
+        self._c_flushes = self.telemetry.counter("controller.flushes")
+        self._h_sweep = self.telemetry.histogram("controller.expiry_sweep.latency_s")
+        self._h_flush_bytes = self.telemetry.histogram("controller.flush.bytes")
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters (attribute back-compat)
+    # ------------------------------------------------------------------
+
+    @property
+    def ops_handled(self) -> int:
+        """Every externally visible control-plane request handled."""
+        return self._c_ops.value
+
+    @property
+    def scale_up_signals(self) -> int:
+        return self._c_scale_up.value
+
+    @property
+    def scale_down_signals(self) -> int:
+        return self._c_scale_down.value
+
+    @property
+    def prefixes_expired(self) -> int:
+        return self._c_expired.value
+
+    @property
+    def blocks_reclaimed_by_expiry(self) -> int:
+        return self._c_expiry_reclaimed.value
 
     # ------------------------------------------------------------------
     # Job registration
@@ -85,7 +128,7 @@ class JiffyController:
 
     def register_job(self, job_id: str) -> AddressHierarchy:
         """Register a job, creating its (initially empty) hierarchy."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         if not job_id:
             raise RegistrationError("job id must be non-empty")
         if job_id in self._jobs:
@@ -101,7 +144,7 @@ class JiffyController:
         store first (mirrors a graceful shutdown); the default matches
         Pocket's semantics where deregistration simply frees resources.
         """
-        self.ops_handled += 1
+        self._c_ops.inc()
         hierarchy = self._hierarchy(job_id)
         reclaimed = 0
         for node in list(hierarchy.nodes()):
@@ -141,7 +184,7 @@ class JiffyController:
         lease_duration: Optional[float] = None,
     ) -> AddressNode:
         """Create an address prefix, optionally pre-allocating blocks."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         hierarchy = self._hierarchy(job_id)
         node = hierarchy.add_node(name, parents=parents)
         node.lease_duration = lease_duration
@@ -154,7 +197,7 @@ class JiffyController:
         self, job_id: str, dag: Mapping[str, Sequence[str]]
     ) -> AddressHierarchy:
         """Build the whole address hierarchy from an execution DAG."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         if job_id not in self._jobs:
             raise RegistrationError(f"job {job_id!r} is not registered")
         existing = self._jobs[job_id]
@@ -178,12 +221,12 @@ class JiffyController:
         register late edges here as they discover which outputs they
         actually read.
         """
-        self.ops_handled += 1
+        self._c_ops.inc()
         self._hierarchy(job_id).add_parent(prefix, parent)
 
     def resolve(self, job_id: str, prefix: str) -> AddressNode:
         """Resolve an address-prefix path for a job."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         return self._hierarchy(job_id).get_node(prefix)
 
     def check_permission(self, job_id: str, prefix: str, principal: str) -> None:
@@ -196,7 +239,7 @@ class JiffyController:
 
     def grant(self, job_id: str, prefix: str, principal: str) -> None:
         """Add a principal to a prefix's access list."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         self._hierarchy(job_id).get_node(prefix).permissions.add(principal)
 
     # ------------------------------------------------------------------
@@ -205,13 +248,13 @@ class JiffyController:
 
     def renew_lease(self, job_id: str, prefix: str, propagate: bool = True) -> int:
         """Renew the lease on a prefix (DAG-propagated by default)."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         return self.leases.renew(node, propagate=propagate)
 
     def get_lease_duration(self, job_id: str, prefix: str) -> float:
         """The effective lease duration of a prefix."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         return self.leases.lease_duration_of(node)
 
@@ -222,17 +265,21 @@ class JiffyController:
         store (if configured — §3.2 guarantees data survives expiry) and
         reclaim its blocks for reuse by other jobs.
         """
-        expired = self.leases.collect_expired(self._jobs.values())
-        for node in expired:
-            if not node.block_ids:
-                continue
-            if self.config.flush_on_expiry and node.datastructure is not None:
-                self._flush_node(node)
-            self.blocks_reclaimed_by_expiry += self.allocator.reclaim_all(node)
-            self.prefixes_expired += 1
-            hook = getattr(node.datastructure, "_on_expiry_reclaimed", None)
-            if hook is not None:
-                hook()
+        sweep_start = perf_counter()
+        with trace.span("controller.expiry_sweep", jobs=len(self._jobs)) as span:
+            expired = self.leases.collect_expired(self._jobs.values())
+            for node in expired:
+                if not node.block_ids:
+                    continue
+                if self.config.flush_on_expiry and node.datastructure is not None:
+                    self._flush_node(node)
+                self._c_expiry_reclaimed.inc(self.allocator.reclaim_all(node))
+                self._c_expired.inc()
+                hook = getattr(node.datastructure, "_on_expiry_reclaimed", None)
+                if hook is not None:
+                    hook()
+            span.set_attr("expired", len(expired))
+        self._h_sweep.record(perf_counter() - sweep_start)
         return expired
 
     # ------------------------------------------------------------------
@@ -241,16 +288,16 @@ class JiffyController:
 
     def allocate_block(self, job_id: str, prefix: str) -> Block:
         """Handle an overload signal: allocate a new block to a prefix."""
-        self.ops_handled += 1
-        self.scale_up_signals += 1
+        self._c_ops.inc()
+        self._c_scale_up.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         self._check_not_expired(node)
         return self.allocator.allocate(node)
 
     def try_allocate_block(self, job_id: str, prefix: str) -> Optional[Block]:
         """Like :meth:`allocate_block`, but None on pool exhaustion."""
-        self.ops_handled += 1
-        self.scale_up_signals += 1
+        self._c_ops.inc()
+        self._c_scale_up.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         self._check_not_expired(node)
         return self.allocator.try_allocate(node)
@@ -269,8 +316,8 @@ class JiffyController:
 
     def reclaim_block(self, job_id: str, prefix: str, block_id: BlockId) -> None:
         """Handle an underload signal: reclaim a (merged-away) block."""
-        self.ops_handled += 1
-        self.scale_down_signals += 1
+        self._c_ops.inc()
+        self._c_scale_down.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         self.allocator.reclaim(node, block_id)
 
@@ -287,7 +334,7 @@ class JiffyController:
         self, job_id: str, prefix: str, ds_type: str, ds: object
     ) -> PartitionMetadata:
         """Bind a data-structure instance to a prefix."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         node.ds_type = ds_type
         node.datastructure = ds
@@ -295,7 +342,7 @@ class JiffyController:
 
     def partition_metadata(self, job_id: str, prefix: str) -> PartitionMetadata:
         """Fetch (client refresh path) the partition metadata of a prefix."""
-        self.ops_handled += 1
+        self._c_ops.inc()
         return self.metadata.get(job_id, prefix)
 
     # ------------------------------------------------------------------
@@ -307,7 +354,7 @@ class JiffyController:
 
         Returns the number of bytes flushed.
         """
-        self.ops_handled += 1
+        self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         if node.datastructure is None:
             return 0
@@ -318,7 +365,7 @@ class JiffyController:
 
         Returns the number of bytes loaded.
         """
-        self.ops_handled += 1
+        self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         if node.datastructure is None:
             raise RegistrationError(
@@ -335,7 +382,14 @@ class JiffyController:
         flusher = getattr(node.datastructure, "flush_to", None)
         if flusher is None:
             return 0
-        return flusher(self.external_store, external_path)
+        with trace.span(
+            "controller.flush", job=node.job_id, prefix=node.name
+        ) as span:
+            nbytes = flusher(self.external_store, external_path)
+            span.set_attr("bytes", nbytes)
+        self._c_flushes.inc()
+        self._h_flush_bytes.record(float(nbytes))
+        return nbytes
 
     # ------------------------------------------------------------------
     # Introspection / statistics

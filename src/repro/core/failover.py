@@ -17,7 +17,7 @@ the primary's allocation state because allocation order is deterministic.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.core.controller import JiffyController
 from repro.errors import JiffyError

@@ -18,10 +18,11 @@ On expiry the controller flushes the prefix's data to persistent storage
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
 
 from repro.core.hierarchy import AddressHierarchy, AddressNode
 from repro.sim.clock import Clock
+from repro.telemetry import MetricsRegistry
 
 
 class LeaseManager:
@@ -32,14 +33,36 @@ class LeaseManager:
     :meth:`collect_expired` from its periodic expiry worker.
     """
 
-    def __init__(self, clock: Clock, default_lease_duration: float) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        default_lease_duration: float,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if default_lease_duration <= 0:
             raise ValueError("lease duration must be positive")
         self.clock = clock
         self.default_lease_duration = default_lease_duration
-        self.renewal_requests = 0  # renewals requested by jobs
-        self.renewals_applied = 0  # node timestamps updated (incl. propagation)
-        self.expirations = 0
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        # renewals requested by jobs / node timestamps updated (incl.
+        # propagation) / prefixes marked expired — registry-backed, with
+        # the historical attribute names kept as read-through properties.
+        self._c_requests = self.telemetry.counter("leases.renewal_requests")
+        self._c_applied = self.telemetry.counter("leases.renewals_applied")
+        self._c_expirations = self.telemetry.counter("leases.expirations")
+        self._h_fanout = self.telemetry.histogram("leases.renew.fanout")
+
+    @property
+    def renewal_requests(self) -> int:
+        return self._c_requests.value
+
+    @property
+    def renewals_applied(self) -> int:
+        return self._c_applied.value
+
+    @property
+    def expirations(self) -> int:
+        return self._c_expirations.value
 
     # ------------------------------------------------------------------
 
@@ -64,7 +87,7 @@ class LeaseManager:
         ablation.
         """
         now = self.clock.now()
-        self.renewal_requests += 1
+        self._c_requests.inc()
         targets: Set[AddressNode] = {node}
         if propagate:
             targets.update(node.parents)
@@ -72,7 +95,8 @@ class LeaseManager:
         for target in targets:
             target.last_renewal = now
             target.expired = False
-        self.renewals_applied += len(targets)
+        self._c_applied.inc(len(targets))
+        self._h_fanout.record(float(len(targets)))
         return len(targets)
 
     def is_expired(self, node: AddressNode) -> bool:
@@ -101,7 +125,7 @@ class LeaseManager:
                 if self.is_expired(node):
                     node.expired = True
                     expired.append(node)
-                    self.expirations += 1
+                    self._c_expirations.inc()
         return expired
 
     def __repr__(self) -> str:

@@ -10,7 +10,7 @@ observe fully replicated data.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Sequence
 
 from repro.blocks.block import Block
 from repro.blocks.pool import MemoryPool

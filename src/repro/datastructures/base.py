@@ -60,6 +60,7 @@ class DataStructure:
         self.job_id = job_id
         self.prefix = prefix
         self.network = network if network is not None else NetworkModel()
+        self.telemetry = controller.telemetry
         self.broker = NotificationBroker(controller.clock)
         self.repartition_events: List[RepartitionEvent] = []
         self._expired = False
@@ -179,6 +180,12 @@ class DataStructure:
             latency_s=latency,
         )
         self.repartition_events.append(event)
+        self.telemetry.counter(
+            "ds.repartitions", ds=self.DS_TYPE, kind=kind
+        ).inc()
+        self.telemetry.histogram(
+            "ds.repartition.moved_bytes", ds=self.DS_TYPE, kind=kind
+        ).record(float(bytes_moved))
         return event
 
     # ------------------------------------------------------------------

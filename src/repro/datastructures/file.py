@@ -12,6 +12,7 @@ by the Fig 14(c) sensitivity sweep.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Tuple
 
 from repro.blocks.block import Block
@@ -30,6 +31,10 @@ class JiffyFile(DataStructure):
         self._chunks: List[Tuple[str, int]] = []
         self._size = 0
         self._read_pos = 0
+        reg = self.telemetry
+        self._h_append = (
+            reg.histogram("file.append.latency_s") if reg.enabled else None
+        )
         self._sync_metadata()
 
     # ------------------------------------------------------------------
@@ -75,6 +80,16 @@ class JiffyFile(DataStructure):
         once a block crosses the threshold it is sealed and a new block
         is allocated (the §3.3 overload signal).
         """
+        hist = self._h_append
+        if hist is None:
+            return self._append(data)
+        op_start = perf_counter()
+        try:
+            return self._append(data)
+        finally:
+            hist.record(perf_counter() - op_start)
+
+    def _append(self, data: bytes) -> int:
         self._check_alive()
         if not isinstance(data, (bytes, bytearray)):
             raise DataStructureError("file data must be bytes")

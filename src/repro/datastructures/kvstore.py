@@ -19,6 +19,7 @@ Repartitioning (the only built-in data structure that needs it, Table 2):
 from __future__ import annotations
 
 import hashlib
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.blocks.block import Block
@@ -26,6 +27,7 @@ from repro.codec import decode_kv_pairs, encode_kv_pairs
 from repro.datastructures.base import ITEM_OVERHEAD_BYTES, DataStructure
 from repro.datastructures.cuckoo import CuckooHashTable
 from repro.errors import DataStructureError, KeyNotFoundError
+from repro.telemetry import trace
 
 
 def hash_slot(key: bytes, num_slots: int) -> int:
@@ -58,6 +60,13 @@ class JiffyKVStore(DataStructure):
         self._size = 0
         self.splits = 0
         self.merges = 0
+        # Hot-path histograms are fetched once and guarded with None so a
+        # disabled registry costs exactly one attribute check per op.
+        reg = self.telemetry
+        self._h_put = reg.histogram("kv.op.latency_s", op="put") if reg.enabled else None
+        self._h_get = reg.histogram("kv.op.latency_s", op="get") if reg.enabled else None
+        self._c_splits = reg.counter("kv.splits")
+        self._c_merges = reg.counter("kv.merges")
         self._sync_metadata()
 
     # ------------------------------------------------------------------
@@ -116,6 +125,16 @@ class JiffyKVStore(DataStructure):
 
     def put(self, key, value: bytes) -> None:
         """Insert or overwrite a key."""
+        hist = self._h_put
+        if hist is None:
+            return self._put(key, value)
+        op_start = perf_counter()
+        try:
+            return self._put(key, value)
+        finally:
+            hist.record(perf_counter() - op_start)
+
+    def _put(self, key, value: bytes) -> None:
         self._check_alive()
         key_bytes = self._canonical(key)
         if not isinstance(value, (bytes, bytearray)):
@@ -155,6 +174,16 @@ class JiffyKVStore(DataStructure):
 
     def get(self, key) -> bytes:
         """Fetch a key's value; raises :class:`KeyNotFoundError` if absent."""
+        hist = self._h_get
+        if hist is None:
+            return self._get(key)
+        op_start = perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            hist.record(perf_counter() - op_start)
+
+    def _get(self, key) -> bytes:
         self._check_alive()
         key_bytes = self._canonical(key)
         block = self._block_for(key_bytes)
@@ -218,26 +247,32 @@ class JiffyKVStore(DataStructure):
         new_block = self.controller.try_allocate_block(self.job_id, self.prefix)
         if new_block is None:
             return False  # Pool exhausted: stay overloaded rather than fail.
-        slots = sorted(block.payload["slots"])
-        moving = set(slots[len(slots) // 2 :])
-        new_block.payload["table"] = CuckooHashTable()
-        new_block.payload["slots"] = moving
-        table: CuckooHashTable = block.payload["table"]
-        new_table: CuckooHashTable = new_block.payload["table"]
-        moved_bytes = 0
-        for key_bytes, value in list(table.items()):
-            if hash_slot(key_bytes, self.num_slots) in moving:
-                table.delete(key_bytes)
-                new_table.put(key_bytes, value)
-                moved_bytes += self._pair_cost(key_bytes, value)
-        block.payload["slots"] -= moving
-        block.add_used(-min(moved_bytes, block.used))
-        new_block.set_used(moved_bytes)
-        for slot in moving:
-            self._slot_map[slot] = new_block.block_id
-        self.splits += 1
-        self._record_repartition("split", moved_bytes)
-        self._sync_metadata()
+        with trace.span(
+            "kv.split", job=self.job_id, prefix=self.prefix
+        ) as span:
+            slots = sorted(block.payload["slots"])
+            moving = set(slots[len(slots) // 2 :])
+            new_block.payload["table"] = CuckooHashTable()
+            new_block.payload["slots"] = moving
+            table: CuckooHashTable = block.payload["table"]
+            new_table: CuckooHashTable = new_block.payload["table"]
+            moved_bytes = 0
+            for key_bytes, value in list(table.items()):
+                if hash_slot(key_bytes, self.num_slots) in moving:
+                    table.delete(key_bytes)
+                    new_table.put(key_bytes, value)
+                    moved_bytes += self._pair_cost(key_bytes, value)
+            block.payload["slots"] -= moving
+            block.add_used(-min(moved_bytes, block.used))
+            new_block.set_used(moved_bytes)
+            for slot in moving:
+                self._slot_map[slot] = new_block.block_id
+            self.splits += 1
+            self._c_splits.inc()
+            self._record_repartition("split", moved_bytes)
+            self._sync_metadata()
+            span.set_attr("moved_bytes", moved_bytes)
+            span.set_attr("slots_moved", len(moving))
         return True
 
     def _merge(self, block: Block) -> None:
@@ -249,21 +284,26 @@ class JiffyKVStore(DataStructure):
         ]
         if not candidates:
             return  # No peer can absorb us without overloading.
-        target = candidates[0]
-        table: CuckooHashTable = block.payload["table"]
-        target_table: CuckooHashTable = target.payload["table"]
-        moved_bytes = 0
-        for key_bytes, value in table.pop_all():
-            target_table.put(key_bytes, value)
-            moved_bytes += self._pair_cost(key_bytes, value)
-        target.payload["slots"] |= block.payload["slots"]
-        for slot in block.payload["slots"]:
-            self._slot_map[slot] = target.block_id
-        target.add_used(moved_bytes)
-        self.merges += 1
-        self._record_repartition("merge", moved_bytes)
-        self._reclaim_block(block)
-        self._sync_metadata()
+        with trace.span(
+            "kv.merge", job=self.job_id, prefix=self.prefix
+        ) as span:
+            target = candidates[0]
+            table: CuckooHashTable = block.payload["table"]
+            target_table: CuckooHashTable = target.payload["table"]
+            moved_bytes = 0
+            for key_bytes, value in table.pop_all():
+                target_table.put(key_bytes, value)
+                moved_bytes += self._pair_cost(key_bytes, value)
+            target.payload["slots"] |= block.payload["slots"]
+            for slot in block.payload["slots"]:
+                self._slot_map[slot] = target.block_id
+            target.add_used(moved_bytes)
+            self.merges += 1
+            self._c_merges.inc()
+            self._record_repartition("merge", moved_bytes)
+            self._reclaim_block(block)
+            self._sync_metadata()
+            span.set_attr("moved_bytes", moved_bytes)
 
     # ------------------------------------------------------------------
     # Persistence (Piccolo-style checkpointing, §5.3)

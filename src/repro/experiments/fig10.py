@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.config import KB, MB
-from repro.storage.tier import SIX_SYSTEMS, StorageTier
+from repro.storage.tier import SIX_SYSTEMS
 
 #: The paper's x-axis: 8B to 128MB in 16x steps.
 OBJECT_SIZES = [8, 128, 2 * KB, 32 * KB, 512 * KB, 8 * MB, 128 * MB]

@@ -21,8 +21,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
 from repro.analysis.cdf import summarize_latencies
 from repro.analysis.reporting import format_table
 from repro.config import KB, MB, JiffyConfig

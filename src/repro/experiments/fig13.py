@@ -17,18 +17,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Tuple
 
 from repro.analysis.cdf import summarize_latencies
 from repro.analysis.reporting import format_table
 from repro.config import KB, JiffyConfig
 from repro.core.controller import JiffyController
-from repro.frameworks.piccolo import accumulators
 from repro.frameworks.streaming import StreamPipeline, StreamStage
 from repro.sim.clock import SimClock
-from repro.storage.tier import ELASTICACHE_TIER, JIFFY_TIER, StorageTier
+from repro.storage.tier import ELASTICACHE_TIER, JIFFY_TIER
 from repro.workloads.text import SyntheticTextGenerator
 from repro.workloads.video import VideoWorkload
 

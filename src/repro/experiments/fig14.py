@@ -19,7 +19,7 @@ ratio-based), with the paper-default block size mapped to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.config import KB, JiffyConfig

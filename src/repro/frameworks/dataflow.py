@@ -10,7 +10,7 @@ input channels are ready, mirroring Dryad's rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.codec import decode_records, encode_records
 from repro.core.client import JiffyClient, connect

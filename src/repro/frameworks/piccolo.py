@@ -12,7 +12,7 @@ leases, and checkpointing flushes tables to the external store.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.client import JiffyClient, connect
 from repro.core.controller import JiffyController

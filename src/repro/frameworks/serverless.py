@@ -12,8 +12,8 @@ of the job.
 from __future__ import annotations
 
 import traceback
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.client import JiffyClient
 from repro.errors import JiffyError

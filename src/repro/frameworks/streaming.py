@@ -9,7 +9,7 @@ is the substrate of the Fig 13(a) streaming word-count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.client import JiffyClient, connect
 from repro.core.controller import JiffyController

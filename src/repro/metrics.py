@@ -1,8 +1,13 @@
 """Operational metrics snapshot for a running deployment.
 
-Aggregates the counters the subsystems already maintain (controller ops,
-lease traffic, scaling signals, pool occupancy, external-store traffic)
-into one flat dict — the shape a monitoring agent would scrape.
+Aggregates a controller's telemetry into one flat dict — the shape a
+monitoring agent would scrape. Event counters (ops, leases, allocator)
+are read from the controller's :class:`~repro.telemetry.MetricsRegistry`,
+where the subsystems record them; point-in-time occupancy values (pool
+gauges, external-store traffic) are computed from the live objects and
+synced into the registry as gauges so Prometheus/JSON exports carry them
+too. Key names are stable — they predate the registry and are pinned by
+a regression test.
 """
 
 from __future__ import annotations
@@ -12,27 +17,31 @@ from typing import Any, Dict
 from repro.blocks.tiered import TieredMemoryPool
 from repro.core.controller import JiffyController
 
+#: Registry-backed counters surfaced in the snapshot, in display order.
+_COUNTER_KEYS = (
+    "controller.ops_handled",
+    "controller.prefixes_expired",
+    "controller.scale_up_signals",
+    "controller.scale_down_signals",
+    "leases.renewal_requests",
+    "leases.renewals_applied",
+    "leases.expirations",
+    "allocator.allocations",
+    "allocator.reclamations",
+    "allocator.failed_allocations",
+)
+
 
 def snapshot(controller: JiffyController) -> Dict[str, Any]:
     """A flat point-in-time metrics view of a controller."""
     pool = controller.pool
-    metrics: Dict[str, Any] = {
-        # Control plane
-        "controller.ops_handled": controller.ops_handled,
+    registry = controller.telemetry
+
+    # Derived occupancy values: computed from the live objects, then
+    # mirrored into the registry as gauges so exporters see them.
+    gauges: Dict[str, Any] = {
         "controller.jobs": len(controller.jobs()),
-        "controller.prefixes_expired": controller.prefixes_expired,
-        "controller.scale_up_signals": controller.scale_up_signals,
-        "controller.scale_down_signals": controller.scale_down_signals,
         "controller.metadata_bytes": controller.metadata_bytes(),
-        # Leases
-        "leases.renewal_requests": controller.leases.renewal_requests,
-        "leases.renewals_applied": controller.leases.renewals_applied,
-        "leases.expirations": controller.leases.expirations,
-        # Allocation
-        "allocator.allocations": controller.allocator.allocations,
-        "allocator.reclamations": controller.allocator.reclamations,
-        "allocator.failed_allocations": controller.allocator.failed_allocations,
-        # Data plane
         "pool.servers": pool.num_servers,
         "pool.total_blocks": pool.total_blocks,
         "pool.allocated_blocks": pool.allocated_blocks,
@@ -40,19 +49,38 @@ def snapshot(controller: JiffyController) -> Dict[str, Any]:
         "pool.used_bytes": pool.used_bytes(),
         "pool.allocated_bytes": pool.allocated_bytes(),
         "pool.utilization": controller.utilization(),
-        # External store
         "external.objects": len(controller.external_store),
         "external.bytes_written": controller.external_store.bytes_written,
         "external.bytes_read": controller.external_store.bytes_read,
     }
     if isinstance(pool, TieredMemoryPool):
-        metrics["pool.spilled_blocks"] = pool.spilled_blocks()
-        metrics["pool.spilled_bytes"] = pool.spilled_bytes()
-        metrics["pool.spill_allocations"] = pool.spill_allocations
+        gauges["pool.spilled_blocks"] = pool.spilled_blocks()
+        gauges["pool.spilled_bytes"] = pool.spilled_bytes()
+        gauges["pool.spill_allocations"] = pool.spill_allocations
+    for name, value in gauges.items():
+        registry.gauge(name).set(value)
+
+    metrics: Dict[str, Any] = {
+        key: registry.value(key) for key in _COUNTER_KEYS
+    }
+    metrics.update(gauges)
     return metrics
 
 
 def format_snapshot(metrics: Dict[str, Any]) -> str:
-    """Render a snapshot as aligned ``key value`` lines."""
+    """Render a snapshot as aligned ``key value`` lines.
+
+    Floats get fixed precision (6 significant digits) so output is stable
+    across platforms; the sort key is the metric name only, which stays
+    deterministic when values mix ints, floats, and strings.
+    """
     width = max(len(k) for k in metrics) if metrics else 0
-    return "\n".join(f"{k.ljust(width)}  {v}" for k, v in sorted(metrics.items()))
+    lines = []
+    for key in sorted(metrics, key=lambda k: k):
+        value = metrics[key]
+        if isinstance(value, float):
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines)

@@ -10,8 +10,9 @@ fairness, and so does the Fig 10 experiment; it is exercised by tests).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro import telemetry
 from repro.rpc.framing import (
     RpcError,
     RpcRequest,
@@ -32,10 +33,14 @@ class RpcClient:
         loop: EventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
+        registry: Optional[telemetry.MetricsRegistry] = None,
+        tracer: Optional[telemetry.Tracer] = None,
     ) -> None:
         self.loop = loop
         self.server = server
         self.network = network if network is not None else NetworkModel()
+        self.telemetry = registry if registry is not None else telemetry.get_registry()
+        self.tracer = tracer if tracer is not None else telemetry.get_tracer()
         self._seq = itertools.count()
         self.calls = 0
         self._responses: Dict[int, RpcResponse] = {}
@@ -45,8 +50,16 @@ class RpcClient:
     def _send(self, method: str, args: tuple) -> int:
         """Transmit one request at the current simulated time."""
         seq = next(self._seq)
-        frame = encode_message(RpcRequest(seq=seq, method=method, args=args))
-        arrival = self.loop.clock.now() + self.network.transfer(len(frame))
+        # Propagate the ambient span (if any) so the server-side span of
+        # this request parents to the client-side one across the wire.
+        headers = self.tracer.inject()
+        frame = encode_message(
+            RpcRequest(seq=seq, method=method, args=args, headers=headers)
+        )
+        sent_at = self.loop.clock.now()
+        self.telemetry.counter("rpc.client.requests", method=method).inc()
+        self.telemetry.counter("rpc.client.bytes_out").inc(len(frame))
+        arrival = sent_at + self.network.transfer(len(frame))
 
         def on_response(response_frame: bytes, completion: float) -> None:
             # The response spends a network hop in flight; deliver it as
@@ -54,9 +67,13 @@ class RpcClient:
             # when many calls are in flight (pipelining).
             delivered = completion + self.network.transfer(len(response_frame))
             response = decode_message(response_frame)
+            self.telemetry.counter("rpc.client.bytes_in").inc(len(response_frame))
 
             def deliver() -> None:
                 self._responses[response.seq] = response
+                self.telemetry.histogram(
+                    "rpc.client.latency_s", method=method
+                ).record(self.loop.clock.now() - sent_at)
 
             self.loop.schedule_at(
                 max(delivered, self.loop.clock.now()),
@@ -84,10 +101,13 @@ class RpcClient:
 
     def call(self, method: str, *args: Any) -> Any:
         """Synchronous call; raises :class:`RpcError` on handler errors."""
-        response = self._await(self._send(method, args))
-        if not response.ok:
-            raise RpcError(response.error)
-        return response.value
+        with self.tracer.span(f"rpc.client.{method}", method=method) as span:
+            sim_start = self.loop.clock.now()
+            response = self._await(self._send(method, args))
+            span.set_attr("sim_latency_s", self.loop.clock.now() - sim_start)
+            if not response.ok:
+                raise RpcError(response.error)
+            return response.value
 
     def pipeline(self, requests: List[tuple]) -> List[Any]:
         """Issue ``[(method, *args), ...]`` back-to-back, then collect.
@@ -96,11 +116,12 @@ class RpcClient:
         the server queues them; total latency ≈ one RTT + sum of service
         times instead of N RTTs.
         """
-        seqs = [self._send(method, tuple(args)) for method, *args in requests]
-        values: List[Any] = []
-        for seq in seqs:
-            response = self._await(seq)
-            if not response.ok:
-                raise RpcError(response.error)
-            values.append(response.value)
-        return values
+        with self.tracer.span("rpc.client.pipeline", requests=len(requests)):
+            seqs = [self._send(method, tuple(args)) for method, *args in requests]
+            values: List[Any] = []
+            for seq in seqs:
+                response = self._await(seq)
+                if not response.ok:
+                    raise RpcError(response.error)
+                values.append(response.value)
+            return values

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import telemetry
 from repro.datastructures.kvstore import JiffyKVStore
 from repro.datastructures.queue import JiffyQueue
 from repro.rpc.client import RpcClient
@@ -28,10 +29,16 @@ DATA_OP_SERVICE_S = 155e-6
 
 
 def serve_kv(
-    kv: JiffyKVStore, loop: EventLoop, service_time_s: float = DATA_OP_SERVICE_S
+    kv: JiffyKVStore,
+    loop: EventLoop,
+    service_time_s: float = DATA_OP_SERVICE_S,
+    registry: Optional[telemetry.MetricsRegistry] = None,
+    tracer: Optional[telemetry.Tracer] = None,
 ) -> RpcServer:
     """Expose a KV store's operators on an RPC server."""
-    server = RpcServer(loop, service_time_s=service_time_s)
+    server = RpcServer(
+        loop, service_time_s=service_time_s, registry=registry, tracer=tracer
+    )
     server.register("get", kv.get)
     server.register("put", lambda k, v: (kv.put(k, v), True)[1])
     server.register("delete", kv.delete)
@@ -40,10 +47,16 @@ def serve_kv(
 
 
 def serve_queue(
-    queue: JiffyQueue, loop: EventLoop, service_time_s: float = DATA_OP_SERVICE_S
+    queue: JiffyQueue,
+    loop: EventLoop,
+    service_time_s: float = DATA_OP_SERVICE_S,
+    registry: Optional[telemetry.MetricsRegistry] = None,
+    tracer: Optional[telemetry.Tracer] = None,
 ) -> RpcServer:
     """Expose a FIFO queue's operators on an RPC server."""
-    server = RpcServer(loop, service_time_s=service_time_s)
+    server = RpcServer(
+        loop, service_time_s=service_time_s, registry=registry, tracer=tracer
+    )
     server.register("enqueue", lambda item: (queue.enqueue(item), True)[1])
     server.register("dequeue", queue.dequeue)
     server.register("peek", queue.peek)
@@ -59,8 +72,12 @@ class RemoteKV:
         loop: EventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
+        registry: Optional[telemetry.MetricsRegistry] = None,
+        tracer: Optional[telemetry.Tracer] = None,
     ) -> None:
-        self._rpc = RpcClient(loop, server, network=network)
+        self._rpc = RpcClient(
+            loop, server, network=network, registry=registry, tracer=tracer
+        )
         self._loop = loop
 
     def put(self, key: bytes, value: bytes) -> None:
@@ -90,8 +107,12 @@ class RemoteQueue:
         loop: EventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
+        registry: Optional[telemetry.MetricsRegistry] = None,
+        tracer: Optional[telemetry.Tracer] = None,
     ) -> None:
-        self._rpc = RpcClient(loop, server, network=network)
+        self._rpc = RpcClient(
+            loop, server, network=network, registry=registry, tracer=tracer
+        )
 
     def enqueue(self, item: bytes) -> None:
         self._rpc.call("enqueue", item)

@@ -6,8 +6,17 @@ Wire format (framed transport, like Thrift's TFramedTransport):
 
 A frame is an envelope::
 
-    kind(1B: 0=request, 1=response) | seq(8B LE) | status(1B) |
-    method (length-prefixed utf-8)  | payload records
+    kind(1B) | seq(8B LE) | status(1B) |
+    method (length-prefixed utf-8)  | [headers] | payload records
+
+Kinds 0 (request) and 1 (response) are the original envelope. Kinds 2
+and 3 are their *with-headers* variants — a flat string list of
+``key, value`` pairs is inserted between the method/error text and the
+payload. The bump is backward-compatible: header-free messages still
+encode as kinds 0/1, so frames produced by this module decode on
+pre-header peers unless headers were explicitly attached. Headers carry
+out-of-band context (e.g. trace/span ids, see ``repro.telemetry``), never
+operation arguments.
 
 Payload values are a restricted set (bytes, str, int, float, bool,
 None, and flat lists/tuples of those), enough for every control- and
@@ -18,8 +27,8 @@ as in the real system.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Any, List, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Tuple
 
 from repro.errors import JiffyError
 
@@ -28,6 +37,8 @@ _SEQ = struct.Struct("<Q")
 
 KIND_REQUEST = 0
 KIND_RESPONSE = 1
+KIND_REQUEST_HDR = 2
+KIND_RESPONSE_HDR = 3
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -37,11 +48,36 @@ class RpcError(JiffyError):
     """A remote call failed (transport or handler error)."""
 
 
+def _canonical_headers(headers: Any) -> Tuple[Tuple[str, str], ...]:
+    """Normalise a mapping or pair iterable into a sorted pair tuple."""
+    if not headers:
+        return ()
+    if isinstance(headers, Mapping):
+        items = headers.items()
+    else:
+        items = tuple(headers)
+    out = []
+    for key, value in items:
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise RpcError("RPC headers must be str -> str")
+        out.append((key, value))
+    return tuple(sorted(out))
+
+
 @dataclass(frozen=True)
 class RpcRequest:
     seq: int
     method: str
     args: Tuple[Any, ...] = ()
+    #: out-of-band context, e.g. trace propagation; sorted (key, value)s
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "headers", _canonical_headers(self.headers))
+
+    @property
+    def header_dict(self) -> dict:
+        return dict(self.headers)
 
 
 @dataclass(frozen=True)
@@ -50,6 +86,14 @@ class RpcResponse:
     status: int
     value: Any = None
     error: str = ""
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "headers", _canonical_headers(self.headers))
+
+    @property
+    def header_dict(self) -> dict:
+        return dict(self.headers)
 
     @property
     def ok(self) -> bool:
@@ -77,7 +121,10 @@ def _encode_value(value: Any, out: bytearray) -> None:
         out.extend(_LEN.pack(len(raw)))
         out.extend(raw)
     elif isinstance(value, int):
-        raw = value.to_bytes(16, "little", signed=True)
+        try:
+            raw = value.to_bytes(16, "little", signed=True)
+        except OverflowError as exc:
+            raise RpcError(f"int {value} does not fit 16 bytes") from exc
         out.append(_T_INT)
         out.extend(raw)
     elif isinstance(value, float):
@@ -128,24 +175,42 @@ def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
 # -- envelopes ----------------------------------------------------------
 
 
+def _flatten_headers(headers: Tuple[Tuple[str, str], ...]) -> List[str]:
+    flat: List[str] = []
+    for key, value in headers:
+        flat.append(key)
+        flat.append(value)
+    return flat
+
+
+def _unflatten_headers(flat: List[Any]) -> Tuple[Tuple[str, str], ...]:
+    if len(flat) % 2:
+        raise RpcError("odd header list in frame")
+    return tuple(zip(flat[0::2], flat[1::2]))
+
+
 def encode_message(message: Any) -> bytes:
     """Serialise a request/response into one framed byte string."""
     body = bytearray()
     if isinstance(message, RpcRequest):
-        body.append(KIND_REQUEST)
+        body.append(KIND_REQUEST_HDR if message.headers else KIND_REQUEST)
         body.extend(_SEQ.pack(message.seq))
         body.append(STATUS_OK)
         raw_method = message.method.encode()
         body.extend(_LEN.pack(len(raw_method)))
         body.extend(raw_method)
+        if message.headers:
+            _encode_value(_flatten_headers(message.headers), body)
         _encode_value(list(message.args), body)
     elif isinstance(message, RpcResponse):
-        body.append(KIND_RESPONSE)
+        body.append(KIND_RESPONSE_HDR if message.headers else KIND_RESPONSE)
         body.extend(_SEQ.pack(message.seq))
         body.append(message.status)
         raw_err = message.error.encode()
         body.extend(_LEN.pack(len(raw_err)))
         body.extend(raw_err)
+        if message.headers:
+            _encode_value(_flatten_headers(message.headers), body)
         _encode_value(message.value, body)
     else:
         raise RpcError(f"cannot encode {type(message).__name__}")
@@ -157,9 +222,14 @@ def decode_message(frame: bytes) -> Any:
     if len(frame) < _LEN.size:
         raise RpcError("truncated frame header")
     (length,) = _LEN.unpack_from(frame, 0)
-    body = frame[_LEN.size : _LEN.size + length]
-    if len(body) != length:
-        raise RpcError("truncated frame body")
+    if len(frame) != _LEN.size + length:
+        if len(frame) < _LEN.size + length:
+            raise RpcError("truncated frame body")
+        raise RpcError(
+            f"frame length mismatch: declared {length} bytes, "
+            f"got {len(frame) - _LEN.size}"
+        )
+    body = frame[_LEN.size :]
     kind = body[0]
     (seq,) = _SEQ.unpack_from(body, 1)
     status = body[9]
@@ -167,11 +237,19 @@ def decode_message(frame: bytes) -> Any:
     pos = 10 + _LEN.size
     text = body[pos : pos + n].decode()
     pos += n
+    headers: Tuple[Tuple[str, str], ...] = ()
+    if kind in (KIND_REQUEST_HDR, KIND_RESPONSE_HDR):
+        flat, pos = _decode_value(body, pos)
+        if not isinstance(flat, list):
+            raise RpcError("malformed header block in frame")
+        headers = _unflatten_headers(flat)
     value, pos = _decode_value(body, pos)
     if pos != len(body):
         raise RpcError("trailing bytes in frame")
-    if kind == KIND_REQUEST:
-        return RpcRequest(seq=seq, method=text, args=tuple(value))
-    if kind == KIND_RESPONSE:
-        return RpcResponse(seq=seq, status=status, value=value, error=text)
+    if kind in (KIND_REQUEST, KIND_REQUEST_HDR):
+        return RpcRequest(seq=seq, method=text, args=tuple(value), headers=headers)
+    if kind in (KIND_RESPONSE, KIND_RESPONSE_HDR):
+        return RpcResponse(
+            seq=seq, status=status, value=value, error=text, headers=headers
+        )
     raise RpcError(f"unknown message kind {kind}")

@@ -10,10 +10,10 @@ order across sessions.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.rpc.framing import (
     STATUS_ERROR,
     STATUS_OK,
@@ -54,11 +54,15 @@ class RpcServer:
         self,
         loop: EventLoop,
         service_time_s: float = 10e-6,
+        registry: Optional[telemetry.MetricsRegistry] = None,
+        tracer: Optional[telemetry.Tracer] = None,
     ) -> None:
         if service_time_s <= 0:
             raise RpcError("service_time_s must be positive")
         self.loop = loop
         self.service_time_s = service_time_s
+        self.telemetry = registry if registry is not None else telemetry.get_registry()
+        self.tracer = tracer if tracer is not None else telemetry.get_tracer()
         self._handlers: Dict[str, Handler] = {}
         self._method_cost: Dict[str, float] = {}
         self._busy_until = 0.0
@@ -99,6 +103,11 @@ class RpcServer:
         if not isinstance(request, RpcRequest):
             raise RpcError("server received a non-request frame")
         self.stats.bytes_in += len(frame)
+        self.telemetry.counter("rpc.server.bytes_in").inc(len(frame))
+        # Trace context propagated in the envelope: the span opened at
+        # execute() time parents to the *client's* span, not to whatever
+        # span happens to be ambient when the event loop fires.
+        parent_ctx = self.tracer.extract(request.headers)
 
         start = max(arrival_time, self._busy_until)
         cost = self._method_cost.get(request.method, self.service_time_s)
@@ -107,30 +116,44 @@ class RpcServer:
         self.stats.busy_seconds += cost
 
         def execute() -> None:
-            handler = self._handlers.get(request.method)
-            if handler is None:
-                response = RpcResponse(
-                    seq=request.seq,
-                    status=STATUS_ERROR,
-                    error=f"unknown method {request.method!r}",
-                )
-                self.stats.errors += 1
-            else:
-                try:
-                    value = handler(*request.args)
+            method = request.method
+            with self.tracer.span(
+                f"rpc.server.{method}", parent=parent_ctx, method=method
+            ) as span:
+                handler = self._handlers.get(method)
+                if handler is None:
                     response = RpcResponse(
-                        seq=request.seq, status=STATUS_OK, value=value
-                    )
-                except Exception as exc:  # noqa: BLE001 — surfaced to caller
-                    response = RpcResponse(
-                        seq=request.seq, status=STATUS_ERROR, error=str(exc)
+                        seq=request.seq,
+                        status=STATUS_ERROR,
+                        error=f"unknown method {method!r}",
                     )
                     self.stats.errors += 1
-            out = encode_message(response)
-            self.stats.requests_served += 1
-            self.stats.bytes_out += len(out)
-            self.stats.latencies.append(completion - arrival_time)
-            respond(out, completion)
+                else:
+                    try:
+                        value = handler(*request.args)
+                        response = RpcResponse(
+                            seq=request.seq, status=STATUS_OK, value=value
+                        )
+                    except Exception as exc:  # noqa: BLE001 — surfaced to caller
+                        response = RpcResponse(
+                            seq=request.seq, status=STATUS_ERROR, error=str(exc)
+                        )
+                        self.stats.errors += 1
+                if response.status != STATUS_OK:
+                    span.status = "error"
+                    self.telemetry.counter("rpc.server.errors", method=method).inc()
+                out = encode_message(response)
+                self.stats.requests_served += 1
+                self.stats.bytes_out += len(out)
+                sim_latency = completion - arrival_time
+                self.stats.latencies.append(sim_latency)
+                span.set_attr("sim_latency_s", sim_latency)
+                self.telemetry.counter("rpc.server.requests", method=method).inc()
+                self.telemetry.counter("rpc.server.bytes_out").inc(len(out))
+                self.telemetry.histogram(
+                    "rpc.server.latency_s", method=method
+                ).record(sim_latency)
+                respond(out, completion)
 
         self.loop.schedule_at(completion, execute, name=f"rpc:{request.method}")
 

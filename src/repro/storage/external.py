@@ -12,7 +12,7 @@ model so trace-driven experiments can account for spill cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.errors import AddressNotFoundError
 from repro.storage.tier import S3_TIER, StorageTier

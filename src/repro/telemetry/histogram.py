@@ -1,0 +1,235 @@
+"""Log-bucketed latency histograms: O(1) record, mergeable, thread-safe.
+
+Values are assigned to geometric buckets — :data:`SUB_BUCKETS` buckets
+per power of two, i.e. consecutive bucket boundaries differ by a factor
+of ``2**(1/SUB_BUCKETS)`` (~9 %) — so a histogram spanning nanoseconds to
+hours needs only a few hundred sparse buckets. Percentiles interpolate
+geometrically inside the winning bucket, which bounds the relative error
+of any quantile by one bucket width. Two histograms with the same
+bucketing merge by adding counts, so per-shard histograms can be
+combined into a cluster view.
+
+The hot path is write-optimised: :meth:`LatencyHistogram.record` is a
+single ``list.append`` into a pending buffer (atomic under CPython's
+GIL, so no lock is taken), and samples fold into the buckets lazily —
+on any read, or when the buffer reaches :data:`FLUSH_THRESHOLD`. Reads
+always drain first, so counts and quantiles are exact at read time.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+#: Buckets per power of two; 8 gives ~9 % relative resolution.
+SUB_BUCKETS = 8
+
+#: Pending samples that trigger an inline flush on the recording thread.
+FLUSH_THRESHOLD = 4096
+
+_BUCKET_RATIO = 2.0 ** (1.0 / SUB_BUCKETS)
+
+
+def bucket_index(value: float) -> Optional[int]:
+    """Bucket index for a positive value (None for values <= 0)."""
+    if value <= 0.0:
+        return None
+    return math.floor(math.log2(value) * SUB_BUCKETS)
+
+
+def bucket_bounds(index: int) -> tuple:
+    """``(low, high)`` value bounds of a bucket."""
+    low = 2.0 ** (index / SUB_BUCKETS)
+    return low, low * _BUCKET_RATIO
+
+
+class LatencyHistogram:
+    """A mergeable log-bucketed histogram of non-negative samples."""
+
+    __slots__ = (
+        "_lock",
+        "_buckets",
+        "_zero",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_pending",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # bucket index -> sample count (sparse; only touched buckets exist)
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0  # samples <= 0 (clock granularity can yield 0.0)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        # Write buffer: record() appends here without locking.
+        self._pending: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Record one sample. O(1) buffered append; safe under
+        concurrent callers (``list.append`` is atomic under the GIL)."""
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= FLUSH_THRESHOLD:
+            with self._lock:
+                self._drain()
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _drain(self) -> None:
+        """Fold pending samples into the buckets (vectorised).
+
+        Caller holds the lock. The buffer's first ``n`` items are taken
+        with an atomic slice + ``del buffer[:n]`` pair, so samples
+        appended concurrently land at index >= ``n`` and survive for the
+        next drain.
+        """
+        pending = self._pending
+        n = len(pending)
+        if n == 0:
+            return
+        chunk = pending[:n]
+        del pending[:n]
+        values = np.asarray(chunk, dtype=np.float64)
+        positive = values[values > 0.0]
+        if positive.size:
+            indices = np.floor(
+                np.log2(positive) * SUB_BUCKETS
+            ).astype(np.int64)
+            buckets = self._buckets
+            get = buckets.get
+            uniq, counts = np.unique(indices, return_counts=True)
+            for index, cnt in zip(uniq.tolist(), counts.tolist()):
+                buckets[index] = get(index, 0) + cnt
+        self._zero += n - int(positive.size)
+        self._count += n
+        self._sum += float(values.sum())
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+
+    # ------------------------------------------------------------------
+    # Introspection (readers drain first, so results are exact)
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            self._drain()
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            self._drain()
+            return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded sample (+inf when empty)."""
+        with self._lock:
+            self._drain()
+            return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest recorded sample (-inf when empty)."""
+        with self._lock:
+            self._drain()
+            return self._max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            self._drain()
+            return (self._sum / self._count) if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]).
+
+        Exact to within one bucket width (~9 % relative error); the
+        result is clamped to the observed min/max, so p0/p100 are exact.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            self._drain()
+            count = self._count
+            if count == 0:
+                return 0.0
+            zero = self._zero
+            buckets = sorted(self._buckets.items())
+            lo, hi = self._min, self._max
+        rank = (q / 100.0) * count
+        if rank <= zero:
+            return max(0.0, lo)
+        seen = zero
+        for index, n in buckets:
+            if seen + n >= rank:
+                b_lo, b_hi = bucket_bounds(index)
+                # Geometric interpolation inside the bucket.
+                frac = (rank - seen) / n
+                value = b_lo * (b_hi / b_lo) ** frac
+                return min(max(value, lo), hi)
+            seen += n
+        return hi
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, sum, min, max, mean, p50, p95, p99}`` in one dict."""
+        with self._lock:
+            self._drain()
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (in place)."""
+        with other._lock:
+            other._drain()
+            buckets = dict(other._buckets)
+            zero, count = other._zero, other._count
+            total, o_min, o_max = other._sum, other._min, other._max
+        with self._lock:
+            self._drain()
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._zero += zero
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, o_min)
+            self._max = max(self._max, o_max)
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self._count}, "
+            f"p50={self.percentile(50.0):.3g}, p99={self.percentile(99.0):.3g})"
+        )

@@ -1,0 +1,267 @@
+"""The metrics registry: named counters, gauges, and latency histograms.
+
+A :class:`MetricsRegistry` is the process- or deployment-scoped home for
+every metric a subsystem emits. Metrics are created on first use and
+identified by a dotted name plus optional labels (Prometheus-style), so
+
+    registry.histogram("rpc.server.latency_s", method="put").record(dt)
+
+is cheap after the first call — instrument sites cache the returned
+metric object, whose ``inc``/``set``/``record`` are O(1) and thread-safe.
+
+A registry created with ``enabled=False`` (or disabled later) hands out
+shared null metrics whose mutators are no-ops, so instrumentation can
+stay in place on hot paths at near-zero cost.
+
+Exports: :meth:`MetricsRegistry.to_json` (nested dict, JSON-ready) and
+:meth:`MetricsRegistry.render_prometheus` (text exposition format).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.telemetry.histogram import LatencyHistogram
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 — no-op by design
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(LatencyHistogram):
+    def record(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _metric_key(name: str, labels: Mapping[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Creates, caches, and exports a family of named metrics."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._enabled = enabled
+
+    # ------------------------------------------------------------------
+    # Enable / disable (cheap no-op mode)
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Hand out null metrics from now on (existing ones keep working)."""
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    # Metric accessors (create on first use)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        if not self._enabled:
+            return NULL_COUNTER
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        if not self._enabled:
+            return NULL_GAUGE
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+            return metric
+
+    def histogram(self, name: str, **labels: str) -> LatencyHistogram:
+        if not self._enabled:
+            return NULL_HISTOGRAM
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = LatencyHistogram()
+            return metric
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, default: Any = 0, **labels: str) -> Any:
+        """Current value of a counter or gauge (``default`` if absent)."""
+        key = _metric_key(name, labels)
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key].value
+            if key in self._gauges:
+                return self._gauges[key].value
+        return default
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {k: c.value for k, c in self._counters.items()}
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return {k: g.value for k, g in self._gauges.items()}
+
+    def histograms(self) -> Dict[str, LatencyHistogram]:
+        with self._lock:
+            return dict(self._histograms)
+
+    def clear(self) -> None:
+        """Drop every metric (tests and fresh demo runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The whole registry as a JSON document."""
+        payload = {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                k: h.summary() for k, h in self.histograms().items()
+            },
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def render_prometheus(self, prefix: str = "jiffy") -> str:
+        """Prometheus text exposition of every metric.
+
+        Dotted metric names become underscore-separated with a ``prefix``;
+        histograms are exposed summary-style (quantiles + _count/_sum).
+        """
+        lines = []
+        for key, value in sorted(self.counters().items()):
+            name, labels = _split_key(key, prefix)
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{labels} {value}")
+        for key, value in sorted(self.gauges().items()):
+            name, labels = _split_key(key, prefix)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{labels} {_fmt(value)}")
+        for key, hist in sorted(self.histograms().items()):
+            name, labels = _split_key(key, prefix)
+            summ = hist.summary()
+            lines.append(f"# TYPE {name} summary")
+            for q, field in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                q_labels = _merge_labels(labels, f'quantile="{q}"')
+                lines.append(f"{name}{q_labels} {_fmt(summ[field])}")
+            lines.append(f"{name}_count{labels} {summ['count']}")
+            lines.append(f"{name}_sum{labels} {_fmt(summ['sum'])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(enabled={self._enabled}, "
+            f"counters={len(self._counters)}, gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+def _split_key(key: str, prefix: str) -> Tuple[str, str]:
+    """``a.b_s{x="y"}`` -> (``jiffy_a_b_s``, ``{x="y"}``)."""
+    name, brace, rest = key.partition("{")
+    name = name.replace(".", "_").replace("-", "_")
+    if prefix:
+        name = f"{prefix}_{name}"
+    return name, (brace + rest if brace else "")
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))

@@ -1,0 +1,47 @@
+"""Module-level tracing helpers bound to the process-wide tracer.
+
+Instrument sites use this module so call sites read naturally::
+
+    from repro.telemetry import trace
+
+    with trace.span("controller.expiry_sweep", jobs=len(jobs)):
+        ...
+
+All functions delegate to the tracer returned by
+:func:`repro.telemetry.get_tracer`, so swapping the global tracer (e.g.
+pointing it at a JSONL file, or disabling it) affects every site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.telemetry.tracer import Span, SpanContext
+
+
+def span(name: str, parent: Optional[SpanContext] = None, **attrs: Any):
+    """Open a span on the process-wide tracer (context manager)."""
+    from repro.telemetry import get_tracer
+
+    return get_tracer().span(name, parent=parent, **attrs)
+
+
+def current() -> Optional[Span]:
+    """The ambient span on the process-wide tracer."""
+    from repro.telemetry import get_tracer
+
+    return get_tracer().current()
+
+
+def inject():
+    """Propagation headers for the ambient span (empty dict if none)."""
+    from repro.telemetry import get_tracer
+
+    return get_tracer().inject()
+
+
+def extract(headers) -> Optional[SpanContext]:
+    """Rebuild a span context from propagated headers."""
+    from repro.telemetry import get_tracer
+
+    return get_tracer().extract(headers)

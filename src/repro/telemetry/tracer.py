@@ -1,0 +1,304 @@
+"""Causal trace spans with RPC-propagable context.
+
+A :class:`Tracer` produces :class:`Span` records — named, timed, and
+linked by ``(trace_id, span_id, parent_id)`` — and emits each finished
+span as one JSON line (JSONL) to an optional file plus an in-memory ring
+buffer. The *current* span is tracked per execution context
+(``contextvars``), so nested ``with tracer.span(...)`` blocks parent
+naturally, and :meth:`Tracer.inject` / :meth:`Tracer.extract` carry the
+context across a process or RPC boundary as plain string headers:
+
+    with tracer.span("rpc.client.put", method="put"):
+        headers = tracer.inject()            # client side
+    ...
+    ctx = tracer.extract(request.headers)    # server side
+    with tracer.span("rpc.server.put", parent=ctx):
+        ...
+
+A span finished with an exception in flight is tagged ``status=error``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+#: Header keys used to propagate trace context through RPC envelopes.
+TRACE_ID_HEADER = "trace-id"
+SPAN_ID_HEADER = "span-id"
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "jiffy_current_span", default=None
+)
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span (what crosses the wire)."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation within a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "ts": self.start_time,
+            "dur_s": round(self.duration_s, 9),
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Creates spans and emits finished ones as JSONL events."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_spans: int = 10_000,
+        clock=time.time,
+        enabled: bool = True,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._enabled = enabled
+        self._finished: "deque[Span]" = deque(maxlen=max_spans)
+        self._file = None
+        if path is not None:
+            self.configure_output(path)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def configure_output(self, path: Optional[str]) -> None:
+        """(Re)direct JSONL output to ``path`` (None closes the file)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            if path is not None:
+                self._file = open(path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        self.configure_output(None)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        **attrs: Any,
+    ):
+        """Open a span; parents to ``parent`` or the ambient current span.
+
+        An explicit ``parent`` (e.g. extracted from RPC headers) wins over
+        the ambient context — that is what makes a server-side span the
+        child of the *calling* client's span rather than of whatever the
+        server happened to be doing.
+        """
+        if not self._enabled:
+            yield _NULL_SPAN
+            return
+        ambient = _current_span.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif ambient is not None:
+            trace_id, parent_id = ambient.trace_id, ambient.span_id
+        else:
+            trace_id, parent_id = _new_id(16), None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=_new_id(8),
+            parent_id=parent_id,
+            start_time=self._clock(),
+            attrs=dict(attrs),
+        )
+        token = _current_span.set(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            _current_span.reset(token)
+            span.end_time = self._clock()
+            self._emit(span)
+
+    def current(self) -> Optional[Span]:
+        """The ambient (innermost open) span, if any."""
+        return _current_span.get()
+
+    # ------------------------------------------------------------------
+    # Context propagation
+    # ------------------------------------------------------------------
+
+    def inject(self) -> Dict[str, str]:
+        """Headers carrying the current span's context (empty if none)."""
+        span = _current_span.get()
+        if span is None or not self._enabled:
+            return {}
+        return {TRACE_ID_HEADER: span.trace_id, SPAN_ID_HEADER: span.span_id}
+
+    @staticmethod
+    def extract(
+        headers: Union[Mapping[str, str], Iterable[tuple], None]
+    ) -> Optional[SpanContext]:
+        """Rebuild a :class:`SpanContext` from propagated headers."""
+        if headers is None:
+            return None
+        if not isinstance(headers, Mapping):
+            headers = dict(headers)
+        trace_id = headers.get(TRACE_ID_HEADER)
+        span_id = headers.get(SPAN_ID_HEADER)
+        if not trace_id or not span_id:
+            return None
+        return SpanContext(trace_id=trace_id, span_id=span_id)
+
+    # ------------------------------------------------------------------
+    # Sink
+    # ------------------------------------------------------------------
+
+    def _emit(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._finished.append(span)
+            if self._file is not None:
+                self._file.write(line + "\n")
+                self._file.flush()
+
+    def finished(self) -> List[Span]:
+        """Finished spans, oldest first (bounded ring buffer)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __repr__(self) -> str:
+        return f"Tracer(enabled={self._enabled}, finished={len(self._finished)})"
+
+
+_NULL_SPAN = Span(name="", trace_id="", span_id="")
+
+
+# ----------------------------------------------------------------------
+# JSONL reading / pretty-printing (the `repro telemetry trace` CLI)
+# ----------------------------------------------------------------------
+
+
+def read_trace_file(path: str, tail: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into span dicts (optionally the last N)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not a JSONL trace file ({exc})") from exc
+    if tail is not None:
+        events = events[-tail:] if tail > 0 else []
+    return events
+
+
+def format_trace(events: List[Dict[str, Any]]) -> str:
+    """Render span events as indented per-trace call trees.
+
+    Spans are grouped by trace id; within a trace, children indent under
+    their parent (parents that fell outside the window render at depth 0).
+    """
+    if not events:
+        return "(no spans)"
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        by_trace.setdefault(event.get("trace", "?"), []).append(event)
+    lines: List[str] = []
+    for trace_id, spans in by_trace.items():
+        spans.sort(key=lambda e: (e.get("ts", 0.0), e.get("span", "")))
+        by_id = {s.get("span"): s for s in spans}
+
+        def depth_of(span: Dict[str, Any]) -> int:
+            depth, seen = 0, set()
+            parent = span.get("parent")
+            while parent in by_id and parent not in seen:
+                seen.add(parent)
+                parent = by_id[parent].get("parent")
+                depth += 1
+            return depth
+
+        lines.append(f"trace {trace_id[:16]}  ({len(spans)} spans)")
+        for span in spans:
+            indent = "  " * (1 + depth_of(span))
+            dur = span.get("dur_s", 0.0) * 1e3
+            attrs = span.get("attrs") or {}
+            attr_text = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                if attrs
+                else ""
+            )
+            status = span.get("status", "ok")
+            flag = "" if status == "ok" else f" [{status}]"
+            lines.append(
+                f"{indent}{span.get('name', '?')}  {dur:.3f}ms{flag}{attr_text}"
+            )
+    return "\n".join(lines)

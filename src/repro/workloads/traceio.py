@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Union
 
 from repro.workloads.snowflake import JobTrace, Stage
 

@@ -8,7 +8,7 @@ Fig 11(a).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

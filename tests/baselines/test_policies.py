@@ -1,6 +1,5 @@
 """Allocation policies: invariants that make the Fig 9 comparison fair."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

@@ -7,7 +7,6 @@ tracks demand at block granularity with a lease hold-over. We replay one
 trace through both and compare the allocated-capacity curves.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.base import CapacityTimeline

@@ -2,7 +2,6 @@
 allocation pathological because intra-query demand swings 4-5 orders of
 magnitude — Jiffy's block-granularity allocation tracks it."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import JiffyBlockPolicy, PocketPolicy

@@ -1,10 +1,9 @@
 """Property-based tests on hierarchical-addressing invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
-from repro.core.hierarchy import AddressHierarchy, split_path
+from repro.core.hierarchy import AddressHierarchy
 from repro.core.lease import LeaseManager
 from repro.sim.clock import SimClock
 

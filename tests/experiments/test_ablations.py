@@ -1,7 +1,5 @@
 """Ablation drivers at unit scale."""
 
-import pytest
-
 from repro.experiments import ablations
 
 

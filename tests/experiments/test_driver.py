@@ -1,6 +1,5 @@
 """Trace replay driver: the real system must track trace demand."""
 
-import numpy as np
 import pytest
 
 from repro.config import KB, JiffyConfig

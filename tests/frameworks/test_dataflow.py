@@ -5,12 +5,7 @@ import pytest
 from repro.config import KB, JiffyConfig
 from repro.core.controller import JiffyController
 from repro.errors import DataStructureError
-from repro.frameworks.dataflow import (
-    Channel,
-    DataflowGraph,
-    StreamingVertex,
-    Vertex,
-)
+from repro.frameworks.dataflow import DataflowGraph, StreamingVertex, Vertex
 from repro.sim.clock import SimClock
 
 

@@ -17,12 +17,7 @@ from repro.blocks.tiered import TieredMemoryPool
 from repro.config import KB, JiffyConfig
 from repro.core.client import connect
 from repro.core.controller import JiffyController
-from repro.errors import (
-    CapacityError,
-    KeyNotFoundError,
-    LeaseExpiredError,
-    QueueEmptyError,
-)
+from repro.errors import CapacityError, LeaseExpiredError
 from repro.sim.clock import SimClock
 
 NUM_JOBS = 10

@@ -13,17 +13,11 @@ that must hold after *every* step:
 """
 
 import hypothesis.strategies as st
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import settings
 
 from repro.config import KB, JiffyConfig
 from repro.core.controller import JiffyController
-from repro.errors import CapacityError
 from repro.sim.clock import SimClock
 
 JOB_IDS = [f"job-{i}" for i in range(3)]

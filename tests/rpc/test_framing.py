@@ -69,6 +69,58 @@ class TestResponses:
         assert decode_message(encode_message(resp)) == resp
 
 
+class TestHeaders:
+    def test_request_headers_roundtrip(self):
+        req = RpcRequest(
+            seq=5,
+            method="put",
+            args=(b"k", b"v"),
+            headers={"trace-id": "a" * 32, "span-id": "b" * 16},
+        )
+        decoded = decode_message(encode_message(req))
+        assert decoded == req
+        assert decoded.header_dict == {
+            "trace-id": "a" * 32,
+            "span-id": "b" * 16,
+        }
+
+    def test_response_headers_roundtrip(self):
+        resp = RpcResponse(
+            seq=5, status=0, value=b"v", headers={"trace-id": "x"}
+        )
+        decoded = decode_message(encode_message(resp))
+        assert decoded == resp
+        assert decoded.header_dict == {"trace-id": "x"}
+
+    def test_header_free_encoding_unchanged(self):
+        # Messages without headers still use the original frame kinds,
+        # so peers that predate headers can decode them.
+        with_headers = encode_message(
+            RpcRequest(seq=0, method="m", headers={"k": "v"})
+        )
+        without = encode_message(RpcRequest(seq=0, method="m"))
+        assert with_headers[4] != without[4]  # kind byte differs
+        assert decode_message(without).headers == ()
+
+    def test_header_order_is_canonical(self):
+        a = RpcRequest(seq=0, method="m", headers={"b": "2", "a": "1"})
+        b = RpcRequest(seq=0, method="m", headers={"a": "1", "b": "2"})
+        assert encode_message(a) == encode_message(b)
+
+    def test_non_string_headers_rejected(self):
+        with pytest.raises(RpcError):
+            encode_message(RpcRequest(seq=0, method="m", headers={"k": 1}))
+
+    @given(
+        headers=st.dictionaries(
+            st.text(min_size=1, max_size=16), st.text(max_size=32), max_size=4
+        )
+    )
+    def test_roundtrip_property(self, headers):
+        req = RpcRequest(seq=1, method="m", headers=headers)
+        assert decode_message(encode_message(req)) == req
+
+
 class TestMalformed:
     def test_unserialisable_value(self):
         with pytest.raises(RpcError):
@@ -79,6 +131,13 @@ class TestMalformed:
         with pytest.raises(RpcError):
             decode_message(frame[:-1])
 
+    def test_trailing_garbage_rejected(self):
+        frame = encode_message(RpcRequest(seq=0, method="m"))
+        with pytest.raises(RpcError, match="length mismatch"):
+            decode_message(frame + b"\x00")
+        with pytest.raises(RpcError, match="length mismatch"):
+            decode_message(frame + encode_message(RpcRequest(seq=1, method="m")))
+
     def test_garbage_kind(self):
         frame = bytearray(encode_message(RpcRequest(seq=0, method="m")))
         frame[4] = 99  # corrupt the kind byte
@@ -88,3 +147,8 @@ class TestMalformed:
     def test_not_a_message(self):
         with pytest.raises(RpcError):
             encode_message("just a string")
+
+    def test_oversized_int_raises_rpc_error(self):
+        huge = 2 ** (16 * 8)  # one past what 16 bytes can hold
+        with pytest.raises(RpcError, match="16 bytes"):
+            encode_message(RpcRequest(seq=0, method="m", args=(huge,)))

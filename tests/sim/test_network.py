@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.config import MB
-from repro.sim.network import EC2_ONE_WAY_LATENCY_S, NetworkModel, TEN_GBPS
+from repro.sim.network import NetworkModel, TEN_GBPS
 
 
 class TestCalibration:

@@ -1,0 +1,132 @@
+"""Log-bucketed latency histograms: accuracy, merging, edge cases."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry.histogram import (
+    SUB_BUCKETS,
+    LatencyHistogram,
+    bucket_bounds,
+    bucket_index,
+)
+
+
+class TestBuckets:
+    def test_bounds_contain_value(self):
+        for value in (1e-6, 3.7e-4, 0.5, 1.0, 42.0, 1e6):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value <= hi * (1 + 1e-12)
+
+    def test_relative_width_bounded(self):
+        # 8 sub-buckets per octave => bucket width <= 2**(1/8) ~ 9.05%.
+        for value in (1e-5, 1e-2, 1.0, 123.0):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert hi / lo == pytest.approx(2 ** (1 / SUB_BUCKETS), rel=1e-9)
+
+
+class TestPercentiles:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_matches_numpy_lognormal(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.lognormal(mean=-7.0, sigma=1.5, size=20_000)
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(float(s))
+        for q in (50, 95, 99):
+            expected = float(np.percentile(samples, q))
+            assert hist.percentile(q) == pytest.approx(expected, rel=0.15)
+
+    def test_matches_numpy_uniform(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(1e-4, 1e-1, size=10_000)
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(float(s))
+        for q in (50, 95, 99):
+            expected = float(np.percentile(samples, q))
+            assert hist.percentile(q) == pytest.approx(expected, rel=0.15)
+
+    def test_single_value(self):
+        hist = LatencyHistogram()
+        hist.record(0.125)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(q) == pytest.approx(0.125, rel=1e-9)
+
+    def test_clamped_to_observed_range(self):
+        hist = LatencyHistogram()
+        for v in (0.010, 0.011, 0.012, 5.0):
+            hist.record(v)
+        assert hist.percentile(0.0) >= 0.010
+        assert hist.percentile(100.0) <= 5.0
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.percentile(50.0) == 0.0
+
+    def test_zero_and_negative_values(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(-1.0)  # clock went backwards: counted, not crashed
+        hist.record(1.0)
+        assert hist.count == 3
+        assert hist.percentile(1.0) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        hist = LatencyHistogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.record(v)
+        summ = hist.summary()
+        assert summ["count"] == 4
+        assert summ["sum"] == pytest.approx(10.0)
+        assert summ["min"] == 1.0
+        assert summ["max"] == 4.0
+        assert summ["mean"] == pytest.approx(2.5)
+        assert summ["p50"] <= summ["p95"] <= summ["p99"]
+
+
+class TestMerge:
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(11)
+        a_samples = rng.lognormal(-6, 1, 5_000)
+        b_samples = rng.lognormal(-5, 1, 5_000)
+        a, b, combined = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for s in a_samples:
+            a.record(float(s))
+            combined.record(float(s))
+        for s in b_samples:
+            b.record(float(s))
+            combined.record(float(s))
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.sum == pytest.approx(combined.sum)
+        for q in (50, 95, 99):
+            assert a.percentile(q) == pytest.approx(combined.percentile(q))
+
+
+class TestThreadSafety:
+    def test_concurrent_record(self):
+        hist = LatencyHistogram()
+        per_thread, num_threads = 10_000, 8
+
+        def work():
+            for i in range(per_thread):
+                hist.record(1e-6 * (i + 1))
+
+        threads = [threading.Thread(target=work) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == per_thread * num_threads
+        assert hist.sum == pytest.approx(
+            num_threads * 1e-6 * per_thread * (per_thread + 1) / 2, rel=1e-9
+        )

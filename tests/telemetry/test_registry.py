@@ -1,0 +1,138 @@
+"""Metrics registry: creation, labels, no-op mode, exports, threading."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_create_and_increment(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(4)
+        assert reg.value("requests") == 5
+
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_labels_distinguish(self):
+        reg = MetricsRegistry()
+        reg.counter("rpc.requests", method="put").inc(3)
+        reg.counter("rpc.requests", method="get").inc(1)
+        assert reg.value("rpc.requests", method="put") == 3
+        assert reg.value("rpc.requests", method="get") == 1
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", b="2", a="1")
+        b = reg.counter("m", a="1", b="2")
+        assert a is b
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pool.free_blocks")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert reg.value("pool.free_blocks") == 7
+
+
+class TestDisabled:
+    def test_hands_out_null_metrics(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("c") is NULL_COUNTER
+        assert reg.gauge("g") is NULL_GAUGE
+        assert reg.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_metrics_are_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(7)
+        reg.histogram("h").record(1.0)
+        assert reg.counters() == {}
+        assert reg.gauges() == {}
+        assert NULL_COUNTER.value == 0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_disable_then_enable(self):
+        reg = MetricsRegistry()
+        reg.disable()
+        assert reg.counter("a") is NULL_COUNTER
+        reg.enable()
+        reg.counter("a").inc()
+        assert reg.value("a") == 1
+
+
+class TestExports:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("controller.ops_handled").inc(7)
+        reg.gauge("pool.utilization").set(0.5)
+        h = reg.histogram("rpc.server.latency_s", method="put")
+        for v in (0.001, 0.002, 0.004):
+            h.record(v)
+        return reg
+
+    def test_json_roundtrips(self):
+        doc = json.loads(self._populated().to_json())
+        assert doc["counters"]["controller.ops_handled"] == 7
+        assert doc["gauges"]["pool.utilization"] == 0.5
+        hist = doc["histograms"]['rpc.server.latency_s{method="put"}']
+        assert hist["count"] == 3
+
+    def test_prometheus_text(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE jiffy_controller_ops_handled counter" in text
+        assert "jiffy_controller_ops_handled 7" in text
+        assert "jiffy_pool_utilization 0.5" in text
+        assert 'jiffy_rpc_server_latency_s_count{method="put"} 3' in text
+        assert 'quantile="0.5"' in text
+
+    def test_clear(self):
+        reg = self._populated()
+        reg.clear()
+        assert reg.counters() == {}
+        assert reg.gauges() == {}
+        assert reg.histograms() == {}
+
+
+class TestThreadSafety:
+    def test_concurrent_create_and_record(self):
+        reg = MetricsRegistry()
+        per_thread, num_threads = 5_000, 8
+
+        def work(tid):
+            # Half the work hits a shared metric, half a per-thread one,
+            # so both the create path and the record path race.
+            shared = reg.counter("shared")
+            hist = reg.histogram("lat", thread=str(tid % 2))
+            for i in range(per_thread):
+                shared.inc()
+                hist.record(1e-6 * (i + 1))
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("shared") == per_thread * num_threads
+        total = sum(h.count for h in reg.histograms().values())
+        assert total == per_thread * num_threads

@@ -1,0 +1,144 @@
+"""Trace spans: nesting, propagation, JSONL output, rendering."""
+
+import json
+
+import pytest
+
+from repro.telemetry.tracer import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    SpanContext,
+    Tracer,
+    format_trace,
+    read_trace_file,
+)
+
+
+class TestNesting:
+    def test_child_parents_to_ambient(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert span.parent_id is None
+
+    def test_siblings_share_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.trace_id == b.trace_id == outer.trace_id
+        assert a.parent_id == b.parent_id == outer.span_id
+
+    def test_current_restored_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_explicit_parent_beats_ambient(self):
+        tracer = Tracer()
+        remote = SpanContext(trace_id="t" * 32, span_id="s" * 16)
+        with tracer.span("ambient"):
+            with tracer.span("server", parent=remote) as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_id == remote.span_id
+
+    def test_error_status_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+        assert span.end_time is not None
+
+
+class TestPropagation:
+    def test_inject_extract_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("client") as span:
+            headers = tracer.inject()
+            ctx = Tracer.extract(headers)
+        assert ctx == SpanContext(span.trace_id, span.span_id)
+
+    def test_inject_outside_span_is_empty(self):
+        assert Tracer().inject() == {}
+
+    def test_extract_accepts_pair_list(self):
+        ctx = Tracer.extract(
+            [(TRACE_ID_HEADER, "abc"), (SPAN_ID_HEADER, "def")]
+        )
+        assert ctx == SpanContext("abc", "def")
+
+    def test_extract_missing_headers(self):
+        assert Tracer.extract(None) is None
+        assert Tracer.extract({}) is None
+        assert Tracer.extract({TRACE_ID_HEADER: "abc"}) is None
+
+
+class TestSink:
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(max_spans=5)
+        for i in range(8):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["s3", "s4", "s5", "s6", "s7"]
+
+    def test_jsonl_file_output(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        with tracer.span("outer", job="j1"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        events = read_trace_file(path)
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert events[0]["parent"] == events[1]["span"]
+        assert events[1]["attrs"] == {"job": "j1"}
+        # every line is standalone JSON
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_tail(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        for i in range(6):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.close()
+        assert [e["name"] for e in read_trace_file(path, tail=2)] == ["s4", "s5"]
+
+    def test_disabled_emits_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ghost") as span:
+            span.set_attr("k", "v")  # null span absorbs attrs
+        assert tracer.finished() == []
+        assert tracer.inject() == {}
+
+
+class TestFormatting:
+    def test_tree_indentation(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = format_trace([s.to_dict() for s in tracer.finished()])
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "  outer" in text
+        assert "    inner" in text
+
+    def test_empty(self):
+        assert format_trace([]) == "(no spans)"

@@ -60,6 +60,67 @@ class TestSnapshot:
         assert "pool.spilled_blocks" not in metrics
 
 
+class TestSeedKeyRegression:
+    """The snapshot's key set predates the telemetry registry; consumers
+    (dashboards, the EXPERIMENTS.md tables) rely on these exact names."""
+
+    SEED_KEYS = {
+        "controller.ops_handled",
+        "controller.jobs",
+        "controller.prefixes_expired",
+        "controller.scale_up_signals",
+        "controller.scale_down_signals",
+        "controller.metadata_bytes",
+        "leases.renewal_requests",
+        "leases.renewals_applied",
+        "leases.expirations",
+        "allocator.allocations",
+        "allocator.reclamations",
+        "allocator.failed_allocations",
+        "pool.servers",
+        "pool.total_blocks",
+        "pool.allocated_blocks",
+        "pool.free_blocks",
+        "pool.used_bytes",
+        "pool.allocated_bytes",
+        "pool.utilization",
+        "external.objects",
+        "external.bytes_written",
+        "external.bytes_read",
+    }
+
+    def test_plain_pool_keys_unchanged(self, controller):
+        assert set(snapshot(controller)) == self.SEED_KEYS
+
+    def test_tiered_pool_adds_spill_keys(self):
+        pool = TieredMemoryPool(block_size=KB, spill_server_blocks=8)
+        pool.add_server(num_blocks=4)
+        controller = JiffyController(
+            JiffyConfig(block_size=KB), pool=pool, clock=SimClock()
+        )
+        assert set(snapshot(controller)) == self.SEED_KEYS | {
+            "pool.spilled_blocks",
+            "pool.spilled_bytes",
+            "pool.spill_allocations",
+        }
+
+    def test_snapshot_reads_registry(self, controller):
+        client = connect(controller, "job")
+        client.create_addr_prefix("t")
+        client.init_data_structure("t", "file").append(b"x" * 100)
+        metrics = snapshot(controller)
+        assert metrics["controller.ops_handled"] == controller.telemetry.value(
+            "controller.ops_handled"
+        )
+        assert metrics["allocator.allocations"] == controller.telemetry.value(
+            "allocator.allocations"
+        )
+        # Derived gauges are mirrored into the registry by snapshot().
+        assert controller.telemetry.value("pool.used_bytes") == metrics[
+            "pool.used_bytes"
+        ]
+
+
 class TestFormatting:
     def test_aligned_output(self, controller):
         text = format_snapshot(snapshot(controller))
@@ -68,6 +129,20 @@ class TestFormatting:
         # keys sorted
         keys = [line.split()[0] for line in lines]
         assert keys == sorted(keys)
+
+    def test_floats_fixed_precision(self):
+        text = format_snapshot({"pool.utilization": 1 / 3})
+        assert text.rstrip().endswith("0.333333")
+
+    def test_mixed_value_types_sort_deterministically(self):
+        metrics = {"b.float": 0.5, "a.int": 1, "c.str": "tiered"}
+        lines = format_snapshot(metrics).splitlines()
+        assert [line.split()[0] for line in lines] == [
+            "a.int",
+            "b.float",
+            "c.str",
+        ]
+        assert lines[1].split()[1] == "0.5"
 
     def test_empty(self):
         assert format_snapshot({}) == ""
