@@ -33,6 +33,7 @@ from repro.core import (
     AddressNode,
     ChainReplicator,
     ClusterAutoscaler,
+    ControlPlane,
     JiffyClient,
     JiffyController,
     Listener,
@@ -40,6 +41,7 @@ from repro.core import (
     PrimaryBackupController,
     ShardedController,
     connect,
+    make_control_plane,
 )
 from repro.core.live import LiveJiffy
 from repro.datastructures import (
@@ -71,6 +73,8 @@ __all__ = [
     "KB",
     "MB",
     "GB",
+    "ControlPlane",
+    "make_control_plane",
     "JiffyController",
     "JiffyClient",
     "ShardedController",

@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.core.plane import BACKENDS
 from repro.experiments import (
     ablations,
     fig1,
@@ -155,6 +156,13 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="smaller demo workload"
     )
     metrics.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="local",
+        help="control-plane backend the demo runs against (sharded "
+        "reports all shards through the shared registry)",
+    )
+    metrics.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -177,6 +185,13 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only the last N spans",
     )
+    tr.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="local",
+        help="control-plane backend for the demo run (ignored when "
+        "reading a trace file)",
+    )
     return parser
 
 
@@ -186,7 +201,9 @@ def telemetry_main(argv: List[str]) -> int:
 
     args = build_telemetry_parser().parse_args(argv)
     if args.action == "metrics":
-        result = demo.run(quick=args.quick, trace_path=args.trace_out)
+        result = demo.run(
+            quick=args.quick, trace_path=args.trace_out, backend=args.backend
+        )
         if args.json:
             print(result.registry.to_json(indent=2))
         else:
@@ -201,7 +218,7 @@ def telemetry_main(argv: List[str]) -> int:
                 print(f"error: cannot read trace file: {exc}", file=sys.stderr)
                 return 1
         else:
-            result = demo.run(quick=True)
+            result = demo.run(quick=True, backend=args.backend)
             events = [span.to_dict() for span in result.tracer.finished()]
             if args.tail is not None:
                 events = events[-args.tail :] if args.tail > 0 else []

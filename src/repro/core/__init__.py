@@ -1,5 +1,6 @@
 """Jiffy control plane: the paper's primary contribution.
 
+* :mod:`repro.core.plane` — the transport-agnostic ControlPlane interface
 * :mod:`repro.core.hierarchy` — hierarchical addressing (§3.1)
 * :mod:`repro.core.lease` — lease-based lifetime management (§3.2)
 * :mod:`repro.core.allocator` — block allocator + free list (§4.2.1)
@@ -12,6 +13,7 @@
 """
 
 from repro.core.hierarchy import AddressHierarchy, AddressNode, join_path, split_path
+from repro.core.plane import BACKENDS, CONTROL_SURFACE, ControlPlane, OpSpec, make_control_plane
 from repro.core.controller import JiffyController
 from repro.core.client import JiffyClient, connect
 from repro.core.notifications import Listener, Notification, NotificationBroker
@@ -26,6 +28,11 @@ __all__ = [
     "AddressNode",
     "join_path",
     "split_path",
+    "BACKENDS",
+    "CONTROL_SURFACE",
+    "ControlPlane",
+    "OpSpec",
+    "make_control_plane",
     "JiffyController",
     "JiffyClient",
     "connect",

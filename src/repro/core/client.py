@@ -16,15 +16,15 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-from repro.core.controller import JiffyController
 from repro.core.hierarchy import AddressNode
+from repro.core.plane import ControlPlane
 from repro.datastructures.base import DataStructure
 from repro.datastructures.registry import DataStructureRegistry, default_registry
 from repro.errors import RegistrationError
 
 
 def connect(
-    controller: JiffyController,
+    controller: ControlPlane,
     job_id: str,
     register: bool = True,
     registry: Optional[DataStructureRegistry] = None,
@@ -33,7 +33,11 @@ def connect(
     """``connect(jiffyAddress)``: open a client session for a job.
 
     In the paper the argument is the controller's network address; here
-    it is the controller object itself (transport is not modelled).
+    it is any :class:`~repro.core.plane.ControlPlane` — the in-process
+    :class:`~repro.core.controller.JiffyController`, a
+    :class:`~repro.core.sharding.ShardedController`, or an RPC-backed
+    :class:`~repro.rpc.remote.RemoteControlPlane`; the session behaves
+    identically against each backend.
     ``register=True`` registers the job if it is not already known.
     ``principal`` identifies the caller for access control (§4.2.1);
     it defaults to the job id (the owner), and a foreign principal must
@@ -49,7 +53,7 @@ class JiffyClient:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         registry: Optional[DataStructureRegistry] = None,
         principal: Optional[str] = None,
@@ -116,8 +120,15 @@ class JiffyClient:
         return self.controller.renew_lease(self.job_id, addr)
 
     def renew_leases(self, addrs: Sequence[str]) -> int:
-        """Renew several prefixes; returns total nodes renewed."""
-        return sum(self.renew_lease(addr) for addr in addrs)
+        """Renew several prefixes; returns total nodes renewed.
+
+        Goes through the control plane's bulk path, so against a remote
+        backend the whole batch costs one RPC.
+        """
+        counts = self.controller.renew_leases(
+            [(self.job_id, addr) for addr in addrs]
+        )
+        return sum(counts)
 
     # ------------------------------------------------------------------
     # Data structures
@@ -162,11 +173,14 @@ class JiffyClient:
 
     createAddrPrefix = create_addr_prefix
     createHierarchy = create_hierarchy
+    addDependency = add_dependency
     flushAddrPrefix = flush_addr_prefix
     loadAddrPrefix = load_addr_prefix
     getLeaseDuration = get_lease_duration
     renewLease = renew_lease
+    renewLeases = renew_leases
     initDataStructure = init_data_structure
+    attachDataStructure = attach_data_structure
 
     def __repr__(self) -> str:
         return f"JiffyClient(job={self.job_id!r})"

@@ -17,7 +17,7 @@ thread and simulations call as the clock advances.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
@@ -26,6 +26,7 @@ from repro.core.allocator import BlockAllocator
 from repro.core.hierarchy import AddressHierarchy, AddressNode
 from repro.core.lease import LeaseManager
 from repro.core.metadata import MetadataManager, PartitionMetadata
+from repro.core.plane import ControlPlane
 from repro.errors import (
     PermissionError_,
     RegistrationError,
@@ -36,7 +37,7 @@ from repro.telemetry import MetricsRegistry
 from repro.telemetry import trace
 
 
-class JiffyController:
+class JiffyController(ControlPlane):
     """Controller for one shard of the control plane.
 
     Args:
@@ -258,6 +259,12 @@ class JiffyController:
         node = self._hierarchy(job_id).get_node(prefix)
         return self.leases.lease_duration_of(node)
 
+    def start_lease(self, job_id: str, prefix: str) -> None:
+        """(Re)start a prefix's lease clock, clearing its expired mark."""
+        self._c_ops.inc()
+        node = self._hierarchy(job_id).get_node(prefix)
+        self.leases.start(node)
+
     def tick(self) -> List[AddressNode]:
         """Run one expiry-worker pass; returns the prefixes expired.
 
@@ -326,24 +333,66 @@ class JiffyController:
         node = self._hierarchy(job_id).get_node(prefix)
         return self.allocator.blocks_of(node)
 
+    def get_block(self, block_id: BlockId, job_id: Optional[str] = None) -> Block:
+        """Resolve a block id to its :class:`Block` (the data plane).
+
+        ``job_id`` is unused here — a single controller owns one pool —
+        but part of the surface so sharded deployments can route.
+        """
+        return self.pool.get_block(block_id)
+
+    # ------------------------------------------------------------------
+    # Allocation-policy hooks (quotas — §3.1 policy-over-mechanism)
+    # ------------------------------------------------------------------
+
+    def set_quota(self, job_id: str, max_blocks: Optional[int]) -> None:
+        """Cap a job's concurrent block count (None removes the cap)."""
+        self.allocator.set_quota(job_id, max_blocks)
+
+    def quota_of(self, job_id: str) -> Optional[int]:
+        """A job's current block quota, if any."""
+        return self.allocator.quota_of(job_id)
+
+    def blocks_held_by(self, job_id: str) -> int:
+        """Blocks currently allocated across all of a job's prefixes."""
+        return self.allocator.blocks_held_by(job_id)
+
     # ------------------------------------------------------------------
     # Data structure registration & metadata
     # ------------------------------------------------------------------
 
     def register_datastructure(
-        self, job_id: str, prefix: str, ds_type: str, ds: object
+        self,
+        job_id: str,
+        prefix: str,
+        ds_type: str,
+        ds: Optional[object],
+        partitioning: Optional[Mapping[str, Any]] = None,
     ) -> PartitionMetadata:
-        """Bind a data-structure instance to a prefix."""
+        """Bind a data-structure instance to a prefix.
+
+        ``partitioning`` seeds the initial partition map in the same
+        control-plane operation — remote deployments coalesce the
+        registration and the first metadata write into one RPC.
+        """
         self._c_ops.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         node.ds_type = ds_type
         node.datastructure = ds
-        return self.metadata.register(job_id, prefix, ds_type)
+        entry = self.metadata.register(job_id, prefix, ds_type)
+        if partitioning is not None:
+            self.metadata.update(job_id, prefix, **dict(partitioning))
+        return entry
 
     def partition_metadata(self, job_id: str, prefix: str) -> PartitionMetadata:
         """Fetch (client refresh path) the partition metadata of a prefix."""
         self._c_ops.inc()
         return self.metadata.get(job_id, prefix)
+
+    def update_metadata(self, job_id: str, prefix: str, **partitioning: Any) -> int:
+        """Merge keys into the partition map; returns the new version."""
+        self._c_ops.inc()
+        return self.metadata.update(job_id, prefix, **partitioning)
 
     # ------------------------------------------------------------------
     # Flush / load (Table 1)
@@ -423,6 +472,20 @@ class JiffyController:
     def metadata_bytes(self) -> int:
         """Control-plane metadata footprint across all jobs (§6.4)."""
         return sum(h.metadata_bytes() for h in self._jobs.values())
+
+    def total_blocks(self) -> int:
+        """Physical block capacity of this controller's pool."""
+        return self.pool.total_blocks
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate control-plane counters (ops, expiries, signals)."""
+        return {
+            "ops_handled": self.ops_handled,
+            "scale_up_signals": self.scale_up_signals,
+            "scale_down_signals": self.scale_down_signals,
+            "prefixes_expired": self.prefixes_expired,
+            "blocks_reclaimed_by_expiry": self.blocks_reclaimed_by_expiry,
+        }
 
     def describe_job(self, job_id: str) -> List[dict]:
         """du-style per-prefix accounting for one job.

@@ -14,13 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 
 
 class FairShareManager:
     """Recomputes per-job block quotas with max-min fairness."""
 
-    def __init__(self, controller: JiffyController, reserve_blocks: int = 0) -> None:
+    def __init__(self, controller: ControlPlane, reserve_blocks: int = 0) -> None:
         if reserve_blocks < 0:
             raise ValueError("reserve_blocks must be >= 0")
         self.controller = controller
@@ -37,10 +37,10 @@ class FairShareManager:
         jobs = self.controller.jobs()
         if not jobs:
             return {}
-        capacity = self.controller.pool.total_blocks - self.reserve_blocks
+        capacity = self.controller.total_blocks() - self.reserve_blocks
         capacity = max(capacity, 0)
         demand = {
-            job: self.controller.allocator.blocks_held_by(job) for job in jobs
+            job: self.controller.blocks_held_by(job) for job in jobs
         }
         # Water-filling: repeatedly grant the equal split; jobs holding
         # less than the split free the remainder for the others.
@@ -68,6 +68,6 @@ class FairShareManager:
         """One policy pass: compute and install quotas. Returns them."""
         shares = self.compute_shares()
         for job, quota in shares.items():
-            self.controller.allocator.set_quota(job, quota)
+            self.controller.set_quota(job, quota)
         self.passes += 1
         return shares

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.config import JiffyConfig
 from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 from repro.sim.clock import WallClock
 
 
@@ -34,7 +35,7 @@ class LiveJiffy:
     def __init__(
         self,
         config: Optional[JiffyConfig] = None,
-        controller: Optional[JiffyController] = None,
+        controller: Optional[ControlPlane] = None,
         expiry_interval_s: Optional[float] = None,
     ) -> None:
         if controller is None:

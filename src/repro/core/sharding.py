@@ -6,26 +6,40 @@ subset of address hierarchies (jobs) and data-plane blocks. Requests are
 routed by hashing the job id, so shards share nothing and throughput
 scales linearly with the shard count (Fig 12(b)).
 
-:class:`ShardedController` exposes the same request surface as a single
-:class:`~repro.core.controller.JiffyController` and simply routes.
+:class:`ShardedController` is a full :class:`~repro.core.plane.ControlPlane`:
+every job-routed operation in :data:`~repro.core.plane.CONTROL_SURFACE`
+is *generated* from the surface spec (hash the job id, forward to the
+owning shard), so the shard proxy can never silently drift from the
+interface; only genuinely cross-shard operations (aggregates, the expiry
+sweep, block lookup) are written by hand.
 
 Simplification vs the paper: the paper hash-partitions both address
 hierarchies *and* the data-plane block space across controller servers;
 here each shard owns a private slice of the pool outright (same
-share-nothing property, coarser partitioning of blocks).
+share-nothing property, coarser partitioning of blocks). Each shard's
+pool uses ``shard<i>/...`` server ids so block ids stay globally unique
+and :meth:`get_block` can route without a search.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import List, Mapping, Optional, Sequence
+import inspect
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.blocks.block import Block, BlockId
+from repro.blocks.pool import MemoryPool
 from repro.config import JiffyConfig
 from repro.core.controller import JiffyController
-from repro.core.hierarchy import AddressHierarchy, AddressNode
+from repro.core.hierarchy import AddressNode
+from repro.core.plane import CONTROL_SURFACE, ROUTE_BY_JOB, ControlPlane
+from repro.errors import BlockError
 from repro.sim.clock import Clock
 from repro.storage.external import ExternalStore
+from repro.telemetry import MetricsRegistry
+
+#: pool_factory(shard_index, config) -> MemoryPool for that shard
+PoolFactory = Callable[[int, JiffyConfig], MemoryPool]
 
 
 def _stable_hash(key: str) -> int:
@@ -33,8 +47,22 @@ def _stable_hash(key: str) -> int:
     return int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "little")
 
 
-class ShardedController:
-    """N independent controller shards behind job-id hash routing."""
+class ShardedController(ControlPlane):
+    """N share-nothing controller shards behind job-id hash routing.
+
+    Args:
+        num_shards: shard count; throughput scales with it (Fig 12(b)).
+        config: shared system configuration.
+        clock: shared time source (all shards see the same now).
+        blocks_per_shard: per-shard pool size when no ``pool_factory``.
+        external_store: shared flush/load target.
+        registry: the **shared** metrics registry. All shards record into
+            one registry so ``python -m repro telemetry metrics`` reports
+            the whole deployment, not just shard 0. Defaults to a fresh
+            registry private to this deployment.
+        pool_factory: optional ``(shard_index, config) -> MemoryPool``
+            for heterogeneous or tiered per-shard pools.
+    """
 
     def __init__(
         self,
@@ -43,54 +71,46 @@ class ShardedController:
         clock: Optional[Clock] = None,
         blocks_per_shard: int = 1024,
         external_store: Optional[ExternalStore] = None,
+        registry: Optional[MetricsRegistry] = None,
+        pool_factory: Optional[PoolFactory] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.num_shards = num_shards
-        self.shards: List[JiffyController] = [
-            JiffyController(
-                config=config,
-                clock=clock,
-                default_blocks=blocks_per_shard,
-                external_store=external_store,
+        cfg = config if config is not None else JiffyConfig()
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self.shards: List[JiffyController] = []
+        for index in range(num_shards):
+            if pool_factory is not None:
+                pool = pool_factory(index, cfg)
+            else:
+                pool = MemoryPool(cfg.block_size)
+                # Distinct server ids keep block ids globally unique, so
+                # get_block can route on the "shard<i>/" prefix.
+                pool.add_server(blocks_per_shard, server_id=f"shard{index}/server-0")
+            self.shards.append(
+                JiffyController(
+                    config=cfg,
+                    pool=pool,
+                    clock=clock,
+                    external_store=external_store,
+                    registry=self.telemetry,
+                )
             )
-            for _ in range(num_shards)
-        ]
+        # All shards share one config/clock; expose shard 0's.
+        self.config = self.shards[0].config
+        self.clock = self.shards[0].clock
 
     def shard_for(self, job_id: str) -> JiffyController:
         """The shard owning a job's address hierarchy."""
         return self.shards[_stable_hash(job_id) % self.num_shards]
 
-    # -- routed request surface (subset used by clients) ---------------
+    # ------------------------------------------------------------------
+    # Cross-shard operations (hand-written: these genuinely fan out)
+    # ------------------------------------------------------------------
 
-    def register_job(self, job_id: str) -> AddressHierarchy:
-        return self.shard_for(job_id).register_job(job_id)
-
-    def deregister_job(self, job_id: str, flush: bool = False) -> int:
-        return self.shard_for(job_id).deregister_job(job_id, flush=flush)
-
-    def create_addr_prefix(self, job_id: str, name: str, **kwargs) -> AddressNode:
-        return self.shard_for(job_id).create_addr_prefix(job_id, name, **kwargs)
-
-    def create_hierarchy(
-        self, job_id: str, dag: Mapping[str, Sequence[str]]
-    ) -> AddressHierarchy:
-        return self.shard_for(job_id).create_hierarchy(job_id, dag)
-
-    def renew_lease(self, job_id: str, prefix: str, propagate: bool = True) -> int:
-        return self.shard_for(job_id).renew_lease(job_id, prefix, propagate=propagate)
-
-    def get_lease_duration(self, job_id: str, prefix: str) -> float:
-        return self.shard_for(job_id).get_lease_duration(job_id, prefix)
-
-    def allocate_block(self, job_id: str, prefix: str) -> Block:
-        return self.shard_for(job_id).allocate_block(job_id, prefix)
-
-    def try_allocate_block(self, job_id: str, prefix: str) -> Optional[Block]:
-        return self.shard_for(job_id).try_allocate_block(job_id, prefix)
-
-    def reclaim_block(self, job_id: str, prefix: str, block_id: BlockId) -> None:
-        self.shard_for(job_id).reclaim_block(job_id, prefix, block_id)
+    def jobs(self) -> List[str]:
+        return [job for shard in self.shards for job in shard.jobs()]
 
     def tick(self) -> List[AddressNode]:
         """Run the expiry worker on every shard."""
@@ -99,21 +119,95 @@ class ShardedController:
             expired.extend(shard.tick())
         return expired
 
-    # -- aggregate statistics ------------------------------------------
+    def get_block(self, block_id: BlockId, job_id: Optional[str] = None) -> Block:
+        """Resolve a block id, routing by job hint or by server prefix."""
+        if job_id is not None:
+            return self.shard_for(job_id).get_block(block_id)
+        for shard in self.shards:
+            try:
+                return shard.get_block(block_id)
+            except BlockError:
+                continue
+        raise BlockError(f"block {block_id} is not allocated on any shard")
+
+    def allocated_bytes(self, job_id: Optional[str] = None) -> int:
+        if job_id is not None:
+            return self.shard_for(job_id).allocated_bytes(job_id)
+        return sum(s.allocated_bytes() for s in self.shards)
+
+    def used_bytes(self, job_id: Optional[str] = None) -> int:
+        if job_id is not None:
+            return self.shard_for(job_id).used_bytes(job_id)
+        return sum(s.used_bytes() for s in self.shards)
+
+    def utilization(self) -> float:
+        allocated = self.allocated_bytes()
+        if allocated == 0:
+            return 1.0
+        return self.used_bytes() / allocated
+
+    def metadata_bytes(self) -> int:
+        return sum(s.metadata_bytes() for s in self.shards)
+
+    def total_blocks(self) -> int:
+        return sum(s.total_blocks() for s in self.shards)
+
+    def stats(self) -> Dict[str, int]:
+        # The registry is shared, so every shard's counter object IS the
+        # deployment-wide counter: read it once (summing per-shard
+        # properties would multiply each value by num_shards).
+        return self.shards[0].stats()
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
 
     @property
     def ops_handled(self) -> int:
-        return sum(s.ops_handled for s in self.shards)
+        # Shared-registry counter — see stats().
+        return self.telemetry.value("controller.ops_handled")
 
     def shard_loads(self) -> List[int]:
         """Jobs per shard — used to verify balanced hash routing."""
         return [len(s.jobs()) for s in self.shards]
 
-    def allocated_bytes(self) -> int:
-        return sum(s.allocated_bytes() for s in self.shards)
-
-    def used_bytes(self) -> int:
-        return sum(s.used_bytes() for s in self.shards)
-
     def __repr__(self) -> str:
         return f"ShardedController(shards={self.num_shards})"
+
+
+def _make_routed(name: str) -> Callable[..., Any]:
+    """Generate the shard-routing wrapper for one job-routed operation.
+
+    The wrapper hashes the job id (the first positional argument of every
+    job-routed surface method) and forwards the call unchanged; its
+    ``__signature__`` is copied from :class:`JiffyController` so
+    ``inspect``-based tooling (and the interface-drift test) sees the
+    real signature rather than ``(*args, **kwargs)``.
+    """
+    concrete = getattr(JiffyController, name)
+
+    def routed(self: ShardedController, job_id: str, *args: Any, **kwargs: Any) -> Any:
+        return getattr(self.shard_for(job_id), name)(job_id, *args, **kwargs)
+
+    routed.__name__ = name
+    routed.__qualname__ = f"ShardedController.{name}"
+    routed.__doc__ = f"Route :meth:`JiffyController.{name}` to the owning shard."
+    routed.__signature__ = inspect.signature(concrete)  # type: ignore[attr-defined]
+    return routed
+
+
+# Generate every job-routed method that is not hand-written above — the
+# surface spec, not a hand-copied list, decides what exists.
+for _spec in CONTROL_SURFACE:
+    if _spec.routing == ROUTE_BY_JOB and _spec.name not in ShardedController.__dict__:
+        setattr(ShardedController, _spec.name, _make_routed(_spec.name))
+del _spec
+
+# ABCMeta snapshots __abstractmethods__ at class-creation time, before
+# the generated methods exist (and abc.update_abstractmethods is
+# Python >= 3.10); recompute it so the class is instantiable on 3.9.
+ShardedController.__abstractmethods__ = frozenset(
+    name
+    for name in ShardedController.__abstractmethods__
+    if getattr(getattr(ShardedController, name), "__isabstractmethod__", False)
+)

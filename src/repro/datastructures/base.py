@@ -17,11 +17,11 @@ be regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, List, Mapping, Optional
 
 from repro.blocks.block import Block
-from repro.core.controller import JiffyController
 from repro.core.hierarchy import AddressNode
+from repro.core.plane import ControlPlane
 from repro.core.notifications import Listener, NotificationBroker
 from repro.errors import CapacityError, LeaseExpiredError
 from repro.sim.network import NetworkModel
@@ -51,7 +51,7 @@ class DataStructure:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         prefix: str,
         network: Optional[NetworkModel] = None,
@@ -64,9 +64,21 @@ class DataStructure:
         self.broker = NotificationBroker(controller.clock)
         self.repartition_events: List[RepartitionEvent] = []
         self._expired = False
+        # Registration carries the initial partitioning so data-structure
+        # init is ONE control-plane operation (one RPC on the remote
+        # backend) — subclasses set their partition state before calling
+        # up to this constructor.
         self._meta = controller.register_datastructure(
-            job_id, prefix, self.DS_TYPE, self
+            job_id,
+            prefix,
+            self.DS_TYPE,
+            self,
+            partitioning=self._initial_partitioning(),
         )
+
+    def _initial_partitioning(self) -> Optional[Mapping[str, Any]]:
+        """The partition map to seed at registration (None for none)."""
+        return None
 
     # ------------------------------------------------------------------
     # Node/lease plumbing
@@ -97,8 +109,7 @@ class DataStructure:
         # Reviving implies a fresh lease: clear the node's expired mark
         # (so the controller accepts allocations again) and restart its
         # lease clock.
-        node = self.node
-        self.controller.leases.start(node)
+        self.controller.start_lease(self.job_id, self.prefix)
 
     def renew_lease(self) -> int:
         """Convenience: renew this prefix's lease (DAG-propagated)."""
@@ -136,7 +147,7 @@ class DataStructure:
         self.controller.reclaim_block(self.job_id, self.prefix, block.block_id)
 
     def _get_block(self, block_id: str) -> Block:
-        return self.controller.pool.get_block(block_id)
+        return self.controller.get_block(block_id, self.job_id)
 
     def _reclaim_all_blocks(self) -> None:
         """Release every block of this prefix (load-from-scratch path)."""

@@ -26,16 +26,16 @@ class JiffyFile(DataStructure):
     DS_TYPE = "file"
 
     def __init__(self, controller, job_id: str, prefix: str, **kwargs) -> None:
-        super().__init__(controller, job_id, prefix, **kwargs)
-        # (block_id, start_offset) per chunk, in offset order.
+        # (block_id, start_offset) per chunk, in offset order. Set before
+        # super().__init__ so registration carries the initial map.
         self._chunks: List[Tuple[str, int]] = []
         self._size = 0
         self._read_pos = 0
+        super().__init__(controller, job_id, prefix, **kwargs)
         reg = self.telemetry
         self._h_append = (
             reg.histogram("file.append.latency_s") if reg.enabled else None
         )
-        self._sync_metadata()
 
     # ------------------------------------------------------------------
 
@@ -51,8 +51,11 @@ class JiffyFile(DataStructure):
         """Current sequential-read position."""
         return self._read_pos
 
+    def _initial_partitioning(self) -> dict:
+        return {"chunks": list(self._chunks), "size": self._size}
+
     def _sync_metadata(self) -> None:
-        self.controller.metadata.update(
+        self.controller.update_metadata(
             self.job_id, self.prefix, chunks=list(self._chunks), size=self._size
         )
 

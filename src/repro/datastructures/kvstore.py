@@ -49,17 +49,18 @@ class JiffyKVStore(DataStructure):
         num_slots: Optional[int] = None,
         **kwargs,
     ) -> None:
-        super().__init__(controller, job_id, prefix, **kwargs)
         self.num_slots = (
             num_slots if num_slots is not None else controller.config.num_hash_slots
         )
         if self.num_slots <= 0:
             raise DataStructureError("num_slots must be positive")
-        # slot -> block id; populated lazily on first write.
+        # slot -> block id; populated lazily on first write. Set before
+        # super().__init__ so registration carries the initial map.
         self._slot_map: Dict[int, str] = {}
         self._size = 0
         self.splits = 0
         self.merges = 0
+        super().__init__(controller, job_id, prefix, **kwargs)
         # Hot-path histograms are fetched once and guarded with None so a
         # disabled registry costs exactly one attribute check per op.
         reg = self.telemetry
@@ -67,7 +68,6 @@ class JiffyKVStore(DataStructure):
         self._h_get = reg.histogram("kv.op.latency_s", op="get") if reg.enabled else None
         self._c_splits = reg.counter("kv.splits")
         self._c_merges = reg.counter("kv.merges")
-        self._sync_metadata()
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -90,8 +90,11 @@ class JiffyKVStore(DataStructure):
     def _pair_cost(key: bytes, value: bytes) -> int:
         return len(key) + len(value) + ITEM_OVERHEAD_BYTES
 
+    def _initial_partitioning(self) -> dict:
+        return {"slot_map": dict(self._slot_map), "num_slots": self.num_slots}
+
     def _sync_metadata(self) -> None:
-        self.controller.metadata.update(
+        self.controller.update_metadata(
             self.job_id,
             self.prefix,
             slot_map=dict(self._slot_map),

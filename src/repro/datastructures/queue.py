@@ -32,14 +32,14 @@ class JiffyQueue(DataStructure):
         max_queue_length: Optional[int] = None,
         **kwargs,
     ) -> None:
-        super().__init__(controller, job_id, prefix, **kwargs)
         if max_queue_length is not None and max_queue_length <= 0:
             raise DataStructureError("max_queue_length must be positive")
         self.max_queue_length = max_queue_length
-        # Ordered segment list; head = first, tail = last.
+        # Ordered segment list; head = first, tail = last. Set before
+        # super().__init__ so registration carries the initial map.
         self._segments: List[str] = []
         self._num_items = 0
-        self._sync_metadata()
+        super().__init__(controller, job_id, prefix, **kwargs)
 
     # ------------------------------------------------------------------
 
@@ -53,10 +53,15 @@ class JiffyQueue(DataStructure):
     def _item_cost(item: bytes) -> int:
         return len(item) + ITEM_OVERHEAD_BYTES
 
+    def _initial_partitioning(self) -> dict:
+        head = self._segments[0] if self._segments else None
+        tail = self._segments[-1] if self._segments else None
+        return {"head": head, "tail": tail}
+
     def _sync_metadata(self) -> None:
         head = self._segments[0] if self._segments else None
         tail = self._segments[-1] if self._segments else None
-        self.controller.metadata.update(
+        self.controller.update_metadata(
             self.job_id, self.prefix, head=head, tail=tail
         )
 

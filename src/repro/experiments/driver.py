@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.config import JiffyConfig
 from repro.core.client import JiffyClient, connect
-from repro.core.controller import JiffyController
+from repro.core.plane import make_control_plane
 from repro.datastructures.base import DataStructure
 from repro.errors import QueueEmptyError
 from repro.sim.clock import SimClock
@@ -93,6 +93,8 @@ class TraceReplayDriver:
         byte_scale: float = 1.0,
         pool_blocks: Optional[int] = None,
         seed: int = 17,
+        backend: str = "local",
+        num_shards: int = 2,
     ) -> None:
         if byte_scale <= 0:
             raise ValueError("byte_scale must be positive")
@@ -101,6 +103,8 @@ class TraceReplayDriver:
         self.byte_scale = byte_scale
         self.clock = SimClock()
         self.pool_blocks = pool_blocks
+        self.backend = backend
+        self.num_shards = num_shards
         self.zipf = ZipfKeySampler(num_keys=4096, alpha=1.0, seed=seed)
         self._key_seq = 0
 
@@ -152,8 +156,12 @@ class TraceReplayDriver:
         if t_end is None:
             t_end = max(j.end_time for j in jobs) + 2 * self.config.lease_duration
         pool_blocks = self.pool_blocks or self._required_blocks(jobs)
-        controller = JiffyController(
-            config=self.config, clock=self.clock, default_blocks=pool_blocks
+        controller = make_control_plane(
+            self.backend,
+            config=self.config,
+            clock=self.clock,
+            default_blocks=pool_blocks,
+            num_shards=self.num_shards,
         )
 
         clients: Dict[str, JiffyClient] = {}
@@ -248,8 +256,8 @@ class TraceReplayDriver:
                 controller.tick()
 
             times[step] = now
-            used[step] = controller.pool.used_bytes()
-            allocated[step] = controller.pool.allocated_bytes()
+            used[step] = controller.used_bytes()
+            allocated[step] = controller.allocated_bytes()
             demand[step] = sum(
                 self.byte_scale * job.demand_at(now) for job in jobs
             )
@@ -258,12 +266,16 @@ class TraceReplayDriver:
             repartition_latencies.extend(
                 e.latency_s for e in ds.repartition_events
             )
+        # Backend-agnostic counters: stats() is part of the ControlPlane
+        # surface, so the same replay reports identically against the
+        # local, sharded, and remote backends.
+        stats = controller.stats()
         return ReplayResult(
             times=times,
             used_bytes=used,
             allocated_bytes=allocated,
             demand_bytes=demand,
             repartition_latencies=repartition_latencies,
-            blocks_reclaimed_by_expiry=controller.blocks_reclaimed_by_expiry,
-            prefixes_expired=controller.prefixes_expired,
+            blocks_reclaimed_by_expiry=stats["blocks_reclaimed_by_expiry"],
+            prefixes_expired=stats["prefixes_expired"],
         )

@@ -3,12 +3,18 @@
 The headline Fig 9 comparison replays thousands of jobs through policy
 models (fast, apples-to-apples across three systems). This experiment
 complements it by running a scaled-down workload through the **real**
-Jiffy stack — controller, leases, file data structures — on a
+Jiffy stack — control plane, leases, file data structures — on a
 :class:`~repro.blocks.tiered.TieredMemoryPool` whose DRAM tier is capped
 at a fraction of the workload's peak. Data that does not fit DRAM lands
 on modelled SSD spill blocks; every byte written to or read from a spill
 block is charged that tier's device latency, and per-job slowdown is
 nominal-plus-penalty over nominal, as in the policy model.
+
+The replay loop itself lives in
+:mod:`repro.experiments.system_runner`, shared with the functional
+Pocket baseline and parameterised by control-plane backend — ``run()``
+accepts ``backend`` (``local``/``sharded``/``remote``) and ``system``
+(``jiffy``/``pocket``) and produces the same rows either way.
 
 The qualitative expectations this validates end-to-end:
 
@@ -23,26 +29,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.blocks.tiered import TieredMemoryPool
-from repro.config import KB, JiffyConfig
-from repro.core.client import connect
-from repro.core.controller import JiffyController
-from repro.sim.clock import SimClock
-from repro.storage.tier import SSD_TIER
+from repro.config import KB
+from repro.experiments.system_runner import SystemRunPoint, replay_system
 from repro.workloads.snowflake import JobTrace, SnowflakeWorkloadGenerator
 
-
-@dataclass
-class SystemRunPoint:
-    dram_fraction: float
-    avg_slowdown: float
-    spilled_blocks_peak: int
-    spill_write_bytes: int
+__all__ = ["Fig9SystemResult", "SystemRunPoint", "run", "format_report"]
 
 
 @dataclass
@@ -65,108 +61,6 @@ def _make_workload(seed: int, duration_s: float) -> List[JobTrace]:
     return jobs
 
 
-def _replay_at(
-    jobs: Sequence[JobTrace],
-    dram_blocks: int,
-    block_size: int,
-    duration_s: float,
-    dt: float,
-    bytes_scale_up: float,
-) -> SystemRunPoint:
-    clock = SimClock()
-    pool = TieredMemoryPool(
-        block_size=block_size, spill_tier=SSD_TIER, spill_server_blocks=64
-    )
-    pool.add_server(num_blocks=max(dram_blocks, 1))
-    controller = JiffyController(
-        JiffyConfig(block_size=block_size), pool=pool, clock=clock
-    )
-
-    clients = {}
-    files: Dict[str, object] = {}
-    written: Dict[str, int] = {}
-    penalties: Dict[str, float] = {job.job_id: 0.0 for job in jobs}
-    spill_write_bytes = 0
-    spilled_peak = 0
-
-    steps = int(math.ceil(duration_s / dt))
-    for step in range(steps):
-        now = clock.now()
-        for job in jobs:
-            if not (job.submit_time <= now < job.end_time):
-                continue
-            client = clients.get(job.job_id)
-            if client is None:
-                client = connect(controller, job.job_id)
-                clients[job.job_id] = client
-            for i, stage in enumerate(job.stages):
-                key = f"{job.job_id}#{i}"
-                if stage.start <= now < stage.end and key not in files:
-                    parent = f"s{i - 1}" if i > 0 else None
-                    client.create_addr_prefix(f"s{i}", parent=parent)
-                    files[key] = client.init_data_structure(f"s{i}", "file")
-                    written[key] = 0
-                ds = files.get(key)
-                if ds is None or ds.expired:
-                    continue
-                # Producer writes its output linearly over the stage.
-                if stage.start <= now < stage.end:
-                    frac = min((now + dt - stage.start) / stage.duration, 1.0)
-                    target = int(stage.output_bytes * frac)
-                    delta = target - written[key]
-                    if delta > 0:
-                        spilled_before = pool.spilled_bytes()
-                        ds.append(b"x" * delta)
-                        written[key] = target
-                        spill_delta = pool.spilled_bytes() - spilled_before
-                        if spill_delta > 0:
-                            penalties[job.job_id] += SSD_TIER.write_latency(
-                                int(spill_delta * bytes_scale_up)
-                            )
-                            spill_write_bytes += spill_delta
-                # Consumer reads the previous stage's output; spilled
-                # fraction of those blocks pays SSD read latency.
-                if i + 1 < len(job.stages):
-                    consumer = job.stages[i + 1]
-                    if consumer.start <= now < consumer.end:
-                        blocks = ds.blocks()
-                        if blocks:
-                            spilled = sum(
-                                b.used for b in blocks if b.tier != "dram"
-                            )
-                            read_bytes = int(
-                                stage.output_bytes * dt / consumer.duration
-                            )
-                            spill_frac = spilled / max(
-                                sum(b.used for b in blocks), 1
-                            )
-                            if spill_frac > 0:
-                                penalties[job.job_id] += SSD_TIER.read_latency(
-                                    int(read_bytes * spill_frac * bytes_scale_up)
-                                )
-            # Keep the running stage's lease fresh (propagates to the
-            # consumer's inputs).
-            for i, stage in enumerate(job.stages):
-                consumer_end = (
-                    job.stages[i + 1].end if i + 1 < len(job.stages) else stage.end
-                )
-                if f"{job.job_id}#{i}" in files and stage.start <= now < consumer_end:
-                    client.renew_lease(f"s{i}")
-        clock.advance(dt)
-        controller.tick()
-        spilled_peak = max(spilled_peak, pool.spilled_blocks())
-
-    slowdowns = [
-        1.0 + penalties[job.job_id] / max(job.duration, 1e-9) for job in jobs
-    ]
-    return SystemRunPoint(
-        dram_fraction=0.0,  # filled by caller
-        avg_slowdown=float(np.mean(slowdowns)),
-        spilled_blocks_peak=spilled_peak,
-        spill_write_bytes=spill_write_bytes,
-    )
-
-
 def run(
     dram_fractions: Sequence[float] = (1.0, 0.6, 0.4, 0.2),
     duration_s: float = 60.0,
@@ -174,6 +68,8 @@ def run(
     block_size: int = 4 * KB,
     bytes_scale_up: float = 1e4,
     seed: int = 59,
+    backend: str = "local",
+    system: str = "jiffy",
 ) -> Fig9SystemResult:
     """Replay the workload at each DRAM capacity fraction.
 
@@ -181,6 +77,10 @@ def run(
     magnitudes they stand in for when charging spill-device latency
     (default 1e4: a 4 KB block represents 40 MB), so slowdowns land at
     realistic magnitudes while the replay stays laptop-sized.
+
+    ``backend`` selects the control-plane backend the replay talks to;
+    ``system="pocket"`` replays the same traces through the functional
+    Pocket baseline instead (whole-job reservation, no leases).
     """
     jobs = _make_workload(seed, duration_s)
     # Peak concurrent demand defines the 100% point.
@@ -194,13 +94,15 @@ def run(
 
     result = Fig9SystemResult(peak_demand_bytes=int(peak))
     for fraction in dram_fractions:
-        point = _replay_at(
+        point = replay_system(
             jobs,
             dram_blocks=max(int(peak_blocks * fraction), 1),
             block_size=block_size,
             duration_s=duration_s,
             dt=dt,
             bytes_scale_up=bytes_scale_up,
+            system=system,
+            backend=backend,
         )
         point.dram_fraction = fraction
         result.points.append(point)

@@ -1,0 +1,377 @@
+"""One spill-replay engine for every functional-system experiment.
+
+Historically the repo carried two parallel "real stack under constrained
+DRAM" implementations — :mod:`repro.experiments.fig9_system` replayed the
+workload through the Jiffy controller while the Pocket comparison lived
+in a separate script-shaped path around
+:mod:`repro.baselines.pocket_system`. This module collapses them onto a
+single replay loop parameterised twice:
+
+* ``system`` — ``"jiffy"`` (leases, hierarchy, elastic blocks) or
+  ``"pocket"`` (whole-job reservation against the same tiered pool);
+* ``backend`` — for Jiffy, which :class:`~repro.core.plane.ControlPlane`
+  backend serves the control plane: ``"local"``, ``"sharded"``, or
+  ``"remote"`` (the RPC proxy). The replay code is backend-agnostic — it
+  only ever talks through the interface — which is precisely the point
+  of the refactor.
+
+Both systems replay the *same* job traces over the *same*
+:class:`~repro.blocks.tiered.TieredMemoryPool` accounting: every byte
+written to or read from a spill-tier block is charged that tier's device
+latency, and per-job slowdown is nominal-plus-penalty over nominal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.blocks.tiered import TieredMemoryPool
+from repro.config import JiffyConfig
+from repro.core.client import connect
+from repro.core.plane import ControlPlane, make_control_plane
+from repro.errors import CapacityError
+from repro.sim.clock import SimClock
+from repro.storage.tier import SSD_TIER
+from repro.workloads.snowflake import JobTrace
+
+#: Payload unit for Pocket bucket puts during replay.
+ITEM_BYTES = 256
+
+#: Systems the runner can replay.
+SYSTEMS = ("jiffy", "pocket")
+
+
+@dataclass
+class SystemRunPoint:
+    """One capacity point of a functional-system replay."""
+
+    dram_fraction: float
+    avg_slowdown: float
+    spilled_blocks_peak: int
+    spill_write_bytes: int
+
+
+def _make_tiered_pool(dram_blocks: int, block_size: int) -> TieredMemoryPool:
+    pool = TieredMemoryPool(
+        block_size=block_size, spill_tier=SSD_TIER, spill_server_blocks=64
+    )
+    pool.add_server(num_blocks=max(dram_blocks, 1))
+    return pool
+
+
+def _make_plane(
+    backend: str,
+    block_size: int,
+    dram_blocks: int,
+    clock: SimClock,
+    num_shards: int,
+) -> ControlPlane:
+    """A control plane over tiered pool(s) sized to ``dram_blocks``."""
+    config = JiffyConfig(block_size=block_size)
+    if backend == "sharded":
+        # Share-nothing shards each own a slice of the DRAM budget. The
+        # per-shard DRAM servers get distinct ids so block ids stay
+        # globally unique (spill servers are disambiguated by job-id
+        # routing on get_block).
+        per_shard = max(dram_blocks // num_shards, 1)
+
+        def pool_factory(index: int, cfg: JiffyConfig) -> TieredMemoryPool:
+            pool = TieredMemoryPool(
+                block_size=cfg.block_size,
+                spill_tier=SSD_TIER,
+                spill_server_blocks=64,
+            )
+            pool.add_server(
+                num_blocks=per_shard, server_id=f"shard{index}/server-0"
+            )
+            return pool
+
+        return make_control_plane(
+            "sharded",
+            config=config,
+            clock=clock,
+            num_shards=num_shards,
+            pool_factory=pool_factory,
+        )
+    pool = _make_tiered_pool(dram_blocks, block_size)
+    return make_control_plane(backend, config=config, clock=clock, pool=pool)
+
+
+def _pools_of(plane: ControlPlane) -> List[TieredMemoryPool]:
+    """The tiered pool(s) behind a plane, for spill accounting."""
+    shards = getattr(plane, "shards", None)
+    if shards is not None:
+        return [shard.pool for shard in shards]
+    backing = getattr(plane, "_plane", None)  # RemoteControlPlane
+    if backing is not None:
+        return [backing.pool]
+    return [plane.pool]  # type: ignore[attr-defined]
+
+
+def replay_jiffy(
+    jobs: Sequence[JobTrace],
+    dram_blocks: int,
+    block_size: int,
+    duration_s: float,
+    dt: float,
+    bytes_scale_up: float,
+    backend: str = "local",
+    num_shards: int = 2,
+) -> SystemRunPoint:
+    """Replay ``jobs`` through the real Jiffy stack on a tiered pool.
+
+    Data structures are created per stage under a lease-managed address
+    hierarchy; blocks that spill to the SSD tier charge device latency
+    on writes and consumer reads. ``backend`` selects the control-plane
+    backend — the replay issues identical calls against each.
+    """
+    clock = SimClock()
+    plane = _make_plane(backend, block_size, dram_blocks, clock, num_shards)
+    pools = _pools_of(plane)
+
+    def spilled_bytes() -> int:
+        return sum(pool.spilled_bytes() for pool in pools)
+
+    def spilled_blocks() -> int:
+        return sum(pool.spilled_blocks() for pool in pools)
+
+    clients = {}
+    files: Dict[str, object] = {}
+    written: Dict[str, int] = {}
+    penalties: Dict[str, float] = {job.job_id: 0.0 for job in jobs}
+    spill_write_bytes = 0
+    spilled_peak = 0
+
+    steps = int(math.ceil(duration_s / dt))
+    for step in range(steps):
+        now = clock.now()
+        for job in jobs:
+            if not (job.submit_time <= now < job.end_time):
+                continue
+            client = clients.get(job.job_id)
+            if client is None:
+                client = connect(plane, job.job_id)
+                clients[job.job_id] = client
+            for i, stage in enumerate(job.stages):
+                key = f"{job.job_id}#{i}"
+                if stage.start <= now < stage.end and key not in files:
+                    parent = f"s{i - 1}" if i > 0 else None
+                    client.create_addr_prefix(f"s{i}", parent=parent)
+                    files[key] = client.init_data_structure(f"s{i}", "file")
+                    written[key] = 0
+                ds = files.get(key)
+                if ds is None or ds.expired:
+                    continue
+                # Producer writes its output linearly over the stage.
+                if stage.start <= now < stage.end:
+                    frac = min((now + dt - stage.start) / stage.duration, 1.0)
+                    target = int(stage.output_bytes * frac)
+                    delta = target - written[key]
+                    if delta > 0:
+                        spilled_before = spilled_bytes()
+                        ds.append(b"x" * delta)
+                        written[key] = target
+                        spill_delta = spilled_bytes() - spilled_before
+                        if spill_delta > 0:
+                            penalties[job.job_id] += SSD_TIER.write_latency(
+                                int(spill_delta * bytes_scale_up)
+                            )
+                            spill_write_bytes += spill_delta
+                # Consumer reads the previous stage's output; spilled
+                # fraction of those blocks pays SSD read latency.
+                if i + 1 < len(job.stages):
+                    consumer = job.stages[i + 1]
+                    if consumer.start <= now < consumer.end:
+                        blocks = ds.blocks()
+                        if blocks:
+                            spilled = sum(
+                                b.used for b in blocks if b.tier != "dram"
+                            )
+                            read_bytes = int(
+                                stage.output_bytes * dt / consumer.duration
+                            )
+                            spill_frac = spilled / max(
+                                sum(b.used for b in blocks), 1
+                            )
+                            if spill_frac > 0:
+                                penalties[job.job_id] += SSD_TIER.read_latency(
+                                    int(read_bytes * spill_frac * bytes_scale_up)
+                                )
+            # Keep the running stage's lease fresh (propagates to the
+            # consumer's inputs). One bulk renewal per job per step —
+            # a single RPC against the remote backend.
+            renewals = [
+                f"s{i}"
+                for i, stage in enumerate(job.stages)
+                if f"{job.job_id}#{i}" in files
+                and stage.start
+                <= now
+                < (job.stages[i + 1].end if i + 1 < len(job.stages) else stage.end)
+            ]
+            if renewals:
+                client.renew_leases(renewals)
+        clock.advance(dt)
+        plane.tick()
+        spilled_peak = max(spilled_peak, spilled_blocks())
+
+    slowdowns = [
+        1.0 + penalties[job.job_id] / max(job.duration, 1e-9) for job in jobs
+    ]
+    return SystemRunPoint(
+        dram_fraction=0.0,  # filled by caller
+        avg_slowdown=float(np.mean(slowdowns)),
+        spilled_blocks_peak=spilled_peak,
+        spill_write_bytes=spill_write_bytes,
+    )
+
+
+def replay_pocket(
+    jobs: Sequence[JobTrace],
+    dram_blocks: int,
+    block_size: int,
+    duration_s: float,
+    dt: float,
+    bytes_scale_up: float,
+) -> SystemRunPoint:
+    """Replay the same traces through the functional Pocket system.
+
+    Pocket reserves each job's declared demand wholesale at submit time:
+    a job whose demand does not fit the free DRAM lands on the SSD tier
+    for its whole lifetime (§2), paying device latency on every write
+    and consumer read. Resources free only at deregistration, so the
+    DRAM high-water mark is cumulative declared demand, not live data.
+    """
+    from repro.baselines.pocket_system import PocketSystem
+
+    pool = _make_tiered_pool(dram_blocks, block_size)
+    pocket = PocketSystem(pool)
+
+    buckets: Dict[str, object] = {}
+    written: Dict[str, int] = {}
+    key_seq: Dict[str, int] = {}
+    penalties: Dict[str, float] = {job.job_id: 0.0 for job in jobs}
+    spill_write_bytes = 0
+    spilled_peak = 0
+
+    steps = int(math.ceil(duration_s / dt))
+    now = 0.0
+    for step in range(steps):
+        now = step * dt
+        for job in jobs:
+            # Register at submit with the job's total declared demand.
+            if job.submit_time <= now and job.job_id not in buckets:
+                declared = max(
+                    int(job.total_intermediate_bytes()), block_size
+                )
+                try:
+                    buckets[job.job_id] = pocket.register_job(
+                        job.job_id, declared
+                    )
+                except CapacityError:
+                    # Even the spill tier is exhausted: the job waits
+                    # (and its slowdown accrues queueing we don't model).
+                    continue
+                written[job.job_id] = 0
+                key_seq[job.job_id] = 0
+            bucket = buckets.get(job.job_id)
+            if bucket is None or not (job.submit_time <= now < job.end_time):
+                continue
+            on_ssd = bucket.on_ssd()
+            for i, stage in enumerate(job.stages):
+                if stage.start <= now < stage.end:
+                    frac = min((now + dt - stage.start) / stage.duration, 1.0)
+                    done = sum(
+                        int(s.output_bytes) for s in job.stages[:i]
+                    )
+                    target = done + int(stage.output_bytes * frac)
+                    delta = target - written[job.job_id]
+                    if delta > 0:
+                        for _ in range(max(delta // ITEM_BYTES, 1)):
+                            key_seq[job.job_id] += 1
+                            try:
+                                bucket.put(
+                                    f"{job.job_id}:{key_seq[job.job_id]}".encode(),
+                                    b"v" * ITEM_BYTES,
+                                )
+                            except CapacityError:
+                                break  # bucket shard full: demand under-declared
+                        written[job.job_id] = target
+                        if on_ssd:
+                            penalties[job.job_id] += SSD_TIER.write_latency(
+                                int(delta * bytes_scale_up)
+                            )
+                            spill_write_bytes += delta
+                # Consumer reads the previous stage's output.
+                if i + 1 < len(job.stages):
+                    consumer = job.stages[i + 1]
+                    if consumer.start <= now < consumer.end and on_ssd:
+                        read_bytes = int(
+                            stage.output_bytes * dt / consumer.duration
+                        )
+                        penalties[job.job_id] += SSD_TIER.read_latency(
+                            int(read_bytes * bytes_scale_up)
+                        )
+        # Pocket's only reclamation path: explicit deregistration when
+        # the job completes.
+        for job in jobs:
+            if buckets.get(job.job_id) is not None and now >= job.end_time:
+                pocket.deregister_job(job.job_id)
+                buckets[job.job_id] = None
+        spilled_peak = max(spilled_peak, pool.spilled_blocks())
+
+    slowdowns = [
+        1.0 + penalties[job.job_id] / max(job.duration, 1e-9) for job in jobs
+    ]
+    return SystemRunPoint(
+        dram_fraction=0.0,
+        avg_slowdown=float(np.mean(slowdowns)),
+        spilled_blocks_peak=spilled_peak,
+        spill_write_bytes=spill_write_bytes,
+    )
+
+
+def replay_system(
+    jobs: Sequence[JobTrace],
+    dram_blocks: int,
+    block_size: int,
+    duration_s: float,
+    dt: float,
+    bytes_scale_up: float,
+    system: str = "jiffy",
+    backend: str = "local",
+    num_shards: int = 2,
+) -> SystemRunPoint:
+    """Replay ``jobs`` through one functional system at one capacity.
+
+    ``system`` selects Jiffy or the Pocket baseline; ``backend`` selects
+    the Jiffy control-plane backend (ignored for Pocket, which has no
+    separable control plane — job-granular reservation *is* its control
+    decision).
+    """
+    if system == "jiffy":
+        return replay_jiffy(
+            jobs,
+            dram_blocks=dram_blocks,
+            block_size=block_size,
+            duration_s=duration_s,
+            dt=dt,
+            bytes_scale_up=bytes_scale_up,
+            backend=backend,
+            num_shards=num_shards,
+        )
+    if system == "pocket":
+        return replay_pocket(
+            jobs,
+            dram_blocks=dram_blocks,
+            block_size=block_size,
+            duration_s=duration_s,
+            dt=dt,
+            bytes_scale_up=bytes_scale_up,
+        )
+    raise ValueError(
+        f"unknown system {system!r} (expected one of {SYSTEMS})"
+    )

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.codec import decode_records, encode_records
 from repro.core.client import JiffyClient, connect
-from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 from repro.errors import DataStructureError, QueueEmptyError
 from repro.frameworks.serverless import LambdaRuntime, MasterProcess
 
@@ -132,7 +132,7 @@ class DataflowGraph:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         runtime: Optional[LambdaRuntime] = None,
     ) -> None:

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.codec import decode_kv_pairs, encode_kv_pairs
 from repro.core.client import JiffyClient, connect
-from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 from repro.frameworks.serverless import LambdaRuntime, MasterProcess
 
 #: map_fn(record) -> iterable of (key, value) pairs
@@ -36,7 +36,7 @@ class MapReduceJob:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         map_fn: MapFn,
         reduce_fn: ReduceFn,

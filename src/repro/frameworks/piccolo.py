@@ -15,7 +15,7 @@ import struct
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.client import JiffyClient, connect
-from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 from repro.datastructures.kvstore import JiffyKVStore
 from repro.errors import KeyNotFoundError
 from repro.frameworks.serverless import LambdaRuntime, MasterProcess
@@ -112,7 +112,7 @@ class PiccoloJob:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         runtime: Optional[LambdaRuntime] = None,
     ) -> None:

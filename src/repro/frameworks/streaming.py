@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.client import JiffyClient, connect
-from repro.core.controller import JiffyController
+from repro.core.plane import ControlPlane
 from repro.datastructures.queue import JiffyQueue
 from repro.errors import QueueEmptyError
 
@@ -45,7 +45,7 @@ class StreamPipeline:
 
     def __init__(
         self,
-        controller: JiffyController,
+        controller: ControlPlane,
         job_id: str,
         stages: Sequence[StreamStage],
     ) -> None:

@@ -28,7 +28,12 @@ from repro.rpc.framing import (
 )
 from repro.rpc.server import RpcServer
 from repro.rpc.client import RpcClient
-from repro.rpc.remote import RemoteController, serve_controller
+from repro.rpc.remote import (
+    RemoteControlPlane,
+    RemoteController,
+    serve_control_plane,
+    serve_controller,
+)
 from repro.rpc.dataplane import (
     RemoteKV,
     RemoteQueue,
@@ -44,7 +49,9 @@ __all__ = [
     "decode_message",
     "RpcServer",
     "RpcClient",
+    "RemoteControlPlane",
     "RemoteController",
+    "serve_control_plane",
     "serve_controller",
     "RemoteKV",
     "RemoteQueue",

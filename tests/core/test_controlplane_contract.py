@@ -1,0 +1,329 @@
+"""Conformance suite: every ControlPlane backend honours one contract.
+
+Each test in this module runs three times — against the in-process
+:class:`JiffyController`, the hash-routed :class:`ShardedController`,
+and the RPC-proxied :class:`RemoteControlPlane` — and must pass
+identically. This is the refactor's load-bearing guarantee: a client or
+data structure written against the interface cannot tell the backends
+apart (§4.2.1's unified controller, whether local, sharded, or remote).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.plane import BACKENDS, ControlPlane, make_control_plane
+from repro.errors import (
+    LeaseExpiredError,
+    PermissionError_,
+    RegistrationError,
+)
+from repro.sim.clock import SimClock
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def plane(backend: str, clock: SimClock) -> ControlPlane:
+    return make_control_plane(
+        backend,
+        config=JiffyConfig(block_size=KB),
+        clock=clock,
+        default_blocks=64,
+        num_shards=2,
+    )
+
+
+class TestRegistration:
+    def test_register_and_query(self, plane):
+        plane.register_job("j1")
+        assert plane.is_registered("j1")
+        assert not plane.is_registered("ghost")
+        plane.register_job("j2")
+        assert sorted(plane.jobs()) == ["j1", "j2"]
+
+    def test_deregister_releases_blocks(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1", initial_blocks=2)
+        assert plane.deregister_job("j1") == 2
+        assert not plane.is_registered("j1")
+
+    def test_duplicate_registration_rejected(self, plane):
+        plane.register_job("j1")
+        with pytest.raises(RegistrationError):
+            plane.register_job("j1")
+
+
+class TestHierarchy:
+    def test_create_and_resolve(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        node = plane.create_addr_prefix("j1", "t2", parents=["t1"])
+        assert node.name == "t2"
+        assert [p.name for p in node.parents] == ["t1"]
+        assert plane.resolve("j1", "t2").name == "t2"
+
+    def test_create_hierarchy_from_dag(self, plane):
+        plane.register_job("j1")
+        plane.create_hierarchy("j1", {"t2": ["t1"], "t3": ["t2"]})
+        assert plane.resolve("j1", "t3").parents[0].name == "t2"
+
+    def test_add_dependency(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "a")
+        plane.create_addr_prefix("j1", "b")
+        plane.add_dependency("j1", "b", "a")
+        assert [p.name for p in plane.resolve("j1", "b").parents] == ["a"]
+
+
+class TestLeases:
+    def test_renewal_propagates_to_parents(self, plane):
+        plane.register_job("j1")
+        plane.create_hierarchy("j1", {"t2": ["t1"], "t3": ["t2"]})
+        # Renewal covers the node, its direct parents, and descendants.
+        assert plane.renew_lease("j1", "t2") == 3
+        assert plane.renew_lease("j1", "t3") == 2
+        assert plane.renew_lease("j1", "t3", propagate=False) == 1
+
+    def test_expiry_reclaims_blocks(self, plane, clock):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1", initial_blocks=2)
+        clock.advance(1.5)  # default lease is 1.0s
+        expired = plane.tick()
+        assert [n.name for n in expired] == ["t1"]
+        stats = plane.stats()
+        assert stats["prefixes_expired"] == 1
+        assert stats["blocks_reclaimed_by_expiry"] == 2
+
+    def test_renewal_prevents_expiry(self, plane, clock):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1", initial_blocks=1)
+        for _ in range(5):
+            clock.advance(0.6)
+            plane.renew_lease("j1", "t1")
+            assert plane.tick() == []
+
+    def test_bulk_renewal_matches_loop(self, plane):
+        plane.register_job("j1")
+        plane.create_hierarchy("j1", {"t2": ["t1"]})
+        plane.register_job("j2")
+        plane.create_addr_prefix("j2", "q")
+        counts = plane.renew_leases([("j1", "t2"), ("j2", "q")])
+        assert counts == [2, 1]
+
+    def test_empty_bulk_renewal(self, plane):
+        assert plane.renew_leases([]) == []
+
+    def test_per_prefix_lease_duration(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1", lease_duration=7.5)
+        assert plane.get_lease_duration("j1", "t1") == 7.5
+
+    def test_expired_handle_raises(self, plane, clock):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("t1")
+        f = client.init_data_structure("t1", "file")
+        f.append(b"data")
+        clock.advance(2.0)
+        plane.tick()
+        assert f.expired
+        with pytest.raises(LeaseExpiredError):
+            f.append(b"more")
+
+
+class TestPermissions:
+    def test_owner_allowed_foreigner_denied(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        plane.check_permission("j1", "t1", "j1")
+        with pytest.raises(PermissionError_):
+            plane.check_permission("j1", "t1", "intruder")
+
+    def test_grant_allows_foreigner(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        plane.grant("j1", "t1", "partner")
+        plane.check_permission("j1", "t1", "partner")
+
+
+class TestBlocks:
+    def test_allocate_reclaim_roundtrip(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        block = plane.allocate_block("j1", "t1")
+        assert [b.block_id for b in plane.blocks_of("j1", "t1")] == [block.block_id]
+        assert plane.get_block(block.block_id, "j1").block_id == block.block_id
+        plane.reclaim_block("j1", "t1", block.block_id)
+        assert plane.blocks_of("j1", "t1") == []
+
+    def test_try_allocate_respects_quota(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        plane.set_quota("j1", 1)
+        assert plane.quota_of("j1") == 1
+        assert plane.try_allocate_block("j1", "t1") is not None
+        assert plane.try_allocate_block("j1", "t1") is None
+        assert plane.blocks_held_by("j1") == 1
+
+
+class TestMetadataAndFlush:
+    def test_metadata_version_advances(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        plane.register_datastructure("j1", "t1", "file", None)
+        meta = plane.partition_metadata("j1", "t1")
+        assert meta.ds_type == "file"
+        v0 = meta.version  # snapshot: local backends return live entries
+        version = plane.update_metadata("j1", "t1", chunks=[1, 2])
+        assert version > v0
+        assert plane.partition_metadata("j1", "t1").version == version
+
+    def test_flush_load_roundtrip(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("t1")
+        f = client.init_data_structure("t1", "file")
+        f.append(b"persisted-data")
+        assert client.flush_addr_prefix("t1", "ckpt/t1") == len(b"persisted-data")
+        f.append(b"-more")
+        client.load_addr_prefix("t1", "ckpt/t1")
+        assert f.readall() == b"persisted-data"
+
+    def test_flush_load_kv_roundtrip(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=8)
+        kv.put(b"k1", b"v1")
+        kv.put(b"k2", b"v2")
+        assert client.flush_addr_prefix("kv", "ckpt/kv") > 0
+        kv.put(b"k3", b"v3")
+        client.load_addr_prefix("kv", "ckpt/kv")
+        assert kv.get(b"k1") == b"v1"
+        with pytest.raises(Exception):
+            kv.get(b"k3")
+
+
+class TestIntrospection:
+    def test_accounting_surfaces(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1", initial_blocks=2)
+        assert plane.allocated_bytes("j1") == 2 * KB
+        assert plane.allocated_bytes() >= 2 * KB
+        assert plane.used_bytes() == 0
+        assert plane.total_blocks() >= 2
+        assert plane.metadata_bytes() > 0
+        rows = plane.describe_job("j1")
+        assert rows and rows[0]["prefix"] == "t1" or any(
+            row.get("prefix") == "t1" for row in rows
+        )
+
+    def test_stats_keys_identical(self, plane):
+        plane.register_job("j1")
+        stats = plane.stats()
+        assert set(stats) == {
+            "ops_handled",
+            "scale_up_signals",
+            "scale_down_signals",
+            "prefixes_expired",
+            "blocks_reclaimed_by_expiry",
+        }
+        assert stats["ops_handled"] == plane.ops_handled > 0
+
+    def test_camelcase_aliases(self, plane):
+        plane.registerJob("j1")
+        plane.createAddrPrefix("j1", "t1")
+        assert plane.renewLease("j1", "t1") == 1
+        assert plane.renewLeases([("j1", "t1")]) == [1]
+        assert plane.getLeaseDuration("j1", "t1") == plane.config.lease_duration
+        assert plane.deregisterJob("j1") == 0
+
+
+def _kv_split_merge_scenario(backend: str):
+    """The e2e client → KV workload; returns observable outcomes."""
+    clock = SimClock()
+    plane = make_control_plane(
+        backend,
+        config=JiffyConfig(block_size=KB),
+        clock=clock,
+        default_blocks=64,
+        num_shards=2,
+    )
+    client = connect(plane, "job-e2e")
+    client.create_addr_prefix("shuffle")
+    kv = client.init_data_structure("shuffle", "kv_store", num_slots=16)
+    for i in range(120):
+        kv.put(f"key-{i:04d}".encode(), b"v" * 48)
+        client.renew_lease("shuffle")
+    reads = sum(kv.get(f"key-{i:04d}".encode()) == b"v" * 48 for i in range(120))
+    for i in range(110):
+        kv.delete(f"key-{i:04d}".encode())
+    return {
+        "reads": reads,
+        "splits": kv.splits,
+        "merges": kv.merges,
+        "len": len(kv),
+        "blocks": len(kv.blocks()),
+    }
+
+
+def test_e2e_kv_split_merge_identical_across_backends():
+    """The acceptance bar: the same client program, unmodified, produces
+    identical data-structure behaviour on all three backends."""
+    outcomes = {b: _kv_split_merge_scenario(b) for b in BACKENDS}
+    assert outcomes["local"]["splits"] > 0  # the workload really splits
+    assert outcomes["local"]["merges"] > 0
+    assert outcomes["local"]["reads"] == 120
+    assert outcomes["sharded"] == outcomes["local"]
+    assert outcomes["remote"] == outcomes["local"]
+
+
+class TestRemoteBatching:
+    """The batched-RPC contract (remote backend only)."""
+
+    def _remote(self):
+        registry = MetricsRegistry()
+        plane = make_control_plane(
+            "remote",
+            config=JiffyConfig(block_size=KB),
+            default_blocks=64,
+            registry=registry,
+        )
+        return plane, registry
+
+    def test_bulk_renewal_is_one_request(self):
+        plane, registry = self._remote()
+        plane.register_job("j1")
+        plane.create_hierarchy("j1", {"t2": ["t1"], "t3": ["t2"]})
+        before = registry.value("rpc.client.requests", method="renew_leases")
+        counts = plane.renew_leases(
+            [("j1", "t1"), ("j1", "t2"), ("j1", "t3")]
+        )
+        after = registry.value("rpc.client.requests", method="renew_leases")
+        assert counts == [3, 3, 2]  # self + direct parents + descendants
+        assert after - before == 1  # ONE request for the whole batch
+        # And no per-item renew_lease requests sneaked through.
+        assert registry.value("rpc.client.requests", method="renew_lease") == 0
+
+    def test_empty_batch_skips_the_wire(self):
+        plane, registry = self._remote()
+        assert plane.renew_leases([]) == []
+        assert registry.value("rpc.client.requests", method="renew_leases") == 0
+
+    def test_ds_init_coalesces_register_and_metadata(self):
+        plane, registry = self._remote()
+        client = connect(plane, "j1")
+        client.create_addr_prefix("kv")
+        client.init_data_structure("kv", "kv_store", num_slots=8)
+        # register + initial partitioning in one register_datastructure
+        # request; no separate update_metadata call at init time.
+        assert registry.value(
+            "rpc.client.requests", method="register_datastructure"
+        ) == 1
+        assert registry.value(
+            "rpc.client.requests", method="update_metadata"
+        ) == 0

@@ -1,0 +1,132 @@
+"""Interface-drift check: backends cannot silently diverge from the spec.
+
+The ControlPlane surface is machine-readable
+(:data:`~repro.core.plane.CONTROL_SURFACE` /
+:data:`~repro.core.plane.CONTROL_PROPERTIES`). This module reflects over
+every backend and fails if a method is missing, gains/loses parameters,
+or changes a default — the failure mode that motivated the refactor,
+where the RPC proxy had quietly fallen behind the controller's API.
+Annotations are deliberately NOT compared (the proxy legitimately
+narrows some types for the wire).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.controller import JiffyController
+from repro.core.plane import (
+    BACKENDS,
+    CONTROL_PROPERTIES,
+    CONTROL_SURFACE,
+    ControlPlane,
+    OpSpec,
+    ROUTE_BY_JOB,
+    ROUTE_FANOUT,
+    make_control_plane,
+    signature_of,
+    surface_spec,
+)
+from repro.core.sharding import ShardedController
+from repro.rpc.remote import RemoteControlPlane
+
+BACKEND_CLASSES = (JiffyController, ShardedController, RemoteControlPlane)
+
+
+def _shape(func) -> list:
+    """(name, kind, default) for every parameter except ``self``."""
+    params = inspect.signature(func).parameters
+    return [
+        (p.name, p.kind, p.default)
+        for p in params.values()
+        if p.name != "self"
+    ]
+
+
+class TestSurfaceSpec:
+    def test_spec_names_unique(self):
+        names = [spec.name for spec in CONTROL_SURFACE]
+        assert len(names) == len(set(names))
+
+    def test_spec_covers_every_abstract_method(self):
+        abstract = {
+            name
+            for name in getattr(ControlPlane, "__abstractmethods__")
+            if name not in CONTROL_PROPERTIES
+        }
+        assert abstract <= {spec.name for spec in CONTROL_SURFACE}
+
+    def test_routing_kinds_valid(self):
+        for spec in CONTROL_SURFACE:
+            assert spec.routing in (ROUTE_BY_JOB, ROUTE_FANOUT), spec
+
+    def test_surface_spec_lookup(self):
+        spec = surface_spec("renew_leases")
+        assert isinstance(spec, OpSpec)
+        assert spec.batched
+        with pytest.raises(KeyError):
+            surface_spec("not_an_op")
+
+
+class TestNoDrift:
+    @pytest.mark.parametrize("cls", BACKEND_CLASSES, ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("spec", CONTROL_SURFACE, ids=lambda s: s.name)
+    def test_method_signature_matches_interface(self, cls, spec):
+        impl = getattr(cls, spec.name, None)
+        assert impl is not None, f"{cls.__name__} lacks {spec.name}"
+        assert callable(impl)
+        assert _shape(impl) == _shape(getattr(ControlPlane, spec.name)), (
+            f"{cls.__name__}.{spec.name} drifted from the ControlPlane "
+            "signature (parameter names/kinds/defaults must match)"
+        )
+
+    @pytest.mark.parametrize("cls", BACKEND_CLASSES, ids=lambda c: c.__name__)
+    def test_nothing_left_abstract(self, cls):
+        assert not getattr(cls, "__abstractmethods__", frozenset()), (
+            f"{cls.__name__} still has abstract methods"
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_instances_expose_control_properties(self, backend):
+        plane = make_control_plane(
+            backend,
+            config=JiffyConfig(block_size=KB),
+            default_blocks=16,
+            num_shards=2,
+        )
+        for prop in CONTROL_PROPERTIES:
+            assert hasattr(plane, prop), f"{backend} lacks {prop}"
+        assert plane.config.block_size == KB
+        assert isinstance(plane.ops_handled, int)
+
+    def test_signature_of_matches_interface(self):
+        for spec in CONTROL_SURFACE:
+            assert signature_of(spec.name) == inspect.signature(
+                getattr(ControlPlane, spec.name)
+            )
+
+
+class TestAliasesPresent:
+    """Paper camelCase aliases ride on the interface, never per-backend."""
+
+    ALIASES = (
+        "registerJob",
+        "deregisterJob",
+        "createAddrPrefix",
+        "createHierarchy",
+        "renewLease",
+        "renewLeases",
+        "getLeaseDuration",
+        "flushAddrPrefix",
+        "loadAddrPrefix",
+    )
+
+    @pytest.mark.parametrize("cls", BACKEND_CLASSES, ids=lambda c: c.__name__)
+    def test_aliases_inherited(self, cls):
+        for alias in self.ALIASES:
+            assert callable(getattr(cls, alias, None)), (
+                f"{cls.__name__} lost the {alias} alias"
+            )
