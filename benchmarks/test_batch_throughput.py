@@ -1,0 +1,146 @@
+"""Vectorized data plane: batched vs sequential throughput on the RPC path.
+
+Two targets back the PR's acceptance bars:
+
+* a 64-key ``multi_get`` must complete at least 5x faster in simulated
+  time than 64 sequential gets (one pipelined scatter-gather round trip
+  plus amortized per-item service vs 64 full RTTs);
+* a word-count shuffle over RPC queues must improve end-to-end when map
+  tasks enqueue per-partition batches instead of one item per word.
+
+Set ``BATCH_BENCH_QUICK=1`` to shrink the workloads for CI smoke runs.
+"""
+
+import hashlib
+import os
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.rpc.dataplane import RemoteKV, RemoteQueue, serve_kv, serve_queue
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkModel
+
+QUICK = os.environ.get("BATCH_BENCH_QUICK", "") not in ("", "0")
+
+WORDS = [
+    b"jiffy", b"elastic", b"far", b"memory", b"serverless", b"analytics",
+    b"block", b"slot", b"split", b"merge", b"queue", b"shuffle",
+]
+
+
+def _make_controller(loop):
+    return JiffyController(
+        JiffyConfig(block_size=16 * KB), clock=loop.clock, default_blocks=512
+    )
+
+
+def run_mget_amortization(num_keys: int = 64, value_bytes: int = 128):
+    """Time ``num_keys`` sequential gets vs one multi_get on the RPC path."""
+    loop = EventLoop(SimClock())
+    controller = _make_controller(loop)
+    client = connect(controller, "mget-bench")
+    client.create_addr_prefix("kv")
+    kv = client.init_data_structure("kv", "kv_store", num_slots=64)
+    remote = RemoteKV(loop, serve_kv(kv, loop), network=NetworkModel(sigma=0.0))
+    keys = [f"key-{i:04d}".encode() for i in range(num_keys)]
+    remote.multi_put([(key, b"v" * value_bytes) for key in keys])
+
+    start = loop.clock.now()
+    sequential = [remote.get(key) for key in keys]
+    sequential_elapsed = loop.clock.now() - start
+
+    start = loop.clock.now()
+    batched = remote.multi_get(keys)
+    batched_elapsed = loop.clock.now() - start
+
+    assert batched == sequential
+    return sequential_elapsed, batched_elapsed
+
+
+def run_wordcount_shuffle(
+    batched: bool, num_map_tasks: int, words_per_task: int, num_reducers: int = 4
+):
+    """Word-count shuffle over RPC queues; returns (elapsed, counts).
+
+    Each map task partitions its words across ``num_reducers`` remote
+    queues; each reducer drains its queue and counts. ``batched`` flips
+    both sides between per-item calls and enqueue_batch/dequeue_batch —
+    the counts must be identical either way.
+    """
+    loop = EventLoop(SimClock())
+    controller = _make_controller(loop)
+    client = connect(controller, "wc-bench")
+    client.create_addr_prefix("shuffle")
+    queues = []
+    for r in range(num_reducers):
+        name = f"part-{r}"
+        client.create_addr_prefix(name, parent="shuffle")
+        queue = client.init_data_structure(name, "fifo_queue")
+        queues.append(
+            RemoteQueue(loop, serve_queue(queue, loop), network=NetworkModel(sigma=0.0))
+        )
+
+    start = loop.clock.now()
+    for task in range(num_map_tasks):
+        buckets = [[] for _ in range(num_reducers)]
+        for i in range(words_per_task):
+            word = WORDS[(task * words_per_task + i) % len(WORDS)]
+            digest = hashlib.blake2b(word, digest_size=4).digest()
+            buckets[int.from_bytes(digest, "little") % num_reducers].append(word)
+        for r, bucket in enumerate(buckets):
+            if batched:
+                queues[r].enqueue_batch(bucket)
+            else:
+                for word in bucket:
+                    queues[r].enqueue(word)
+
+    counts = {}
+    for remote in queues:
+        if batched:
+            while True:
+                chunk = remote.dequeue_batch(64)
+                if not chunk:
+                    break
+                for word in chunk:
+                    counts[word] = counts.get(word, 0) + 1
+        else:
+            while len(remote) > 0:
+                word = remote.dequeue()
+                counts[word] = counts.get(word, 0) + 1
+    return loop.clock.now() - start, counts
+
+
+def test_64_key_mget_at_least_5x(once, capsys):
+    sequential, batched = once(run_mget_amortization)
+    with capsys.disabled():
+        print()
+        print(
+            f"64 sequential gets: {sequential * 1e3:.2f}ms simulated; "
+            f"one 64-key multi_get: {batched * 1e3:.2f}ms "
+            f"({sequential / batched:.1f}x)"
+        )
+    assert sequential >= 5 * batched
+
+
+def test_wordcount_shuffle_improves_with_batching(once, capsys):
+    tasks, words = (4, 60) if QUICK else (8, 200)
+
+    def run_both():
+        seq_elapsed, seq_counts = run_wordcount_shuffle(False, tasks, words)
+        batch_elapsed, batch_counts = run_wordcount_shuffle(True, tasks, words)
+        return seq_elapsed, seq_counts, batch_elapsed, batch_counts
+
+    seq_elapsed, seq_counts, batch_elapsed, batch_counts = once(run_both)
+    with capsys.disabled():
+        print()
+        print(
+            f"wordcount shuffle ({tasks} maps x {words} words): "
+            f"sequential {seq_elapsed * 1e3:.2f}ms, "
+            f"batched {batch_elapsed * 1e3:.2f}ms "
+            f"({seq_elapsed / batch_elapsed:.1f}x)"
+        )
+    assert batch_counts == seq_counts
+    assert sum(batch_counts.values()) == tasks * words
+    assert batch_elapsed < seq_elapsed

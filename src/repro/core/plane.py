@@ -98,6 +98,7 @@ CONTROL_SURFACE: Tuple[OpSpec, ...] = (
     OpSpec("allocate_block"),
     OpSpec("try_allocate_block"),
     OpSpec("reclaim_block"),
+    OpSpec("reclaim_blocks", batched=True),
     OpSpec("blocks_of"),
     OpSpec("get_block", routing=ROUTE_FANOUT),
     # -- allocation policy hooks (fairness / quotas) ---------------------
@@ -274,6 +275,19 @@ class ControlPlane(abc.ABC):
     @abc.abstractmethod
     def reclaim_block(self, job_id: str, prefix: str, block_id: BlockId) -> None:
         """Handle an underload signal: reclaim a (merged-away) block."""
+
+    def reclaim_blocks(
+        self, job_id: str, prefix: str, block_ids: Sequence[BlockId]
+    ) -> int:
+        """Bulk reclaim of a prefix's blocks; returns blocks reclaimed.
+
+        Default implementation loops :meth:`reclaim_block`; backends with
+        a wire in the path override this so one teardown is one request
+        (a data structure releasing N blocks would otherwise cost N RPCs).
+        """
+        for block_id in block_ids:
+            self.reclaim_block(job_id, prefix, block_id)
+        return len(block_ids)
 
     @abc.abstractmethod
     def blocks_of(self, job_id: str, prefix: str) -> List[Block]:

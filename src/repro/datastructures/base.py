@@ -150,9 +150,14 @@ class DataStructure:
         return self.controller.get_block(block_id, self.job_id)
 
     def _reclaim_all_blocks(self) -> None:
-        """Release every block of this prefix (load-from-scratch path)."""
-        for block in list(self.blocks()):
-            self.controller.reclaim_block(self.job_id, self.prefix, block.block_id)
+        """Release every block of this prefix (load-from-scratch path).
+
+        Uses the bulk control op so teardown is one request on backends
+        with a wire in the path, not one per block.
+        """
+        block_ids = [block.block_id for block in self.blocks()]
+        if block_ids:
+            self.controller.reclaim_blocks(self.job_id, self.prefix, block_ids)
 
     def blocks(self) -> List[Block]:
         """Live blocks currently allocated to this prefix."""

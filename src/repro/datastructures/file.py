@@ -21,16 +21,36 @@ from repro.errors import DataStructureError
 
 
 class JiffyFile(DataStructure):
-    """Append-only byte file with random-access reads."""
+    """Append-only byte file with random-access reads.
+
+    ``buffer_bytes > 0`` enables write coalescing: appends accumulate in
+    a client-side buffer and reach the blocks in one batched write once
+    the buffer fills (or on an explicit :meth:`flush`). Reads, size
+    accounting, and persistence all see the coalesced bytes — the buffer
+    is flushed transparently before any of them — so the observable file
+    contents are byte-identical to unbuffered appends; only the number
+    of block writes (and metadata syncs) shrinks. Off by default.
+    """
 
     DS_TYPE = "file"
 
-    def __init__(self, controller, job_id: str, prefix: str, **kwargs) -> None:
+    def __init__(
+        self,
+        controller,
+        job_id: str,
+        prefix: str,
+        buffer_bytes: int = 0,
+        **kwargs,
+    ) -> None:
+        if buffer_bytes < 0:
+            raise DataStructureError("buffer_bytes must be >= 0")
         # (block_id, start_offset) per chunk, in offset order. Set before
         # super().__init__ so registration carries the initial map.
         self._chunks: List[Tuple[str, int]] = []
         self._size = 0
         self._read_pos = 0
+        self._buffer_limit = buffer_bytes
+        self._write_buffer = bytearray()
         super().__init__(controller, job_id, prefix, **kwargs)
         reg = self.telemetry
         self._h_append = (
@@ -41,11 +61,11 @@ class JiffyFile(DataStructure):
 
     @property
     def size(self) -> int:
-        """Total bytes in the file."""
-        return self._size
+        """Total bytes in the file (including coalesced, unflushed ones)."""
+        return self._size + len(self._write_buffer)
 
     def __len__(self) -> int:
-        return self._size
+        return self.size
 
     def tell(self) -> int:
         """Current sequential-read position."""
@@ -81,8 +101,19 @@ class JiffyFile(DataStructure):
 
         Large writes split across blocks at the high-threshold boundary;
         once a block crosses the threshold it is sealed and a new block
-        is allocated (the §3.3 overload signal).
+        is allocated (the §3.3 overload signal). With write coalescing
+        enabled, small appends park in the buffer and hit the blocks in
+        one batched write when the buffer crosses ``buffer_bytes``.
         """
+        if self._buffer_limit > 0:
+            self._check_alive()
+            if not isinstance(data, (bytes, bytearray)):
+                raise DataStructureError("file data must be bytes")
+            start_offset = self.size
+            self._write_buffer.extend(data)
+            if len(self._write_buffer) >= self._buffer_limit:
+                self.flush()
+            return start_offset
         hist = self._h_append
         if hist is None:
             return self._append(data)
@@ -91,6 +122,25 @@ class JiffyFile(DataStructure):
             return self._append(data)
         finally:
             hist.record(perf_counter() - op_start)
+
+    def flush(self) -> int:
+        """Drain the write-coalescing buffer into blocks; returns bytes.
+
+        A no-op when the buffer is empty (or coalescing is disabled).
+        """
+        if not self._write_buffer:
+            return 0
+        data, self._write_buffer = bytes(self._write_buffer), bytearray()
+        hist = self._h_append
+        if hist is None:
+            self._append(data)
+            return len(data)
+        op_start = perf_counter()
+        try:
+            self._append(data)
+        finally:
+            hist.record(perf_counter() - op_start)
+        return len(data)
 
     def _append(self, data: bytes) -> int:
         self._check_alive()
@@ -124,9 +174,9 @@ class JiffyFile(DataStructure):
     def seek(self, offset: int) -> None:
         """Position the sequential-read cursor at an arbitrary offset."""
         self._check_alive()
-        if not 0 <= offset <= self._size:
+        if not 0 <= offset <= self.size:
             raise DataStructureError(
-                f"seek offset {offset} out of range [0, {self._size}]"
+                f"seek offset {offset} out of range [0, {self.size}]"
             )
         self._read_pos = offset
 
@@ -134,7 +184,7 @@ class JiffyFile(DataStructure):
         """Sequential read from the cursor; -1 reads to end of file."""
         self._check_alive()
         if length < 0:
-            length = self._size - self._read_pos
+            length = self.size - self._read_pos
         data = self.read_at(self._read_pos, length)
         self._read_pos += len(data)
         return data
@@ -144,6 +194,7 @@ class JiffyFile(DataStructure):
         self._check_alive()
         if offset < 0 or length < 0:
             raise DataStructureError("offset and length must be >= 0")
+        self.flush()  # Reads always see coalesced appends.
         end = min(offset + length, self._size)
         if offset >= self._size:
             return b""
@@ -163,7 +214,7 @@ class JiffyFile(DataStructure):
 
     def readall(self) -> bytes:
         """The whole file contents."""
-        return self.read_at(0, self._size)
+        return self.read_at(0, self.size)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -171,7 +222,7 @@ class JiffyFile(DataStructure):
 
     def flush_to(self, store, external_path: str) -> int:
         """Persist the full file as one external object."""
-        data = self.read_at(0, self._size) if not self._expired else b""
+        data = self.read_at(0, self.size) if not self._expired else b""
         store.put(external_path, data)
         return len(data)
 
@@ -188,3 +239,4 @@ class JiffyFile(DataStructure):
         self._chunks = []
         self._size = 0
         self._read_pos = 0
+        self._write_buffer = bytearray()

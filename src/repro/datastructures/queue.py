@@ -11,7 +11,7 @@ head block is fully consumed — no data repartitioning is ever needed
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.blocks.block import Block
 from repro.codec import decode_records, encode_records
@@ -142,6 +142,101 @@ class JiffyQueue(DataStructure):
             head.set_used(0)
         self._publish("dequeue", item)
         return item
+
+    # ------------------------------------------------------------------
+    # Vectorized operations: chunk a batch along the block chain so each
+    # tail/head block is routed once per run of items instead of once
+    # per item. Results are identical to the equivalent sequence of
+    # single enqueues/dequeues (FIFO order, per-item notifications, the
+    # same extend/shrink signals at the same fill levels).
+    # ------------------------------------------------------------------
+
+    def enqueue_batch(self, items: Sequence[bytes]) -> int:
+        """Append many items at the tail; returns the number enqueued.
+
+        Tail chunking: every item that fits the current tail block lands
+        in one routed write; the chain is extended only when the tail
+        crosses the high threshold, exactly as single ``enqueue``s would.
+        Raises :class:`QueueFullError` mid-batch (earlier items stay
+        enqueued) when ``max_queue_length`` is hit, like the sequential
+        path.
+        """
+        self._check_alive()
+        items = list(items)
+        appended = 0
+        while appended < len(items):
+            item = items[appended]
+            if not isinstance(item, (bytes, bytearray)):
+                raise DataStructureError("queue items must be bytes")
+            if (
+                self.max_queue_length is not None
+                and self._num_items >= self.max_queue_length
+            ):
+                raise QueueFullError(
+                    f"queue at max_queue_length={self.max_queue_length}"
+                )
+            item = bytes(item)
+            cost = self._item_cost(item)
+            block = self._tail_for(cost)
+            stored = block.payload["items"]
+            # Fill this tail with the whole run that fits before asking
+            # the controller for the next segment.
+            while True:
+                stored.append(item)
+                block.add_used(cost)
+                self._num_items += 1
+                self._publish("enqueue", item)
+                appended += 1
+                if appended >= len(items):
+                    break
+                if (
+                    self.max_queue_length is not None
+                    and self._num_items >= self.max_queue_length
+                ):
+                    break
+                item = items[appended]
+                if not isinstance(item, (bytes, bytearray)):
+                    raise DataStructureError("queue items must be bytes")
+                item = bytes(item)
+                cost = self._item_cost(item)
+                if block.used + cost > self.high_limit:
+                    break
+        return appended
+
+    def dequeue_batch(self, max_items: int) -> List[bytes]:
+        """Pop up to ``max_items`` oldest items (head chunking).
+
+        Returns fewer than ``max_items`` when the queue drains first (an
+        empty queue yields ``[]`` rather than raising). Fully consumed
+        head blocks are reclaimed at the same points the sequential path
+        would reclaim them.
+        """
+        self._check_alive()
+        if max_items < 0:
+            raise DataStructureError("max_items must be >= 0")
+        out: List[bytes] = []
+        while len(out) < max_items and self._num_items > 0:
+            head = self._get_block(self._segments[0])
+            stored = head.payload["items"]
+            consumed = head.payload["consumed"]
+            take = min(max_items - len(out), len(stored) - consumed)
+            chunk = stored[consumed : consumed + take]
+            head.payload["consumed"] = consumed + take
+            head.add_used(-sum(self._item_cost(item) for item in chunk))
+            self._num_items -= take
+            for item in chunk:
+                self._publish("dequeue", item)
+            out.extend(chunk)
+            if head.payload["consumed"] >= len(stored) and len(self._segments) > 1:
+                self._segments.pop(0)
+                self._record_repartition("shrink", 0)
+                self._reclaim_block(head)
+                self._sync_metadata()
+            elif head.payload["consumed"] >= len(stored) and self._num_items == 0:
+                head.payload["items"] = []
+                head.payload["consumed"] = 0
+                head.set_used(0)
+        return out
 
     def peek(self) -> bytes:
         """The oldest item, without removing it."""

@@ -48,6 +48,25 @@ class Channel:
         for hook in self._on_item_hooks:
             hook(self.name, item)
 
+    def write_batch(self, items: List[bytes]) -> None:
+        """Append many items in one bulk write.
+
+        File channels encode the whole batch as one append; queue
+        channels use the batched enqueue. Push-path hooks still fire
+        per item, in order, so streaming consumers see the same stream.
+        """
+        if self._closed:
+            raise DataStructureError(f"channel {self.name} is closed")
+        if not items:
+            return
+        if self.kind == "file":
+            self._ds.append(encode_records(list(items)))
+        else:
+            self._ds.enqueue_batch(items)
+        for item in items:
+            for hook in self._on_item_hooks:
+                hook(self.name, item)
+
     def close(self) -> None:
         """Mark the channel complete (file channels become 'ready')."""
         if self._closed:
@@ -78,15 +97,17 @@ class Channel:
             return decode_records(self._ds.readall())
         items: List[bytes] = []
         while True:
-            try:
-                item = self._ds.dequeue()
-            except QueueEmptyError:
+            chunk = self._ds.dequeue_batch(64)
+            if not chunk:
                 if self._closed:
                     break
-                raise
-            if item == _EOS:
+                raise QueueEmptyError(
+                    f"queue channel {self.name} drained before it was closed"
+                )
+            if _EOS in chunk:
+                items.extend(chunk[: chunk.index(_EOS)])
                 break
-            items.append(item)
+            items.extend(chunk)
         return items
 
     def subscribe(self, op: str = "enqueue"):

@@ -12,7 +12,7 @@ leases, and checkpointing flushes tables to the external store.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.client import JiffyClient, connect
 from repro.core.plane import ControlPlane
@@ -87,12 +87,49 @@ class PiccoloTable:
             return
         self._kv.put(key, self.accumulator(existing, delta))
 
+    def multi_update(self, updates: Sequence[Tuple[Any, bytes]]) -> None:
+        """Merge a batch of ``(key, delta)`` updates in bulk.
+
+        Same-key deltas fold together first (accumulators are
+        associative, as Piccolo requires), then one bulk read fetches
+        the existing values and one bulk write lands the merged results
+        — two routed batches instead of 2N single ops. The resulting
+        table contents match applying :meth:`update` per pair in order.
+        """
+        folded: Dict[Any, bytes] = {}
+        for key, delta in updates:
+            if key in folded:
+                folded[key] = self.accumulator(folded[key], delta)
+            else:
+                folded[key] = delta
+        keys = list(folded)
+        existing = self._kv.multi_get(keys, default=None)
+        self._kv.multi_put(
+            [
+                (
+                    key,
+                    folded[key]
+                    if old is None
+                    else self.accumulator(old, folded[key]),
+                )
+                for key, old in zip(keys, existing)
+            ]
+        )
+
     def put(self, key, value: bytes) -> None:
         """Overwrite a key (bypassing the accumulator)."""
         self._kv.put(key, value)
 
+    def multi_put(self, pairs: Sequence[Tuple[Any, bytes]]) -> None:
+        """Overwrite many keys in one routed batch (no accumulator)."""
+        self._kv.multi_put(pairs)
+
     def get(self, key) -> bytes:
         return self._kv.get(key)
+
+    def multi_get(self, keys: Sequence[Any]) -> List[bytes]:
+        """Fetch many keys in one routed batch, order preserved."""
+        return self._kv.multi_get(keys)
 
     def get_default(self, key, default: bytes) -> bytes:
         try:

@@ -14,7 +14,6 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from repro.core.client import JiffyClient, connect
 from repro.core.plane import ControlPlane
 from repro.datastructures.queue import JiffyQueue
-from repro.errors import QueueEmptyError
 
 #: An operator maps one input event to zero or more output events.
 OperatorFn = Callable[[bytes], Iterable[bytes]]
@@ -77,43 +76,67 @@ class StreamPipeline:
 
     # ------------------------------------------------------------------
 
-    def _route(self, stage_index: int, event: bytes, seq: int) -> JiffyQueue:
+    def _route_index(self, stage_index: int, event: bytes, seq: int) -> int:
         stage = self.stages[stage_index]
         if stage.partition_fn is not None:
-            k = stage.partition_fn(event) % stage.parallelism
-        else:
-            k = seq % stage.parallelism
-        return self._queues[stage_index][k]
+            return stage.partition_fn(event) % stage.parallelism
+        return seq % stage.parallelism
+
+    def _route(self, stage_index: int, event: bytes, seq: int) -> JiffyQueue:
+        return self._queues[stage_index][self._route_index(stage_index, event, seq)]
 
     def inject(self, events: Sequence[bytes]) -> None:
-        """Feed a micro-batch into stage 0's queues."""
+        """Feed a micro-batch into stage 0's queues.
+
+        Events are partitioned first, then each instance queue takes its
+        bucket in one batched enqueue — per-queue arrival order matches
+        event order, as with one enqueue per event.
+        """
+        buckets: List[List[bytes]] = [[] for _ in self._queues[0]]
         for seq, event in enumerate(events):
-            self._route(0, event, seq).enqueue(event)
+            buckets[self._route_index(0, event, seq)].append(event)
+        for k, bucket in enumerate(buckets):
+            if bucket:
+                self._queues[0][k].enqueue_batch(bucket)
+
+    #: head-chunk size for the batched drain path
+    DRAIN_BATCH = 64
 
     def drain_stage(self, stage_index: int) -> int:
         """Run stage ``stage_index`` until its input queues are empty.
 
         Returns the number of events processed. Notifications are
         consumed to mirror how a real scheduler would discover work.
+        Input queues drain in :data:`DRAIN_BATCH`-sized dequeues and
+        each downstream queue receives its outputs in one batched
+        enqueue per drained chunk.
         """
         stage = self.stages[stage_index]
+        has_next = stage_index + 1 < len(self.stages)
         processed = 0
         out_seq = 0
         for k, queue in enumerate(self._queues[stage_index]):
             listener = self._listeners[stage_index][k]
             self.notifications_seen[stage_index] += len(listener.get_all())
             while True:
-                try:
-                    event = queue.dequeue()
-                except QueueEmptyError:
+                events = queue.dequeue_batch(self.DRAIN_BATCH)
+                if not events:
                     break
-                for output in stage.fn(event):
-                    if stage_index + 1 < len(self.stages):
-                        self._route(stage_index + 1, output, out_seq).enqueue(
-                            output
-                        )
-                        out_seq += 1
-                processed += 1
+                out_buckets: List[List[bytes]] = (
+                    [[] for _ in self._queues[stage_index + 1]] if has_next else []
+                )
+                for event in events:
+                    for output in stage.fn(event):
+                        if has_next:
+                            out_buckets[
+                                self._route_index(stage_index + 1, output, out_seq)
+                            ].append(output)
+                            out_seq += 1
+                    processed += 1
+                if has_next:
+                    for j, bucket in enumerate(out_buckets):
+                        if bucket:
+                            self._queues[stage_index + 1][j].enqueue_batch(bucket)
         self.events_processed += processed
         return processed
 

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional
 
 from repro import telemetry
 from repro.rpc.framing import (
+    RpcBatchError,
     RpcError,
     RpcRequest,
     RpcResponse,
@@ -44,6 +45,11 @@ class RpcClient:
         self._seq = itertools.count()
         self.calls = 0
         self._responses: Dict[int, RpcResponse] = {}
+        self._g_inflight = self.telemetry.gauge("rpc.client.inflight")
+        # The session is one ordered byte stream: a later (smaller)
+        # frame can never arrive before an earlier (larger) one, so
+        # arrivals are floored at the previous frame's arrival time.
+        self._last_arrival = 0.0
 
     # ------------------------------------------------------------------
 
@@ -59,7 +65,10 @@ class RpcClient:
         sent_at = self.loop.clock.now()
         self.telemetry.counter("rpc.client.requests", method=method).inc()
         self.telemetry.counter("rpc.client.bytes_out").inc(len(frame))
-        arrival = sent_at + self.network.transfer(len(frame))
+        arrival = max(
+            sent_at + self.network.transfer(len(frame)), self._last_arrival
+        )
+        self._last_arrival = arrival
 
         def on_response(response_frame: bytes, completion: float) -> None:
             # The response spends a network hop in flight; deliver it as
@@ -71,6 +80,7 @@ class RpcClient:
 
             def deliver() -> None:
                 self._responses[response.seq] = response
+                self._g_inflight.dec()
                 self.telemetry.histogram(
                     "rpc.client.latency_s", method=method
                 ).record(self.loop.clock.now() - sent_at)
@@ -88,6 +98,7 @@ class RpcClient:
 
         self.loop.schedule_at(arrival, arrive, name=f"send:{method}")
         self.calls += 1
+        self._g_inflight.inc()
         return seq
 
     def _await(self, seq: int) -> RpcResponse:
@@ -115,13 +126,26 @@ class RpcClient:
         All requests are transmitted without waiting for responses, so
         the server queues them; total latency ≈ one RTT + sum of service
         times instead of N RTTs.
+
+        Every sequence number is drained before any error is raised — a
+        mid-batch failure must not leave later responses stranded in the
+        session's response table. Failures are aggregated into one
+        :class:`RpcBatchError` carrying the per-index error texts.
         """
         with self.tracer.span("rpc.client.pipeline", requests=len(requests)):
+            self.telemetry.histogram(
+                "rpc.client.batch_size", method="pipeline"
+            ).record(float(len(requests)))
             seqs = [self._send(method, tuple(args)) for method, *args in requests]
             values: List[Any] = []
-            for seq in seqs:
+            failures: Dict[int, str] = {}
+            for index, seq in enumerate(seqs):
                 response = self._await(seq)
                 if not response.ok:
-                    raise RpcError(response.error)
-                values.append(response.value)
+                    failures[index] = response.error
+                    values.append(None)
+                else:
+                    values.append(response.value)
+            if failures:
+                raise RpcBatchError(failures, values)
             return values

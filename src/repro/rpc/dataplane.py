@@ -14,7 +14,7 @@ round trip and ~155 µs of server-side work.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.datastructures.kvstore import JiffyKVStore
@@ -26,6 +26,28 @@ from repro.sim.network import NetworkModel
 
 #: Server-side service time for small data-plane ops (see module doc).
 DATA_OP_SERVICE_S = 155e-6
+
+#: Batched ops (mget/mput/...) pay the single-op cost once per request,
+#: then a much smaller per-item increment: parsing, routing, and the
+#: response send are amortised over the batch, and the per-item work is
+#: just the hash-table/segment touch. Single-op service times (and hence
+#: the Fig 10 latency band) are untouched by these constants.
+BATCH_OP_BASE_S = DATA_OP_SERVICE_S
+BATCH_OP_PER_ITEM_S = 10e-6
+
+#: Items per wire request on the scatter-gather client paths; larger
+#: batches are chunked and pipelined so no single frame grows unbounded.
+DEFAULT_BATCH_SIZE = 64
+
+
+def batch_service_time(num_items: int) -> float:
+    """Calibrated server-side cost of a batched data-plane request."""
+    return BATCH_OP_BASE_S + num_items * BATCH_OP_PER_ITEM_S
+
+
+def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
 
 
 def serve_kv(
@@ -43,6 +65,21 @@ def serve_kv(
     server.register("put", lambda k, v: (kv.put(k, v), True)[1])
     server.register("delete", kv.delete)
     server.register("exists", kv.exists)
+    server.register(
+        "mget",
+        lambda keys: kv.multi_get(keys),
+        service_time_fn=lambda keys: batch_service_time(len(keys)),
+    )
+    server.register(
+        "mput",
+        lambda keys, values: (kv.multi_put(list(zip(keys, values))), len(keys))[1],
+        service_time_fn=lambda keys, values: batch_service_time(len(keys)),
+    )
+    server.register(
+        "mdel",
+        lambda keys: kv.multi_delete(keys),
+        service_time_fn=lambda keys: batch_service_time(len(keys)),
+    )
     return server
 
 
@@ -61,6 +98,16 @@ def serve_queue(
     server.register("dequeue", queue.dequeue)
     server.register("peek", queue.peek)
     server.register("length", lambda: len(queue))
+    server.register(
+        "menqueue",
+        queue.enqueue_batch,
+        service_time_fn=lambda items: batch_service_time(len(items)),
+    )
+    server.register(
+        "mdequeue",
+        queue.dequeue_batch,
+        service_time_fn=lambda max_items: batch_service_time(max_items),
+    )
     return server
 
 
@@ -91,6 +138,60 @@ class RemoteKV:
 
     def exists(self, key: bytes) -> bool:
         return self._rpc.call("exists", key)
+
+    # -- scatter-gather bulk ops ---------------------------------------
+    # Batches are chunked at ``batch_size`` and the chunks pipelined in
+    # one shot, so total latency ≈ one RTT + the amortised service times
+    # instead of one RTT per key.
+
+    def multi_get(
+        self, keys: Sequence[bytes], batch_size: Optional[int] = None
+    ) -> List[bytes]:
+        keys = list(keys)
+        if not keys:
+            return []
+        size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        self._rpc.telemetry.histogram(
+            "rpc.client.batch_size", method="mget"
+        ).record(float(len(keys)))
+        replies = self._rpc.pipeline(
+            [("mget", list(chunk)) for chunk in _chunked(keys, size)]
+        )
+        return [value for chunk in replies for value in chunk]
+
+    def multi_put(
+        self,
+        pairs: Sequence[Tuple[bytes, bytes]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        pairs = list(pairs)
+        if not pairs:
+            return
+        size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        self._rpc.telemetry.histogram(
+            "rpc.client.batch_size", method="mput"
+        ).record(float(len(pairs)))
+        self._rpc.pipeline(
+            [
+                ("mput", [k for k, _ in chunk], [v for _, v in chunk])
+                for chunk in _chunked(pairs, size)
+            ]
+        )
+
+    def multi_delete(
+        self, keys: Sequence[bytes], batch_size: Optional[int] = None
+    ) -> List[bytes]:
+        keys = list(keys)
+        if not keys:
+            return []
+        size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        self._rpc.telemetry.histogram(
+            "rpc.client.batch_size", method="mdel"
+        ).record(float(len(keys)))
+        replies = self._rpc.pipeline(
+            [("mdel", list(chunk)) for chunk in _chunked(keys, size)]
+        )
+        return [value for chunk in replies for value in chunk]
 
     def timed_get(self, key: bytes) -> tuple:
         """``(value, end_to_end_latency_s)`` for one get."""
@@ -125,3 +226,37 @@ class RemoteQueue:
 
     def __len__(self) -> int:
         return self._rpc.call("length")
+
+    # -- scatter-gather bulk ops ---------------------------------------
+
+    def enqueue_batch(
+        self, items: Sequence[bytes], batch_size: Optional[int] = None
+    ) -> int:
+        """Enqueue many items; returns the number accepted."""
+        items = list(items)
+        if not items:
+            return 0
+        size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        self._rpc.telemetry.histogram(
+            "rpc.client.batch_size", method="menqueue"
+        ).record(float(len(items)))
+        replies = self._rpc.pipeline(
+            [("menqueue", list(chunk)) for chunk in _chunked(items, size)]
+        )
+        return sum(replies)
+
+    def dequeue_batch(
+        self, max_items: int, batch_size: Optional[int] = None
+    ) -> List[bytes]:
+        """Dequeue up to ``max_items``; pipelined head chunks, FIFO order."""
+        if max_items <= 0:
+            return []
+        size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        self._rpc.telemetry.histogram(
+            "rpc.client.batch_size", method="mdequeue"
+        ).record(float(max_items))
+        chunks = [
+            min(size, max_items - start) for start in range(0, max_items, size)
+        ]
+        replies = self._rpc.pipeline([("mdequeue", n) for n in chunks])
+        return [item for chunk in replies for item in chunk]

@@ -48,6 +48,29 @@ class RpcError(JiffyError):
     """A remote call failed (transport or handler error)."""
 
 
+class RpcBatchError(RpcError):
+    """One or more requests of a pipelined batch failed.
+
+    Raised only after every response of the batch has been collected, so
+    no sequence number is left stranded in the client's response table.
+    ``failures`` maps batch index -> error text; ``values`` holds the
+    successful responses (``None`` at failed indices).
+    """
+
+    def __init__(self, failures, values) -> None:
+        self.failures = dict(failures)
+        self.values = list(values)
+        first = self.failures[min(self.failures)]
+        if len(self.failures) == 1:
+            message = first
+        else:
+            message = (
+                f"{len(self.failures)}/{len(self.values)} pipelined "
+                f"requests failed; first: {first}"
+            )
+        super().__init__(message)
+
+
 def _canonical_headers(headers: Any) -> Tuple[Tuple[str, str], ...]:
     """Normalise a mapping or pair iterable into a sorted pair tuple."""
     if not headers:
@@ -141,7 +164,10 @@ def _encode_value(value: Any, out: bytearray) -> None:
         )
 
 
-def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
+def _decode_value(data, pos: int) -> Tuple[Any, int]:
+    # ``data`` is a memoryview over the frame on the decode path (slicing
+    # it is zero-copy, so a bytes payload is copied exactly once, by the
+    # ``bytes()`` below); plain ``bytes`` input also works.
     tag = data[pos]
     pos += 1
     if tag == _T_NONE:
@@ -155,7 +181,7 @@ def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
     if tag == _T_STR:
         (n,) = _LEN.unpack_from(data, pos)
         pos += _LEN.size
-        return data[pos : pos + n].decode(), pos + n
+        return str(data[pos : pos + n], "utf-8"), pos + n
     if tag == _T_INT:
         return int.from_bytes(data[pos : pos + 16], "little", signed=True), pos + 16
     if tag == _T_FLOAT:
@@ -229,13 +255,16 @@ def decode_message(frame: bytes) -> Any:
             f"frame length mismatch: declared {length} bytes, "
             f"got {len(frame) - _LEN.size}"
         )
-    body = frame[_LEN.size :]
+    # Decode from a memoryview of the frame: slices taken below (method
+    # text, headers, payload bytes) are views, so each payload value is
+    # materialised with a single copy instead of slice-then-copy twice.
+    body = memoryview(frame)[_LEN.size :]
     kind = body[0]
     (seq,) = _SEQ.unpack_from(body, 1)
     status = body[9]
     (n,) = _LEN.unpack_from(body, 10)
     pos = 10 + _LEN.size
-    text = body[pos : pos + n].decode()
+    text = str(body[pos : pos + n], "utf-8")
     pos += n
     headers: Tuple[Tuple[str, str], ...] = ()
     if kind in (KIND_REQUEST_HDR, KIND_RESPONSE_HDR):

@@ -211,6 +211,10 @@ def serve_control_plane(
         plane.reclaim_block(job_id, prefix, block_id)
         return True
 
+    def reclaim_blocks(job_id: str, prefix: str, block_ids: Sequence[str]) -> int:
+        # The batched reclaim: a whole prefix teardown in one request.
+        return plane.reclaim_blocks(job_id, prefix, list(block_ids))
+
     def blocks_of(job_id: str, prefix: str) -> List[str]:
         return [block.block_id for block in plane.blocks_of(job_id, prefix)]
 
@@ -252,6 +256,7 @@ def serve_control_plane(
         "allocate_block": allocate_block,
         "try_allocate_block": try_allocate_block,
         "reclaim_block": reclaim_block,
+        "reclaim_blocks": reclaim_blocks,
         "blocks_of": blocks_of,
         "register_datastructure": register_datastructure,
         "partition_metadata": partition_metadata,
@@ -417,6 +422,14 @@ class RemoteControlPlane(ControlPlane):
 
     def reclaim_block(self, job_id: str, prefix: str, block_id: BlockId) -> None:
         self._call("reclaim_block", job_id, prefix, block_id)
+
+    def reclaim_blocks(
+        self, job_id: str, prefix: str, block_ids: Sequence[BlockId]
+    ) -> int:
+        """Bulk reclaim in ONE request (vs N for the naive loop)."""
+        if not block_ids:
+            return 0
+        return self._call("reclaim_blocks", job_id, prefix, list(block_ids))
 
     def blocks_of(self, job_id: str, prefix: str) -> List[Block]:
         block_ids = self._call("blocks_of", job_id, prefix)

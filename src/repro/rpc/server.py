@@ -65,20 +65,33 @@ class RpcServer:
         self.tracer = tracer if tracer is not None else telemetry.get_tracer()
         self._handlers: Dict[str, Handler] = {}
         self._method_cost: Dict[str, float] = {}
+        self._method_cost_fn: Dict[str, Callable[..., float]] = {}
         self._busy_until = 0.0
         self.stats = ServerStats()
 
     # ------------------------------------------------------------------
 
     def register(
-        self, method: str, handler: Handler, service_time_s: Optional[float] = None
+        self,
+        method: str,
+        handler: Handler,
+        service_time_s: Optional[float] = None,
+        service_time_fn: Optional[Callable[..., float]] = None,
     ) -> None:
-        """Expose ``handler`` as ``method``."""
+        """Expose ``handler`` as ``method``.
+
+        ``service_time_fn(*args) -> seconds`` prices a request from its
+        arguments — the batch handlers use it so an N-item request costs
+        one dispatch plus N amortized per-item steps rather than N full
+        service times. It takes precedence over ``service_time_s``.
+        """
         if method in self._handlers:
             raise RpcError(f"method {method!r} already registered")
         self._handlers[method] = handler
         if service_time_s is not None:
             self._method_cost[method] = service_time_s
+        if service_time_fn is not None:
+            self._method_cost_fn[method] = service_time_fn
 
     def register_object(self, obj: Any, methods: List[str]) -> None:
         """Expose a set of an object's bound methods by name."""
@@ -110,7 +123,11 @@ class RpcServer:
         parent_ctx = self.tracer.extract(request.headers)
 
         start = max(arrival_time, self._busy_until)
-        cost = self._method_cost.get(request.method, self.service_time_s)
+        cost_fn = self._method_cost_fn.get(request.method)
+        if cost_fn is not None:
+            cost = cost_fn(*request.args)
+        else:
+            cost = self._method_cost.get(request.method, self.service_time_s)
         completion = start + cost
         self._busy_until = completion
         self.stats.busy_seconds += cost

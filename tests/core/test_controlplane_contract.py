@@ -172,6 +172,54 @@ class TestBlocks:
         assert plane.blocks_held_by("j1") == 1
 
 
+class TestBulkDataOps:
+    """Vectorized data-structure ops behave identically on every backend."""
+
+    def test_multi_put_get_delete_roundtrip(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=16)
+        pairs = [(f"k{i:02d}".encode(), f"v{i}".encode()) for i in range(30)]
+        kv.multi_put(pairs)
+        assert kv.multi_get([k for k, _ in pairs]) == [v for _, v in pairs]
+        assert kv.multi_delete([k for k, _ in pairs[:10]]) == [
+            v for _, v in pairs[:10]
+        ]
+        assert len(kv) == 20
+
+    def test_multi_put_straddling_a_split(self, plane):
+        # 1 KB blocks + 72-byte pairs: one batch crosses the high
+        # threshold mid-write, so blocks split while the batch is in
+        # flight; every pair must still land, exactly once.
+        client = connect(plane, "j1")
+        client.create_addr_prefix("kv")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=64)
+        pairs = [(f"key-{i:04d}".encode(), b"v" * 48) for i in range(120)]
+        kv.multi_put(pairs)
+        assert kv.splits > 0
+        assert kv.multi_get([k for k, _ in pairs]) == [v for _, v in pairs]
+        assert len(kv) == 120
+
+    def test_dequeue_batch_across_block_boundary(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("q")
+        q = client.init_data_structure("q", "fifo_queue")
+        items = [f"item-{i:03d}".encode() * 3 for i in range(60)]
+        assert q.enqueue_batch(items) == len(items)
+        assert len(q.blocks()) > 1  # the batch spans multiple segments
+        assert q.dequeue_batch(25) == items[:25]
+        assert q.dequeue_batch(100) == items[25:]
+        assert q.dequeue_batch(5) == []
+
+    def test_file_write_coalescing(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file", buffer_bytes=256)
+        for i in range(10):
+            f.append(f"chunk-{i};".encode())
+        assert f.readall() == b"".join(f"chunk-{i};".encode() for i in range(10))
+
+
 class TestMetadataAndFlush:
     def test_metadata_version_advances(self, plane):
         plane.register_job("j1")
@@ -313,6 +361,25 @@ class TestRemoteBatching:
         plane, registry = self._remote()
         assert plane.renew_leases([]) == []
         assert registry.value("rpc.client.requests", method="renew_leases") == 0
+
+    def test_bulk_reclaim_is_one_request(self):
+        plane, registry = self._remote()
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        ids = [plane.allocate_block("j1", "t1").block_id for _ in range(4)]
+        before = registry.value("rpc.client.requests", method="reclaim_blocks")
+        assert plane.reclaim_blocks("j1", "t1", ids) == 4
+        after = registry.value("rpc.client.requests", method="reclaim_blocks")
+        assert after - before == 1  # ONE request for the whole teardown
+        assert registry.value("rpc.client.requests", method="reclaim_block") == 0
+        assert plane.blocks_of("j1", "t1") == []
+
+    def test_empty_bulk_reclaim_skips_the_wire(self):
+        plane, registry = self._remote()
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        assert plane.reclaim_blocks("j1", "t1", []) == 0
+        assert registry.value("rpc.client.requests", method="reclaim_blocks") == 0
 
     def test_ds_init_coalesces_register_and_metadata(self):
         plane, registry = self._remote()

@@ -1,0 +1,201 @@
+"""Vectorized ops are byte-identical to their single-op sequences.
+
+Property tests over random key/value sets: for every data structure the
+batch API must leave exactly the contents (and return exactly the
+values) that the equivalent loop of single operations would — including
+when a batch straddles a KV split/merge or a queue block boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.errors import DataStructureError, KeyNotFoundError
+from repro.sim.clock import SimClock
+
+
+def make_store(ds_type, num_slots=16, **kwargs):
+    controller = JiffyController(
+        JiffyConfig(block_size=KB), clock=SimClock(), default_blocks=256
+    )
+    client = connect(controller, "job")
+    client.create_addr_prefix("ds")
+    if ds_type == "kv_store":
+        kwargs.setdefault("num_slots", num_slots)
+    return client.init_data_structure("ds", ds_type, **kwargs)
+
+
+# Small key space forces overwrites within a batch; values large enough
+# that a few dozen pairs cross the 1 KB block threshold (splits) and
+# deletes fall below the low threshold (merges).
+keys = st.binary(min_size=1, max_size=8)
+values = st.binary(min_size=1, max_size=96)
+pair_lists = st.lists(st.tuples(keys, values), min_size=1, max_size=80)
+
+
+class TestKVEquivalence:
+    @given(pairs=pair_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_multi_put_matches_sequential_puts(self, pairs):
+        batch, seq = make_store("kv_store"), make_store("kv_store")
+        batch.multi_put(pairs)
+        for key, value in pairs:
+            seq.put(key, value)
+        assert dict(batch.items()) == dict(seq.items())
+        assert len(batch) == len(seq)
+
+    @given(pairs=pair_lists, extra=st.lists(keys, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_get_matches_sequential_gets(self, pairs, extra):
+        kv = make_store("kv_store")
+        kv.multi_put(pairs)
+        lookup = [key for key, _ in pairs] + extra
+        expected = {key: value for key, value in pairs}
+        for key in lookup:
+            if key in expected:
+                assert kv.multi_get([key]) == [kv.get(key)]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    kv.multi_get([key])
+        present = [key for key in lookup if key in expected]
+        assert kv.multi_get(present) == [expected[key] for key in present]
+
+    @given(pairs=pair_lists, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_delete_matches_sequential_deletes(self, pairs, data):
+        batch, seq = make_store("kv_store"), make_store("kv_store")
+        batch.multi_put(pairs)
+        seq.multi_put(pairs)
+        unique = list(dict(pairs))
+        doomed = data.draw(st.lists(st.sampled_from(unique), unique=True))
+        old_batch = batch.multi_delete(doomed)
+        old_seq = [seq.delete(key) for key in doomed]
+        assert old_batch == old_seq
+        assert dict(batch.items()) == dict(seq.items())
+        assert len(batch) == len(seq)
+
+    def test_batch_straddles_split_and_merge(self):
+        """Deterministic heavy case: 1 KB blocks, ~60 B pairs — the
+        batch forces splits on the way up and merges on the way down,
+        and must still match the sequential loop exactly."""
+        batch = make_store("kv_store", num_slots=64)
+        seq = make_store("kv_store", num_slots=64)
+        pairs = [(f"key-{i:04d}".encode(), b"v" * 48) for i in range(150)]
+        batch.multi_put(pairs)
+        for key, value in pairs:
+            seq.put(key, value)
+        assert batch.splits > 0  # the batch really straddled splits
+        assert dict(batch.items()) == dict(seq.items())
+        doomed = [key for key, _ in pairs[:140]]
+        assert batch.multi_delete(doomed) == [seq.delete(k) for k in doomed]
+        assert batch.merges > 0
+        assert dict(batch.items()) == dict(seq.items())
+
+    def test_multi_get_default_for_missing(self):
+        kv = make_store("kv_store")
+        kv.put(b"here", b"v")
+        assert kv.multi_get([b"here", b"gone"], default=None) == [b"v", None]
+        with pytest.raises(KeyNotFoundError):
+            kv.multi_get([b"here", b"gone"])
+
+    def test_later_duplicate_wins(self):
+        kv = make_store("kv_store")
+        kv.multi_put([(b"k", b"first"), (b"k", b"second")])
+        assert kv.get(b"k") == b"second"
+        assert len(kv) == 1
+
+
+item_lists = st.lists(st.binary(min_size=1, max_size=64), max_size=80)
+
+
+class TestQueueEquivalence:
+    @given(items=item_lists, take=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_sequential(self, items, take):
+        batch, seq = make_store("fifo_queue"), make_store("fifo_queue")
+        assert batch.enqueue_batch(items) == len(items)
+        for item in items:
+            seq.enqueue(item)
+        assert len(batch) == len(seq)
+        out = batch.dequeue_batch(take)
+        expected = [seq.dequeue() for _ in range(min(take, len(items)))]
+        assert out == expected
+        assert batch.drain() == seq.drain()
+
+    def test_dequeue_batch_across_block_boundary(self):
+        q = make_store("fifo_queue")
+        items = [f"item-{i:03d}".encode() * 3 for i in range(60)]
+        q.enqueue_batch(items)
+        assert len(q.blocks()) > 1  # the batch spans multiple segments
+        assert q.dequeue_batch(25) == items[:25]
+        assert q.dequeue_batch(1000) == items[25:]
+        assert q.is_empty()
+        assert q.dequeue_batch(10) == []
+
+    def test_enqueue_batch_respects_max_length(self):
+        q = make_store("fifo_queue", max_queue_length=5)
+        from repro.errors import QueueFullError
+
+        with pytest.raises(QueueFullError):
+            q.enqueue_batch([b"x"] * 8)
+        # Items before the limit stay enqueued, like sequential enqueues.
+        assert len(q) == 5
+
+    def test_bad_item_type_rejected(self):
+        q = make_store("fifo_queue")
+        with pytest.raises(DataStructureError):
+            q.enqueue_batch([b"ok", "not-bytes"])
+
+
+chunk_lists = st.lists(st.binary(min_size=1, max_size=200), max_size=40)
+
+
+class TestFileCoalescing:
+    @given(chunks=chunk_lists, buffer_bytes=st.sampled_from([1, 64, 512, 4096]))
+    @settings(max_examples=40, deadline=None)
+    def test_coalesced_contents_identical(self, chunks, buffer_bytes):
+        buffered = make_store("file", buffer_bytes=buffer_bytes)
+        plain = make_store("file")
+        for chunk in chunks:
+            assert buffered.append(chunk) == plain.append(chunk)
+        assert buffered.size == plain.size
+        assert buffered.readall() == plain.readall()
+
+    def test_flush_is_explicit_and_counted(self):
+        f = make_store("file", buffer_bytes=1024)
+        f.append(b"a" * 10)
+        assert f.size == 10
+        assert f.used_bytes() == 0  # still parked in the client buffer
+        assert f.flush() == 10
+        assert f.used_bytes() > 0
+        assert f.flush() == 0  # empty buffer is a no-op
+
+    def test_buffer_fill_triggers_flush(self):
+        f = make_store("file", buffer_bytes=32)
+        f.append(b"x" * 40)  # over the limit: lands immediately
+        assert f.used_bytes() >= 40
+
+    def test_reads_see_unflushed_appends(self):
+        f = make_store("file", buffer_bytes=4096)
+        f.append(b"hello-")
+        f.append(b"world")
+        assert f.read_at(0, 11) == b"hello-world"
+        f.append(b"!")
+        assert f.readall() == b"hello-world!"
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(DataStructureError):
+            make_store("file", buffer_bytes=-1)
+
+    def test_flush_roundtrip_includes_buffered_bytes(self):
+        from repro.storage.external import ExternalStore
+
+        store = ExternalStore()
+        f = make_store("file", buffer_bytes=4096)
+        f.append(b"buffered-but-persisted")
+        assert f.flush_to(store, "ckpt") == len(b"buffered-but-persisted")

@@ -9,6 +9,8 @@ from repro.rpc.framing import (
     RpcRequest,
     RpcResponse,
     STATUS_ERROR,
+    _decode_value,
+    _encode_value,
     decode_message,
     encode_message,
 )
@@ -152,3 +154,25 @@ class TestMalformed:
         huge = 2 ** (16 * 8)  # one past what 16 bytes can hold
         with pytest.raises(RpcError, match="16 bytes"):
             encode_message(RpcRequest(seq=0, method="m", args=(huge,)))
+
+
+class TestZeroCopyDecode:
+    def test_payload_bytes_materialised_once(self):
+        """Large values decode straight off a memoryview of the frame:
+        the only copy is the final bytes() per payload value, so decoded
+        values are real, independent bytes objects."""
+        blob = b"\xab" * 256 * 1024
+        frame = encode_message(RpcResponse(seq=7, status=0, value=blob))
+        decoded = decode_message(frame)
+        assert decoded.value == blob
+        assert isinstance(decoded.value, bytes)
+        # The decoded value owns its storage — mutating a copy of the
+        # frame cannot alias into it.
+        assert decoded.value is not blob
+
+    def test_decode_value_accepts_memoryview(self):
+        out = bytearray()
+        _encode_value([b"bytes", "text", 42, 2.5, True, None], out)
+        value, pos = _decode_value(memoryview(bytes(out)), 0)
+        assert value == [b"bytes", "text", 42, 2.5, True, None]
+        assert pos == len(out)

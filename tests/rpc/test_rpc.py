@@ -3,11 +3,12 @@
 import pytest
 
 from repro.rpc.client import RpcClient
-from repro.rpc.framing import RpcError
+from repro.rpc.framing import RpcBatchError, RpcError
 from repro.rpc.server import RpcServer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop
 from repro.sim.network import NetworkModel
+from repro.telemetry import MetricsRegistry
 
 
 @pytest.fixture
@@ -103,6 +104,48 @@ class TestPipelining:
         pipelined.pipeline([("echo", b"x")] * 20)
         pipe_elapsed = loop.clock.now() - start
         assert pipe_elapsed < sync_elapsed / 2
+
+    def test_mid_batch_failure_drains_every_response(self, loop, server):
+        """A failed request must not strand later responses: every seq is
+        collected before the aggregate error is raised, and the next
+        pipeline on the same session sees a clean response table."""
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        with pytest.raises(RpcBatchError) as excinfo:
+            client.pipeline(
+                [("echo", b"a"), ("boom",), ("echo", b"b"), ("nope",)]
+            )
+        err = excinfo.value
+        assert set(err.failures) == {1, 3}
+        assert "division" in err.failures[1]
+        assert err.values == [b"a", None, b"b", None]
+        assert "2/4" in str(err)
+        # No stale seqs: the session keeps working.
+        assert client._responses == {}
+        assert client.pipeline([("echo", b"ok")]) == [b"ok"]
+
+    def test_single_failure_message_is_the_error(self, loop, server):
+        client = RpcClient(loop, server, network=NetworkModel(sigma=0.0))
+        with pytest.raises(RpcBatchError, match="division") as excinfo:
+            client.pipeline([("echo", b"a"), ("boom",)])
+        assert isinstance(excinfo.value, RpcError)  # catchable as before
+
+    def test_inflight_gauge_returns_to_zero(self, loop, server):
+        registry = MetricsRegistry()
+        client = RpcClient(
+            loop, server, network=NetworkModel(sigma=0.0), registry=registry
+        )
+        client.pipeline([("echo", b"x")] * 7)
+        assert registry.value("rpc.client.inflight") == 0
+
+    def test_batch_size_histogram_recorded(self, loop, server):
+        registry = MetricsRegistry()
+        client = RpcClient(
+            loop, server, network=NetworkModel(sigma=0.0), registry=registry
+        )
+        client.pipeline([("echo", b"x")] * 12)
+        hist = registry.histogram("rpc.client.batch_size", method="pipeline")
+        assert hist.count == 1
+        assert hist.mean == 12.0
 
 
 class TestRegistration:
