@@ -1,0 +1,65 @@
+"""Machine-readable benchmark results.
+
+Each bench target calls :func:`record` with its headline numbers; the
+helper writes ``benchmarks/results/BENCH_<name>.json`` so the perf
+trajectory is tracked across PRs instead of living only in pytest
+output. One file per benchmark; repeated calls within a run merge their
+metrics, and a later run overwrites the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Dict, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def _current_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10,
+        )
+        commit = proc.stdout.strip()
+        return commit if proc.returncode == 0 and commit else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def record(name: str, metrics: Dict[str, Tuple[float, str]]) -> str:
+    """Write/merge ``BENCH_<name>.json``; returns the file path.
+
+    ``metrics`` maps metric name to ``(value, unit)``. Metrics recorded
+    earlier in the same run (same commit) are preserved, so several
+    tests can contribute to one benchmark file.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    commit = _current_commit()
+    doc = {"benchmark": name, "commit": commit, "metrics": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if existing.get("commit") == commit:
+                doc["metrics"] = [
+                    m
+                    for m in existing.get("metrics", [])
+                    if m.get("metric") not in metrics
+                ]
+        except (OSError, ValueError):
+            pass
+    for metric, (value, unit) in sorted(metrics.items()):
+        doc["metrics"].append(
+            {"metric": metric, "value": float(value), "unit": unit}
+        )
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -14,6 +14,7 @@ Set ``BATCH_BENCH_QUICK=1`` to shrink the workloads for CI smoke runs.
 import hashlib
 import os
 
+from _results import record
 from repro.config import KB, JiffyConfig
 from repro.core.client import connect
 from repro.core.controller import JiffyController
@@ -121,6 +122,14 @@ def test_64_key_mget_at_least_5x(once, capsys):
             f"one 64-key multi_get: {batched * 1e3:.2f}ms "
             f"({sequential / batched:.1f}x)"
         )
+    record(
+        "batch_throughput",
+        {
+            "mget64_sequential": (sequential, "s"),
+            "mget64_batched": (batched, "s"),
+            "mget64_speedup": (sequential / batched, "x"),
+        },
+    )
     assert sequential >= 5 * batched
 
 
@@ -141,6 +150,14 @@ def test_wordcount_shuffle_improves_with_batching(once, capsys):
             f"batched {batch_elapsed * 1e3:.2f}ms "
             f"({seq_elapsed / batch_elapsed:.1f}x)"
         )
+    record(
+        "batch_throughput",
+        {
+            "shuffle_sequential": (seq_elapsed, "s"),
+            "shuffle_batched": (batch_elapsed, "s"),
+            "shuffle_speedup": (seq_elapsed / batch_elapsed, "x"),
+        },
+    )
     assert batch_counts == seq_counts
     assert sum(batch_counts.values()) == tasks * words
     assert batch_elapsed < seq_elapsed

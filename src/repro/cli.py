@@ -25,6 +25,7 @@ from repro.experiments import (
     ablations,
     fig1,
     fig9,
+    fig9_system,
     fig10,
     fig11,
     fig12,
@@ -34,12 +35,13 @@ from repro.experiments import (
 )
 
 
-def _run_fig1(quick: bool) -> str:
+def _run_fig1(quick: bool, sync_repartition: bool = False) -> str:
     result = fig1.run(duration_s=1800.0 if quick else 3600.0)
     return fig1.format_report(result)
 
 
-def _run_fig9(quick: bool) -> str:
+def _run_fig9(quick: bool, sync_repartition: bool = False) -> str:
+    # Policy-model replay: no data plane, so the ablation flag is moot.
     if quick:
         result = fig9.run(num_tenants=20, duration_s=1800.0, dt=15.0)
     else:
@@ -47,14 +49,24 @@ def _run_fig9(quick: bool) -> str:
     return fig9.format_report(result)
 
 
-def _run_fig10(quick: bool) -> str:
+def _run_fig9sys(quick: bool, sync_repartition: bool = False) -> str:
+    result = fig9_system.run(
+        dram_fractions=(1.0, 0.4) if quick else (1.0, 0.6, 0.4, 0.2),
+        duration_s=30.0 if quick else 60.0,
+        sync_repartition=sync_repartition,
+    )
+    return fig9_system.format_report(result)
+
+
+def _run_fig10(quick: bool, sync_repartition: bool = False) -> str:
     return fig10.format_report(fig10.run())
 
 
-def _run_fig11a(quick: bool) -> str:
+def _run_fig11a(quick: bool, sync_repartition: bool = False) -> str:
     result = fig11.run_lifetime(
         duration_s=200.0 if quick else 600.0,
         num_tenants=2 if quick else 3,
+        sync_repartition=sync_repartition,
     )
     lines = []
     for ds_type, replay in result.replays.items():
@@ -67,18 +79,24 @@ def _run_fig11a(quick: bool) -> str:
     return "Fig 11(a): lifetime management\n" + "\n".join(lines)
 
 
-def _run_fig11b(quick: bool) -> str:
-    a = fig11.run_lifetime(duration_s=120.0, num_tenants=1)
-    b = fig11.run_repartition(num_events=100 if quick else 300)
+def _run_fig11b(quick: bool, sync_repartition: bool = False) -> str:
+    a = fig11.run_lifetime(
+        duration_s=120.0, num_tenants=1, sync_repartition=sync_repartition
+    )
+    b = fig11.run_repartition(
+        num_events=100 if quick else 300, sync_repartition=sync_repartition
+    )
     return fig11.format_report(a, b)
 
 
-def _run_fig12(quick: bool) -> str:
-    result = fig12.run(num_ops=5_000 if quick else 30_000)
+def _run_fig12(quick: bool, sync_repartition: bool = False) -> str:
+    result = fig12.run(
+        num_ops=5_000 if quick else 30_000, sync_repartition=sync_repartition
+    )
     return fig12.format_report(result)
 
 
-def _run_fig13(quick: bool) -> str:
+def _run_fig13(quick: bool, sync_repartition: bool = False) -> str:
     wc = fig13.run_wordcount(
         num_batches=10 if quick else 60, parallelism=10 if quick else 50
     )
@@ -86,16 +104,16 @@ def _run_fig13(quick: bool) -> str:
     return fig13.format_report(wc, ex)
 
 
-def _run_fig14(quick: bool) -> str:
+def _run_fig14(quick: bool, sync_repartition: bool = False) -> str:
     result = fig14.run(duration_s=40.0 if quick else 60.0)
     return fig14.format_report(result)
 
 
-def _run_overheads(quick: bool) -> str:
+def _run_overheads(quick: bool, sync_repartition: bool = False) -> str:
     return overheads.format_report(overheads.run())
 
 
-def _run_ablations(quick: bool) -> str:
+def _run_ablations(quick: bool, sync_repartition: bool = False) -> str:
     lease = ablations.run_lease_ablation()
     repart = ablations.run_repartition_ablation(num_pairs=500 if quick else 2000)
     gran = ablations.run_granularity_ablation(
@@ -123,9 +141,10 @@ def _run_ablations(quick: bool) -> str:
     )
 
 
-COMMANDS: Dict[str, Callable[[bool], str]] = {
+COMMANDS: Dict[str, Callable[[bool, bool], str]] = {
     "fig1": _run_fig1,
     "fig9": _run_fig9,
+    "fig9sys": _run_fig9sys,
     "fig10": _run_fig10,
     "fig11a": _run_fig11a,
     "fig11b": _run_fig11b,
@@ -241,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced-scale run (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--sync-repartition",
+        action="store_true",
+        help="ablation: run repartitioning synchronously on the "
+        "triggering operation (pre-background-scheduler behaviour)",
+    )
     return parser
 
 
@@ -253,7 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"==== {name} ====")
-        print(COMMANDS[name](args.quick))
+        print(COMMANDS[name](args.quick, args.sync_repartition))
         print()
     return 0
 

@@ -55,6 +55,20 @@ class JiffyConfig:
             "the data is not lost").
         replication_factor: chain-replication factor for blocks; 1 means
             no replication (§4.2.2).
+        async_repartition: run KV split/merge as background migrations
+            (§3.3 — repartitioning happens off the critical path); False
+            recovers the synchronous inline behaviour (the
+            ``--sync-repartition`` ablation).
+        repartition_poll_budget: background migration steps each
+            foreground data-structure operation donates when no event
+            loop drives the scheduler (cooperative incremental
+            migration, à la Redis rehashing). 0 means foreground ops
+            never donate; migrations then only advance via an event
+            loop or an explicit drain.
+        async_flush: perform lease-expiry / deregister flush I/O as a
+            background task (snapshot is still taken synchronously so
+            reclamation semantics are unchanged). Off by default: the
+            synchronous flush is the conservative, test-pinned path.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -64,6 +78,9 @@ class JiffyConfig:
     num_hash_slots: int = DEFAULT_NUM_HASH_SLOTS
     flush_on_expiry: bool = True
     replication_factor: int = 1
+    async_repartition: bool = True
+    repartition_poll_budget: int = 4
+    async_flush: bool = False
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -79,6 +96,8 @@ class JiffyConfig:
             raise ValueError("num_hash_slots must be positive")
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
+        if self.repartition_poll_budget < 0:
+            raise ValueError("repartition_poll_budget must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "JiffyConfig":
         """Return a copy of this config with the given fields replaced."""

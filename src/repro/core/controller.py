@@ -31,10 +31,39 @@ from repro.errors import (
     PermissionError_,
     RegistrationError,
 )
+from repro.sim import cost
+from repro.sim.background import LOW, BackgroundScheduler
 from repro.sim.clock import Clock, WallClock
 from repro.storage.external import ExternalStore
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import trace
+
+#: Modeled external-store write path: per-object base latency plus a
+#: streaming bandwidth term (an S3-like persistent store, §3.2).
+EXTERNAL_STORE_PUT_S = 5e-3
+EXTERNAL_STORE_BW_BYTES_PER_S = float(1 << 30)
+
+#: Background steps each expiry-worker pass donates to deferred work
+#: (async flush I/O) so persistence overlaps foreground traffic.
+TICK_BACKGROUND_BUDGET = 8
+
+
+class _CaptureStore:
+    """Store shim that snapshots a flush instead of persisting it.
+
+    The async-flush path serialises the data structure synchronously
+    (so reclaiming its blocks immediately afterwards is safe) and hands
+    the captured bytes to a background task that performs the actual
+    external-store write.
+    """
+
+    def __init__(self) -> None:
+        self.path: Optional[str] = None
+        self.data: Optional[bytes] = None
+
+    def put(self, path: str, data: bytes) -> None:
+        self.path = path
+        self.data = data
 
 
 class JiffyController(ControlPlane):
@@ -63,6 +92,7 @@ class JiffyController(ControlPlane):
         external_store: Optional[ExternalStore] = None,
         default_blocks: int = 1024,
         registry: Optional[MetricsRegistry] = None,
+        scheduler: Optional[BackgroundScheduler] = None,
     ) -> None:
         self.config = config if config is not None else JiffyConfig()
         self.clock = clock if clock is not None else WallClock()
@@ -79,6 +109,14 @@ class JiffyController(ControlPlane):
             external_store if external_store is not None else ExternalStore()
         )
         self.telemetry = registry if registry is not None else MetricsRegistry()
+        # Deferred work (async flush I/O) runs here; drained by
+        # drain_background() and polled from tick() so persistence
+        # overlaps foreground traffic instead of stalling the sweep.
+        self.background = (
+            scheduler
+            if scheduler is not None
+            else BackgroundScheduler(clock=self.clock, registry=self.telemetry)
+        )
         self.allocator = BlockAllocator(pool, registry=self.telemetry)
         self.leases = LeaseManager(
             self.clock, self.config.lease_duration, registry=self.telemetry
@@ -97,6 +135,7 @@ class JiffyController(ControlPlane):
         self._c_flushes = self.telemetry.counter("controller.flushes")
         self._h_sweep = self.telemetry.histogram("controller.expiry_sweep.latency_s")
         self._h_flush_bytes = self.telemetry.histogram("controller.flush.bytes")
+        self._h_flush_duration = self.telemetry.histogram("controller.flush.duration_s")
 
     # ------------------------------------------------------------------
     # Registry-backed counters (attribute back-compat)
@@ -286,8 +325,27 @@ class JiffyController(ControlPlane):
                 if hook is not None:
                     hook()
             span.set_attr("expired", len(expired))
+        # Each sweep also advances deferred background work a little, so
+        # async flush I/O drains under a steady tick cadence.
+        self.background.poll(TICK_BACKGROUND_BUDGET)
         self._h_sweep.record(perf_counter() - sweep_start)
         return expired
+
+    def drain_background(self) -> int:
+        """Run all pending background work to completion; returns steps.
+
+        Covers the controller's own deferred tasks (async flush I/O) and
+        every registered data structure's scheduler (in-flight
+        repartition migrations) — after this returns, the deployment is
+        in the state the fully synchronous path would have produced.
+        """
+        steps = self.background.drain()
+        for hierarchy in self._jobs.values():
+            for node in hierarchy.nodes():
+                ds_drain = getattr(node.datastructure, "drain_background", None)
+                if ds_drain is not None:
+                    steps += ds_drain()
+        return steps
 
     # ------------------------------------------------------------------
     # Block allocation (the §3.3 scale-up / scale-down path)
@@ -420,6 +478,10 @@ class JiffyController(ControlPlane):
             raise RegistrationError(
                 f"no data structure bound to {job_id}:{prefix}"
             )
+        # A deferred flush of this (or any) prefix may still be queued;
+        # the external store must be caught up before reading from it.
+        if not self.background.idle:
+            self.background.drain()
         node.expired = False
         self.leases.renew(node, propagate=False)
         loader = getattr(node.datastructure, "load_from")
@@ -431,13 +493,45 @@ class JiffyController(ControlPlane):
         flusher = getattr(node.datastructure, "flush_to", None)
         if flusher is None:
             return 0
+        io_cost = EXTERNAL_STORE_PUT_S
+        if not self.config.async_flush:
+            with trace.span(
+                "controller.flush", job=node.job_id, prefix=node.name
+            ) as span:
+                nbytes = flusher(self.external_store, external_path)
+                span.set_attr("bytes", nbytes)
+            io_cost += nbytes / EXTERNAL_STORE_BW_BYTES_PER_S
+            # Synchronous persistence stalls the caller for the modeled
+            # external-store write.
+            cost.charge(io_cost)
+            self._c_flushes.inc()
+            self._h_flush_bytes.record(float(nbytes))
+            self._h_flush_duration.record(io_cost)
+            return nbytes
+        # Async flush: serialise NOW (so the blocks can be reclaimed the
+        # moment we return) but defer the external-store write to a
+        # low-priority background task overlapped with foreground
+        # traffic. Reads through load_prefix drain the queue first.
+        capture = _CaptureStore()
         with trace.span(
-            "controller.flush", job=node.job_id, prefix=node.name
+            "controller.flush.snapshot", job=node.job_id, prefix=node.name
         ) as span:
-            nbytes = flusher(self.external_store, external_path)
+            nbytes = flusher(capture, external_path)
             span.set_attr("bytes", nbytes)
-        self._c_flushes.inc()
-        self._h_flush_bytes.record(float(nbytes))
+        io_cost += nbytes / EXTERNAL_STORE_BW_BYTES_PER_S
+
+        def persist() -> None:
+            if capture.path is not None and capture.data is not None:
+                self.external_store.put(capture.path, capture.data)
+            self._c_flushes.inc()
+            self._h_flush_bytes.record(float(nbytes))
+
+        self.background.submit(
+            [(io_cost, persist)],
+            name=f"flush:{node.job_id}/{node.name}",
+            priority=LOW,
+            on_done=lambda task: self._h_flush_duration.record(task.duration_s),
+        )
         return nbytes
 
     # ------------------------------------------------------------------

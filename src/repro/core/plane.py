@@ -94,6 +94,7 @@ CONTROL_SURFACE: Tuple[OpSpec, ...] = (
     OpSpec("get_lease_duration"),
     OpSpec("start_lease"),
     OpSpec("tick", routing=ROUTE_FANOUT),
+    OpSpec("drain_background", routing=ROUTE_FANOUT),
     # -- blocks (§3.3 scale-up / scale-down) -----------------------------
     OpSpec("allocate_block"),
     OpSpec("try_allocate_block"),
@@ -259,6 +260,16 @@ class ControlPlane(abc.ABC):
     @abc.abstractmethod
     def tick(self) -> List[AddressNode]:
         """Run one expiry-worker pass; returns the prefixes expired."""
+
+    def drain_background(self) -> int:
+        """Run all deferred background work (async flush I/O, in-flight
+        repartition migrations) to completion; returns steps executed.
+
+        Default implementation reports no background work; backends with
+        a scheduler override this. Barriers and verification points call
+        it to reach the state the fully synchronous path would produce.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # Blocks (§3.3)

@@ -119,6 +119,10 @@ class ShardedController(ControlPlane):
             expired.extend(shard.tick())
         return expired
 
+    def drain_background(self) -> int:
+        """Drain deferred background work on every shard."""
+        return sum(shard.drain_background() for shard in self.shards)
+
     def get_block(self, block_id: BlockId, job_id: Optional[str] = None) -> Block:
         """Resolve a block id, routing by job hint or by server prefix."""
         if job_id is not None:

@@ -24,6 +24,7 @@ from repro.core.hierarchy import AddressNode
 from repro.core.plane import ControlPlane
 from repro.core.notifications import Listener, NotificationBroker
 from repro.errors import CapacityError, LeaseExpiredError
+from repro.sim.background import BackgroundScheduler
 from repro.sim.network import NetworkModel
 
 #: Modelled cost of the memory server establishing a controller
@@ -55,12 +56,27 @@ class DataStructure:
         job_id: str,
         prefix: str,
         network: Optional[NetworkModel] = None,
+        scheduler: Optional[BackgroundScheduler] = None,
     ) -> None:
         self.controller = controller
         self.job_id = job_id
         self.prefix = prefix
         self.network = network if network is not None else NetworkModel()
         self.telemetry = controller.telemetry
+        # Background maintenance (repartition migrations, §3.3) runs on
+        # this scheduler. The default is a private cooperative scheduler:
+        # foreground ops donate small step budgets (_poll_background),
+        # which is deterministic and backend-independent. Callers that
+        # own an event loop pass ``scheduler=`` bound to it (and
+        # optionally to an RpcServer executor) so background work is
+        # driven by simulated time and contends for server cores.
+        self.background = (
+            scheduler
+            if scheduler is not None
+            else BackgroundScheduler(
+                clock=controller.clock, registry=controller.telemetry
+            )
+        )
         self.broker = NotificationBroker(controller.clock)
         self.repartition_events: List[RepartitionEvent] = []
         self._expired = False
@@ -79,6 +95,29 @@ class DataStructure:
     def _initial_partitioning(self) -> Optional[Mapping[str, Any]]:
         """The partition map to seed at registration (None for none)."""
         return None
+
+    # ------------------------------------------------------------------
+    # Background maintenance
+    # ------------------------------------------------------------------
+
+    def _poll_background(self) -> None:
+        """Donate a small step budget to pending background work.
+
+        Called at the top of foreground operations; a no-op when the
+        scheduler is idle, loop-driven, or the budget is 0.
+        """
+        budget = self.controller.config.repartition_poll_budget
+        if budget:
+            self.background.poll(budget)
+
+    def drain_background(self) -> int:
+        """Run all pending background work to completion; returns steps.
+
+        Barriers (stage boundaries, verification points) use this to
+        reach the quiesced state the synchronous path would have
+        produced.
+        """
+        return self.background.drain()
 
     # ------------------------------------------------------------------
     # Node/lease plumbing

@@ -27,6 +27,7 @@ from repro.config import KB, MB, JiffyConfig
 from repro.core.controller import JiffyController
 from repro.core.client import connect
 from repro.experiments.driver import ReplayResult, TraceReplayDriver
+from repro.sim import cost
 from repro.sim.clock import SimClock
 from repro.sim.network import NetworkModel
 from repro.storage.tier import JIFFY_TIER
@@ -49,8 +50,14 @@ def run_lifetime(
     dt: float = 2.0,
     byte_scale: float = 1e-2,
     seed: int = 11,
+    sync_repartition: bool = False,
 ) -> Fig11aResult:
-    """Fig 11(a): allocated-vs-used replay for each data structure."""
+    """Fig 11(a): allocated-vs-used replay for each data structure.
+
+    ``sync_repartition=True`` is the ablation: repartitioning runs
+    inline on the triggering operation (the pre-background-scheduler
+    behaviour) instead of asynchronously.
+    """
     gen = SnowflakeWorkloadGenerator(seed=seed)
     tenants = gen.generate(num_tenants=num_tenants, duration_s=duration_s)
     # Jobs submitted early enough to exercise writes within the window;
@@ -64,7 +71,11 @@ def run_lifetime(
     result = Fig11aResult()
     for ds_type in DS_TYPES:
         driver = TraceReplayDriver(
-            JiffyConfig(block_size=block_size, lease_duration=lease_duration),
+            JiffyConfig(
+                block_size=block_size,
+                lease_duration=lease_duration,
+                async_repartition=not sync_repartition,
+            ),
             ds_type=ds_type,
             byte_scale=byte_scale,
         )
@@ -87,8 +98,15 @@ def run_repartition(
     num_events: int = 200,
     num_gets: int = 2000,
     seed: int = 23,
+    sync_repartition: bool = False,
 ) -> Fig11bResult:
-    """Fig 11(b): repartition latency CDF + op latency during scaling."""
+    """Fig 11(b): repartition latency CDF + op latency during scaling.
+
+    ``sync_repartition=True`` runs the ablation: splits execute inline
+    on the triggering put, whose modelled stall is charged to that
+    iteration's op samples — the "during" distribution then grows the
+    heavy tail that Jiffy's asynchronous repartitioning avoids.
+    """
     rng = random.Random(seed)
     network = NetworkModel(rng=rng)
     result = Fig11bResult()
@@ -114,7 +132,9 @@ def run_repartition(
     # KV store that gets interleaved with splits return correct data,
     # and sample device latency for both phases.
     controller = JiffyController(
-        JiffyConfig(block_size=8 * KB), clock=SimClock(), default_blocks=512
+        JiffyConfig(block_size=8 * KB, async_repartition=not sync_repartition),
+        clock=SimClock(),
+        default_blocks=512,
     )
     client = connect(controller, "fig11b")
     client.create_addr_prefix("t0")
@@ -122,17 +142,26 @@ def run_repartition(
     value = b"v" * 100
     for i in range(500):
         kv.put(f"warm-{i}".encode(), value)
+    kv.drain_background()
     splits_before = kv.splits
     for _ in range(num_gets // 2):
-        kv.get(f"warm-{rng.randrange(500)}".encode())
-        result.get_before.append(JIFFY_TIER.sample_read_latency(100 * KB, rng))
-    # Interleave gets with ongoing inserts that force splits.
+        with cost.collecting() as charged:
+            kv.get(f"warm-{rng.randrange(500)}".encode())
+        result.get_before.append(
+            JIFFY_TIER.sample_read_latency(100 * KB, rng) + charged.seconds
+        )
+    # Interleave gets with ongoing inserts that force splits. Any stall
+    # the foreground pair charges inline (sync ablation: the full split
+    # latency on the triggering put) lands in that iteration's sample.
     i = 500
     while len(result.get_during) < num_gets // 2:
-        kv.put(f"warm-{i}".encode(), value)
-        i += 1
-        kv.get(f"warm-{rng.randrange(i)}".encode())
-        result.get_during.append(JIFFY_TIER.sample_read_latency(100 * KB, rng))
+        with cost.collecting() as charged:
+            kv.put(f"warm-{i}".encode(), value)
+            i += 1
+            kv.get(f"warm-{rng.randrange(i)}".encode())
+        result.get_during.append(
+            JIFFY_TIER.sample_read_latency(100 * KB, rng) + charged.seconds
+        )
     assert kv.splits > splits_before, "no splits occurred during phase two"
     return result
 

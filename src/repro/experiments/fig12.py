@@ -34,9 +34,13 @@ from repro.sim.clock import SimClock
 OP_MIX = (("renew", 6), ("resolve", 2), ("alloc_reclaim", 1))
 
 
-def _build_controller(num_jobs: int = 32) -> Tuple[JiffyController, List[str]]:
+def _build_controller(
+    num_jobs: int = 32, sync_repartition: bool = False
+) -> Tuple[JiffyController, List[str]]:
     controller = JiffyController(
-        JiffyConfig(block_size=KB), clock=SimClock(), default_blocks=4096
+        JiffyConfig(block_size=KB, async_repartition=not sync_repartition),
+        clock=SimClock(),
+        default_blocks=4096,
     )
     jobs = []
     for i in range(num_jobs):
@@ -50,10 +54,10 @@ def _build_controller(num_jobs: int = 32) -> Tuple[JiffyController, List[str]]:
 
 
 def measure_service_time(
-    num_ops: int = 30_000, num_jobs: int = 32
+    num_ops: int = 30_000, num_jobs: int = 32, sync_repartition: bool = False
 ) -> float:
     """Mean seconds per control op over the representative mix."""
-    controller, jobs = _build_controller(num_jobs)
+    controller, jobs = _build_controller(num_jobs, sync_repartition)
     ops: List[Tuple[str, str]] = []
     i = 0
     while len(ops) < num_ops:
@@ -145,9 +149,17 @@ def run(
     core_counts: Sequence[int] = (1, 8, 16, 32, 48, 64),
     shard_check_counts: Sequence[int] = (1, 2, 4),
     ops_per_shard_check: int = 4_000,
+    sync_repartition: bool = False,
 ) -> Fig12Result:
-    """Measure the controller and build both Fig 12 curves."""
-    service = measure_service_time(num_ops=num_ops)
+    """Measure the controller and build both Fig 12 curves.
+
+    ``sync_repartition`` exists for uniform ablation runs: the control
+    path never repartitions data, so the curves are expected (and
+    verified by the ablation) to be mode-independent.
+    """
+    service = measure_service_time(
+        num_ops=num_ops, sync_repartition=sync_repartition
+    )
     saturation = 1.0 / service
 
     # M/M/1: latency = s / (1 - rho). Sweep rho up to 0.98.
@@ -162,7 +174,10 @@ def run(
     shard_times: Dict[int, float] = {}
     for count in shard_check_counts:
         sharded = ShardedController(
-            count, JiffyConfig(block_size=KB), clock=SimClock(), blocks_per_shard=512
+            count,
+            JiffyConfig(block_size=KB, async_repartition=not sync_repartition),
+            clock=SimClock(),
+            blocks_per_shard=512,
         )
         job_ids = [f"job-{i}" for i in range(8 * count)]
         for job_id in job_ids:

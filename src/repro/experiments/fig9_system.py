@@ -70,6 +70,7 @@ def run(
     seed: int = 59,
     backend: str = "local",
     system: str = "jiffy",
+    sync_repartition: bool = False,
 ) -> Fig9SystemResult:
     """Replay the workload at each DRAM capacity fraction.
 
@@ -103,6 +104,7 @@ def run(
             bytes_scale_up=bytes_scale_up,
             system=system,
             backend=backend,
+            sync_repartition=sync_repartition,
         )
         point.dram_fraction = fraction
         result.points.append(point)

@@ -69,9 +69,12 @@ def _make_plane(
     dram_blocks: int,
     clock: SimClock,
     num_shards: int,
+    sync_repartition: bool = False,
 ) -> ControlPlane:
     """A control plane over tiered pool(s) sized to ``dram_blocks``."""
-    config = JiffyConfig(block_size=block_size)
+    config = JiffyConfig(
+        block_size=block_size, async_repartition=not sync_repartition
+    )
     if backend == "sharded":
         # Share-nothing shards each own a slice of the DRAM budget. The
         # per-shard DRAM servers get distinct ids so block ids stay
@@ -121,6 +124,7 @@ def replay_jiffy(
     bytes_scale_up: float,
     backend: str = "local",
     num_shards: int = 2,
+    sync_repartition: bool = False,
 ) -> SystemRunPoint:
     """Replay ``jobs`` through the real Jiffy stack on a tiered pool.
 
@@ -128,9 +132,13 @@ def replay_jiffy(
     hierarchy; blocks that spill to the SSD tier charge device latency
     on writes and consumer reads. ``backend`` selects the control-plane
     backend — the replay issues identical calls against each.
+    ``sync_repartition`` is the ablation: repartitioning runs inline on
+    the triggering write instead of in the background.
     """
     clock = SimClock()
-    plane = _make_plane(backend, block_size, dram_blocks, clock, num_shards)
+    plane = _make_plane(
+        backend, block_size, dram_blocks, clock, num_shards, sync_repartition
+    )
     pools = _pools_of(plane)
 
     def spilled_bytes() -> int:
@@ -344,6 +352,7 @@ def replay_system(
     system: str = "jiffy",
     backend: str = "local",
     num_shards: int = 2,
+    sync_repartition: bool = False,
 ) -> SystemRunPoint:
     """Replay ``jobs`` through one functional system at one capacity.
 
@@ -362,6 +371,7 @@ def replay_system(
             bytes_scale_up=bytes_scale_up,
             backend=backend,
             num_shards=num_shards,
+            sync_repartition=sync_repartition,
         )
     if system == "pocket":
         return replay_pocket(

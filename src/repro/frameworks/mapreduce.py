@@ -135,9 +135,12 @@ class MapReduceJob:
         }
         self.master.run_stage(map_tasks)
         # Barrier between stages: push any coalesced shuffle bytes into
-        # the blocks before reducers start (a no-op when unbuffered).
+        # the blocks before reducers start (a no-op when unbuffered),
+        # and quiesce in-flight background repartitions so the reduce
+        # stage starts from settled shuffle state.
         for shuffle in self._shuffles:
             shuffle.flush()
+            shuffle.drain_background()
 
         reduce_tasks = {
             f"reduce-{r}": self._reduce_task(r) for r in range(self.num_reducers)

@@ -26,6 +26,10 @@ from repro.sim.events import EventLoop
 from repro.sim.network import NetworkModel
 
 
+#: Process-wide session id allocator: each client is one ordered stream.
+_SESSION_IDS = itertools.count()
+
+
 class RpcClient:
     """One client session against an :class:`RpcServer`."""
 
@@ -43,6 +47,8 @@ class RpcClient:
         self.telemetry = registry if registry is not None else telemetry.get_registry()
         self.tracer = tracer if tracer is not None else telemetry.get_tracer()
         self._seq = itertools.count()
+        #: Session identity for the server's per-session FIFO ordering.
+        self.session_id = next(_SESSION_IDS)
         self.calls = 0
         self._responses: Dict[int, RpcResponse] = {}
         self._g_inflight = self.telemetry.gauge("rpc.client.inflight")
@@ -94,7 +100,9 @@ class RpcClient:
         # The request "arrives" after the network transfer; schedule its
         # delivery so the server sees the right arrival time.
         def arrive() -> None:
-            self.server.deliver(frame, arrival, on_response)
+            self.server.deliver(
+                frame, arrival, on_response, session=self.session_id
+            )
 
         self.loop.schedule_at(arrival, arrive, name=f"send:{method}")
         self.calls += 1

@@ -17,10 +17,10 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro import telemetry
-from repro.datastructures.kvstore import JiffyKVStore
+from repro.datastructures.kvstore import JiffyKVStore, hash_slot
 from repro.datastructures.queue import JiffyQueue
 from repro.rpc.client import RpcClient
-from repro.rpc.server import RpcServer
+from repro.rpc.server import ResourceFn, RpcServer
 from repro.sim.events import EventLoop
 from repro.sim.network import NetworkModel
 
@@ -50,21 +50,59 @@ def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
         yield items[start : start + size]
 
 
+def _kv_owner_block(kv: JiffyKVStore) -> ResourceFn:
+    """Resource key for single-key KV ops: the owning block id.
+
+    Requests touching the same block serialize (per-block exclusive
+    service); requests on different blocks run on different cores.
+    ``None`` (slot not yet mapped) means no exclusivity constraint —
+    the lookup must not allocate, so it reads the slot map directly.
+    """
+
+    def owner(key: bytes, *args: object) -> Optional[str]:
+        key_bytes = kv._canonical(key)
+        return kv._slot_map.get(hash_slot(key_bytes, kv.num_slots))
+
+    return owner
+
+
+def _bind_background_executor(ds, loop: EventLoop, server: RpcServer) -> None:
+    """Let the structure's background work contend for this server's cores.
+
+    Only when the scheduler is already bound to the same event loop and
+    has no executor yet — cooperative (loop-less) schedulers keep their
+    foreground-polled semantics.
+    """
+    scheduler = getattr(ds, "background", None)
+    if (
+        scheduler is not None
+        and scheduler.loop is loop
+        and scheduler.executor is None
+    ):
+        scheduler.executor = server
+
+
 def serve_kv(
     kv: JiffyKVStore,
     loop: EventLoop,
     service_time_s: float = DATA_OP_SERVICE_S,
+    num_cores: int = 1,
     registry: Optional[telemetry.MetricsRegistry] = None,
     tracer: Optional[telemetry.Tracer] = None,
 ) -> RpcServer:
     """Expose a KV store's operators on an RPC server."""
     server = RpcServer(
-        loop, service_time_s=service_time_s, registry=registry, tracer=tracer
+        loop,
+        service_time_s=service_time_s,
+        num_cores=num_cores,
+        registry=registry,
+        tracer=tracer,
     )
-    server.register("get", kv.get)
-    server.register("put", lambda k, v: (kv.put(k, v), True)[1])
-    server.register("delete", kv.delete)
-    server.register("exists", kv.exists)
+    owner = _kv_owner_block(kv)
+    server.register("get", kv.get, resource_fn=owner)
+    server.register("put", lambda k, v: (kv.put(k, v), True)[1], resource_fn=owner)
+    server.register("delete", kv.delete, resource_fn=owner)
+    server.register("exists", kv.exists, resource_fn=owner)
     server.register(
         "mget",
         lambda keys: kv.multi_get(keys),
@@ -80,6 +118,7 @@ def serve_kv(
         lambda keys: kv.multi_delete(keys),
         service_time_fn=lambda keys: batch_service_time(len(keys)),
     )
+    _bind_background_executor(kv, loop, server)
     return server
 
 
@@ -87,12 +126,17 @@ def serve_queue(
     queue: JiffyQueue,
     loop: EventLoop,
     service_time_s: float = DATA_OP_SERVICE_S,
+    num_cores: int = 1,
     registry: Optional[telemetry.MetricsRegistry] = None,
     tracer: Optional[telemetry.Tracer] = None,
 ) -> RpcServer:
     """Expose a FIFO queue's operators on an RPC server."""
     server = RpcServer(
-        loop, service_time_s=service_time_s, registry=registry, tracer=tracer
+        loop,
+        service_time_s=service_time_s,
+        num_cores=num_cores,
+        registry=registry,
+        tracer=tracer,
     )
     server.register("enqueue", lambda item: (queue.enqueue(item), True)[1])
     server.register("dequeue", queue.dequeue)
@@ -108,6 +152,7 @@ def serve_queue(
         queue.dequeue_batch,
         service_time_fn=lambda max_items: batch_service_time(max_items),
     )
+    _bind_background_executor(queue, loop, server)
     return server
 
 

@@ -408,6 +408,9 @@ class RemoteControlPlane(ControlPlane):
             self._plane.hierarchy(job_id).get_node(name) for job_id, name in expired
         ]
 
+    def drain_background(self) -> int:
+        return self._call("drain_background")
+
     # -- blocks ----------------------------------------------------------
 
     def allocate_block(self, job_id: str, prefix: str) -> Block:

@@ -6,6 +6,13 @@ protocol so the same control-plane code runs under a deterministic
 :class:`WallClock` (live use, micro-benchmarks).
 """
 
+from repro.sim.background import (
+    LOW,
+    NORMAL,
+    URGENT,
+    BackgroundScheduler,
+    BackgroundTask,
+)
 from repro.sim.clock import Clock, SimClock, WallClock
 from repro.sim.events import EventLoop, Event
 from repro.sim.latency import LatencyModel, ConstantLatency, LogNormalLatency
@@ -17,6 +24,11 @@ __all__ = [
     "WallClock",
     "EventLoop",
     "Event",
+    "BackgroundScheduler",
+    "BackgroundTask",
+    "URGENT",
+    "NORMAL",
+    "LOW",
     "LatencyModel",
     "ConstantLatency",
     "LogNormalLatency",

@@ -1,0 +1,51 @@
+"""Foreground cost charging: attribute modeled latency to the caller.
+
+The data structures compute *modeled* costs for heavyweight maintenance
+(repartition copies, flush I/O). When such work runs synchronously on
+the critical path — the ``--sync-repartition`` ablation — that cost must
+be visible to whatever is timing the foreground operation. The RPC
+server wraps handler execution in :func:`collecting`; any code the
+handler reaches may call :func:`charge`, and the server extends the
+request's service time by the collected amount. Without an active
+collector, :func:`charge` is a no-op (the cost is accounted elsewhere,
+e.g. by the background scheduler).
+
+Collectors nest: charges land in the innermost active collector only,
+so a server-inside-a-server simulation attributes each cost once.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+
+class CostCollector:
+    """Accumulates seconds charged while it is the active collector."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+_active: List[CostCollector] = []
+
+
+def charge(seconds: float) -> None:
+    """Attribute ``seconds`` of modeled work to the active collector.
+
+    No-op when no collector is active (the cost is then either paid by
+    the background scheduler or simply recorded as telemetry).
+    """
+    if seconds and _active:
+        _active[-1].seconds += seconds
+
+
+@contextmanager
+def collecting() -> Iterator[CostCollector]:
+    """Run a block with a fresh innermost :class:`CostCollector`."""
+    collector = CostCollector()
+    _active.append(collector)
+    try:
+        yield collector
+    finally:
+        _active.pop()

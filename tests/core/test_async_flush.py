@@ -1,0 +1,130 @@
+"""Background flush: lease-expiry and deregister persistence off the
+critical path (``JiffyConfig(async_flush=True)``).
+
+The contract: blocks are reclaimable the moment flush *snapshots* the
+data, the external-store write itself rides a low-priority background
+task, the caller is never charged the modelled S3 latency, and a
+``load_prefix`` drains pending flush I/O before reading — so deferral is
+never observable as data loss.
+"""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import EXTERNAL_STORE_PUT_S, JiffyController
+from repro.sim import cost
+from repro.sim.background import BackgroundScheduler
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+PAYLOAD = b"spill-me" * 100
+
+
+def make_controller(async_flush, clock=None, scheduler=None):
+    return JiffyController(
+        JiffyConfig(block_size=KB, async_flush=async_flush),
+        clock=clock or SimClock(),
+        default_blocks=64,
+        scheduler=scheduler,
+    )
+
+
+def write_file(controller, job="job", prefix="producer"):
+    client = connect(controller, job)
+    client.create_addr_prefix(prefix)
+    f = client.init_data_structure(prefix, "file")
+    f.append(PAYLOAD)
+    return client
+
+
+class TestExpiryFlush:
+    def test_loop_bound_expiry_defers_persist_until_loop_runs(self):
+        loop = EventLoop(SimClock())
+        controller = make_controller(
+            True, clock=loop.clock, scheduler=BackgroundScheduler(loop=loop)
+        )
+        write_file(controller)
+        loop.clock.advance(2.0)
+        controller.tick()
+        # Blocks freed at the tick: the snapshot, not the S3 write,
+        # gates reclamation.
+        assert controller.pool.allocated_blocks == 0
+        assert "job/producer" not in controller.external_store
+        loop.run()
+        assert controller.external_store.get("job/producer") == PAYLOAD
+
+    def test_cooperative_expiry_persists_under_tick_cadence(self):
+        clock = SimClock()
+        controller = make_controller(True, clock=clock)
+        write_file(controller)
+        clock.advance(2.0)
+        # The sweep's own background budget drains the one-step flush
+        # task without any explicit drain call.
+        controller.tick()
+        assert controller.external_store.get("job/producer") == PAYLOAD
+
+    def test_flush_duration_histogram_records_background_io(self):
+        clock = SimClock()
+        controller = make_controller(True, clock=clock)
+        write_file(controller)
+        clock.advance(2.0)
+        controller.tick()
+        controller.drain_background()
+        hist = controller.telemetry.histogram("controller.flush.duration_s")
+        assert hist.count >= 1
+
+
+class TestDeregisterFlush:
+    def test_persist_deferred_until_drain(self):
+        controller = make_controller(True)
+        write_file(controller)
+        reclaimed = controller.deregister_job("job", flush=True)
+        assert reclaimed >= 1
+        assert "job/producer" not in controller.external_store
+        assert controller.drain_background() >= 1
+        assert controller.external_store.get("job/producer") == PAYLOAD
+
+    def test_async_matches_sync_contents(self):
+        sync = make_controller(False)
+        write_file(sync)
+        sync.deregister_job("job", flush=True)
+
+        async_ = make_controller(True)
+        write_file(async_)
+        async_.deregister_job("job", flush=True)
+        async_.drain_background()
+
+        assert (
+            async_.external_store.get("job/producer")
+            == sync.external_store.get("job/producer")
+        )
+
+    def test_caller_not_charged_external_store_latency(self):
+        sync = make_controller(False)
+        write_file(sync)
+        with cost.collecting() as sync_charge:
+            sync.deregister_job("job", flush=True)
+
+        async_ = make_controller(True)
+        write_file(async_)
+        with cost.collecting() as async_charge:
+            async_.deregister_job("job", flush=True)
+
+        assert sync_charge.seconds >= EXTERNAL_STORE_PUT_S
+        assert async_charge.seconds < EXTERNAL_STORE_PUT_S
+
+
+class TestLoadDrainsFirst:
+    def test_load_prefix_sees_deferred_flush(self):
+        controller = make_controller(True)
+        client = write_file(controller)
+        controller.flush_prefix("job", "producer", "snap/producer")
+        # The write is still queued ...
+        assert "snap/producer" not in controller.external_store
+        # ... but a reload must not race it: load drains first.
+        f = client.init_data_structure("producer", "file")
+        nbytes = controller.load_prefix("job", "producer", "snap/producer")
+        assert nbytes == len(PAYLOAD)
+        assert controller.external_store.get("snap/producer") == PAYLOAD
+        assert f.readall() == PAYLOAD

@@ -1,0 +1,165 @@
+"""BackgroundScheduler: priorities, capacity, cancellation, both modes."""
+
+import pytest
+
+from repro.sim.background import LOW, NORMAL, URGENT, BackgroundScheduler
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+def make_steps(log, tag, n, cost=1e-3):
+    return [(cost, lambda i=i: log.append((tag, i))) for i in range(n)]
+
+
+class TestCooperativeMode:
+    def test_submit_and_poll_runs_steps_in_order(self):
+        sched = BackgroundScheduler(clock=SimClock())
+        log = []
+        task = sched.submit(make_steps(log, "a", 3))
+        assert not task.done
+        assert sched.poll(2) == 2
+        assert log == [("a", 0), ("a", 1)]
+        assert sched.poll(5) == 1
+        assert task.done
+        assert log == [("a", 0), ("a", 1), ("a", 2)]
+        assert sched.idle
+
+    def test_poll_zero_budget_is_noop(self):
+        sched = BackgroundScheduler(clock=SimClock())
+        log = []
+        sched.submit(make_steps(log, "a", 2))
+        assert sched.poll(0) == 0
+        assert log == []
+
+    def test_zero_step_task_completes_synchronously(self):
+        sched = BackgroundScheduler(clock=SimClock())
+        done = []
+        task = sched.submit([], on_done=done.append)
+        assert task.done
+        assert done == [task]
+        assert sched.idle
+
+    def test_priorities_served_urgent_first(self):
+        sched = BackgroundScheduler(clock=SimClock(), max_workers=1)
+        log = []
+        sched.submit(make_steps(log, "low", 1), priority=LOW)
+        sched.submit(make_steps(log, "norm", 1), priority=NORMAL)
+        sched.submit(make_steps(log, "urgent", 1), priority=URGENT)
+        sched.drain()
+        # max_workers=1: the LOW task was already admitted when alone,
+        # but once it finishes the URGENT one outranks NORMAL.
+        assert log.index(("urgent", 0)) < log.index(("norm", 0))
+
+    def test_max_workers_bounds_concurrent_progress(self):
+        sched = BackgroundScheduler(clock=SimClock(), max_workers=1)
+        log = []
+        sched.submit(make_steps(log, "a", 2))
+        sched.submit(make_steps(log, "b", 2))
+        sched.poll(3)
+        # Single worker: task a finishes entirely before b starts.
+        assert log == [("a", 0), ("a", 1), ("b", 0)]
+
+    def test_cancel_stops_remaining_steps_and_skips_on_done(self):
+        sched = BackgroundScheduler(clock=SimClock())
+        log, done = [], []
+        task = sched.submit(make_steps(log, "a", 3), on_done=done.append)
+        sched.poll(1)
+        assert sched.cancel(task)
+        sched.drain()
+        assert log == [("a", 0)]
+        assert task.cancelled and not task.done
+        assert done == []
+        assert not sched.cancel(task)  # already cancelled
+
+    def test_finish_jumps_the_queue(self):
+        sched = BackgroundScheduler(clock=SimClock(), max_workers=1)
+        log = []
+        sched.submit(make_steps(log, "a", 2))
+        waiting = sched.submit(make_steps(log, "b", 2))
+        sched.finish(waiting)
+        assert waiting.done
+        assert ("b", 1) in log and ("a", 1) not in log
+
+    def test_on_done_fires_with_completed_task(self):
+        sched = BackgroundScheduler(clock=SimClock())
+        done = []
+        task = sched.submit(make_steps([], "a", 2), on_done=done.append)
+        sched.drain()
+        assert done == [task] and task.done
+
+    def test_queue_depth_gauge_tracks_pending(self):
+        from repro.telemetry import MetricsRegistry
+
+        sched = BackgroundScheduler(clock=SimClock(), registry=MetricsRegistry())
+        sched.submit(make_steps([], "a", 1))
+        assert sched.telemetry.value("background.queue_depth") == 1
+        sched.drain()
+        assert sched.telemetry.value("background.queue_depth") == 0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundScheduler(max_workers=0)
+        with pytest.raises(ValueError):
+            BackgroundScheduler(executor=object())  # executor without loop
+        sched = BackgroundScheduler(clock=SimClock())
+        with pytest.raises(ValueError):
+            sched.submit([], priority=99)
+
+
+class TestLoopBoundMode:
+    def test_steps_run_as_events_charging_simulated_time(self):
+        loop = EventLoop(SimClock())
+        sched = BackgroundScheduler(loop=loop)
+        log = []
+        task = sched.submit(make_steps(log, "a", 3, cost=2e-3))
+        loop.run()
+        assert task.done
+        assert log == [("a", 0), ("a", 1), ("a", 2)]
+        assert loop.clock.now() == pytest.approx(6e-3)
+        assert task.duration_s == pytest.approx(6e-3)
+
+    def test_poll_is_noop_in_loop_mode(self):
+        loop = EventLoop(SimClock())
+        sched = BackgroundScheduler(loop=loop)
+        sched.submit(make_steps([], "a", 2))
+        assert sched.poll(10) == 0
+
+    def test_drain_preempts_scheduled_events(self):
+        loop = EventLoop(SimClock())
+        sched = BackgroundScheduler(loop=loop)
+        log = []
+        task = sched.submit(make_steps(log, "a", 2))
+        assert sched.drain() >= 1
+        assert task.done and len(log) == 2
+        loop.run()  # cancelled events must not re-run applies
+        assert len(log) == 2
+
+    def test_step_task_advances_inline_then_rearms(self):
+        loop = EventLoop(SimClock())
+        sched = BackgroundScheduler(loop=loop)
+        log = []
+        task = sched.submit(make_steps(log, "a", 3))
+        assert sched.step_task(task)
+        assert log == [("a", 0)]
+        loop.run()
+        assert task.done and len(log) == 3
+
+    def test_executor_reservations_serialize_on_resource(self):
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+                self.t = 0.0
+
+            def reserve_background(self, cost, resource=None):
+                self.calls.append((cost, resource))
+                start = self.t
+                self.t += cost
+                return start, self.t
+
+        loop = EventLoop(SimClock())
+        executor = Recorder()
+        sched = BackgroundScheduler(loop=loop, executor=executor)
+        task = sched.submit(make_steps([], "a", 2, cost=5e-3), resource="block-7")
+        loop.run()
+        assert task.done
+        assert executor.calls == [(5e-3, "block-7"), (5e-3, "block-7")]

@@ -27,6 +27,7 @@ class TestParser:
         expected = {
             "fig1",
             "fig9",
+            "fig9sys",
             "fig10",
             "fig11a",
             "fig11b",
