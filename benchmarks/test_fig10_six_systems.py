@@ -1,5 +1,6 @@
 """Fig 10: read/write latency and MB/s for six storage systems."""
 
+from _results import record
 from repro.experiments import fig10
 
 
@@ -8,6 +9,20 @@ def test_fig10_latency_and_throughput(once, capsys):
     with capsys.disabled():
         print()
         print(fig10.format_report(result))
+
+    record(
+        "fig10_six_systems",
+        {
+            "jiffy_read_latency_small": (result.read_latency["Jiffy"][0], "s"),
+            "elasticache_read_latency_small": (
+                result.read_latency["ElastiCache"][0], "s"
+            ),
+            "pocket_read_latency_small": (
+                result.read_latency["Pocket"][0], "s"
+            ),
+            "s3_read_latency_small": (result.read_latency["S3"][0], "s"),
+        },
+    )
 
     # In-memory stores sub-ms at small sizes; S3/DynamoDB not.
     for system in ("Apache Crail", "ElastiCache", "Pocket", "Jiffy"):

@@ -1,5 +1,6 @@
 """Fig 12: controller throughput-vs-latency and multi-core scaling."""
 
+from _results import record
 from repro.experiments import fig12
 
 
@@ -8,6 +9,17 @@ def test_fig12_controller_scalability(once, capsys):
     with capsys.disabled():
         print()
         print(fig12.format_report(result))
+    first_cores, first_tput = result.core_scaling[0]
+    last_cores, last_tput = result.core_scaling[-1]
+    record(
+        "fig12_controller",
+        {
+            "saturation_kops": (result.saturation_kops, "kops"),
+            "core_scaling_factor": (
+                (last_tput / first_tput) / (last_cores / first_cores), "x"
+            ),
+        },
+    )
     # A CPython controller won't hit the paper's 42 KOps, but must
     # sustain real-world control loads (a few hundred ops/sec per the
     # paper's workloads) with plenty of headroom.

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from _results import record
 from repro.analysis.cdf import percentile
 from repro.experiments import fig13
 
@@ -20,6 +21,17 @@ def test_fig13a_streaming_wordcount(once, capsys):
             f"words={result.total_words} distinct={result.distinct_words} "
             f"counts correct={result.counts_correct}"
         )
+    jiffy_samples = result.batch_latencies["Jiffy"]
+    record(
+        "fig13_wordcount",
+        {
+            "jiffy_batch_p50": (percentile(jiffy_samples, 50), "s"),
+            "jiffy_batch_p99": (percentile(jiffy_samples, 99), "s"),
+            "elasticache_batch_p50": (
+                percentile(result.batch_latencies["Elasticache"], 50), "s"
+            ),
+        },
+    )
     assert result.counts_correct
     # Paper: Jiffy matches the over-provisioned ElastiCache CDF.
     jiffy = np.median(result.batch_latencies["Jiffy"])

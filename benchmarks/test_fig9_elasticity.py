@@ -5,6 +5,7 @@ Paper targets — ElastiCache: 4.7x @60%, 34x @20%; Pocket: 3.2x @60%,
 Pocket and up to ~3x better utilisation.
 """
 
+from _results import record
 from repro.experiments import fig9
 
 
@@ -15,6 +16,22 @@ def test_fig9_slowdown_and_utilization(once, capsys):
         print(fig9.format_report(result))
 
     idx = {f: i for i, f in enumerate(result.capacity_fractions)}
+    improvements = fig9.jiffy_vs_pocket_improvement(result)
+    record(
+        "fig9_elasticity",
+        {
+            "jiffy_slowdown_60pct": (result.slowdowns["Jiffy"][idx[0.6]], "x"),
+            "jiffy_slowdown_20pct": (result.slowdowns["Jiffy"][idx[0.2]], "x"),
+            "pocket_slowdown_60pct": (result.slowdowns["Pocket"][idx[0.6]], "x"),
+            "elasticache_slowdown_20pct": (
+                result.slowdowns["Elasticache"][idx[0.2]], "x"
+            ),
+            "jiffy_vs_pocket_best": (max(improvements), "x"),
+            "jiffy_utilization_60pct": (
+                result.utilizations["Jiffy"][idx[0.6]], "frac"
+            ),
+        },
+    )
     # Who wins: Jiffy best at every constrained capacity.
     for fraction in (0.8, 0.6, 0.4, 0.2):
         i = idx[fraction]
@@ -29,5 +46,4 @@ def test_fig9_slowdown_and_utilization(once, capsys):
     assert result.slowdowns["Elasticache"][idx[0.2]] > 10.0
     assert result.slowdowns["Jiffy"][idx[0.2]] < 5.0
     # Jiffy-vs-Pocket improvement lands in/near the paper's 1.6-2.5x.
-    improvements = fig9.jiffy_vs_pocket_improvement(result)
     assert max(improvements) > 1.5

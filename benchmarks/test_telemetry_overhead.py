@@ -77,8 +77,8 @@ class TestOverhead:
         kv.put(b"k", b"v")
         kv.get(b"k")
         hists = kv.telemetry.histograms()
-        assert hists['kv.op.latency_s{op="put"}'].count == 1
-        assert hists['kv.op.latency_s{op="get"}'].count == 1
+        assert hists['kv.op.latency_s{job="bench",op="put"}'].count == 1
+        assert hists['kv.op.latency_s{job="bench",op="get"}'].count == 1
 
     def test_hot_path_overhead_under_10_percent(self):
         baseline, instrumented = _time_hot_paths()
@@ -86,4 +86,52 @@ class TestOverhead:
         assert ratio < 1.10, (
             f"telemetry overhead {ratio - 1:.1%} exceeds the 10% budget "
             f"(enabled={instrumented:.4f}s, disabled={baseline:.4f}s)"
+        )
+
+    def test_sampler_overhead_under_5_percent(self):
+        """Flight-recorder sampling stays off the hot put/get path.
+
+        The deployed shape: ``pump()`` runs once per tick (the fig9sys
+        replay ticks every ``dt=0.5`` sim-seconds) and the sampler's
+        default cadence is one snapshot per sim-second, so half the
+        pumps are cheap deadline checks and half take a full snapshot.
+        With every op *and* every pump inside the timed region, the
+        sampled path must stay within 5% of the bare instrumented path.
+        """
+        from repro.telemetry import TimeSeriesSampler
+
+        keys = [f"key-{i:04d}".encode() for i in range(NUM_KEYS)]
+        value = b"v" * 32
+        kv = _build_kv(enabled=True)
+        clock = SimClock()
+        sampler = TimeSeriesSampler(kv.telemetry, clock, interval_s=1.0)
+        for key in keys:
+            kv.put(key, value)
+
+        def one_rep() -> float:
+            """Sampler-time / op-time for one rep.
+
+            Both sides are measured inside the same rep, so machine-load
+            drift cancels instead of masquerading as sampler cost (a
+            two-loop A/B comparison is noisier than the 5% budget on a
+            shared box).
+            """
+            pump_s = 0.0
+            start = perf_counter()
+            for _ in range(ROUNDS):
+                for key in keys:
+                    kv.put(key, value)
+                    kv.get(key)
+                p0 = perf_counter()
+                clock.advance(0.5)  # one replay tick
+                sampler.pump()
+                pump_s += perf_counter() - p0
+            ops_s = (perf_counter() - start) - pump_s
+            return pump_s / ops_s
+
+        ratio = min(one_rep() for _ in range(REPEATS))
+        assert sampler.samples_taken >= ROUNDS // 2  # sampling actually ran
+        assert ratio < 0.05, (
+            f"sampler overhead {ratio:.1%} of hot put/get time exceeds "
+            f"the 5% budget"
         )

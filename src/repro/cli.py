@@ -12,11 +12,21 @@ Telemetry inspection rides alongside the figure commands:
     python -m repro telemetry metrics           # Prometheus-style dump
     python -m repro telemetry metrics --json    # JSON export
     python -m repro telemetry trace --tail 20   # span tree of a run
+
+Flight recording: ``--flight-out PATH`` on a figure command dumps the
+run's time-series, spans, and critical-path segments into a sqlite
+flight file, queried offline:
+
+    python -m repro fig9sys --quick --flight-out flight.db
+    python -m repro telemetry query flight.db --tables
+    python -m repro telemetry query flight.db "SELECT ... FROM series"
+    python -m repro telemetry blame flight.db   # where the p99 went
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -35,12 +45,16 @@ from repro.experiments import (
 )
 
 
-def _run_fig1(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig1(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     result = fig1.run(duration_s=1800.0 if quick else 3600.0)
     return fig1.format_report(result)
 
 
-def _run_fig9(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig9(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     # Policy-model replay: no data plane, so the ablation flag is moot.
     if quick:
         result = fig9.run(num_tenants=20, duration_s=1800.0, dt=15.0)
@@ -49,20 +63,31 @@ def _run_fig9(quick: bool, sync_repartition: bool = False) -> str:
     return fig9.format_report(result)
 
 
-def _run_fig9sys(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig9sys(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     result = fig9_system.run(
         dram_fractions=(1.0, 0.4) if quick else (1.0, 0.6, 0.4, 0.2),
         duration_s=30.0 if quick else 60.0,
         sync_repartition=sync_repartition,
+        # Flight recording wants the traced RPC path in the flight file
+        # (critical-path blame is assembled from rpc.client/server
+        # spans), so record against the remote backend.
+        backend="remote" if flight_out else "local",
+        flight_out=flight_out,
     )
     return fig9_system.format_report(result)
 
 
-def _run_fig10(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig10(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     return fig10.format_report(fig10.run())
 
 
-def _run_fig11a(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig11a(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     result = fig11.run_lifetime(
         duration_s=200.0 if quick else 600.0,
         num_tenants=2 if quick else 3,
@@ -79,7 +104,9 @@ def _run_fig11a(quick: bool, sync_repartition: bool = False) -> str:
     return "Fig 11(a): lifetime management\n" + "\n".join(lines)
 
 
-def _run_fig11b(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig11b(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     a = fig11.run_lifetime(
         duration_s=120.0, num_tenants=1, sync_repartition=sync_repartition
     )
@@ -89,14 +116,18 @@ def _run_fig11b(quick: bool, sync_repartition: bool = False) -> str:
     return fig11.format_report(a, b)
 
 
-def _run_fig12(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig12(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     result = fig12.run(
         num_ops=5_000 if quick else 30_000, sync_repartition=sync_repartition
     )
     return fig12.format_report(result)
 
 
-def _run_fig13(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig13(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     wc = fig13.run_wordcount(
         num_batches=10 if quick else 60, parallelism=10 if quick else 50
     )
@@ -104,16 +135,22 @@ def _run_fig13(quick: bool, sync_repartition: bool = False) -> str:
     return fig13.format_report(wc, ex)
 
 
-def _run_fig14(quick: bool, sync_repartition: bool = False) -> str:
+def _run_fig14(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     result = fig14.run(duration_s=40.0 if quick else 60.0)
     return fig14.format_report(result)
 
 
-def _run_overheads(quick: bool, sync_repartition: bool = False) -> str:
+def _run_overheads(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     return overheads.format_report(overheads.run())
 
 
-def _run_ablations(quick: bool, sync_repartition: bool = False) -> str:
+def _run_ablations(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
     lease = ablations.run_lease_ablation()
     repart = ablations.run_repartition_ablation(num_pairs=500 if quick else 2000)
     gran = ablations.run_granularity_ablation(
@@ -211,7 +248,100 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         help="control-plane backend for the demo run (ignored when "
         "reading a trace file)",
     )
+
+    query = sub.add_parser(
+        "query", help="run SQL against a sqlite flight file"
+    )
+    query.add_argument("path", help="flight file written via --flight-out")
+    query.add_argument(
+        "sql",
+        nargs="?",
+        default=None,
+        help="SQL to run (tables: series, spans, segments, events, "
+        "meta, runs, bench)",
+    )
+    query.add_argument(
+        "--tables", action="store_true", help="list tables and exit"
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="rows as a JSON array of objects instead of an aligned table",
+    )
+
+    blame = sub.add_parser(
+        "blame",
+        help='critical-path report ("where the p99 went") from a flight file',
+    )
+    blame.add_argument("path", help="flight file written via --flight-out")
+    blame.add_argument(
+        "--run",
+        default=None,
+        help="only this run tag (default: every run in the file)",
+    )
+    blame.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="show the K slowest requests (default 10)",
+    )
     return parser
+
+
+def _telemetry_query(args: argparse.Namespace) -> int:
+    import json
+    import sqlite3
+
+    from repro.telemetry.store import FlightStore, format_rows
+
+    # Opening a flight file creates it, so a read must check first or a
+    # typo'd path silently yields an empty database.
+    if not os.path.exists(args.path):
+        print(f"error: no flight file at {args.path}", file=sys.stderr)
+        return 1
+    try:
+        with FlightStore(args.path) as store:
+            if args.tables:
+                print("\n".join(store.tables()))
+                return 0
+            if not args.sql:
+                print("error: provide SQL or --tables", file=sys.stderr)
+                return 1
+            columns, rows = store.query(args.sql)
+    except (OSError, sqlite3.Error) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([dict(zip(columns, row)) for row in rows], indent=2))
+    else:
+        print(format_rows(columns, rows))
+    return 0
+
+
+def _telemetry_blame(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from repro.telemetry import critical_path
+    from repro.telemetry.store import FlightStore
+
+    if not os.path.exists(args.path):
+        print(f"error: no flight file at {args.path}", file=sys.stderr)
+        return 1
+    try:
+        with FlightStore(args.path) as store:
+            if args.run is not None:
+                runs = [args.run]
+            else:
+                _, rows = store.query(
+                    "SELECT run FROM runs ORDER BY created_order"
+                )
+                runs = [run for (run,) in rows]
+            for run in runs:
+                breakdowns = critical_path.assemble(store.spans_of(run))
+                print(f"==== {run} ====")
+                print(critical_path.format_report(breakdowns, top_k=args.top))
+    except (OSError, sqlite3.Error) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def telemetry_main(argv: List[str]) -> int:
@@ -219,6 +349,10 @@ def telemetry_main(argv: List[str]) -> int:
     from repro.telemetry.tracer import format_trace, read_trace_file
 
     args = build_telemetry_parser().parse_args(argv)
+    if args.action == "query":
+        return _telemetry_query(args)
+    if args.action == "blame":
+        return _telemetry_blame(args)
     if args.action == "metrics":
         result = demo.run(
             quick=args.quick, trace_path=args.trace_out, backend=args.backend
@@ -266,6 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ablation: run repartitioning synchronously on the "
         "triggering operation (pre-background-scheduler behaviour)",
     )
+    parser.add_argument(
+        "--flight-out",
+        metavar="PATH",
+        default=None,
+        help="flight-record the run into a sqlite file (supported by "
+        "fig9sys; inspect with `python -m repro telemetry query`)",
+    )
     return parser
 
 
@@ -278,7 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"==== {name} ====")
-        print(COMMANDS[name](args.quick, args.sync_repartition))
+        print(COMMANDS[name](args.quick, args.sync_repartition, args.flight_out))
         print()
     return 0
 

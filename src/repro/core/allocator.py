@@ -106,6 +106,7 @@ class BlockAllocator:
         self._job_blocks[node.job_id] = self.blocks_held_by(node.job_id) + 1
         node.block_ids.append(block.block_id)
         self._c_allocations.inc()
+        self.telemetry.counter("allocator.allocations", job=node.job_id).inc()
         return block
 
     def try_allocate(self, node: AddressNode) -> Optional[Block]:

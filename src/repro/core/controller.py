@@ -136,6 +136,10 @@ class JiffyController(ControlPlane):
         self._h_sweep = self.telemetry.histogram("controller.expiry_sweep.latency_s")
         self._h_flush_bytes = self.telemetry.histogram("controller.flush.bytes")
         self._h_flush_duration = self.telemetry.histogram("controller.flush.duration_s")
+        # Optional flight recorder (see repro.telemetry.timeseries):
+        # pumped from tick(), sampling runs as LOW-priority background
+        # work — never inside a foreground op.
+        self.flight_sampler = None
 
     # ------------------------------------------------------------------
     # Registry-backed counters (attribute back-compat)
@@ -327,6 +331,8 @@ class JiffyController(ControlPlane):
             span.set_attr("expired", len(expired))
         # Each sweep also advances deferred background work a little, so
         # async flush I/O drains under a steady tick cadence.
+        if self.flight_sampler is not None:
+            self.flight_sampler.pump(self.background)
         self.background.poll(TICK_BACKGROUND_BUDGET)
         self._h_sweep.record(perf_counter() - sweep_start)
         return expired
@@ -346,6 +352,50 @@ class JiffyController(ControlPlane):
                 if ds_drain is not None:
                     steps += ds_drain()
         return steps
+
+    # ------------------------------------------------------------------
+    # Flight recording
+    # ------------------------------------------------------------------
+
+    def attach_sampler(self, sampler) -> None:
+        """Record this deployment into a flight-recorder sampler.
+
+        ``tick()`` pumps the sampler through this controller's
+        background scheduler, and an occupancy collector refreshes the
+        per-server and per-tenant gauges (``pool.server.*{server=...}``,
+        ``job.*{job=...}``) right before each sample — values nothing
+        maintains incrementally.
+        """
+        self.flight_sampler = sampler
+        sampler.add_collector(self._collect_occupancy)
+
+    def _collect_occupancy(self) -> None:
+        reg = self.telemetry
+        for server in self.pool.servers():
+            sid = server.server_id
+            reg.gauge("pool.server.used_bytes", server=sid).set(
+                server.used_bytes()
+            )
+            reg.gauge("pool.server.allocated_blocks", server=sid).set(
+                server.allocated_blocks
+            )
+            reg.gauge("pool.server.free_blocks", server=sid).set(
+                server.free_blocks
+            )
+        spill_servers = getattr(self.pool, "_spill_servers", None)
+        if spill_servers:
+            for sid, server in spill_servers.items():
+                reg.gauge("pool.server.used_bytes", server=sid).set(
+                    server.used_bytes()
+                )
+                reg.gauge("pool.server.allocated_blocks", server=sid).set(
+                    server.allocated_blocks
+                )
+        for job_id in self._jobs:
+            reg.gauge("job.blocks", job=job_id).set(
+                self.allocator.blocks_held_by(job_id)
+            )
+            reg.gauge("job.used_bytes", job=job_id).set(self.used_bytes(job_id))
 
     # ------------------------------------------------------------------
     # Block allocation (the §3.3 scale-up / scale-down path)

@@ -18,11 +18,11 @@ On expiry the controller flushes the prefix's data to persistent storage
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.hierarchy import AddressHierarchy, AddressNode
 from repro.sim.clock import Clock
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import Counter, MetricsRegistry
 
 
 class LeaseManager:
@@ -51,6 +51,19 @@ class LeaseManager:
         self._c_applied = self.telemetry.counter("leases.renewals_applied")
         self._c_expirations = self.telemetry.counter("leases.expirations")
         self._h_fanout = self.telemetry.histogram("leases.renew.fanout")
+        # Per-tenant companions of the unlabelled series above, cached
+        # per job id (cardinality = live jobs, and renewals are control
+        # path, so the dict lookup is fine).
+        self._c_applied_by_job: Dict[str, Counter] = {}
+        self._c_expirations_by_job: Dict[str, Counter] = {}
+
+    def _job_counter(
+        self, cache: Dict[str, Counter], name: str, job_id: str
+    ) -> Counter:
+        counter = cache.get(job_id)
+        if counter is None:
+            counter = cache[job_id] = self.telemetry.counter(name, job=job_id)
+        return counter
 
     @property
     def renewal_requests(self) -> int:
@@ -96,6 +109,9 @@ class LeaseManager:
             target.last_renewal = now
             target.expired = False
         self._c_applied.inc(len(targets))
+        self._job_counter(
+            self._c_applied_by_job, "leases.renewals_applied", node.job_id
+        ).inc(len(targets))
         self._h_fanout.record(float(len(targets)))
         return len(targets)
 
@@ -126,6 +142,11 @@ class LeaseManager:
                     node.expired = True
                     expired.append(node)
                     self._c_expirations.inc()
+                    self._job_counter(
+                        self._c_expirations_by_job,
+                        "leases.expirations",
+                        node.job_id,
+                    ).inc()
         return expired
 
     def __repr__(self) -> str:

@@ -236,10 +236,10 @@ class DataStructure:
         )
         self.repartition_events.append(event)
         self.telemetry.counter(
-            "ds.repartitions", ds=self.DS_TYPE, kind=kind
+            "ds.repartitions", ds=self.DS_TYPE, kind=kind, job=self.job_id
         ).inc()
         self.telemetry.histogram(
-            "ds.repartition.moved_bytes", ds=self.DS_TYPE, kind=kind
+            "ds.repartition.moved_bytes", ds=self.DS_TYPE, kind=kind, job=self.job_id
         ).record(float(bytes_moved))
         return event
 

@@ -54,7 +54,9 @@ class JiffyFile(DataStructure):
         super().__init__(controller, job_id, prefix, **kwargs)
         reg = self.telemetry
         self._h_append = (
-            reg.histogram("file.append.latency_s") if reg.enabled else None
+            reg.histogram("file.append.latency_s", job=self.job_id)
+            if reg.enabled
+            else None
         )
 
     # ------------------------------------------------------------------

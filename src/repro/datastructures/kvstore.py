@@ -118,10 +118,21 @@ class JiffyKVStore(DataStructure):
         # Hot-path histograms are fetched once and guarded with None so a
         # disabled registry costs exactly one attribute check per op.
         reg = self.telemetry
-        self._h_put = reg.histogram("kv.op.latency_s", op="put") if reg.enabled else None
-        self._h_get = reg.histogram("kv.op.latency_s", op="get") if reg.enabled else None
-        self._c_splits = reg.counter("kv.splits")
-        self._c_merges = reg.counter("kv.merges")
+        # The job label makes every op series per-tenant; it is baked
+        # into the cached metric objects here, so the hot path pays the
+        # same single attribute check as before.
+        self._h_put = (
+            reg.histogram("kv.op.latency_s", op="put", job=self.job_id)
+            if reg.enabled
+            else None
+        )
+        self._h_get = (
+            reg.histogram("kv.op.latency_s", op="get", job=self.job_id)
+            if reg.enabled
+            else None
+        )
+        self._c_splits = reg.counter("kv.splits", job=self.job_id)
+        self._c_merges = reg.counter("kv.merges", job=self.job_id)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -589,7 +600,7 @@ class JiffyKVStore(DataStructure):
                 if block.used + delta <= block.capacity:
                     break
             span.set_attr("steps", forced)
-        self.telemetry.counter("kv.force_room").inc()
+        self.telemetry.counter("kv.force_room", job=self.job_id).inc()
 
     def _finish_migration(
         self, migration: SlotMigration, task: BackgroundTask

@@ -40,6 +40,19 @@ class JiffyQueue(DataStructure):
         self._segments: List[str] = []
         self._num_items = 0
         super().__init__(controller, job_id, prefix, **kwargs)
+        # Per-tenant op counters, cached like the KV hot-path histograms
+        # so enqueue/dequeue pay one attribute check when disabled.
+        reg = self.telemetry
+        self._c_enqueued = (
+            reg.counter("queue.items_enqueued", job=self.job_id)
+            if reg.enabled
+            else None
+        )
+        self._c_dequeued = (
+            reg.counter("queue.items_dequeued", job=self.job_id)
+            if reg.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -114,6 +127,8 @@ class JiffyQueue(DataStructure):
         block.payload["items"].append(item)
         block.add_used(cost)
         self._num_items += 1
+        if self._c_enqueued is not None:
+            self._c_enqueued.inc()
         self._publish("enqueue", item)
 
     def dequeue(self) -> bytes:
@@ -140,6 +155,8 @@ class JiffyQueue(DataStructure):
             head.payload["items"] = []
             head.payload["consumed"] = 0
             head.set_used(0)
+        if self._c_dequeued is not None:
+            self._c_dequeued.inc()
         self._publish("dequeue", item)
         return item
 
@@ -163,6 +180,17 @@ class JiffyQueue(DataStructure):
         """
         self._check_alive()
         items = list(items)
+        before = self._num_items
+        try:
+            return self._enqueue_batch_inner(items)
+        finally:
+            # Count what actually landed, including items enqueued
+            # before a mid-batch QueueFullError.
+            landed = self._num_items - before
+            if landed and self._c_enqueued is not None:
+                self._c_enqueued.inc(landed)
+
+    def _enqueue_batch_inner(self, items: List[bytes]) -> int:
         appended = 0
         while appended < len(items):
             item = items[appended]
@@ -236,6 +264,8 @@ class JiffyQueue(DataStructure):
                 head.payload["items"] = []
                 head.payload["consumed"] = 0
                 head.set_used(0)
+        if out and self._c_dequeued is not None:
+            self._c_dequeued.inc(len(out))
         return out
 
     def peek(self) -> bytes:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +71,7 @@ def run(
     backend: str = "local",
     system: str = "jiffy",
     sync_repartition: bool = False,
+    flight_out: Optional[str] = None,
 ) -> Fig9SystemResult:
     """Replay the workload at each DRAM capacity fraction.
 
@@ -82,6 +83,10 @@ def run(
     ``backend`` selects the control-plane backend the replay talks to;
     ``system="pocket"`` replays the same traces through the functional
     Pocket baseline instead (whole-job reservation, no leases).
+
+    ``flight_out`` flight-records each replay into one sqlite file, one
+    run tag per DRAM fraction (``dram=60%``, ...); query it with
+    ``python -m repro telemetry query``.
     """
     jobs = _make_workload(seed, duration_s)
     # Peak concurrent demand defines the 100% point.
@@ -105,6 +110,8 @@ def run(
             system=system,
             backend=backend,
             sync_repartition=sync_repartition,
+            flight_out=flight_out,
+            flight_run=f"dram={fraction:.0%}",
         )
         point.dram_fraction = fraction
         result.points.append(point)

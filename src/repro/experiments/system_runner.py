@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,7 @@ def _make_plane(
     clock: SimClock,
     num_shards: int,
     sync_repartition: bool = False,
+    registry=None,
 ) -> ControlPlane:
     """A control plane over tiered pool(s) sized to ``dram_blocks``."""
     config = JiffyConfig(
@@ -99,9 +100,12 @@ def _make_plane(
             clock=clock,
             num_shards=num_shards,
             pool_factory=pool_factory,
+            registry=registry,
         )
     pool = _make_tiered_pool(dram_blocks, block_size)
-    return make_control_plane(backend, config=config, clock=clock, pool=pool)
+    return make_control_plane(
+        backend, config=config, clock=clock, pool=pool, registry=registry
+    )
 
 
 def _pools_of(plane: ControlPlane) -> List[TieredMemoryPool]:
@@ -125,6 +129,8 @@ def replay_jiffy(
     backend: str = "local",
     num_shards: int = 2,
     sync_repartition: bool = False,
+    flight_out: Optional[str] = None,
+    flight_run: str = "run0",
 ) -> SystemRunPoint:
     """Replay ``jobs`` through the real Jiffy stack on a tiered pool.
 
@@ -134,12 +140,51 @@ def replay_jiffy(
     backend — the replay issues identical calls against each.
     ``sync_repartition`` is the ablation: repartitioning runs inline on
     the triggering write instead of in the background.
+
+    With ``flight_out``, the replay is flight-recorded: a fresh registry
+    is sampled every ``dt`` of sim time (per-tenant and per-server
+    labelled series), spans run through a seeded tracer, and everything
+    is appended to the sqlite flight file at that path under the
+    ``flight_run`` tag.
     """
-    clock = SimClock()
-    plane = _make_plane(
-        backend, block_size, dram_blocks, clock, num_shards, sync_repartition
+    from repro import telemetry as telemetry_mod
+    from repro.telemetry import (
+        MetricsRegistry,
+        TimeSeriesSampler,
+        Tracer,
+        attach_to_plane,
     )
+    from repro.telemetry.store import default_bench_dir, write_flight_file
+
+    clock = SimClock()
+    registry = MetricsRegistry() if flight_out else None
+    sampler = None
+    previous_tracer = None
+    if flight_out:
+        # The RPC transport captures the process tracer at construction,
+        # so the seeded flight tracer must be installed before the plane
+        # (and its RPC client/server) is built; ids stay deterministic
+        # across runs.
+        flight_tracer = Tracer(seed=0)
+        previous_tracer = telemetry_mod.set_tracer(flight_tracer)
+    try:
+        plane = _make_plane(
+            backend,
+            block_size,
+            dram_blocks,
+            clock,
+            num_shards,
+            sync_repartition,
+            registry=registry,
+        )
+    except BaseException:
+        if previous_tracer is not None:
+            telemetry_mod.set_tracer(previous_tracer)
+        raise
     pools = _pools_of(plane)
+    if flight_out:
+        sampler = TimeSeriesSampler(registry, clock, interval_s=dt)
+        attach_to_plane(plane, sampler)
 
     def spilled_bytes() -> int:
         return sum(pool.spilled_bytes() for pool in pools)
@@ -155,8 +200,10 @@ def replay_jiffy(
     spilled_peak = 0
 
     steps = int(math.ceil(duration_s / dt))
-    for step in range(steps):
-        now = clock.now()
+
+    def one_step(now: float) -> int:
+        """Replay one ``dt`` of the workload; returns spill bytes added."""
+        step_spill = 0
         for job in jobs:
             if not (job.submit_time <= now < job.end_time):
                 continue
@@ -188,7 +235,7 @@ def replay_jiffy(
                             penalties[job.job_id] += SSD_TIER.write_latency(
                                 int(spill_delta * bytes_scale_up)
                             )
-                            spill_write_bytes += spill_delta
+                            step_spill += spill_delta
                 # Consumer reads the previous stage's output; spilled
                 # fraction of those blocks pays SSD read latency.
                 if i + 1 < len(job.stages):
@@ -222,9 +269,49 @@ def replay_jiffy(
             ]
             if renewals:
                 client.renew_leases(renewals)
-        clock.advance(dt)
-        plane.tick()
-        spilled_peak = max(spilled_peak, spilled_blocks())
+        return step_spill
+
+    try:
+        for _ in range(steps):
+            spill_write_bytes += one_step(clock.now())
+            clock.advance(dt)
+            plane.tick()
+            spilled_peak = max(spilled_peak, spilled_blocks())
+    finally:
+        if previous_tracer is not None:
+            telemetry_mod.set_tracer(previous_tracer)
+
+    if flight_out:
+        repartition_events = []
+        for key, ds in files.items():
+            job_id, _, stage = key.partition("#")
+            for event in getattr(ds, "repartition_events", []):
+                repartition_events.append(
+                    {
+                        "t": event.timestamp,
+                        "kind": f"repartition.{event.kind}",
+                        "job": job_id,
+                        "prefix": f"s{stage}",
+                        "value": float(event.bytes_moved),
+                    }
+                )
+        write_flight_file(
+            flight_out,
+            run=flight_run,
+            sampler=sampler,
+            spans=flight_tracer.finished(),
+            events=repartition_events,
+            bench_dir=default_bench_dir(),
+            meta={
+                "backend": backend,
+                "dram_blocks": dram_blocks,
+                "block_size": block_size,
+                "duration_s": duration_s,
+                "dt": dt,
+                "jobs": len(jobs),
+                "sync_repartition": sync_repartition,
+            },
+        )
 
     slowdowns = [
         1.0 + penalties[job.job_id] / max(job.duration, 1e-9) for job in jobs
@@ -353,13 +440,16 @@ def replay_system(
     backend: str = "local",
     num_shards: int = 2,
     sync_repartition: bool = False,
+    flight_out: Optional[str] = None,
+    flight_run: str = "run0",
 ) -> SystemRunPoint:
     """Replay ``jobs`` through one functional system at one capacity.
 
     ``system`` selects Jiffy or the Pocket baseline; ``backend`` selects
     the Jiffy control-plane backend (ignored for Pocket, which has no
     separable control plane — job-granular reservation *is* its control
-    decision).
+    decision). ``flight_out`` flight-records Jiffy replays (Pocket has
+    no telemetry surface to record).
     """
     if system == "jiffy":
         return replay_jiffy(
@@ -372,6 +462,8 @@ def replay_system(
             backend=backend,
             num_shards=num_shards,
             sync_repartition=sync_repartition,
+            flight_out=flight_out,
+            flight_run=flight_run,
         )
     if system == "pocket":
         return replay_pocket(

@@ -16,6 +16,7 @@ from typing import Any, Dict
 
 from repro.blocks.tiered import TieredMemoryPool
 from repro.core.controller import JiffyController
+from repro.telemetry.registry import parse_metric_key
 
 #: Registry-backed counters surfaced in the snapshot, in display order.
 _COUNTER_KEYS = (
@@ -32,8 +33,17 @@ _COUNTER_KEYS = (
 )
 
 
-def snapshot(controller: JiffyController) -> Dict[str, Any]:
-    """A flat point-in-time metrics view of a controller."""
+def snapshot(
+    controller: JiffyController, labelled: bool = False
+) -> Dict[str, Any]:
+    """A flat point-in-time metrics view of a controller.
+
+    With ``labelled=True`` the per-tenant/per-server labelled series
+    (``kv.op.latency_s{job=...}``, ``pool.server.used_bytes{server=...}``,
+    ...) are merged in alongside the stable unlabelled keys; histograms
+    contribute their observation count. The default stays
+    unlabelled-only — the key set is pinned by a regression test.
+    """
     pool = controller.pool
     registry = controller.telemetry
 
@@ -64,6 +74,16 @@ def snapshot(controller: JiffyController) -> Dict[str, Any]:
         key: registry.value(key) for key in _COUNTER_KEYS
     }
     metrics.update(gauges)
+    if labelled:
+        for key, value in registry.counters().items():
+            if "{" in key and key not in metrics:
+                metrics[key] = value
+        for key, value in registry.gauges().items():
+            if "{" in key and key not in metrics:
+                metrics[key] = value
+        for key, hist in registry.histograms().items():
+            if "{" in key and key not in metrics:
+                metrics[key] = hist.count
     return metrics
 
 
@@ -71,12 +91,14 @@ def format_snapshot(metrics: Dict[str, Any]) -> str:
     """Render a snapshot as aligned ``key value`` lines.
 
     Floats get fixed precision (6 significant digits) so output is stable
-    across platforms; the sort key is the metric name only, which stays
-    deterministic when values mix ints, floats, and strings.
+    across platforms. The sort key is the *parsed* metric key — name
+    first, then the label tuple — so labelled series render
+    deterministically and group under their base name regardless of how
+    ``{`` happens to collate against the next metric's name.
     """
     width = max(len(k) for k in metrics) if metrics else 0
     lines = []
-    for key in sorted(metrics, key=lambda k: k):
+    for key in sorted(metrics, key=parse_metric_key):
         value = metrics[key]
         if isinstance(value, float):
             rendered = f"{value:.6g}"

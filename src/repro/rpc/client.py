@@ -10,7 +10,7 @@ fairness, and so does the Fig 10 experiment; it is exercised by tests).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.rpc.framing import (
@@ -51,6 +51,9 @@ class RpcClient:
         self.session_id = next(_SESSION_IDS)
         self.calls = 0
         self._responses: Dict[int, RpcResponse] = {}
+        #: seq -> (sent_at, arrival, server_done, delivered) simulated
+        #: timestamps, for critical-path segment attribution.
+        self._timings: Dict[int, Tuple[float, float, float, float]] = {}
         self._g_inflight = self.telemetry.gauge("rpc.client.inflight")
         # The session is one ordered byte stream: a later (smaller)
         # frame can never arrive before an earlier (larger) one, so
@@ -82,6 +85,7 @@ class RpcClient:
             # when many calls are in flight (pipelining).
             delivered = completion + self.network.transfer(len(response_frame))
             response = decode_message(response_frame)
+            self._timings[response.seq] = (sent_at, arrival, completion, delivered)
             self.telemetry.counter("rpc.client.bytes_in").inc(len(response_frame))
 
             def deliver() -> None:
@@ -122,8 +126,23 @@ class RpcClient:
         """Synchronous call; raises :class:`RpcError` on handler errors."""
         with self.tracer.span(f"rpc.client.{method}", method=method) as span:
             sim_start = self.loop.clock.now()
-            response = self._await(self._send(method, args))
+            seq = self._send(method, args)
+            response = self._await(seq)
             span.set_attr("sim_latency_s", self.loop.clock.now() - sim_start)
+            timing = self._timings.pop(seq, None)
+            if timing is not None:
+                sent_at, arrival, server_done, delivered = timing
+                # Wire segments bracket the server span's queue/service/
+                # charge breakdown; deliver_skew is event-loop slack
+                # between the modelled delivery and when the loop got to
+                # it (non-zero only under pipelining).
+                span.set_attr("sim_wire_out_s", arrival - sent_at)
+                span.set_attr("sim_server_s", server_done - arrival)
+                span.set_attr("sim_wire_back_s", delivered - server_done)
+                span.set_attr(
+                    "sim_deliver_skew_s",
+                    max(self.loop.clock.now() - delivered, 0.0),
+                )
             if not response.ok:
                 raise RpcError(response.error)
             return response.value
@@ -149,6 +168,7 @@ class RpcClient:
             failures: Dict[int, str] = {}
             for index, seq in enumerate(seqs):
                 response = self._await(seq)
+                self._timings.pop(seq, None)
                 if not response.ok:
                     failures[index] = response.error
                     values.append(None)

@@ -266,7 +266,7 @@ class RpcServer:
             cost = cost_fn(*request.args)
         else:
             cost = self._method_cost.get(request.method, self.service_time_s)
-        core, _, completion = self._place(ready, cost)
+        core, start, completion = self._place(ready, cost)
         if session is not None:
             self._session_busy[session] = completion
         if resource is not None:
@@ -332,6 +332,17 @@ class RpcServer:
                 sim_latency = finish - arrival_time
                 self.stats.latencies.append(sim_latency)
                 span.set_attr("sim_latency_s", sim_latency)
+                # Segment attribution for the critical-path assembler:
+                # FIFO/resource/core wait, pure service, and inline
+                # charges (migration interference) sum to sim_latency.
+                span.set_attr("sim_arrival", arrival_time)
+                span.set_attr("sim_queue_s", start - arrival_time)
+                span.set_attr("sim_service_s", cost)
+                if extra > 0.0:
+                    span.set_attr("sim_charge_s", extra)
+                self.telemetry.histogram(
+                    "rpc.server.queue_s", method=method
+                ).record(start - arrival_time)
                 self.telemetry.counter("rpc.server.requests", method=method).inc()
                 self.telemetry.counter("rpc.server.bytes_out").inc(len(out))
                 self.telemetry.histogram(

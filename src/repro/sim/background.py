@@ -45,6 +45,9 @@ LOW = 2  #: persistence I/O that only needs to finish eventually
 
 _PRIORITIES = (URGENT, NORMAL, LOW)
 
+#: Label values for per-priority metrics.
+_PRIORITY_NAMES = {URGENT: "urgent", NORMAL: "normal", LOW: "low"}
+
 #: One unit of background work: modeled cost plus the state change.
 Step = Tuple[float, Callable[[], None]]
 
@@ -126,6 +129,14 @@ class BackgroundScheduler:
         self._seq = itertools.count()
         self._order: Dict[int, int] = {}  # id(task) -> submit order
         self._g_depth = self.telemetry.gauge("background.queue_depth")
+        # Labelled companions: depth per priority class, so the flight
+        # recorder can show LOW-priority work starving behind NORMAL.
+        self._g_depth_by_priority = {
+            p: self.telemetry.gauge(
+                "background.queue_depth", priority=_PRIORITY_NAMES[p]
+            )
+            for p in _PRIORITIES
+        }
         self._c_completed = self.telemetry.counter("background.tasks_completed")
         self._c_cancelled = self.telemetry.counter("background.tasks_cancelled")
         self._c_steps = self.telemetry.counter("background.steps")
@@ -176,6 +187,7 @@ class BackgroundScheduler:
             return task
         self._queues[task.priority].append(task)
         self._g_depth.inc()
+        self._g_depth_by_priority[task.priority].inc()
         self._admit()
         return task
 
@@ -206,6 +218,7 @@ class BackgroundScheduler:
                 queue.remove(task)
         self._order.pop(id(task), None)
         self._g_depth.dec()
+        self._g_depth_by_priority[task.priority].dec()
 
     # ------------------------------------------------------------------
     # Worker admission

@@ -27,6 +27,11 @@ from repro.telemetry.registry import (
     Gauge,
     MetricsRegistry,
 )
+from repro.telemetry.timeseries import (
+    TimeSeriesSampler,
+    attach_to_plane,
+    controllers_of,
+)
 from repro.telemetry.tracer import Span, SpanContext, Tracer
 
 __all__ = [
@@ -39,7 +44,10 @@ __all__ = [
     "NULL_HISTOGRAM",
     "Span",
     "SpanContext",
+    "TimeSeriesSampler",
     "Tracer",
+    "attach_to_plane",
+    "controllers_of",
     "get_registry",
     "set_registry",
     "get_tracer",

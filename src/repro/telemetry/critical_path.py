@@ -1,0 +1,199 @@
+"""Critical-path assembly: where did each request's latency go?
+
+Takes the RPC trace spans the stack already emits and assembles, per
+client request, a breakdown of its simulated latency into named
+segments:
+
+* ``wire.request`` — client send + network transfer (includes the
+  session's in-order transmit queueing);
+* ``server.queue`` — FIFO/resource/core wait before service starts;
+* ``server.service`` — the request's own modelled service time on a
+  core (per-block batched ops price this from their arguments);
+* ``server.charge`` — inline simulated-cost charges the handler
+  incurred (``sim/cost.py``): synchronous repartitions, flush I/O —
+  i.e. background-migration interference on this request;
+* ``wire.response`` — the response's network transfer;
+* ``client.deliver`` — event-loop slack between modelled delivery and
+  the client observing it (non-zero only under pipelining);
+* ``other`` — any residual the attrs don't explain (should be ~0).
+
+Coverage is the fraction of the request's total simulated latency the
+*named* segments (everything except ``other``) explain; the acceptance
+bar is >= 95 %. ``format_report`` prints the top-k slowest requests
+with per-segment attribution plus a "where the p99 went" aggregate
+over the slowest tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.telemetry.tracer import Span
+
+#: Segment names in display order.
+SEGMENTS = (
+    "wire.request",
+    "server.queue",
+    "server.service",
+    "server.charge",
+    "wire.response",
+    "client.deliver",
+    "other",
+)
+
+#: Tail fraction aggregated by the "where the p99 went" report.
+P99_TAIL_FRACTION = 0.01
+
+
+@dataclass
+class RequestBreakdown:
+    """One client request's latency, attributed to named segments."""
+
+    trace_id: str
+    span_id: str
+    method: str
+    start: float
+    total_s: float
+    segments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of ``total_s`` the named segments explain."""
+        if self.total_s <= 0.0:
+            return 1.0
+        named = sum(v for k, v in self.segments.items() if k != "other")
+        return min(named / self.total_s, 1.0)
+
+    def to_rows(self) -> List[Tuple[str, float]]:
+        """``(segment, seconds)`` rows in display order, zeros dropped."""
+        return [
+            (name, self.segments[name])
+            for name in SEGMENTS
+            if self.segments.get(name, 0.0) > 0.0
+        ]
+
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_dict(span: SpanLike) -> Dict[str, Any]:
+    if isinstance(span, Span):
+        return span.to_dict()
+    return span
+
+
+def assemble(spans: Iterable[SpanLike]) -> List[RequestBreakdown]:
+    """Build per-request breakdowns from a span set.
+
+    Accepts :class:`Span` objects (``tracer.finished()``) or span dicts
+    (a parsed JSONL trace / flight-file rows). A request is any
+    ``rpc.client.<method>`` span carrying ``sim_latency_s``; its server
+    child (``rpc.server.*``, matched by parent id) refines the server
+    time into queue/service/charge.
+    """
+    events = [_as_dict(s) for s in spans]
+    server_by_parent: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        name = event.get("name", "")
+        parent = event.get("parent")
+        if name.startswith("rpc.server.") and parent:
+            server_by_parent[parent] = event
+
+    breakdowns: List[RequestBreakdown] = []
+    for event in events:
+        name = event.get("name", "")
+        if not name.startswith("rpc.client.") or name == "rpc.client.pipeline":
+            continue
+        attrs = event.get("attrs") or {}
+        total = attrs.get("sim_latency_s")
+        if total is None:
+            continue
+        segments: Dict[str, float] = {}
+
+        def put(segment: str, seconds: Optional[float]) -> None:
+            if seconds is not None and seconds > 0.0:
+                segments[segment] = segments.get(segment, 0.0) + seconds
+
+        put("wire.request", attrs.get("sim_wire_out_s"))
+        put("wire.response", attrs.get("sim_wire_back_s"))
+        put("client.deliver", attrs.get("sim_deliver_skew_s"))
+        server = server_by_parent.get(event.get("span", ""))
+        server_attrs = (server.get("attrs") or {}) if server else {}
+        if "sim_queue_s" in server_attrs or "sim_service_s" in server_attrs:
+            put("server.queue", server_attrs.get("sim_queue_s"))
+            put("server.service", server_attrs.get("sim_service_s"))
+            put("server.charge", server_attrs.get("sim_charge_s"))
+        else:
+            # No server span in the window: fall back to the client's
+            # aggregate server time so coverage degrades gracefully.
+            put("server.service", attrs.get("sim_server_s"))
+        residual = total - sum(segments.values())
+        if residual > 1e-12:
+            segments["other"] = residual
+        breakdowns.append(
+            RequestBreakdown(
+                trace_id=event.get("trace", ""),
+                span_id=event.get("span", ""),
+                method=attrs.get("method", name.rpartition(".")[2]),
+                start=event.get("ts", 0.0),
+                total_s=float(total),
+                segments=segments,
+            )
+        )
+    return breakdowns
+
+
+def slowest(
+    breakdowns: List[RequestBreakdown], top_k: int = 10
+) -> List[RequestBreakdown]:
+    """The ``top_k`` slowest requests, slowest first."""
+    return sorted(breakdowns, key=lambda b: b.total_s, reverse=True)[:top_k]
+
+
+def p99_blame(breakdowns: List[RequestBreakdown]) -> Dict[str, float]:
+    """Aggregate segment shares over the slowest ~1 % of requests.
+
+    Returns ``{segment: fraction_of_tail_latency}`` summing to ~1 — the
+    "where the p99 went" answer.
+    """
+    if not breakdowns:
+        return {}
+    tail_n = max(int(len(breakdowns) * P99_TAIL_FRACTION), 1)
+    tail = slowest(breakdowns, tail_n)
+    totals: Dict[str, float] = {}
+    for b in tail:
+        for segment, seconds in b.segments.items():
+            totals[segment] = totals.get(segment, 0.0) + seconds
+    grand = sum(totals.values())
+    if grand <= 0.0:
+        return {}
+    return {seg: secs / grand for seg, secs in totals.items()}
+
+
+def format_report(
+    breakdowns: List[RequestBreakdown], top_k: int = 10
+) -> str:
+    """Render top-k slowest requests + the p99 blame aggregate."""
+    if not breakdowns:
+        return "(no traced requests)"
+    lines = [
+        f"critical path: {len(breakdowns)} traced requests, "
+        f"top {min(top_k, len(breakdowns))} slowest"
+    ]
+    for b in slowest(breakdowns, top_k):
+        parts = " ".join(
+            f"{name}={seconds * 1e6:.1f}us" for name, seconds in b.to_rows()
+        )
+        lines.append(
+            f"  {b.method:12s} {b.total_s * 1e6:9.1f}us "
+            f"cover={b.coverage:6.1%}  {parts}"
+        )
+    blame = p99_blame(breakdowns)
+    if blame:
+        lines.append("where the p99 went:")
+        for segment in SEGMENTS:
+            share = blame.get(segment)
+            if share:
+                lines.append(f"  {segment:16s} {share:6.1%}")
+    return "\n".join(lines)

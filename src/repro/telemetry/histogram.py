@@ -156,6 +156,38 @@ class LatencyHistogram:
             self._drain()
             return (self._sum / self._count) if self._count else 0.0
 
+    @staticmethod
+    def _quantiles(buckets, zero, count, lo, hi, qs) -> List[float]:
+        """Quantiles (ascending ``qs``) from a drained bucket snapshot.
+
+        One walk over the buckets serves every requested quantile — this
+        is the flight-recorder sampling path, called once per histogram
+        per sample.
+        """
+        out: List[float] = []
+        ranks = [(q / 100.0) * count for q in qs]
+        pos = 0
+        while pos < len(ranks) and ranks[pos] <= zero:
+            out.append(max(0.0, lo))
+            pos += 1
+        seen = zero
+        for index, n in buckets:
+            if pos >= len(ranks):
+                break
+            ceiling = seen + n
+            while pos < len(ranks) and ceiling >= ranks[pos]:
+                b_lo, b_hi = bucket_bounds(index)
+                # Geometric interpolation inside the bucket.
+                frac = (ranks[pos] - seen) / n
+                value = b_lo * (b_hi / b_lo) ** frac
+                out.append(min(max(value, lo), hi))
+                pos += 1
+            seen = ceiling
+        while pos < len(ranks):
+            out.append(hi)
+            pos += 1
+        return out
+
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (``q`` in [0, 100]).
 
@@ -172,38 +204,41 @@ class LatencyHistogram:
             zero = self._zero
             buckets = sorted(self._buckets.items())
             lo, hi = self._min, self._max
-        rank = (q / 100.0) * count
-        if rank <= zero:
-            return max(0.0, lo)
-        seen = zero
-        for index, n in buckets:
-            if seen + n >= rank:
-                b_lo, b_hi = bucket_bounds(index)
-                # Geometric interpolation inside the bucket.
-                frac = (rank - seen) / n
-                value = b_lo * (b_hi / b_lo) ** frac
-                return min(max(value, lo), hi)
-            seen += n
-        return hi
+        return self._quantiles(buckets, zero, count, lo, hi, (q,))[0]
 
     def summary(self) -> Dict[str, float]:
-        """``{count, sum, min, max, mean, p50, p95, p99}`` in one dict."""
+        """``{count, sum, min, max, mean, p50, p95, p99}`` in one dict.
+
+        All three quantiles come from one drain + bucket sort — this is
+        the flight-recorder sampling path, so it stays one-pass.
+        """
+        # Lock-free empty check: both reads are atomic under the GIL,
+        # and a sample racing a concurrent first record only sees the
+        # empty summary one sample early — fine for a periodic sampler.
+        if not self._count and not self._pending:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         with self._lock:
             self._drain()
             count, total = self._count, self._sum
             lo, hi = self._min, self._max
+            zero = self._zero
+            buckets = sorted(self._buckets.items())
         if count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = self._quantiles(
+            buckets, zero, count, lo, hi, (50.0, 95.0, 99.0)
+        )
         return {
             "count": count,
             "sum": total,
             "min": lo,
             "max": hi,
             "mean": total / count,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ Exports: :meth:`MetricsRegistry.to_json` (nested dict, JSON-ready) and
 from __future__ import annotations
 
 import json
+import re
 import threading
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -103,6 +104,22 @@ def _metric_key(name: str, labels: Mapping[str, str]) -> str:
         return name
     inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+_LABEL_RE = re.compile(r'([A-Za-z_][\w.-]*)="([^"]*)"')
+
+
+def parse_metric_key(key: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Invert :func:`_metric_key`: ``a.b{x="y"}`` -> (``a.b``, ((x, y),)).
+
+    Label pairs come back sorted by label name (the order
+    :func:`_metric_key` wrote them in), so the result is a stable sort
+    and grouping key for exporters.
+    """
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return name, ()
+    return name, tuple(_LABEL_RE.findall(rest[:-1] if rest.endswith("}") else rest))
 
 
 class MetricsRegistry:

@@ -1,0 +1,366 @@
+"""The sqlite flight file: one queryable store per run (or many runs).
+
+A :class:`FlightStore` persists everything the flight recorder captures
+into a single sqlite file — stdlib only, no new dependencies:
+
+* ``series`` — sampled time-series points from a
+  :class:`~repro.telemetry.timeseries.TimeSeriesSampler`; the ``job``
+  and ``server`` labels are promoted to columns so per-tenant and
+  per-server questions need no string munging;
+* ``spans`` — finished trace spans (attrs as JSON);
+* ``segments`` — per-request critical-path breakdowns from
+  :mod:`repro.telemetry.critical_path`;
+* ``events`` — discrete occurrences (repartitions, expiries);
+* ``bench`` — ingested ``benchmarks/results/BENCH_*.json`` history, so
+  perf-trajectory questions join against the same file;
+* ``runs`` / ``meta`` — run registry and free-form metadata.
+
+Every row (except ``bench``) carries a ``run`` tag, so one flight file
+can hold a whole sweep (e.g. fig9's DRAM fractions) and queries compare
+runs with a WHERE clause. ``python -m repro telemetry query`` executes
+arbitrary SQL against the file; see ``docs/api.md`` for a cookbook.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sqlite3
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.critical_path import RequestBreakdown
+from repro.telemetry.timeseries import TimeSeriesSampler
+from repro.telemetry.tracer import Span
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    run TEXT NOT NULL, key TEXT NOT NULL, value TEXT,
+    PRIMARY KEY (run, key)
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run TEXT PRIMARY KEY, created_order INTEGER
+);
+CREATE TABLE IF NOT EXISTS series (
+    run TEXT NOT NULL, t REAL NOT NULL, name TEXT NOT NULL,
+    labels TEXT NOT NULL DEFAULT '', field TEXT NOT NULL DEFAULT 'value',
+    value REAL NOT NULL, job TEXT NOT NULL DEFAULT '',
+    server TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_series_name ON series (name, run);
+CREATE INDEX IF NOT EXISTS idx_series_job ON series (job);
+CREATE TABLE IF NOT EXISTS spans (
+    run TEXT NOT NULL, trace TEXT NOT NULL, span TEXT NOT NULL,
+    parent TEXT, name TEXT NOT NULL, ts REAL, dur_s REAL,
+    status TEXT, attrs TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_spans_trace ON spans (trace);
+CREATE TABLE IF NOT EXISTS segments (
+    run TEXT NOT NULL, trace TEXT NOT NULL, span TEXT NOT NULL,
+    method TEXT NOT NULL, start REAL, total_s REAL,
+    segment TEXT NOT NULL, seconds REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    run TEXT NOT NULL, t REAL NOT NULL, kind TEXT NOT NULL,
+    job TEXT NOT NULL DEFAULT '', prefix TEXT NOT NULL DEFAULT '',
+    value REAL, detail TEXT
+);
+CREATE TABLE IF NOT EXISTS bench (
+    benchmark TEXT NOT NULL, commit_id TEXT NOT NULL,
+    metric TEXT NOT NULL, value REAL, unit TEXT,
+    PRIMARY KEY (benchmark, commit_id, metric)
+);
+"""
+
+
+class FlightStore:
+    """Read/write access to one sqlite flight file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Context manager / lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FlightStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def begin_run(self, run: str, meta: Optional[Mapping[str, Any]] = None) -> None:
+        """Register a run tag (idempotent) and attach its metadata."""
+        self._conn.execute(
+            "INSERT OR IGNORE INTO runs (run, created_order) VALUES "
+            "(?, (SELECT COALESCE(MAX(created_order), 0) + 1 FROM runs))",
+            (run,),
+        )
+        if meta:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO meta (run, key, value) VALUES (?, ?, ?)",
+                [(run, str(k), json.dumps(v)) for k, v in meta.items()],
+            )
+        self._conn.commit()
+
+    def write_series(self, sampler: TimeSeriesSampler, run: str = "") -> int:
+        """Dump a sampler's retained points; returns rows written."""
+        rows = []
+        for p in sampler.points():
+            labels = ",".join(f'{k}="{v}"' for k, v in p.labels)
+            rows.append(
+                (
+                    run,
+                    p.t,
+                    p.name,
+                    labels,
+                    p.field,
+                    p.value,
+                    p.label("job"),
+                    p.label("server"),
+                )
+            )
+        self._conn.executemany(
+            "INSERT INTO series (run, t, name, labels, field, value, job, "
+            "server) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return len(rows)
+
+    def write_spans(
+        self, spans: Iterable[Any], run: str = ""
+    ) -> int:
+        """Persist finished spans (:class:`Span` objects or dicts)."""
+        rows = []
+        for span in spans:
+            event = span.to_dict() if isinstance(span, Span) else span
+            rows.append(
+                (
+                    run,
+                    event.get("trace", ""),
+                    event.get("span", ""),
+                    event.get("parent"),
+                    event.get("name", ""),
+                    event.get("ts"),
+                    event.get("dur_s"),
+                    event.get("status", "ok"),
+                    json.dumps(event.get("attrs") or {}, sort_keys=True),
+                )
+            )
+        self._conn.executemany(
+            "INSERT INTO spans (run, trace, span, parent, name, ts, dur_s, "
+            "status, attrs) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return len(rows)
+
+    def write_breakdowns(
+        self, breakdowns: Sequence[RequestBreakdown], run: str = ""
+    ) -> int:
+        rows = []
+        for b in breakdowns:
+            for segment, seconds in b.segments.items():
+                rows.append(
+                    (
+                        run,
+                        b.trace_id,
+                        b.span_id,
+                        b.method,
+                        b.start,
+                        b.total_s,
+                        segment,
+                        seconds,
+                    )
+                )
+        self._conn.executemany(
+            "INSERT INTO segments (run, trace, span, method, start, total_s, "
+            "segment, seconds) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return len(rows)
+
+    def write_events(
+        self, events: Iterable[Mapping[str, Any]], run: str = ""
+    ) -> int:
+        """Persist discrete events: dicts with t/kind (+job/prefix/value)."""
+        rows = [
+            (
+                run,
+                e.get("t", 0.0),
+                e.get("kind", ""),
+                e.get("job", ""),
+                e.get("prefix", ""),
+                e.get("value"),
+                json.dumps(e.get("detail")) if e.get("detail") is not None else None,
+            )
+            for e in events
+        ]
+        self._conn.executemany(
+            "INSERT INTO events (run, t, kind, job, prefix, value, detail) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return len(rows)
+
+    def ingest_bench_dir(self, results_dir: str) -> int:
+        """Load every ``BENCH_*.json`` into the bench table.
+
+        Upserts on (benchmark, commit, metric), so repeated ingests of a
+        growing results directory accumulate the trajectory.
+        """
+        count = 0
+        for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+            try:
+                with open(path) as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            benchmark = doc.get("benchmark") or os.path.basename(path)
+            commit = doc.get("commit", "unknown")
+            for m in doc.get("metrics", []):
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO bench (benchmark, commit_id, "
+                    "metric, value, unit) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        benchmark,
+                        commit,
+                        m.get("metric", ""),
+                        m.get("value"),
+                        m.get("unit", ""),
+                    ),
+                )
+                count += 1
+        self._conn.commit()
+        return count
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def query(
+        self, sql: str, args: Sequence[Any] = ()
+    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Execute SQL; returns ``(column_names, rows)``."""
+        cursor = self._conn.execute(sql, tuple(args))
+        columns = [d[0] for d in cursor.description] if cursor.description else []
+        return columns, cursor.fetchall()
+
+    def tables(self) -> List[str]:
+        _, rows = self.query(
+            "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name"
+        )
+        return [r[0] for r in rows]
+
+    def spans_of(self, run: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Span dicts (critical_path.assemble input) for one/all runs."""
+        sql = "SELECT trace, span, parent, name, ts, dur_s, status, attrs FROM spans"
+        args: Tuple[Any, ...] = ()
+        if run is not None:
+            sql += " WHERE run = ?"
+            args = (run,)
+        _, rows = self.query(sql, args)
+        return [
+            {
+                "trace": trace,
+                "span": span,
+                "parent": parent,
+                "name": name,
+                "ts": ts,
+                "dur_s": dur_s,
+                "status": status,
+                "attrs": json.loads(attrs) if attrs else {},
+            }
+            for trace, span, parent, name, ts, dur_s, status, attrs in rows
+        ]
+
+
+def format_rows(columns: List[str], rows: List[Tuple[Any, ...]]) -> str:
+    """Render a query result as an aligned text table."""
+    if not columns:
+        return "(no results)"
+    rendered = [
+        [
+            f"{v:.6g}" if isinstance(v, float) else ("" if v is None else str(v))
+            for v in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = ["  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def write_flight_file(
+    path: str,
+    *,
+    run: str = "run0",
+    sampler: Optional[TimeSeriesSampler] = None,
+    spans: Optional[Iterable[Any]] = None,
+    breakdowns: Optional[Sequence[RequestBreakdown]] = None,
+    events: Optional[Iterable[Mapping[str, Any]]] = None,
+    bench_dir: Optional[str] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """One-call dump of a run into a flight file (append-friendly).
+
+    Opens (creating if needed) the store at ``path``, registers ``run``,
+    and writes whatever artefacts were passed. When ``breakdowns`` is
+    omitted but ``spans`` are present, critical-path breakdowns are
+    assembled from the spans automatically. Returns ``path``.
+    """
+    from repro.telemetry import critical_path
+
+    span_list = list(spans) if spans is not None else []
+    if breakdowns is None and span_list:
+        breakdowns = critical_path.assemble(span_list)
+    with FlightStore(path) as store:
+        store.begin_run(run, meta)
+        if sampler is not None:
+            store.write_series(sampler, run=run)
+        if span_list:
+            store.write_spans(span_list, run=run)
+        if breakdowns:
+            store.write_breakdowns(breakdowns, run=run)
+        if events is not None:
+            store.write_events(events, run=run)
+        if bench_dir is not None and os.path.isdir(bench_dir):
+            store.ingest_bench_dir(bench_dir)
+    return path
+
+
+def default_bench_dir() -> Optional[str]:
+    """The repo's ``benchmarks/results`` directory, if we can find it.
+
+    Resolved relative to this file (source checkout layout); returns
+    None for installed packages with no benchmarks alongside.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/telemetry -> repo root
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    candidate = os.path.join(root, "benchmarks", "results")
+    return candidate if os.path.isdir(candidate) else None

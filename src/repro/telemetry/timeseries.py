@@ -1,0 +1,301 @@
+"""Time-series flight recording: a bounded ring-buffer metrics sampler.
+
+A :class:`TimeSeriesSampler` periodically snapshots *every* counter,
+gauge, and histogram quantile set in a :class:`MetricsRegistry` against
+a clock (usually the sim clock), turning the registry's point-in-time
+values into labelled series — ``kv.op.latency_s{job="j1",op="put"}``
+becomes ``(t, value)`` points one can plot or query per tenant.
+
+Two properties keep it off the critical path:
+
+* **Sampling never runs inside a foreground op.** Call :meth:`pump`
+  from a periodic site (``controller.tick``, a replay loop): when a
+  sample is due it is *submitted* as a finite one-step LOW-priority
+  :class:`~repro.sim.background.BackgroundScheduler` task, so in
+  loop-bound mode the snapshot executes as its own event (zero
+  foreground cost) and in cooperative mode it consumes donated
+  ``poll()`` budget like any other background work. Without a
+  scheduler, :meth:`pump` samples inline — still only at tick sites.
+  The task is one-shot (it never resubmits itself), so
+  ``BackgroundScheduler.drain()`` always terminates.
+* **Memory is byte-bounded.** Points live in a ring buffer whose
+  modelled footprint never exceeds ``max_bytes``: when a snapshot of a
+  high-cardinality registry (thousands of tenant labels) would
+  overflow the bound, the oldest points are evicted first and
+  ``points_dropped`` counts them. The byte estimate is deterministic
+  (per-point overhead plus key length), so tests can pin the bound.
+
+Histogram series are exploded into one sub-series per summary field
+(``<name>.count``, ``.p50``, ``.p95``, ``.p99``), matching the
+Prometheus summary exposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.telemetry.registry import MetricsRegistry, parse_metric_key
+
+#: Histogram summary fields exported as sub-series.
+HISTOGRAM_FIELDS = ("count", "p50", "p95", "p99")
+
+#: Deterministic modelled bytes per point beyond the key text: tuple +
+#: two floats + deque slot, rounded to a stable constant.
+POINT_OVERHEAD_BYTES = 48
+
+#: Default ring bound: ~4 MB of modelled points.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One sampled value of one labelled series."""
+
+    t: float
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    field: str  #: "value" for counters/gauges, a summary field for histograms
+    value: float
+
+    def label(self, key: str, default: str = "") -> str:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+
+class TimeSeriesSampler:
+    """Samples a registry into a byte-bounded ring of labelled points."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock,
+        interval_s: float = 1.0,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.registry = registry
+        self.clock = clock
+        self.interval_s = interval_s
+        self.max_bytes = max_bytes
+        # Ring of raw (t, key, field, value, cost) tuples; SeriesPoint
+        # objects are materialised lazily on read so the sampling path
+        # stays a tuple append + integer bookkeeping.
+        self._points: Deque[Tuple[float, str, str, float, int]] = deque()
+        self._bytes = 0
+        self._next_due: Optional[float] = None  # None -> due immediately
+        self._collectors: List[Callable[[], None]] = []
+        # Parsed-key cache: key string -> (name, label tuple). Bounded
+        # by registry cardinality, shared across samples.
+        self._parsed: Dict[str, Tuple[str, Tuple[Tuple[str, str], ...]]] = {}
+        # Modelled cost cache: key -> POINT_OVERHEAD_BYTES + len(key).
+        self._key_cost: Dict[str, int] = {}
+        self.samples_taken = 0
+        self.points_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Collectors (derived gauges refreshed before each sample)
+    # ------------------------------------------------------------------
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Register a callback run before each sample.
+
+        Collectors refresh derived gauges that nothing updates
+        incrementally — per-server pool occupancy, per-job block
+        counts — so the sampled series carry them without any hot-path
+        instrumentation.
+        """
+        self._collectors.append(fn)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def due(self, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = self.clock.now()
+        return self._next_due is None or now >= self._next_due
+
+    def pump(self, scheduler=None):
+        """Sample if due; never more than once per ``interval_s``.
+
+        With a :class:`BackgroundScheduler`, the snapshot is submitted
+        as a one-step LOW-priority task and this call returns the task
+        (the sample runs when the scheduler executes it). Without one,
+        the snapshot runs inline and the number of points appended is
+        returned. Returns ``None`` when no sample is due.
+        """
+        now = self.clock.now()
+        if not self.due(now):
+            return None
+        self._next_due = now + self.interval_s
+        if scheduler is None:
+            return self.sample(now)
+        from repro.sim.background import LOW
+
+        def apply() -> None:
+            self.sample(now)
+
+        return scheduler.submit(
+            [(0.0, apply)], name="telemetry:sample", priority=LOW
+        )
+
+    def sample(self, now: Optional[float] = None) -> int:
+        """Snapshot every metric right now; returns points appended."""
+        if now is None:
+            now = self.clock.now()
+        for collector in self._collectors:
+            collector()
+        appended = 0
+        points = self._points
+        key_cost = self._key_cost
+        total = self._bytes
+        for key, value in self.registry.counters().items():
+            cost = key_cost.get(key)
+            if cost is None:
+                cost = key_cost[key] = POINT_OVERHEAD_BYTES + len(key)
+            points.append((now, key, "value", float(value), cost + 5))
+            total += cost + 5
+            appended += 1
+        for key, value in self.registry.gauges().items():
+            cost = key_cost.get(key)
+            if cost is None:
+                cost = key_cost[key] = POINT_OVERHEAD_BYTES + len(key)
+            points.append((now, key, "value", float(value), cost + 5))
+            total += cost + 5
+            appended += 1
+        for key, hist in self.registry.histograms().items():
+            cost = key_cost.get(key)
+            if cost is None:
+                cost = key_cost[key] = POINT_OVERHEAD_BYTES + len(key)
+            summary = hist.summary()
+            for field in HISTOGRAM_FIELDS:
+                points.append(
+                    (now, key, field, float(summary[field]), cost + len(field))
+                )
+                total += cost + len(field)
+                appended += 1
+        while total > self.max_bytes and len(points) > 1:
+            total -= points.popleft()[4]
+            self.points_dropped += 1
+        self._bytes = total
+        self.samples_taken += 1
+        return appended
+
+    def _materialise(
+        self, raw: Tuple[float, str, str, float, int]
+    ) -> SeriesPoint:
+        t, key, field, value, _ = raw
+        parsed = self._parsed.get(key)
+        if parsed is None:
+            parsed = self._parsed[key] = parse_metric_key(key)
+        name, labels = parsed
+        return SeriesPoint(t, name, labels, field, value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def approx_bytes(self) -> int:
+        """Modelled footprint of the retained points."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def points(self) -> Iterator[SeriesPoint]:
+        """All retained points, oldest first."""
+        return iter([self._materialise(raw) for raw in self._points])
+
+    def names(self) -> List[str]:
+        """Distinct series names, sorted."""
+        return sorted({self._materialise(raw).name for raw in self._points})
+
+    def series(
+        self, name: str, field: str = "value", **labels: str
+    ) -> List[Tuple[float, float]]:
+        """``(t, value)`` pairs of one series, filtered by labels.
+
+        Only the given labels are matched — ``series("job.blocks",
+        job="j1")`` returns that tenant's series regardless of any other
+        labels on the points.
+        """
+        wanted = tuple(sorted(labels.items()))
+        out = []
+        for raw in self._points:
+            p = self._materialise(raw)
+            if p.name != name or p.field != field:
+                continue
+            if any((k, v) not in p.labels for k, v in wanted):
+                continue
+            out.append((p.t, p.value))
+        return out
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Distinct values of one label across a series, sorted."""
+        values = set()
+        for raw in self._points:
+            p = self._materialise(raw)
+            if p.name == name and p.label(label):
+                values.add(p.label(label))
+        return sorted(values)
+
+    def clear(self) -> None:
+        self._points.clear()
+        self._bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesSampler(points={len(self._points)}, "
+            f"bytes={self._bytes}/{self.max_bytes}, "
+            f"samples={self.samples_taken}, dropped={self.points_dropped})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Wiring helpers
+# ----------------------------------------------------------------------
+
+
+def controllers_of(plane) -> list:
+    """The concrete controller(s) behind any ControlPlane backend.
+
+    ``local`` is its own controller; ``sharded`` fans out to its
+    shards; ``remote`` proxies a backing plane (resolved recursively).
+    """
+    shards = getattr(plane, "shards", None)
+    if shards is not None:
+        out = []
+        for shard in shards:
+            out.extend(controllers_of(shard))
+        return out
+    backing = getattr(plane, "_plane", None)
+    if backing is not None:
+        return controllers_of(backing)
+    return [plane]
+
+
+def attach_to_plane(plane, sampler: TimeSeriesSampler) -> None:
+    """Attach a sampler to every controller behind a plane.
+
+    Each controller pumps the sampler from its ``tick()`` (through its
+    own background scheduler) and contributes occupancy collectors, so
+    one sampler records a whole sharded or remote deployment.
+    """
+    for controller in controllers_of(plane):
+        controller.attach_sampler(sampler)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import contextvars
 import json
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -41,6 +42,22 @@ _current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar
 
 def _new_id(nbytes: int) -> str:
     return os.urandom(nbytes).hex()
+
+
+class _IdSource:
+    """Span/trace id generator: random by default, deterministic when
+    seeded — seeded tracers emit byte-identical id sequences across
+    runs, which is what makes trace-assembly tests stable."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = None if seed is None else random.Random(seed)
+
+    def new_id(self, nbytes: int) -> str:
+        if self._rng is None:
+            return os.urandom(nbytes).hex()
+        return f"{self._rng.getrandbits(nbytes * 8):0{nbytes * 2}x}"
 
 
 @dataclass(frozen=True)
@@ -99,10 +116,12 @@ class Tracer:
         max_spans: int = 10_000,
         clock=time.time,
         enabled: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         self._lock = threading.Lock()
         self._clock = clock
         self._enabled = enabled
+        self._ids = _IdSource(seed)
         self._finished: "deque[Span]" = deque(maxlen=max_spans)
         self._file = None
         if path is not None:
@@ -121,6 +140,11 @@ class Tracer:
 
     def disable(self) -> None:
         self._enabled = False
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Switch id generation: a seed makes ids deterministic from
+        here on; ``None`` returns to ``os.urandom``."""
+        self._ids = _IdSource(seed)
 
     def configure_output(self, path: Optional[str]) -> None:
         """(Re)direct JSONL output to ``path`` (None closes the file)."""
@@ -161,11 +185,11 @@ class Tracer:
         elif ambient is not None:
             trace_id, parent_id = ambient.trace_id, ambient.span_id
         else:
-            trace_id, parent_id = _new_id(16), None
+            trace_id, parent_id = self._ids.new_id(16), None
         span = Span(
             name=name,
             trace_id=trace_id,
-            span_id=_new_id(8),
+            span_id=self._ids.new_id(8),
             parent_id=parent_id,
             start_time=self._clock(),
             attrs=dict(attrs),

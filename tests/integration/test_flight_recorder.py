@@ -1,0 +1,101 @@
+"""Acceptance: a fig9-scale replay produces a queryable flight file.
+
+The flight file must answer the two questions the ISSUE poses:
+per-tenant pool occupancy *over time*, and a critical-path report
+attributing >= 95% of each traced request's latency to named segments.
+"""
+
+import pytest
+
+from repro import cli
+from repro.experiments import fig9_system
+from repro.telemetry.critical_path import assemble, format_report
+from repro.telemetry.store import FlightStore
+
+
+@pytest.fixture(scope="module")
+def flight_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("flight") / "flight.db")
+    fig9_system.run(
+        dram_fractions=(0.4,),
+        duration_s=20.0,
+        dt=0.5,
+        backend="remote",
+        flight_out=path,
+    )
+    return path
+
+
+RUN = "dram=40%"
+
+
+class TestFlightFile:
+    def test_run_registered_with_meta(self, flight_file):
+        with FlightStore(flight_file) as store:
+            _, rows = store.query("SELECT run FROM runs")
+            assert [r for (r,) in rows] == [RUN]
+            _, rows = store.query(
+                "SELECT key FROM meta WHERE run=? ORDER BY key", (RUN,)
+            )
+            keys = [k for (k,) in rows]
+            assert "backend" in keys and "dram_blocks" in keys
+
+    def test_per_tenant_occupancy_over_time(self, flight_file):
+        """The headline query: each tenant's block occupancy is a real
+        time-series, not a single end-of-run scalar."""
+        with FlightStore(flight_file) as store:
+            _, rows = store.query(
+                "SELECT job, COUNT(DISTINCT t), MAX(value) FROM series "
+                "WHERE name='job.blocks' AND run=? GROUP BY job",
+                (RUN,),
+            )
+        assert len(rows) >= 2  # multiple tenants sampled
+        for job, distinct_t, peak in rows:
+            assert distinct_t >= 3, f"{job} sampled at too few times"
+            assert peak > 0
+
+    def test_server_occupancy_labelled(self, flight_file):
+        with FlightStore(flight_file) as store:
+            _, rows = store.query(
+                "SELECT DISTINCT server FROM series "
+                "WHERE name='pool.server.free_blocks' AND run=?",
+                (RUN,),
+            )
+        assert rows and all(server for (server,) in rows)
+
+    def test_critical_path_attributes_95_percent(self, flight_file):
+        with FlightStore(flight_file) as store:
+            bds = assemble(store.spans_of(RUN))
+        assert len(bds) >= 50  # fig9-scale: plenty of traced requests
+        below = [b for b in bds if b.coverage < 0.95]
+        assert not below, f"{len(below)}/{len(bds)} requests under-attributed"
+        report = format_report(bds)
+        assert "where the p99 went" in report
+
+    def test_segments_table_matches_breakdowns(self, flight_file):
+        with FlightStore(flight_file) as store:
+            _, rows = store.query(
+                "SELECT SUM(seconds) FROM segments WHERE run=? "
+                "AND segment LIKE 'server.%'",
+                (RUN,),
+            )
+        assert rows[0][0] > 0
+
+    def test_repartition_events_recorded(self, flight_file):
+        with FlightStore(flight_file) as store:
+            _, rows = store.query(
+                "SELECT COUNT(*) FROM events WHERE kind LIKE 'repartition.%'"
+            )
+        assert rows[0][0] > 0
+
+
+class TestCliSmoke:
+    def test_query_and_blame(self, flight_file, capsys):
+        assert cli.main([
+            "telemetry", "query", flight_file,
+            "SELECT job, MAX(value) AS peak FROM series "
+            "WHERE name='job.blocks' GROUP BY job ORDER BY peak DESC",
+        ]) == 0
+        assert "peak" in capsys.readouterr().out
+        assert cli.main(["telemetry", "blame", flight_file, "--top", "3"]) == 0
+        assert "where the p99 went" in capsys.readouterr().out

@@ -1,0 +1,194 @@
+"""FlightStore: sqlite flight files and the telemetry query/blame CLI."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.sim.clock import SimClock
+from repro.telemetry import MetricsRegistry, TimeSeriesSampler
+from repro.telemetry.critical_path import assemble
+from repro.telemetry.store import (
+    FlightStore,
+    default_bench_dir,
+    format_rows,
+    write_flight_file,
+)
+
+
+def _sampled(registry=None):
+    registry = registry or MetricsRegistry()
+    registry.counter("ops", job="j1").inc(5)
+    registry.gauge("pool.server.used_bytes", server="server-0").set(4096.0)
+    sampler = TimeSeriesSampler(registry, SimClock(), interval_s=1.0)
+    sampler.sample(0.0)
+    registry.counter("ops", job="j1").inc(2)
+    sampler.sample(1.0)
+    return sampler
+
+
+def _spans():
+    client = {
+        "trace": "t1", "span": "c1", "parent": None,
+        "name": "rpc.client.put", "ts": 0.0, "dur_s": 1e-5, "status": "ok",
+        "attrs": {"method": "put", "sim_latency_s": 10e-6,
+                  "sim_wire_out_s": 2e-6, "sim_server_s": 6e-6,
+                  "sim_wire_back_s": 2e-6},
+    }
+    server = {
+        "trace": "t1", "span": "s1", "parent": "c1",
+        "name": "rpc.server.put", "ts": 2e-6, "dur_s": 6e-6, "status": "ok",
+        "attrs": {"sim_queue_s": 1e-6, "sim_service_s": 5e-6},
+    }
+    return [client, server]
+
+
+class TestStore:
+    def test_series_round_trip_with_promoted_labels(self, tmp_path):
+        path = str(tmp_path / "flight.db")
+        with FlightStore(path) as store:
+            store.begin_run("r1", {"backend": "local"})
+            written = store.write_series(_sampled(), run="r1")
+            assert written == 4  # 2 samples x 2 series
+        with FlightStore(path) as store:
+            _, rows = store.query(
+                "SELECT t, value FROM series WHERE name='ops' AND job='j1' "
+                "ORDER BY t"
+            )
+            assert rows == [(0.0, 5.0), (1.0, 7.0)]
+            _, rows = store.query(
+                "SELECT value FROM series WHERE server='server-0'"
+            )
+            assert [v for (v,) in rows] == [4096.0, 4096.0]
+            _, rows = store.query("SELECT value FROM meta WHERE key='backend'")
+            assert json.loads(rows[0][0]) == "local"
+
+    def test_spans_round_trip_through_assemble(self, tmp_path):
+        path = str(tmp_path / "flight.db")
+        with FlightStore(path) as store:
+            store.begin_run("r1")
+            store.write_spans(_spans(), run="r1")
+        with FlightStore(path) as store:
+            bds = assemble(store.spans_of("r1"))
+        assert len(bds) == 1
+        assert bds[0].coverage >= 0.95
+        assert bds[0].segments["server.service"] == pytest.approx(5e-6)
+
+    def test_breakdowns_write_segments(self, tmp_path):
+        path = str(tmp_path / "flight.db")
+        with FlightStore(path) as store:
+            store.begin_run("r1")
+            store.write_breakdowns(assemble(_spans()), run="r1")
+            _, rows = store.query(
+                "SELECT segment, seconds FROM segments ORDER BY segment"
+            )
+        segs = dict(rows)
+        assert segs["wire.request"] == pytest.approx(2e-6)
+        assert segs["server.queue"] == pytest.approx(1e-6)
+
+    def test_events_and_multiple_runs(self, tmp_path):
+        path = str(tmp_path / "flight.db")
+        for run in ("r1", "r2"):
+            write_flight_file(
+                path,
+                run=run,
+                events=[{"t": 1.0, "kind": "repartition.split", "job": "j1",
+                         "prefix": "s0", "value": 4096.0}],
+            )
+        with FlightStore(path) as store:
+            _, rows = store.query("SELECT run FROM runs ORDER BY created_order")
+            assert [r for (r,) in rows] == ["r1", "r2"]
+            _, rows = store.query("SELECT COUNT(*) FROM events")
+            assert rows[0][0] == 2
+
+    def test_bench_ingest_upserts(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        doc = {
+            "benchmark": "demo_bench",
+            "commit": "abc1234",
+            "metrics": [{"metric": "p99", "value": 1.5, "unit": "s"}],
+        }
+        (results / "BENCH_demo_bench.json").write_text(json.dumps(doc))
+        path = str(tmp_path / "flight.db")
+        with FlightStore(path) as store:
+            assert store.ingest_bench_dir(str(results)) == 1
+            assert store.ingest_bench_dir(str(results)) == 1  # upsert, no dupes
+            _, rows = store.query(
+                "SELECT benchmark, commit_id, metric, value FROM bench"
+            )
+            assert rows == [("demo_bench", "abc1234", "p99", 1.5)]
+
+    def test_default_bench_dir_resolves_repo_results(self):
+        bench_dir = default_bench_dir()
+        assert bench_dir is not None and bench_dir.endswith("results")
+
+
+class TestFormatRows:
+    def test_alignment_and_floats(self):
+        out = format_rows(["name", "v"], [("a", 1.25), ("longer", None)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.25" in out
+        assert format_rows([], []) == "(no results)"
+
+
+class TestCli:
+    @pytest.fixture()
+    def flight_file(self, tmp_path):
+        path = str(tmp_path / "flight.db")
+        write_flight_file(
+            path, run="r1", sampler=_sampled(), spans=_spans(),
+            meta={"backend": "local"},
+        )
+        return path
+
+    def test_query_tables(self, flight_file, capsys):
+        assert cli.main(["telemetry", "query", flight_file, "--tables"]) == 0
+        out = capsys.readouterr().out
+        for table in ("series", "spans", "segments", "events", "bench"):
+            assert table in out
+
+    def test_query_sql(self, flight_file, capsys):
+        rc = cli.main([
+            "telemetry", "query", flight_file,
+            "SELECT name, COUNT(*) AS n FROM series GROUP BY name ORDER BY name",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ops" in out and "pool.server.used_bytes" in out
+
+    def test_query_json(self, flight_file, capsys):
+        rc = cli.main([
+            "telemetry", "query", flight_file,
+            "SELECT COUNT(*) AS spans FROM spans", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out) == [{"spans": 2}]
+
+    def test_query_errors(self, flight_file, capsys):
+        assert cli.main(["telemetry", "query", flight_file]) == 1
+        assert cli.main(
+            ["telemetry", "query", flight_file, "SELECT nope FROM nowhere"]
+        ) == 1
+
+    def test_missing_flight_file_is_an_error(self, tmp_path, capsys):
+        """A typo'd path must not silently create an empty database."""
+        missing = str(tmp_path / "nope.db")
+        assert cli.main(["telemetry", "query", missing, "--tables"]) == 1
+        assert cli.main(["telemetry", "blame", missing]) == 1
+        assert "no flight file" in capsys.readouterr().err
+        assert not (tmp_path / "nope.db").exists()
+
+    def test_blame_reports_segments(self, flight_file, capsys):
+        assert cli.main(["telemetry", "blame", flight_file]) == 0
+        out = capsys.readouterr().out
+        assert "==== r1 ====" in out
+        assert "where the p99 went" in out
+
+    def test_flight_out_flag_parses(self):
+        args = cli.build_parser().parse_args(
+            ["fig9sys", "--quick", "--flight-out", "f.db"]
+        )
+        assert args.flight_out == "f.db"
+        assert cli.build_parser().parse_args(["fig9"]).flight_out is None

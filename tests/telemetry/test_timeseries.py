@@ -1,0 +1,180 @@
+"""TimeSeriesSampler: labelled series, scheduling, and the byte bound."""
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.plane import make_control_plane
+from repro.sim.background import BackgroundScheduler
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.telemetry import (
+    MetricsRegistry,
+    TimeSeriesSampler,
+    attach_to_plane,
+    controllers_of,
+)
+from repro.telemetry import demo
+
+BACKENDS = ("local", "sharded", "remote")
+
+
+class TestSampling:
+    def test_sample_snapshots_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", job="j1").inc(3)
+        registry.gauge("depth").set(7.0)
+        registry.histogram("lat", op="put").record(0.5)
+        clock = SimClock()
+        sampler = TimeSeriesSampler(registry, clock, interval_s=1.0)
+        appended = sampler.sample(0.0)
+        # 1 counter + 1 gauge + 4 histogram fields
+        assert appended == 6
+        assert sampler.series("ops", job="j1") == [(0.0, 3.0)]
+        assert sampler.series("depth") == [(0.0, 7.0)]
+        assert sampler.series("lat", field="count", op="put") == [(0.0, 1.0)]
+        assert sampler.series("lat", field="p99", op="put")[0][1] == pytest.approx(
+            0.5, rel=0.1
+        )
+        assert sampler.names() == ["depth", "lat", "ops"]
+        assert sampler.label_values("ops", "job") == ["j1"]
+
+    def test_pump_respects_interval(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        clock = SimClock()
+        sampler = TimeSeriesSampler(registry, clock, interval_s=10.0)
+        assert sampler.pump() is not None  # first pump is due immediately
+        clock.advance(5.0)
+        assert sampler.pump() is None
+        clock.advance(5.0)
+        assert sampler.pump() is not None
+        assert sampler.samples_taken == 2
+
+    def test_collectors_run_before_each_sample(self):
+        registry = MetricsRegistry()
+        clock = SimClock()
+        sampler = TimeSeriesSampler(registry, clock, interval_s=1.0)
+        calls = []
+        sampler.add_collector(lambda: calls.append(registry.gauge("g").set(4.0)))
+        sampler.sample(0.0)
+        assert len(calls) == 1
+        assert sampler.series("g") == [(0.0, 4.0)]
+
+    def test_invalid_args_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(registry, SimClock(), interval_s=-1.0)
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(registry, SimClock(), max_bytes=0)
+
+
+class TestScheduler:
+    def test_loop_bound_sampling_has_zero_foreground_cost(self):
+        """With a loop-bound scheduler, pump() only *submits*: the
+        snapshot runs when the event loop executes the task."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        clock = SimClock()
+        loop = EventLoop(clock)
+        scheduler = BackgroundScheduler(loop=loop)
+        sampler = TimeSeriesSampler(registry, clock, interval_s=1.0)
+        task = sampler.pump(scheduler)
+        assert task is not None
+        assert sampler.samples_taken == 0  # nothing ran in the foreground
+        assert len(sampler) == 0
+        loop.run()
+        assert sampler.samples_taken == 1
+        assert len(sampler) > 0
+
+    def test_drain_terminates_with_pending_sample(self):
+        """The sampling task is one-shot, so drain() cannot spin."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        clock = SimClock()
+        scheduler = BackgroundScheduler()
+        sampler = TimeSeriesSampler(registry, clock, interval_s=1.0)
+        sampler.pump(scheduler)
+        scheduler.drain()
+        assert sampler.samples_taken == 1
+
+
+class TestByteBound:
+    def test_ring_stays_under_max_bytes_at_2000_tenant_cardinality(self):
+        registry = MetricsRegistry()
+        for i in range(2000):
+            registry.gauge("job.used_bytes", job=f"tenant-{i:04d}").set(float(i))
+        clock = SimClock()
+        sampler = TimeSeriesSampler(
+            registry, clock, interval_s=1.0, max_bytes=64 * KB
+        )
+        for t in range(3):
+            sampler.sample(float(t))
+        assert sampler.approx_bytes <= 64 * KB
+        assert sampler.points_dropped > 0
+        assert len(sampler) > 0
+        # The newest points survive; the oldest were evicted.
+        ts = [p.t for p in sampler.points()]
+        assert ts == sorted(ts)
+        assert ts[-1] == 2.0
+        assert ts[0] > 0.0 or sampler.points_dropped >= 2000
+
+    def test_no_eviction_under_bound(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        sampler = TimeSeriesSampler(registry, SimClock(), interval_s=1.0)
+        sampler.sample(0.0)
+        assert sampler.points_dropped == 0
+        assert sampler.approx_bytes > 0
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_labels_survive_each_backend(self, backend):
+        """Per-tenant labels recorded through any control-plane backend
+        (including over the RPC envelope) land in the sampled series."""
+        result = demo.run(quick=True, backend=backend)
+        sampler = TimeSeriesSampler(result.registry, SimClock(), interval_s=1.0)
+        sampler.sample(0.0)
+        assert sampler.label_values("kv.op.latency_s", "job") == ["demo-job"]
+        assert sampler.label_values("kv.op.latency_s", "op") == ["get", "put"]
+        renewals = sampler.series("leases.renewals_applied", job="demo-job")
+        assert renewals and renewals[0][1] > 0
+        appends = sampler.series(
+            "file.append.latency_s", field="count", job="demo-job"
+        )
+        assert appends and appends[0][1] > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_attach_to_plane_reaches_every_controller(self, backend):
+        registry = MetricsRegistry()
+        plane = make_control_plane(
+            backend,
+            config=JiffyConfig(block_size=4 * KB),
+            clock=SimClock(),
+            num_shards=2,
+            registry=registry,
+        )
+        sampler = TimeSeriesSampler(registry, SimClock(), interval_s=1.0)
+        attach_to_plane(plane, sampler)
+        controllers = controllers_of(plane)
+        assert controllers
+        assert all(c.flight_sampler is sampler for c in controllers)
+
+    def test_tick_pumps_attached_sampler(self):
+        registry = MetricsRegistry()
+        clock = SimClock()
+        plane = make_control_plane(
+            "local",
+            config=JiffyConfig(block_size=4 * KB),
+            clock=clock,
+            registry=registry,
+        )
+        sampler = TimeSeriesSampler(registry, clock, interval_s=1.0)
+        attach_to_plane(plane, sampler)
+        for _ in range(4):
+            clock.advance(1.0)
+            plane.tick()
+        plane.drain_background()
+        assert sampler.samples_taken >= 3
+        # The occupancy collector labelled the pool series by server.
+        assert sampler.label_values("pool.server.free_blocks", "server")

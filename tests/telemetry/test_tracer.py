@@ -128,6 +128,31 @@ class TestSink:
         assert tracer.inject() == {}
 
 
+class TestDeterminism:
+    @staticmethod
+    def _ids(tracer, n=4):
+        out = []
+        for i in range(n):
+            with tracer.span(f"s{i}") as span:
+                out.append((span.trace_id, span.span_id))
+        return out
+
+    def test_same_seed_same_id_sequence(self):
+        assert self._ids(Tracer(seed=7)) == self._ids(Tracer(seed=7))
+
+    def test_different_seeds_differ(self):
+        assert self._ids(Tracer(seed=7)) != self._ids(Tracer(seed=8))
+
+    def test_unseeded_tracers_differ(self):
+        assert self._ids(Tracer()) != self._ids(Tracer())
+
+    def test_reseed_reproduces_from_here(self):
+        tracer = Tracer(seed=3)
+        first = self._ids(tracer)
+        tracer.reseed(3)
+        assert self._ids(tracer) == first
+
+
 class TestFormatting:
     def test_tree_indentation(self):
         tracer = Tracer()
