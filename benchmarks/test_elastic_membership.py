@@ -1,0 +1,217 @@
+"""Elastic membership benchmarks: what does elasticity buy and cost?
+
+Four headline numbers, recorded to ``BENCH_elastic_membership.json``:
+
+* ``elastic_vs_static_capacity_ratio`` — average provisioned DRAM of an
+  autoscaled deployment over a ramp-up/ramp-down workload, relative to
+  static peak provisioning (the §3 footnote-4 Pocket-style win).
+* ``drain_throughput_blocks_per_s`` — how fast ``leave_server``
+  migrates resident blocks off a draining server.
+* ``kill_recovery_s`` — wall time from ``kill_server`` (at
+  replication_factor=2) until every chain is repaired, with zero data
+  lost.
+* ``put_p99_during_drain_us`` vs ``put_p99_baseline_us`` — the
+  foreground pin: drain migration runs as LOW-priority background
+  steps, so put tail latency must not absorb migration cost.
+"""
+
+from time import perf_counter
+
+from _results import record
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
+
+SERVER_BLOCKS = 32
+
+
+def _controller(**overrides):
+    defaults = dict(block_size=KB)
+    defaults.update(overrides)
+    return JiffyController(
+        JiffyConfig(**defaults), clock=SimClock(), default_blocks=SERVER_BLOCKS
+    )
+
+
+def test_elastic_vs_static_cost(once):
+    """Ramp allocations up to a peak and back down; compare provisioned
+    capacity under autoscaling against static peak provisioning."""
+
+    def run():
+        controller = _controller(
+            autoscale=True,
+            autoscale_low_free=0.15,
+            autoscale_high_free=0.6,
+            autoscale_blocks_per_server=SERVER_BLOCKS,
+        )
+        clock = controller.clock
+        controller.register_job("j")
+        controller.create_addr_prefix("j", "t")
+        held = []
+        # Ramp up to ~4 servers of demand, hold, ramp down to near zero.
+        schedule = [4] * 25 + [0] * 10 + [-4] * 25 + [0] * 20
+        for delta in schedule:
+            for _ in range(delta):
+                block = controller.try_allocate_block("j", "t")
+                if block is not None:
+                    held.append(block.block_id)
+            for _ in range(-delta):
+                if held:
+                    controller.reclaim_block("j", "t", held.pop())
+            clock.advance(1.0)
+            controller.renew_lease("j", "t")
+            controller.tick()
+        controller.drain_background()
+        return controller, controller.autoscaler
+
+    controller, scaler = once(run)
+    # Static provisioning pays peak capacity for the whole run.
+    peak_demand = 100
+    static_blocks = (
+        (peak_demand + SERVER_BLOCKS - 1) // SERVER_BLOCKS
+    ) * SERVER_BLOCKS
+    elastic_end = controller.pool.total_blocks
+    adds = sum(1 for a in scaler.actions if a.kind == "add")
+    drains = sum(1 for a in scaler.actions if a.kind == "drain")
+    assert adds > 0, "autoscaler never scaled up"
+    assert drains > 0, "autoscaler never scaled down"
+    # After ramp-down the deployment shrank well below static peak.
+    assert elastic_end < static_blocks
+    record(
+        "elastic_membership",
+        {
+            "elastic_end_blocks": (elastic_end, "blocks"),
+            "static_peak_blocks": (static_blocks, "blocks"),
+            "elastic_vs_static_capacity_ratio": (
+                elastic_end / static_blocks,
+                "ratio",
+            ),
+            "autoscale_joins": (adds, "servers"),
+            "autoscale_drains": (drains, "servers"),
+        },
+    )
+
+
+def test_drain_throughput(once):
+    """Blocks per second ``leave_server`` migrates off a loaded server."""
+
+    def run():
+        controller = _controller()
+        controller.join_server(256, server_id="drain-me")
+        controller.join_server(256)
+        client = connect(controller, "j")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        f.append(b"x" * 180 * KB)  # ~225 blocks across both servers
+        resident = controller.leave_server("drain-me")
+        start = perf_counter()
+        controller.drain_background()
+        elapsed = perf_counter() - start
+        return resident, elapsed, controller
+
+    resident, elapsed, controller = once(run)
+    assert resident > 0
+    assert not controller.pool.has_server("drain-me")
+    migrated = controller.telemetry.value("pool.blocks_migrated")
+    assert migrated >= resident
+    record(
+        "elastic_membership",
+        {
+            "drain_resident_blocks": (resident, "blocks"),
+            "drain_wall_s": (elapsed, "s"),
+            "drain_throughput_blocks_per_s": (
+                resident / max(elapsed, 1e-9),
+                "blocks/s",
+            ),
+        },
+    )
+
+
+def test_kill_recovery_time(once):
+    """Wall time from crash to fully repaired chains at rf=2."""
+
+    def run():
+        controller = _controller(replication_factor=2)
+        for _ in range(2):
+            controller.join_server(SERVER_BLOCKS * 8)
+        client = connect(controller, "j")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        payload = bytes(range(256)) * 160  # ~50 head blocks
+        f.append(payload)
+        controller.drain_background()  # settle best-effort attachments
+        victim = max(
+            (row for row in controller.list_servers()),
+            key=lambda row: row["allocated_blocks"],
+        )["server_id"]
+        start = perf_counter()
+        stats = controller.kill_server(victim)
+        controller.drain_background()  # chain repairs
+        elapsed = perf_counter() - start
+        assert f.readall() == payload, "kill at rf=2 lost data"
+        return stats, elapsed
+
+    stats, elapsed = once(run)
+    assert stats["data_lost"] == 0
+    assert stats["lost_blocks"] > 0
+    record(
+        "elastic_membership",
+        {
+            "kill_recovery_s": (elapsed, "s"),
+            "kill_lost_blocks": (stats["lost_blocks"], "blocks"),
+            "kill_promoted_replicas": (stats["promoted"], "blocks"),
+            "kill_data_lost_blocks": (stats["data_lost"], "blocks"),
+        },
+    )
+
+
+def test_put_p99_pinned_during_drain(once):
+    """Foreground put p99 with a drain in flight vs a quiet pool.
+
+    Migration steps run at LOW priority inside ``tick()``'s budget, so
+    the puts themselves never execute a migration inline.
+    """
+    NUM_PUTS = 2000
+
+    def measure(draining: bool):
+        controller = _controller()
+        controller.join_server(128, server_id="busy")
+        controller.join_server(128)
+        client = connect(controller, "j")
+        client.create_addr_prefix("kv")
+        client.create_addr_prefix("f")
+        kv = client.init_data_structure("kv", "kv_store", num_slots=64)
+        f = client.init_data_structure("f", "file")
+        f.append(b"x" * 90 * KB)  # load to make the drain non-trivial
+        if draining:
+            controller.leave_server("busy")
+        lats = []
+        for i in range(NUM_PUTS):
+            op_start = perf_counter()
+            kv.put(b"k%d" % (i % 200), b"v" * 64)
+            lats.append(perf_counter() - op_start)
+            if i % 50 == 0:
+                controller.clock.advance(0.1)
+                client.renew_lease("kv")
+                client.renew_lease("f")
+                controller.tick()  # drains progress here, off the op path
+        lats.sort()
+        return lats[int(len(lats) * 0.99)]
+
+    def run():
+        return measure(False), measure(True)
+
+    p99_base, p99_drain = once(run)
+    record(
+        "elastic_membership",
+        {
+            "put_p99_baseline_us": (p99_base * 1e6, "us"),
+            "put_p99_during_drain_us": (p99_drain * 1e6, "us"),
+        },
+    )
+    # Generous pin: background migration must not blow up the tail.
+    assert p99_drain <= max(25 * p99_base, p99_base + 2e-3), (
+        f"drain leaked into put tail: {p99_drain * 1e6:.0f}us vs "
+        f"{p99_base * 1e6:.0f}us"
+    )

@@ -10,7 +10,7 @@ the low threshold makes the block a merge candidate.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import BlockError
 
@@ -36,6 +36,7 @@ class Block:
         "tier",
         "_used",
         "_sealed",
+        "_on_write",
     )
 
     def __init__(
@@ -55,6 +56,11 @@ class Block:
         self.tier = tier
         self._used = 0
         self._sealed = False
+        # Write hook: chain replication (§4.2.2) attaches here so every
+        # usage change on a chain head propagates down the chain before
+        # the write is acknowledged. None on unreplicated blocks — the
+        # common path pays a single attribute check.
+        self._on_write: Optional[Callable[["Block"], None]] = None
 
     @property
     def used(self) -> int:
@@ -79,6 +85,8 @@ class Block:
     def seal(self) -> None:
         """Mark the block read-only for the owning data structure."""
         self._sealed = True
+        if self._on_write is not None:
+            self._on_write(self)
 
     def set_used(self, used: int) -> None:
         """Record the owning data structure's usage accounting."""
@@ -90,6 +98,8 @@ class Block:
                 f"for block {self.block_id}"
             )
         self._used = used
+        if self._on_write is not None:
+            self._on_write(self)
 
     def add_used(self, delta: int) -> None:
         """Adjust usage by ``delta`` bytes (may be negative)."""
@@ -104,6 +114,7 @@ class Block:
         self.payload = {}
         self._used = 0
         self._sealed = False
+        self._on_write = None
 
     def above(self, high_threshold: float) -> bool:
         """Whether usage exceeds the scale-up threshold."""

@@ -9,7 +9,7 @@ experiments hold cluster capacity fixed, as the paper does.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Collection, Dict, List, Optional, Set
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.server import MemoryServer
@@ -25,6 +25,13 @@ class MemoryPool:
         self.block_size = block_size
         self._servers: Dict[str, MemoryServer] = {}
         self._next_server = 0
+        # Servers scheduled to leave: their resident blocks stay readable
+        # and writable while the controller drains them, but no *new*
+        # allocations land there.
+        self._draining: Set[str] = set()
+        # Servers cut off by a (simulated) network partition: unreachable
+        # for every block operation until healed.
+        self._partitioned: Set[str] = set()
 
     # ------------------------------------------------------------------
     # Cluster capacity scaling
@@ -51,14 +58,83 @@ class MemoryPool:
                 "allocated blocks"
             )
         del self._servers[server_id]
+        self._draining.discard(server_id)
+        self._partitioned.discard(server_id)
+
+    def kill_server(self, server_id: str) -> List[BlockId]:
+        """Crash a server: its memory is lost, not drained.
+
+        Payloads of resident blocks are destroyed in place (so any data
+        structure still holding them observes the loss) and the server is
+        detached regardless of allocation state. Returns the ids of the
+        blocks that were allocated at the moment of death — the
+        controller uses this list to promote replicas or record loss.
+        """
+        server = self._get_server(server_id)
+        lost = server.wipe()
+        del self._servers[server_id]
+        self._draining.discard(server_id)
+        self._partitioned.discard(server_id)
+        return lost
+
+    # ------------------------------------------------------------------
+    # Membership state: draining and partitions
+    # ------------------------------------------------------------------
+
+    def mark_draining(self, server_id: str) -> None:
+        """Exclude a server from new allocations while it drains."""
+        self._get_server(server_id)
+        self._draining.add(server_id)
+
+    def unmark_draining(self, server_id: str) -> None:
+        self._draining.discard(server_id)
+
+    def is_draining(self, server_id: str) -> bool:
+        return server_id in self._draining
+
+    def partition(self, server_id: str) -> None:
+        """Simulate a network partition: the server becomes unreachable."""
+        self._get_server(server_id)
+        self._partitioned.add(server_id)
+
+    def heal(self, server_id: str) -> None:
+        """Heal a simulated partition."""
+        self._partitioned.discard(server_id)
+
+    def is_partitioned(self, server_id: str) -> bool:
+        return server_id in self._partitioned
+
+    def has_server(self, server_id: str) -> bool:
+        return server_id in self._servers
+
+    def draining_servers(self) -> List[str]:
+        """Ids of servers currently marked draining (sorted)."""
+        return sorted(self._draining)
+
+    def blocks_on(self, server_id: str) -> List[BlockId]:
+        """Ids of the blocks currently allocated on a server."""
+        server = self._get_server(server_id)
+        return [block.block_id for block in server.iter_allocated()]
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(self) -> Block:
-        """Allocate one block from the least-loaded server."""
-        candidates = [s for s in self._servers.values() if s.free_blocks > 0]
+    def allocate(self, exclude: Optional[Collection[str]] = None) -> Block:
+        """Allocate one block from the least-loaded eligible server.
+
+        Draining and partitioned servers never receive new allocations;
+        ``exclude`` additionally skips the named servers (chain
+        replication uses it to place each replica on a distinct server).
+        """
+        candidates = [
+            s
+            for sid, s in self._servers.items()
+            if s.free_blocks > 0
+            and sid not in self._draining
+            and sid not in self._partitioned
+            and (exclude is None or sid not in exclude)
+        ]
         if not candidates:
             raise CapacityError("memory pool exhausted: no free blocks")
         target = min(
@@ -72,7 +148,13 @@ class MemoryPool:
 
     def get_block(self, block_id: BlockId) -> Block:
         """Resolve a block id to its :class:`Block`."""
-        return self._server_of(block_id).get(block_id)
+        server = self._server_of(block_id)
+        if server.server_id in self._partitioned:
+            raise BlockError(
+                f"server {server.server_id} is partitioned: "
+                f"block {block_id} unreachable"
+            )
+        return server.get(block_id)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -86,6 +86,25 @@ class MemoryServer:
                 f"server {self.server_id} does not host block {block_id}"
             ) from None
 
+    def wipe(self) -> List[BlockId]:
+        """Destroy this server's contents in place (process kill).
+
+        Every allocated block's payload is cleared *through the existing
+        object references* — a data structure still holding the block
+        observes the loss immediately, exactly as it would on a real
+        server crash — and the ids of the lost blocks are returned so the
+        controller can run recovery.
+        """
+        lost: List[BlockId] = []
+        free = set(self._free)
+        for block_id, block in self._blocks.items():
+            if block_id in free:
+                continue
+            block.payload.clear()
+            block._on_write = None
+            lost.append(block_id)
+        return lost
+
     def hosts(self, block_id: BlockId) -> bool:
         """Whether this server hosts the given block id."""
         return block_id in self._blocks

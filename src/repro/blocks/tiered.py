@@ -11,7 +11,7 @@ with its tier so experiments can account spill traffic and latency.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Collection, Dict, Optional
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
@@ -56,10 +56,10 @@ class TieredMemoryPool(MemoryPool):
 
     # ------------------------------------------------------------------
 
-    def allocate(self) -> Block:
+    def allocate(self, exclude: Optional[Collection[str]] = None) -> Block:
         """DRAM first; grow and serve the spill tier when DRAM is out."""
         try:
-            return super().allocate()
+            return super().allocate(exclude=exclude)
         except CapacityError:
             return self._allocate_spill()
 

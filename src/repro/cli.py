@@ -64,7 +64,11 @@ def _run_fig9(
 
 
 def _run_fig9sys(
-    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+    quick: bool,
+    sync_repartition: bool = False,
+    flight_out: Optional[str] = None,
+    replication: int = 1,
+    kill_server: bool = False,
 ) -> str:
     result = fig9_system.run(
         dram_fractions=(1.0, 0.4) if quick else (1.0, 0.6, 0.4, 0.2),
@@ -75,7 +79,18 @@ def _run_fig9sys(
         # spans), so record against the remote backend.
         backend="remote" if flight_out else "local",
         flight_out=flight_out,
+        replication=replication,
+        kill_server=kill_server,
     )
+    if kill_server:
+        lost = sum(p.kill_data_lost for p in result.points)
+        kills = sum(p.kills for p in result.points)
+        if kills == 0:
+            raise SystemExit("kill smoke: no server was killable")
+        if replication > 1 and lost:
+            raise SystemExit(
+                f"kill smoke: lost {lost} replicated block(s)"
+            )
     return fig9_system.format_report(result)
 
 
@@ -407,6 +422,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-record the run into a sqlite file (supported by "
         "fig9sys; inspect with `python -m repro telemetry query`)",
     )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="N",
+        help="chain-replication factor for fig9sys replays (default 1: "
+        "no replication)",
+    )
+    parser.add_argument(
+        "--kill-server",
+        action="store_true",
+        help="failure-injection smoke (fig9sys): crash one random "
+        "server halfway through each replay and join a replacement; "
+        "with --replication 2 the run must lose zero data",
+    )
     return parser
 
 
@@ -419,7 +449,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"==== {name} ====")
-        print(COMMANDS[name](args.quick, args.sync_repartition, args.flight_out))
+        if name == "fig9sys":
+            print(
+                _run_fig9sys(
+                    args.quick,
+                    args.sync_repartition,
+                    args.flight_out,
+                    replication=args.replication,
+                    kill_server=args.kill_server,
+                )
+            )
+        else:
+            print(
+                COMMANDS[name](
+                    args.quick, args.sync_repartition, args.flight_out
+                )
+            )
         print()
     return 0
 

@@ -13,6 +13,7 @@ block size down preserves behaviour.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 KB = 1024
 MB = 1024 * 1024
@@ -69,6 +70,17 @@ class JiffyConfig:
             background task (snapshot is still taken synchronously so
             reclamation semantics are unchanged). Off by default: the
             synchronous flush is the conservative, test-pinned path.
+        autoscale: run the Pocket-style cluster autoscaler inside the
+            controller tick loop, joining servers when the pool's free
+            fraction drops below ``autoscale_low_free`` and draining idle
+            ones above ``autoscale_high_free`` (§3 footnote 4).
+        autoscale_low_free: free-block fraction that triggers a scale-up.
+        autoscale_high_free: free-block fraction above which idle servers
+            are drained away.
+        autoscale_blocks_per_server: size of servers the autoscaler adds;
+            0 derives it from the largest server already in the pool.
+        autoscale_min_servers: never drain below this many servers.
+        autoscale_max_servers: never join beyond this many (None = no cap).
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -81,6 +93,12 @@ class JiffyConfig:
     async_repartition: bool = True
     repartition_poll_budget: int = 4
     async_flush: bool = False
+    autoscale: bool = False
+    autoscale_low_free: float = 0.1
+    autoscale_high_free: float = 0.5
+    autoscale_blocks_per_server: int = 0
+    autoscale_min_servers: int = 1
+    autoscale_max_servers: typing.Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -98,6 +116,23 @@ class JiffyConfig:
             raise ValueError("replication_factor must be >= 1")
         if self.repartition_poll_budget < 0:
             raise ValueError("repartition_poll_budget must be >= 0")
+        if not 0.0 <= self.autoscale_low_free < self.autoscale_high_free <= 1.0:
+            raise ValueError(
+                "autoscale free fractions must satisfy 0 <= low < high <= 1, "
+                f"got low={self.autoscale_low_free} "
+                f"high={self.autoscale_high_free}"
+            )
+        if self.autoscale_blocks_per_server < 0:
+            raise ValueError("autoscale_blocks_per_server must be >= 0")
+        if self.autoscale_min_servers < 1:
+            raise ValueError("autoscale_min_servers must be >= 1")
+        if (
+            self.autoscale_max_servers is not None
+            and self.autoscale_max_servers < self.autoscale_min_servers
+        ):
+            raise ValueError(
+                "autoscale_max_servers must be >= autoscale_min_servers"
+            )
 
     def with_overrides(self, **kwargs: object) -> "JiffyConfig":
         """Return a copy of this config with the given fields replaced."""

@@ -10,7 +10,7 @@ while physical blocks are shared across all jobs at block granularity.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
@@ -29,9 +29,15 @@ class BlockAllocator:
     """
 
     def __init__(
-        self, pool: MemoryPool, registry: Optional[MetricsRegistry] = None
+        self,
+        pool: MemoryPool,
+        registry: Optional[MetricsRegistry] = None,
+        replicator: Optional[Any] = None,
     ) -> None:
         self.pool = pool
+        # Optional ReplicaManager: every allocated block becomes a chain
+        # head; every reclaim tears its chain down.
+        self.replicator = replicator
         # block id -> (job id, prefix name)
         self._owner: Dict[BlockId, Tuple[str, str]] = {}
         self._job_blocks: Dict[str, int] = {}
@@ -102,6 +108,8 @@ class BlockAllocator:
         self._h_alloc.record(perf_counter() - alloc_start)
         if block.tier != "dram":
             self._c_spill.inc()
+        if self.replicator is not None:
+            self.replicator.attach(block)
         self._owner[block.block_id] = (node.job_id, node.name)
         self._job_blocks[node.job_id] = self.blocks_held_by(node.job_id) + 1
         node.block_ids.append(block.block_id)
@@ -131,6 +139,8 @@ class BlockAllocator:
             self._job_blocks[node.job_id] = held
         else:
             self._job_blocks.pop(node.job_id, None)
+        if self.replicator is not None:
+            self.replicator.release(block_id)
         self.pool.reclaim(block_id)
         self._c_reclamations.inc()
 
@@ -141,6 +151,49 @@ class BlockAllocator:
             self.reclaim(node, block_id)
             count += 1
         return count
+
+    # ------------------------------------------------------------------
+    # Membership-change bookkeeping (drain-and-migrate, failover)
+    # ------------------------------------------------------------------
+
+    def rebind(self, node: AddressNode, old_id: BlockId, new_id: BlockId) -> None:
+        """Transfer ownership of ``old_id`` to ``new_id`` in place.
+
+        Used when a block physically moves (server drain) or a chain
+        replica is promoted (server kill): the prefix keeps the same
+        logical position in ``node.block_ids``, only the physical id
+        changes. No allocation counters move — it is the same block from
+        the job's point of view.
+        """
+        owner = self._owner.get(old_id)
+        if owner != (node.job_id, node.name):
+            raise BlockError(
+                f"block {old_id} is not owned by {node.job_id}:{node.name} "
+                f"(owner={owner})"
+            )
+        del self._owner[old_id]
+        self._owner[new_id] = owner
+        node.block_ids[node.block_ids.index(old_id)] = new_id
+
+    def forget(self, node: AddressNode, block_id: BlockId) -> None:
+        """Drop bookkeeping for a block whose server died (data lost).
+
+        Unlike :meth:`reclaim`, nothing is returned to the pool — the
+        hosting server no longer exists.
+        """
+        owner = self._owner.get(block_id)
+        if owner != (node.job_id, node.name):
+            raise BlockError(
+                f"block {block_id} is not owned by {node.job_id}:{node.name} "
+                f"(owner={owner})"
+            )
+        node.block_ids.remove(block_id)
+        del self._owner[block_id]
+        held = self._job_blocks.get(node.job_id, 0) - 1
+        if held > 0:
+            self._job_blocks[node.job_id] = held
+        else:
+            self._job_blocks.pop(node.job_id, None)
 
     # ------------------------------------------------------------------
 

@@ -5,27 +5,45 @@ also scale the capacity itself, like Pocket: "if the number of free
 blocks available increase/decrease beyond a certain threshold, Jiffy
 adds/removes servers to adjust physical memory resources". The paper
 treats this as orthogonal and does not evaluate it; it is implemented
-here for completeness.
+here and wired into the controller tick loop.
 
 Policy: keep the pool's free fraction inside [low, high]. When free
 capacity falls below ``low_free_fraction``, add servers; when it rises
 above ``high_free_fraction`` (and more than ``min_servers`` remain),
-drain and remove empty servers.
+drain and remove servers.
+
+Two modes:
+
+* **controller mode** (``controller=`` given): scaling goes through the
+  membership surface — ``join_server`` makes capacity allocatable
+  immediately, ``leave_server`` starts a background drain that migrates
+  resident blocks off before removal, so even loaded servers can be
+  scaled away safely.
+* **pool-only mode**: the legacy standalone behaviour; only *empty*
+  servers are removed, and removal is drain-gated — the candidate is
+  marked draining (excluding it from new allocations) before the final
+  emptiness check, closing the race where an allocation lands on the
+  candidate between the pick and the remove.
+
+Draining servers count toward neither the free fraction nor the server
+count: their capacity is already on its way out, and counting it would
+either re-trigger scale-downs forever or mask a real capacity shortage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.blocks.pool import MemoryPool
+from repro.blocks.server import MemoryServer
 
 
 @dataclass
 class ScalingAction:
     """One autoscaler decision."""
 
-    kind: str  # "add" | "remove"
+    kind: str  # "add" | "remove" | "drain"
     server_id: str
     free_fraction_before: float
 
@@ -41,6 +59,7 @@ class ClusterAutoscaler:
         high_free_fraction: float = 0.5,
         min_servers: int = 1,
         max_servers: Optional[int] = None,
+        controller: Optional[Any] = None,
     ) -> None:
         if not 0.0 <= low_free_fraction < high_free_fraction <= 1.0:
             raise ValueError(
@@ -56,57 +75,110 @@ class ClusterAutoscaler:
         self.high_free_fraction = high_free_fraction
         self.min_servers = min_servers
         self.max_servers = max_servers
+        self.controller = controller
         self.actions: List[ScalingAction] = []
 
+    # ------------------------------------------------------------------
+
+    def _active_servers(self) -> List[MemoryServer]:
+        """Pool servers not already on their way out."""
+        return [
+            s
+            for s in self.pool.servers()
+            if not self.pool.is_draining(s.server_id)
+        ]
+
     def free_fraction(self) -> float:
-        """Fraction of the pool's blocks currently free."""
-        total = self.pool.total_blocks
-        return (self.pool.free_blocks / total) if total else 0.0
+        """Free fraction over *active* (non-draining) capacity."""
+        total = 0
+        free = 0
+        for server in self._active_servers():
+            total += server.num_blocks
+            free += server.free_blocks
+        return (free / total) if total else 0.0
+
+    # ------------------------------------------------------------------
 
     def evaluate(self) -> List[ScalingAction]:
-        """One autoscaling pass; returns the actions taken.
-
-        Scale-up adds servers until the free fraction clears the low
-        watermark; scale-down removes *empty* servers one at a time
-        while the pool stays above the high watermark (removing a
-        loaded server would require block migration, which Jiffy
-        delegates to repartitioning and is out of scope here, as in the
-        paper).
-        """
+        """One autoscaling pass; returns the actions taken."""
         taken: List[ScalingAction] = []
-        # Scale up.
+        taken.extend(self._scale_up())
+        taken.extend(self._scale_down())
+        self.actions.extend(taken)
+        return taken
+
+    def _scale_up(self) -> List[ScalingAction]:
+        taken: List[ScalingAction] = []
         while self.free_fraction() < self.low_free_fraction:
             if (
                 self.max_servers is not None
-                and self.pool.num_servers >= self.max_servers
+                and len(self._active_servers()) >= self.max_servers
             ):
                 break
             before = self.free_fraction()
-            server_id = self.pool.add_server(self.blocks_per_server)
+            if self.controller is not None:
+                server_id = self.controller.join_server(self.blocks_per_server)
+            else:
+                server_id = self.pool.add_server(self.blocks_per_server)
             taken.append(
                 ScalingAction("add", server_id, free_fraction_before=before)
             )
-        # Scale down: remove idle servers while comfortably over-free.
+        return taken
+
+    def _scale_down(self) -> List[ScalingAction]:
+        taken: List[ScalingAction] = []
         while (
             self.free_fraction() > self.high_free_fraction
-            and self.pool.num_servers > self.min_servers
+            and len(self._active_servers()) > self.min_servers
         ):
-            idle = [
-                s for s in self.pool.servers() if s.allocated_blocks == 0
-            ]
-            if not idle:
+            candidate = self._pick_drain_candidate()
+            if candidate is None:
                 break
-            # Check the pool stays above the low watermark afterwards.
-            total_after = self.pool.total_blocks - idle[0].num_blocks
-            free_after = self.pool.free_blocks - idle[0].free_blocks
+            # The pool must stay above the low watermark once the
+            # candidate's capacity leaves and its resident blocks (if
+            # any) land on the survivors.
+            total_after = self.pool.total_blocks - candidate.num_blocks
+            free_after = (
+                self.pool.free_blocks
+                - candidate.free_blocks
+                - candidate.allocated_blocks
+            )
             if total_after <= 0 or free_after / total_after < self.low_free_fraction:
                 break
             before = self.free_fraction()
-            self.pool.remove_server(idle[0].server_id)
+            if self.controller is not None:
+                # Migration-backed drain: safe even for loaded servers.
+                self.controller.leave_server(candidate.server_id)
+                taken.append(
+                    ScalingAction(
+                        "drain",
+                        candidate.server_id,
+                        free_fraction_before=before,
+                    )
+                )
+                continue
+            # Pool-only mode: drain-gate the removal. Marking first
+            # means no new allocation can land on the candidate; if one
+            # already did, skip it this pass instead of raising.
+            self.pool.mark_draining(candidate.server_id)
+            if candidate.allocated_blocks:
+                self.pool.unmark_draining(candidate.server_id)
+                break
+            self.pool.remove_server(candidate.server_id)
             taken.append(
                 ScalingAction(
-                    "remove", idle[0].server_id, free_fraction_before=before
+                    "remove", candidate.server_id, free_fraction_before=before
                 )
             )
-        self.actions.extend(taken)
         return taken
+
+    def _pick_drain_candidate(self) -> Optional[MemoryServer]:
+        """Least-loaded active server; pool-only mode requires empty."""
+        candidates = self._active_servers()
+        if self.controller is None:
+            candidates = [s for s in candidates if s.allocated_blocks == 0]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda s: (s.allocated_blocks, s.server_id)
+        )

@@ -17,17 +17,21 @@ thread and simulations call as the clock advances.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
 from repro.config import JiffyConfig
 from repro.core.allocator import BlockAllocator
+from repro.core.autoscale import ClusterAutoscaler
 from repro.core.hierarchy import AddressHierarchy, AddressNode
 from repro.core.lease import LeaseManager
 from repro.core.metadata import MetadataManager, PartitionMetadata
 from repro.core.plane import ControlPlane
+from repro.core.replication import ReplicaManager
 from repro.errors import (
+    BlockError,
+    CapacityError,
     PermissionError_,
     RegistrationError,
 )
@@ -46,6 +50,13 @@ EXTERNAL_STORE_BW_BYTES_PER_S = float(1 << 30)
 #: Background steps each expiry-worker pass donates to deferred work
 #: (async flush I/O) so persistence overlaps foreground traffic.
 TICK_BACKGROUND_BUDGET = 8
+
+#: Modeled cost of migrating one block off a draining server (a block
+#: copy over the data-plane network) and of re-extending a replica
+#: chain. Both run as LOW-priority background steps — foreground ops are
+#: never charged these.
+DRAIN_STEP_COST_S = 200e-6
+REPAIR_STEP_COST_S = 200e-6
 
 
 class _CaptureStore:
@@ -117,7 +128,20 @@ class JiffyController(ControlPlane):
             if scheduler is not None
             else BackgroundScheduler(clock=self.clock, registry=self.telemetry)
         )
-        self.allocator = BlockAllocator(pool, registry=self.telemetry)
+        self._default_blocks = default_blocks
+        # Chain replication (§4.2.2): at replication_factor >= 2 every
+        # allocated block becomes a chain head with backups on distinct
+        # servers, so a killed server loses nothing.
+        self.replicator: Optional[ReplicaManager] = None
+        if self.config.replication_factor > 1:
+            self.replicator = ReplicaManager(
+                pool,
+                self.config.replication_factor,
+                registry=self.telemetry,
+            )
+        self.allocator = BlockAllocator(
+            pool, registry=self.telemetry, replicator=self.replicator
+        )
         self.leases = LeaseManager(
             self.clock, self.config.lease_duration, registry=self.telemetry
         )
@@ -136,6 +160,37 @@ class JiffyController(ControlPlane):
         self._h_sweep = self.telemetry.histogram("controller.expiry_sweep.latency_s")
         self._h_flush_bytes = self.telemetry.histogram("controller.flush.bytes")
         self._h_flush_duration = self.telemetry.histogram("controller.flush.duration_s")
+        self._c_joined = self.telemetry.counter("server.joined")
+        self._c_draining = self.telemetry.counter("server.draining")
+        self._c_removed = self.telemetry.counter("server.removed")
+        self._c_killed = self.telemetry.counter("server.killed")
+        self._c_migrated = self.telemetry.counter("pool.blocks_migrated")
+        self._c_lost = self.telemetry.counter("pool.blocks_lost")
+        # Membership state: block ids that physically moved (drain) or
+        # were promoted (kill) forward old -> new here, so clients and
+        # data structures keep using the id they cached — get_block and
+        # reclaim_block resolve transparently.
+        self._forwards: Dict[BlockId, BlockId] = {}
+        # Draining servers with a drain task currently in flight; tick()
+        # re-kicks drains for draining servers not in this set (e.g. the
+        # pool was full when the last attempt ran).
+        self._active_drains: Set[str] = set()
+        # Pocket-style capacity autoscaling in the tick loop (§3 fn 4).
+        self.autoscaler: Optional[ClusterAutoscaler] = None
+        if self.config.autoscale:
+            blocks_per = self.config.autoscale_blocks_per_server
+            if blocks_per <= 0:
+                sizes = [s.num_blocks for s in pool.servers()]
+                blocks_per = max(sizes) if sizes else default_blocks
+            self.autoscaler = ClusterAutoscaler(
+                pool,
+                blocks_per,
+                low_free_fraction=self.config.autoscale_low_free,
+                high_free_fraction=self.config.autoscale_high_free,
+                min_servers=self.config.autoscale_min_servers,
+                max_servers=self.config.autoscale_max_servers,
+                controller=self,
+            )
         # Optional flight recorder (see repro.telemetry.timeseries):
         # pumped from tick(), sampling runs as LOW-priority background
         # work — never inside a foreground op.
@@ -334,6 +389,15 @@ class JiffyController(ControlPlane):
         if self.flight_sampler is not None:
             self.flight_sampler.pump(self.background)
         self.background.poll(TICK_BACKGROUND_BUDGET)
+        # Capacity autoscaling: pool-utilisation bands join/drain servers
+        # as the trace replays (§3 footnote 4, Pocket policy).
+        if self.autoscaler is not None:
+            self.autoscaler.evaluate()
+        # Re-kick drains that stalled (pool was full) or arrived while a
+        # previous drain task was in flight.
+        for server_id in self.pool.draining_servers():
+            if server_id not in self._active_drains:
+                self._submit_drain(server_id)
         self._h_sweep.record(perf_counter() - sweep_start)
         return expired
 
@@ -434,7 +498,7 @@ class JiffyController(ControlPlane):
         self._c_ops.inc()
         self._c_scale_down.inc()
         node = self._hierarchy(job_id).get_node(prefix)
-        self.allocator.reclaim(node, block_id)
+        self.allocator.reclaim(node, self._resolve_forward(block_id))
 
     def blocks_of(self, job_id: str, prefix: str) -> List[Block]:
         """Live blocks of a prefix."""
@@ -446,8 +510,231 @@ class JiffyController(ControlPlane):
 
         ``job_id`` is unused here — a single controller owns one pool —
         but part of the surface so sharded deployments can route.
+        Ids of blocks that migrated off a drained server or were
+        promoted after a kill resolve to their current physical block.
         """
-        return self.pool.get_block(block_id)
+        return self.pool.get_block(self._resolve_forward(block_id))
+
+    def _resolve_forward(self, block_id: BlockId) -> BlockId:
+        forwards = self._forwards
+        while block_id in forwards:
+            block_id = forwards[block_id]
+        return block_id
+
+    # ------------------------------------------------------------------
+    # Elastic server membership (§3, §4.2.2; InfiniStore-style)
+    # ------------------------------------------------------------------
+
+    def join_server(
+        self,
+        num_blocks: Optional[int] = None,
+        server_id: Optional[str] = None,
+    ) -> str:
+        """Attach a new memory server; its capacity is allocatable
+        immediately. Returns the server id.
+
+        ``num_blocks`` defaults to the largest server already in the
+        pool (or the controller's ``default_blocks`` for an empty pool).
+        """
+        self._c_ops.inc()
+        if num_blocks is None:
+            sizes = [s.num_blocks for s in self.pool.servers()]
+            num_blocks = max(sizes) if sizes else self._default_blocks
+        sid = self.pool.add_server(num_blocks, server_id=server_id)
+        # A reused server id must not resurrect forwards that pointed
+        # away from a previous incarnation's blocks.
+        prefix = f"{sid}:"
+        self._forwards = {
+            old: new
+            for old, new in self._forwards.items()
+            if not old.startswith(prefix)
+        }
+        self._c_joined.inc()
+        return sid
+
+    def leave_server(self, server_id: str) -> int:
+        """Gracefully remove a server: drain-and-migrate, then detach.
+
+        The server stops receiving new allocations immediately; its
+        resident blocks are migrated off by LOW-priority background
+        steps (one block per step), so the foreground path is never
+        charged migration latency. An empty server is removed at once.
+        Returns the number of blocks resident at the time of the call.
+        """
+        self._c_ops.inc()
+        if not self.pool.has_server(server_id):
+            raise BlockError(f"no server {server_id} in pool")
+        resident = len(self.pool.blocks_on(server_id))
+        if not self.pool.is_draining(server_id):
+            self.pool.mark_draining(server_id)
+            self._c_draining.inc()
+        if resident == 0:
+            self._finish_leave(server_id)
+            return 0
+        self._submit_drain(server_id)
+        return resident
+
+    def list_servers(self) -> List[Dict[str, Any]]:
+        """Membership view: one row per pool server, sorted by id."""
+        self._c_ops.inc()
+        rows = []
+        for server in self.pool.servers():
+            rows.append(
+                {
+                    "server_id": server.server_id,
+                    "num_blocks": server.num_blocks,
+                    "free_blocks": server.free_blocks,
+                    "allocated_blocks": server.allocated_blocks,
+                    "draining": self.pool.is_draining(server.server_id),
+                }
+            )
+        return sorted(rows, key=lambda r: str(r["server_id"]))
+
+    def kill_server(self, server_id: str) -> Dict[str, int]:
+        """Crash a server (fault injection): its memory is gone *now*.
+
+        Recovery: lost backups are spliced out of their chains (repairs
+        scheduled in the background); lost chain heads promote their
+        first surviving replica — committed data is intact because
+        writes propagated down the chain before acking; unreplicated
+        blocks are recorded as data loss. Returns counts:
+        ``{"lost_blocks", "promoted", "data_lost"}``.
+        """
+        lost = self.pool.kill_server(server_id)
+        self._active_drains.discard(server_id)
+        self._c_killed.inc()
+        promoted = 0
+        data_lost = 0
+        repair_heads: List[BlockId] = []
+        for block_id in lost:
+            if self.replicator is not None and self.replicator.is_backup(
+                block_id
+            ):
+                primary = self.replicator.drop_backup(block_id)
+                if primary is not None:
+                    repair_heads.append(primary)
+                continue
+            owner = None
+            try:
+                owner = self.allocator.owner_of(block_id)
+            except BlockError:
+                pass
+            new_head = None
+            if self.replicator is not None:
+                new_head = self.replicator.promote(block_id, server_id)
+            if new_head is not None:
+                promoted += 1
+                if owner is not None:
+                    node = self._hierarchy(owner[0]).get_node(owner[1])
+                    self.allocator.rebind(node, block_id, new_head.block_id)
+                self._forwards[block_id] = new_head.block_id
+                repair_heads.append(new_head.block_id)
+            elif owner is not None:
+                data_lost += 1
+                self._c_lost.inc()
+                node = self._hierarchy(owner[0]).get_node(owner[1])
+                self.allocator.forget(node, block_id)
+        if repair_heads:
+            self.background.submit(
+                [
+                    (REPAIR_STEP_COST_S, self._repair_step_for(primary_id))
+                    for primary_id in dict.fromkeys(repair_heads)
+                ],
+                name=f"repair:{server_id}",
+                priority=LOW,
+            )
+        return {
+            "lost_blocks": len(lost),
+            "promoted": promoted,
+            "data_lost": data_lost,
+        }
+
+    # -- drain machinery -----------------------------------------------
+
+    def _submit_drain(self, server_id: str) -> None:
+        if server_id in self._active_drains:
+            return
+        block_ids = self.pool.blocks_on(server_id)
+        if not block_ids:
+            self._finish_leave(server_id)
+            return
+        self._active_drains.add(server_id)
+        self.background.submit(
+            [
+                (
+                    DRAIN_STEP_COST_S,
+                    lambda bid=bid: self._drain_step(server_id, bid),
+                )
+                for bid in block_ids
+            ],
+            name=f"drain:{server_id}",
+            priority=LOW,
+            on_done=lambda task: self._finish_drain(server_id),
+        )
+
+    def _drain_step(self, server_id: str, block_id: BlockId) -> None:
+        if not self.pool.has_server(server_id):
+            return  # killed mid-drain
+        if not self.pool.is_draining(server_id):
+            return  # drain cancelled
+        if block_id not in self.pool.blocks_on(server_id):
+            return  # already reclaimed or migrated
+        self._move_block(server_id, block_id)
+
+    def _finish_drain(self, server_id: str) -> None:
+        self._active_drains.discard(server_id)
+        if not self.pool.has_server(server_id):
+            return
+        if not self.pool.is_draining(server_id):
+            return
+        if not self.pool.blocks_on(server_id):
+            self._finish_leave(server_id)
+        # else: stalled (pool was full) — tick() re-kicks the drain.
+
+    def _finish_leave(self, server_id: str) -> None:
+        self.pool.remove_server(server_id)
+        self._c_removed.inc()
+
+    def _move_block(self, server_id: str, block_id: BlockId) -> None:
+        """Migrate one block off a draining server (atomic cut-over)."""
+        if self.replicator is not None and self.replicator.is_backup(block_id):
+            self.replicator.move_backup(block_id)
+            return
+        try:
+            job_id, prefix = self.allocator.owner_of(block_id)
+        except BlockError:
+            return  # untracked block (standalone chain etc.) — leave it
+        node = self._hierarchy(job_id).get_node(prefix)
+        old = self.pool.get_block(block_id)
+        exclude = {server_id}
+        if self.replicator is not None:
+            exclude |= self.replicator.chain_servers(block_id)
+        try:
+            new = self.pool.allocate(exclude=exclude)
+        except CapacityError:
+            return  # no room yet; tick() retries the drain later
+        if new.server_id in exclude:
+            # Tiered spill fallback may ignore the exclusion set.
+            self.pool.reclaim(new.block_id)
+            return
+        new.payload = old.payload
+        new._used = old.used
+        new._sealed = old.sealed
+        if self.replicator is not None:
+            self.replicator.reattach(block_id, new)
+        self.allocator.rebind(node, block_id, new.block_id)
+        self._forwards[block_id] = new.block_id
+        self.pool.reclaim(block_id)
+        self._c_migrated.inc()
+
+    def _repair_step_for(self, primary_id: BlockId):
+        def _repair() -> None:
+            if self.replicator is None:
+                return
+            while self.replicator.repair_chain(primary_id):
+                pass
+
+        return _repair
 
     # ------------------------------------------------------------------
     # Allocation-policy hooks (quotas — §3.1 policy-over-mechanism)

@@ -102,6 +102,10 @@ CONTROL_SURFACE: Tuple[OpSpec, ...] = (
     OpSpec("reclaim_blocks", batched=True),
     OpSpec("blocks_of"),
     OpSpec("get_block", routing=ROUTE_FANOUT),
+    # -- elastic server membership (§3, §4.2.2) --------------------------
+    OpSpec("join_server", routing=ROUTE_FANOUT),
+    OpSpec("leave_server", routing=ROUTE_FANOUT),
+    OpSpec("list_servers", routing=ROUTE_FANOUT, batched=True),
     # -- allocation policy hooks (fairness / quotas) ---------------------
     OpSpec("set_quota"),
     OpSpec("quota_of"),
@@ -311,6 +315,29 @@ class ControlPlane(abc.ABC):
         ``job_id`` is a routing hint: a sharded deployment uses it to
         reach the owning shard without a search.
         """
+
+    # ------------------------------------------------------------------
+    # Elastic server membership (§3, §4.2.2)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def join_server(
+        self,
+        num_blocks: Optional[int] = None,
+        server_id: Optional[str] = None,
+    ) -> str:
+        """Attach a new memory server (allocatable immediately); returns
+        its id. ``num_blocks`` defaults to the deployment's server size."""
+
+    @abc.abstractmethod
+    def leave_server(self, server_id: str) -> int:
+        """Gracefully remove a server: background drain-and-migrate,
+        then detach. Returns the blocks resident at the time of the call."""
+
+    @abc.abstractmethod
+    def list_servers(self) -> List[Dict[str, Any]]:
+        """Membership view: one dict per server (id, capacity, free,
+        allocated, draining), sorted by server id."""
 
     # ------------------------------------------------------------------
     # Allocation-policy hooks

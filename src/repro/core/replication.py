@@ -10,11 +10,13 @@ observe fully replicated data.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence
+import copy
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.blocks.block import Block
+from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
-from repro.errors import CapacityError, ReplicationError
+from repro.errors import BlockError, CapacityError, ReplicationError
+from repro.telemetry import MetricsRegistry
 
 
 class ReplicatedBlock:
@@ -137,3 +139,252 @@ class ChainReplicator:
         """Return every replica of a chain to the pool."""
         for block in replicated.chain:
             self.pool.reclaim(block.block_id)
+
+
+class ReplicaManager:
+    """Wires chain replication into the controller's allocation path.
+
+    With ``JiffyConfig(replication_factor=N)``, every block the allocator
+    hands out becomes the *head* of a replica chain: N-1 backup blocks on
+    distinct servers shadow it, kept in sync by a write hook on the head
+    (:attr:`Block._on_write`) that propagates payload and usage down the
+    chain before each write is acknowledged — the chain-ack semantics of
+    §4.2.2 collapsed into one synchronous step.
+
+    The manager also owns the failure-time transitions: promoting a
+    surviving replica when the head's server is killed, splicing dead
+    backups out, re-extending short chains in the background, and
+    relocating backups off draining servers.
+    """
+
+    def __init__(
+        self,
+        pool: MemoryPool,
+        replication_factor: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if replication_factor < 1:
+            raise ReplicationError("replication factor must be >= 1")
+        self.pool = pool
+        self.replication_factor = replication_factor
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        #: chain-head block id -> its replica chain
+        self.chains: Dict[BlockId, ReplicatedBlock] = {}
+        #: backup block id -> chain-head block id
+        self._backup_index: Dict[BlockId, BlockId] = {}
+        self._c_attached = self.telemetry.counter("chain.attached")
+        self._c_degraded = self.telemetry.counter("chain.degraded")
+        self._c_promotions = self.telemetry.counter("chain.promotions")
+        self._c_repairs = self.telemetry.counter("chain.repair")
+        self._c_backups_moved = self.telemetry.counter("chain.backups_moved")
+
+    # ------------------------------------------------------------------
+    # Allocation-path integration
+    # ------------------------------------------------------------------
+
+    def attach(self, primary: Block) -> Optional[ReplicatedBlock]:
+        """Build a replica chain under a freshly allocated block.
+
+        Best-effort: when the pool cannot offer enough distinct servers
+        the chain starts short (counted as ``chain.degraded``) and is
+        re-extended by :meth:`repair_chain` once capacity appears.
+        Returns None at replication factor 1.
+        """
+        if self.replication_factor < 2:
+            return None
+        exclude = {primary.server_id}
+        backups: List[Block] = []
+        while len(backups) < self.replication_factor - 1:
+            try:
+                backup = self.pool.allocate(exclude=exclude)
+            except CapacityError:
+                break
+            if backup.server_id in exclude:
+                # A tiered pool may fall back to a spill server already
+                # in the chain; hand it back rather than violate the
+                # distinct-server invariant.
+                self.pool.reclaim(backup.block_id)
+                break
+            exclude.add(backup.server_id)
+            backups.append(backup)
+        chain = ReplicatedBlock([primary] + backups)
+        self.chains[primary.block_id] = chain
+        for backup in backups:
+            self._backup_index[backup.block_id] = primary.block_id
+        primary._on_write = self._hook_for(primary.block_id)
+        self._c_attached.inc()
+        if chain.length < self.replication_factor:
+            self._c_degraded.inc()
+        return chain
+
+    def release(self, primary_id: BlockId) -> int:
+        """Tear down a chain when its head is reclaimed; returns backups
+        returned to the pool."""
+        chain = self.chains.pop(primary_id, None)
+        if chain is None:
+            return 0
+        chain.head._on_write = None
+        freed = 0
+        for backup in chain.chain[1:]:
+            self._backup_index.pop(backup.block_id, None)
+            try:
+                self.pool.reclaim(backup.block_id)
+                freed += 1
+            except BlockError:
+                pass  # backup's server already left the pool
+        return freed
+
+    def _hook_for(self, primary_id: BlockId) -> Callable[[Block], None]:
+        def _propagate(block: Block) -> None:
+            chain = self.chains.get(primary_id)
+            if chain is None:
+                return
+            for backup in chain.chain[1:]:
+                backup.payload = copy.deepcopy(block.payload)
+                backup._used = block.used
+                backup._sealed = block.sealed
+            chain.writes_acked += 1
+
+        return _propagate
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def is_backup(self, block_id: BlockId) -> bool:
+        return block_id in self._backup_index
+
+    def primary_of(self, backup_id: BlockId) -> BlockId:
+        return self._backup_index[backup_id]
+
+    def chain_servers(self, primary_id: BlockId) -> set:
+        """Servers hosting any replica of a chain (placement exclusion)."""
+        chain = self.chains.get(primary_id)
+        if chain is None:
+            return set()
+        return {b.server_id for b in chain.chain}
+
+    def degraded_chains(self) -> List[BlockId]:
+        """Chain heads currently shorter than the replication factor."""
+        return [
+            primary_id
+            for primary_id, chain in self.chains.items()
+            if chain.length < self.replication_factor
+        ]
+
+    # ------------------------------------------------------------------
+    # Failure-time transitions
+    # ------------------------------------------------------------------
+
+    def promote(self, primary_id: BlockId, dead_server: str) -> Optional[Block]:
+        """Head's server died: the first survivor becomes the new head.
+
+        Returns the promoted block (its payload is the committed state —
+        writes propagated down the chain before acking), or None when no
+        replica survived.
+        """
+        chain = self.chains.pop(primary_id, None)
+        if chain is None:
+            return None
+        survivors = [b for b in chain.chain if b.server_id != dead_server]
+        if not survivors:
+            return None
+        for block in survivors:
+            self._backup_index.pop(block.block_id, None)
+        chain.chain = survivors
+        new_head = survivors[0]
+        self.chains[new_head.block_id] = chain
+        for backup in survivors[1:]:
+            self._backup_index[backup.block_id] = new_head.block_id
+        new_head._on_write = self._hook_for(new_head.block_id)
+        self._c_promotions.inc()
+        return new_head
+
+    def drop_backup(self, backup_id: BlockId) -> Optional[BlockId]:
+        """A backup's server died: splice it out; returns the chain head
+        whose chain is now short (repair candidate)."""
+        primary_id = self._backup_index.pop(backup_id, None)
+        if primary_id is None:
+            return None
+        chain = self.chains.get(primary_id)
+        if chain is not None:
+            chain.chain = [b for b in chain.chain if b.block_id != backup_id]
+        return primary_id
+
+    def repair_chain(self, primary_id: BlockId) -> bool:
+        """Extend a short chain by one replica (background repair step).
+
+        Returns True when a replica was added; False when the chain is
+        already full, gone, or the pool has no eligible server.
+        """
+        chain = self.chains.get(primary_id)
+        if chain is None or chain.length >= self.replication_factor:
+            return False
+        exclude = {b.server_id for b in chain.chain}
+        try:
+            new_replica = self.pool.allocate(exclude=exclude)
+        except CapacityError:
+            return False
+        if new_replica.server_id in exclude:
+            self.pool.reclaim(new_replica.block_id)
+            return False
+
+        def copy_payload(src: Block, dst: Block) -> None:
+            dst.payload = copy.deepcopy(src.payload)
+            dst._used = src.used
+            dst._sealed = src.sealed
+
+        chain.repair(new_replica, copy_payload)
+        self._backup_index[new_replica.block_id] = primary_id
+        self._c_repairs.inc()
+        return True
+
+    def move_backup(self, backup_id: BlockId) -> Optional[BlockId]:
+        """Relocate a backup off its (draining) server.
+
+        Returns the replacement block id, or None when no eligible
+        server has room (the drain retries later).
+        """
+        primary_id = self._backup_index.get(backup_id)
+        if primary_id is None:
+            return None
+        chain = self.chains.get(primary_id)
+        if chain is None:
+            return None
+        old = next(b for b in chain.chain if b.block_id == backup_id)
+        exclude = {b.server_id for b in chain.chain}
+        try:
+            new = self.pool.allocate(exclude=exclude)
+        except CapacityError:
+            return None
+        if new.server_id in exclude:
+            self.pool.reclaim(new.block_id)
+            return None
+        new.payload = old.payload
+        new._used = old.used
+        new._sealed = old.sealed
+        chain.chain[chain.chain.index(old)] = new
+        del self._backup_index[backup_id]
+        self._backup_index[new.block_id] = primary_id
+        self.pool.reclaim(backup_id)
+        self._c_backups_moved.inc()
+        return new.block_id
+
+    def reattach(self, old_primary_id: BlockId, new_head: Block) -> None:
+        """Swap the chain head after the controller migrated the primary
+        to a new server (drain-and-migrate path)."""
+        chain = self.chains.pop(old_primary_id, None)
+        if chain is None:
+            return
+        chain.chain[0]._on_write = None
+        chain.chain[0] = new_head
+        self.chains[new_head.block_id] = chain
+        for backup in chain.chain[1:]:
+            self._backup_index[backup.block_id] = new_head.block_id
+        new_head._on_write = self._hook_for(new_head.block_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaManager(rf={self.replication_factor}, "
+            f"chains={len(self.chains)})"
+        )

@@ -100,6 +100,9 @@ class ShardedController(ControlPlane):
         # All shards share one config/clock; expose shard 0's.
         self.config = self.shards[0].config
         self.clock = self.shards[0].clock
+        # Monotonic suffix for auto-named joined servers (explicit ids
+        # do not advance the per-shard pool counters).
+        self._next_join = 0
 
     def shard_for(self, job_id: str) -> JiffyController:
         """The shard owning a job's address hierarchy."""
@@ -133,6 +136,77 @@ class ShardedController(ControlPlane):
             except BlockError:
                 continue
         raise BlockError(f"block {block_id} is not allocated on any shard")
+
+    # ------------------------------------------------------------------
+    # Elastic server membership (server ids route on "shard<i>/")
+    # ------------------------------------------------------------------
+
+    def _shard_of_server(self, server_id: str) -> JiffyController:
+        """Resolve the shard owning a server, by prefix or by search."""
+        if server_id.startswith("shard"):
+            head, sep, _ = server_id.partition("/")
+            if sep:
+                try:
+                    index = int(head[len("shard"):])
+                except ValueError:
+                    index = -1
+                if 0 <= index < self.num_shards:
+                    return self.shards[index]
+        for shard in self.shards:
+            if shard.pool.has_server(server_id):
+                return shard
+        raise BlockError(f"no server {server_id} on any shard")
+
+    def join_server(
+        self,
+        num_blocks: Optional[int] = None,
+        server_id: Optional[str] = None,
+    ) -> str:
+        """Join a server on the shard with the least total capacity.
+
+        Ids are always ``shard<i>/``-prefixed so block ids stay globally
+        unique and membership ops can route without a search; an
+        explicit ``server_id`` carrying the prefix pins the shard.
+        """
+        if server_id is not None and server_id.startswith("shard"):
+            shard = self._shard_of_server_prefix(server_id)
+            if shard is not None:
+                return shard.join_server(num_blocks, server_id)
+        index = min(
+            range(self.num_shards),
+            key=lambda i: (self.shards[i].pool.total_blocks, i),
+        )
+        if server_id is None:
+            server_id = f"join-{self._next_join}"
+            self._next_join += 1
+        return self.shards[index].join_server(
+            num_blocks, f"shard{index}/{server_id}"
+        )
+
+    def _shard_of_server_prefix(self, server_id: str) -> Optional[JiffyController]:
+        head, sep, _ = server_id.partition("/")
+        if not sep:
+            return None
+        try:
+            index = int(head[len("shard"):])
+        except ValueError:
+            return None
+        if 0 <= index < self.num_shards:
+            return self.shards[index]
+        return None
+
+    def leave_server(self, server_id: str) -> int:
+        """Drain-and-remove a server on its owning shard."""
+        return self._shard_of_server(server_id).leave_server(server_id)
+
+    def list_servers(self) -> List[Dict[str, Any]]:
+        """Membership across every shard, sorted by server id."""
+        rows = [row for shard in self.shards for row in shard.list_servers()]
+        return sorted(rows, key=lambda r: str(r["server_id"]))
+
+    def kill_server(self, server_id: str) -> Dict[str, int]:
+        """Fault injection: crash a server on its owning shard."""
+        return self._shard_of_server(server_id).kill_server(server_id)
 
     def allocated_bytes(self, job_id: Optional[str] = None) -> int:
         if job_id is not None:

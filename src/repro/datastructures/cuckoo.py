@@ -16,7 +16,36 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import KeyNotFoundError
 
-_EMPTY = object()
+class _EmptySlot:
+    """Empty-slot sentinel, compared by identity (``is _EMPTY``).
+
+    A singleton that survives ``copy``/``deepcopy``/pickle as itself:
+    tables inside block payloads are deep-copied down replica chains and
+    a cloned sentinel would defeat every identity check on the copy,
+    surfacing empty slots as live entries after a promotion.
+    """
+
+    _instance: Optional["_EmptySlot"] = None
+
+    def __new__(cls) -> "_EmptySlot":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __copy__(self) -> "_EmptySlot":
+        return self
+
+    def __deepcopy__(self, memo: Any) -> "_EmptySlot":
+        return self
+
+    def __reduce__(self):
+        return (_EmptySlot, ())
+
+    def __repr__(self) -> str:
+        return "<empty-slot>"
+
+
+_EMPTY = _EmptySlot()
 
 #: Slots per bucket (libcuckoo default).
 BUCKET_SLOTS = 4

@@ -89,6 +89,9 @@ class JiffyFile(DataStructure):
                 return block
         block = self._allocate_block()
         block.payload["data"] = bytearray()
+        # Zero-delta write: pushes the empty-chunk skeleton to chain
+        # replicas so a promoted backup is well-formed before any append.
+        block.add_used(0)
         self._chunks.append((block.block_id, self._size))
         self._record_repartition("extend", 0)
         self._sync_metadata()

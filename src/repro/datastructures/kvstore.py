@@ -176,6 +176,9 @@ class JiffyKVStore(DataStructure):
         block.payload["slots"] = set(slots)
         for slot in slots:
             self._slot_map[slot] = block.block_id
+        # Zero-delta write: pushes the empty table/slot skeleton to chain
+        # replicas so a promoted backup is well-formed before any put.
+        block.add_used(0)
         return block
 
     def _block_for(self, key_bytes: bytes) -> Block:
@@ -492,6 +495,9 @@ class JiffyKVStore(DataStructure):
         moving = slots[len(slots) // 2 :]
         new_block.payload["table"] = CuckooHashTable()
         new_block.payload["slots"] = set()
+        # Zero-delta write: replicate the skeleton before the migration
+        # starts cutting slots over.
+        new_block.add_used(0)
         migration = SlotMigration(
             "split", block.block_id, new_block.block_id, moving
         )

@@ -82,6 +82,9 @@ class JiffyQueue(DataStructure):
         block = self._allocate_block()
         block.payload["items"] = []
         block.payload["consumed"] = 0
+        # Zero-delta write: pushes the empty-segment skeleton to chain
+        # replicas so a promoted backup is well-formed before any enqueue.
+        block.add_used(0)
         if self._segments:
             prev = self._get_block(self._segments[-1])
             prev.payload["next"] = block.block_id

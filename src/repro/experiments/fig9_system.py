@@ -72,6 +72,8 @@ def run(
     system: str = "jiffy",
     sync_repartition: bool = False,
     flight_out: Optional[str] = None,
+    replication: int = 1,
+    kill_server: bool = False,
 ) -> Fig9SystemResult:
     """Replay the workload at each DRAM capacity fraction.
 
@@ -87,6 +89,10 @@ def run(
     ``flight_out`` flight-records each replay into one sqlite file, one
     run tag per DRAM fraction (``dram=60%``, ...); query it with
     ``python -m repro telemetry query``.
+
+    ``replication`` turns on chain replication at that factor;
+    ``kill_server`` crashes one random server halfway through each
+    replay (and joins a replacement) — the failure-injection smoke.
     """
     jobs = _make_workload(seed, duration_s)
     # Peak concurrent demand defines the 100% point.
@@ -112,6 +118,10 @@ def run(
             sync_repartition=sync_repartition,
             flight_out=flight_out,
             flight_run=f"dram={fraction:.0%}",
+            replication=replication,
+            kill_at_step=(
+                int(math.ceil(duration_s / dt)) // 2 if kill_server else None
+            ),
         )
         point.dram_fraction = fraction
         result.points.append(point)
@@ -128,7 +138,7 @@ def format_report(result: Fig9SystemResult) -> str:
         ]
         for p in result.points
     ]
-    return format_table(
+    table = format_table(
         ["DRAM capacity", "avg slowdown", "peak spill blocks", "spilled writes"],
         rows,
         title=(
@@ -136,3 +146,12 @@ def format_report(result: Fig9SystemResult) -> str:
             "tiered pool"
         ),
     )
+    kills = sum(p.kills for p in result.points)
+    if kills:
+        promoted = sum(p.kill_promoted for p in result.points)
+        lost = sum(p.kill_data_lost for p in result.points)
+        table += (
+            f"\nfault injection: {kills} server(s) killed mid-replay, "
+            f"{promoted} replica(s) promoted, {lost} block(s) of data lost"
+        )
+    return table

@@ -53,13 +53,22 @@ class SystemRunPoint:
     avg_slowdown: float
     spilled_blocks_peak: int
     spill_write_bytes: int
+    # Fault-injection outcome (kill_at_step replays only).
+    kills: int = 0
+    kill_promoted: int = 0
+    kill_data_lost: int = 0
 
 
-def _make_tiered_pool(dram_blocks: int, block_size: int) -> TieredMemoryPool:
+def _make_tiered_pool(
+    dram_blocks: int, block_size: int, num_servers: int = 1
+) -> TieredMemoryPool:
     pool = TieredMemoryPool(
         block_size=block_size, spill_tier=SSD_TIER, spill_server_blocks=64
     )
-    pool.add_server(num_blocks=max(dram_blocks, 1))
+    num_servers = max(num_servers, 1)
+    per_server = max(dram_blocks // num_servers, 1)
+    for _ in range(num_servers):
+        pool.add_server(num_blocks=per_server)
     return pool
 
 
@@ -71,11 +80,17 @@ def _make_plane(
     num_shards: int,
     sync_repartition: bool = False,
     registry=None,
+    replication: int = 1,
 ) -> ControlPlane:
     """A control plane over tiered pool(s) sized to ``dram_blocks``."""
     config = JiffyConfig(
-        block_size=block_size, async_repartition=not sync_repartition
+        block_size=block_size,
+        async_repartition=not sync_repartition,
+        replication_factor=replication,
     )
+    # Replication needs at least two DRAM servers per pool so chains
+    # (and kill recovery) have somewhere to place the surviving replica.
+    servers_per_pool = 2 if replication > 1 else 1
     if backend == "sharded":
         # Share-nothing shards each own a slice of the DRAM budget. The
         # per-shard DRAM servers get distinct ids so block ids stay
@@ -89,9 +104,12 @@ def _make_plane(
                 spill_tier=SSD_TIER,
                 spill_server_blocks=64,
             )
-            pool.add_server(
-                num_blocks=per_shard, server_id=f"shard{index}/server-0"
-            )
+            per_server = max(per_shard // servers_per_pool, 1)
+            for j in range(servers_per_pool):
+                pool.add_server(
+                    num_blocks=per_server,
+                    server_id=f"shard{index}/server-{j}",
+                )
             return pool
 
         return make_control_plane(
@@ -102,7 +120,9 @@ def _make_plane(
             pool_factory=pool_factory,
             registry=registry,
         )
-    pool = _make_tiered_pool(dram_blocks, block_size)
+    pool = _make_tiered_pool(
+        dram_blocks, block_size, num_servers=servers_per_pool
+    )
     return make_control_plane(
         backend, config=config, clock=clock, pool=pool, registry=registry
     )
@@ -131,6 +151,8 @@ def replay_jiffy(
     sync_repartition: bool = False,
     flight_out: Optional[str] = None,
     flight_run: str = "run0",
+    replication: int = 1,
+    kill_at_step: Optional[int] = None,
 ) -> SystemRunPoint:
     """Replay ``jobs`` through the real Jiffy stack on a tiered pool.
 
@@ -140,6 +162,12 @@ def replay_jiffy(
     backend — the replay issues identical calls against each.
     ``sync_repartition`` is the ablation: repartitioning runs inline on
     the triggering write instead of in the background.
+
+    ``replication`` enables chain replication (the DRAM budget is split
+    across two servers per pool so chains have a placement target), and
+    ``kill_at_step`` crashes one random server after that replay step —
+    with ``replication >= 2`` the run must complete cleanly and report
+    zero lost data (a replacement server joins right after the kill).
 
     With ``flight_out``, the replay is flight-recorded: a fresh registry
     is sampled every ``dt`` of sim time (per-tenant and per-server
@@ -176,6 +204,7 @@ def replay_jiffy(
             num_shards,
             sync_repartition,
             registry=registry,
+            replication=replication,
         )
     except BaseException:
         if previous_tracer is not None:
@@ -271,12 +300,30 @@ def replay_jiffy(
                 client.renew_leases(renewals)
         return step_spill
 
+    kills = 0
+    kill_promoted = 0
+    kill_data_lost = 0
     try:
-        for _ in range(steps):
+        for step in range(steps):
             spill_write_bytes += one_step(clock.now())
             clock.advance(dt)
             plane.tick()
             spilled_peak = max(spilled_peak, spilled_blocks())
+            if kill_at_step is not None and step == kill_at_step:
+                from repro.sim.faults import FailureInjector
+
+                # Settle in-flight chain repairs, then crash one random
+                # server and join a same-sized replacement — the replay
+                # keeps going against the promoted replicas.
+                plane.drain_background()
+                injector = FailureInjector(plane, seed=0)
+                victim = injector.kill_random_server()
+                if victim is not None:
+                    _, stats = injector.kills[-1]
+                    kills += 1
+                    kill_promoted += stats["promoted"]
+                    kill_data_lost += stats["data_lost"]
+                    plane.join_server()
     finally:
         if previous_tracer is not None:
             telemetry_mod.set_tracer(previous_tracer)
@@ -310,6 +357,8 @@ def replay_jiffy(
                 "dt": dt,
                 "jobs": len(jobs),
                 "sync_repartition": sync_repartition,
+                "replication": replication,
+                "kill_at_step": kill_at_step if kill_at_step is not None else -1,
             },
         )
 
@@ -321,6 +370,9 @@ def replay_jiffy(
         avg_slowdown=float(np.mean(slowdowns)),
         spilled_blocks_peak=spilled_peak,
         spill_write_bytes=spill_write_bytes,
+        kills=kills,
+        kill_promoted=kill_promoted,
+        kill_data_lost=kill_data_lost,
     )
 
 
@@ -442,6 +494,8 @@ def replay_system(
     sync_repartition: bool = False,
     flight_out: Optional[str] = None,
     flight_run: str = "run0",
+    replication: int = 1,
+    kill_at_step: Optional[int] = None,
 ) -> SystemRunPoint:
     """Replay ``jobs`` through one functional system at one capacity.
 
@@ -449,7 +503,8 @@ def replay_system(
     the Jiffy control-plane backend (ignored for Pocket, which has no
     separable control plane — job-granular reservation *is* its control
     decision). ``flight_out`` flight-records Jiffy replays (Pocket has
-    no telemetry surface to record).
+    no telemetry surface to record). ``replication``/``kill_at_step``
+    enable chain replication and mid-replay fault injection (Jiffy only).
     """
     if system == "jiffy":
         return replay_jiffy(
@@ -464,6 +519,8 @@ def replay_system(
             sync_repartition=sync_repartition,
             flight_out=flight_out,
             flight_run=flight_run,
+            replication=replication,
+            kill_at_step=kill_at_step,
         )
     if system == "pocket":
         return replay_pocket(

@@ -246,6 +246,11 @@ def serve_control_plane(
     def stats() -> str:
         return json.dumps(plane.stats())
 
+    def list_servers() -> str:
+        # The whole membership view in ONE request (a row per server
+        # would be N RPCs); dict rows cross as JSON.
+        return json.dumps(plane.list_servers())
+
     marshalled: Dict[str, Callable[..., Any]] = {
         "register_job": register_job,
         "create_addr_prefix": create_addr_prefix,
@@ -263,6 +268,7 @@ def serve_control_plane(
         "update_metadata": update_metadata,
         "describe_job": describe_job,
         "stats": stats,
+        "list_servers": list_servers,
     }
     for spec in CONTROL_SURFACE:
         if spec.name in DATA_PLANE_METHODS:
@@ -442,6 +448,31 @@ class RemoteControlPlane(ControlPlane):
         # Data-plane path: block payload access never crosses the
         # control-plane wire (§2).
         return self._plane.get_block(block_id, job_id)
+
+    # -- elastic server membership ----------------------------------------
+
+    def join_server(
+        self,
+        num_blocks: Optional[int] = None,
+        server_id: Optional[str] = None,
+    ) -> str:
+        return self._call("join_server", num_blocks, server_id)
+
+    def leave_server(self, server_id: str) -> int:
+        return self._call("leave_server", server_id)
+
+    def list_servers(self) -> List[Dict[str, Any]]:
+        """The whole membership view in ONE request."""
+        return json.loads(self._call("list_servers"))
+
+    def kill_server(self, server_id: str) -> Dict[str, int]:
+        """Fault injection: crash a server at the served plane.
+
+        Deliberately NOT an RPC — a crashed server cannot answer one;
+        the injector reaches the data plane directly, like pulling the
+        plug on the real machine.
+        """
+        return self._plane.kill_server(server_id)  # type: ignore[attr-defined]
 
     # -- allocation-policy hooks -----------------------------------------
 

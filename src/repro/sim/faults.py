@@ -1,0 +1,149 @@
+"""Failure injection for elastic-membership testing (§4.2.2).
+
+A :class:`FailureInjector` drives kills, drains, and network partitions
+against any :class:`~repro.core.plane.ControlPlane` backend, with a
+seeded RNG so every schedule is reproducible. Faults can fire
+immediately (:meth:`kill`, :meth:`drain`) or be armed to trigger after a
+configurable number of observed operations (:meth:`arm` +
+:meth:`note`), which lets a test inject a crash at an exact point in a
+workload without sleeping or threading.
+
+The injector never makes a fault *unsurvivable by construction*: a kill
+candidate's pool must retain at least one other live server, so chain
+replication (replication_factor >= 2) always has somewhere to have
+placed the surviving replica. Whether the data actually survives is the
+system's job — that is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.timeseries import controllers_of
+
+#: An armed fault: a callable taking the injector, fired from note().
+Action = Callable[["FailureInjector"], Any]
+
+
+class FailureInjector:
+    """Seeded, deterministic fault injection against a control plane.
+
+    Args:
+        plane: any ControlPlane backend (local, sharded, or remote);
+            faults are applied to the concrete controller(s) behind it.
+        seed: RNG seed — two injectors with the same seed pick the same
+            victims in the same order.
+    """
+
+    def __init__(self, plane: Any, seed: int = 0) -> None:
+        self.plane = plane
+        self.controllers = controllers_of(plane)
+        self.rng = random.Random(seed)
+        #: (server_id, kill stats) per kill, in order.
+        self.kills: List[Tuple[str, Dict[str, int]]] = []
+        #: server ids handed to leave_server, in order.
+        self.drains: List[str] = []
+        self.ops_noted = 0
+        self._armed: List[Tuple[int, Action]] = []
+
+    # ------------------------------------------------------------------
+    # Server discovery
+    # ------------------------------------------------------------------
+
+    def servers(self) -> List[str]:
+        """Every live server id across every underlying pool, sorted."""
+        out = []
+        for controller in self.controllers:
+            out.extend(s.server_id for s in controller.pool.servers())
+        return sorted(out)
+
+    def killable_servers(self) -> List[str]:
+        """Servers whose pool would retain at least one live server."""
+        out = []
+        for controller in self.controllers:
+            ids = [s.server_id for s in controller.pool.servers()]
+            if len(ids) >= 2:
+                out.extend(ids)
+        return sorted(out)
+
+    def _controller_of(self, server_id: str) -> Any:
+        for controller in self.controllers:
+            if controller.pool.has_server(server_id):
+                return controller
+        raise ValueError(f"no server {server_id} behind this plane")
+
+    # ------------------------------------------------------------------
+    # Fault primitives
+    # ------------------------------------------------------------------
+
+    def kill(self, server_id: str) -> Dict[str, int]:
+        """Crash a server through the plane; returns the kill stats."""
+        stats = self.plane.kill_server(server_id)
+        self.kills.append((server_id, stats))
+        return stats
+
+    def kill_random_server(self) -> Optional[str]:
+        """Crash a random killable server; None when none qualifies."""
+        candidates = self.killable_servers()
+        if not candidates:
+            return None
+        victim = self.rng.choice(candidates)
+        self.kill(victim)
+        return victim
+
+    def drain(self, server_id: str) -> int:
+        """Start a graceful drain-and-remove; returns resident blocks."""
+        self.drains.append(server_id)
+        return self.plane.leave_server(server_id)
+
+    def drain_random_server(self) -> Optional[str]:
+        """Drain a random not-already-draining killable server."""
+        candidates = [
+            sid
+            for sid in self.killable_servers()
+            if not self._controller_of(sid).pool.is_draining(sid)
+        ]
+        if not candidates:
+            return None
+        victim = self.rng.choice(candidates)
+        self.drain(victim)
+        return victim
+
+    def partition(self, server_id: str) -> None:
+        """Cut a server off the network (reads raise, no allocations)."""
+        self._controller_of(server_id).pool.partition(server_id)
+
+    def heal(self, server_id: str) -> None:
+        """Reconnect a partitioned server."""
+        self._controller_of(server_id).pool.heal(server_id)
+
+    # ------------------------------------------------------------------
+    # Deterministic triggers
+    # ------------------------------------------------------------------
+
+    def arm(self, after_ops: int, action: Action) -> None:
+        """Schedule ``action`` to fire ``after_ops`` noted ops from now."""
+        if after_ops < 0:
+            raise ValueError("after_ops must be >= 0")
+        self._armed.append((self.ops_noted + after_ops, action))
+
+    def note(self, n: int = 1) -> List[Any]:
+        """Record ``n`` workload ops; fires any armed faults now due.
+
+        Returns the armed actions' results (empty when none fired).
+        """
+        self.ops_noted += n
+        due = [entry for entry in self._armed if entry[0] <= self.ops_noted]
+        if not due:
+            return []
+        self._armed = [
+            entry for entry in self._armed if entry[0] > self.ops_noted
+        ]
+        return [action(self) for _, action in due]
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureInjector(kills={len(self.kills)}, "
+            f"drains={len(self.drains)}, armed={len(self._armed)})"
+        )

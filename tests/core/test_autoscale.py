@@ -3,7 +3,11 @@
 import pytest
 
 from repro.blocks.pool import MemoryPool
+from repro.config import KB, JiffyConfig
 from repro.core.autoscale import ClusterAutoscaler
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
 
 
 @pytest.fixture
@@ -88,6 +92,103 @@ class TestScaleDown:
         )
         scaler.evaluate()
         assert scaler.free_fraction() >= 0.5
+
+
+class _RacingPool(MemoryPool):
+    """Pool that sneaks an allocation onto a server as it is marked.
+
+    Models the pick-then-remove race: an allocation lands on the
+    scale-down candidate after the autoscaler picked it (while it was
+    still empty) but before the removal. Marking happens-before the
+    final emptiness check, so the drain-gated autoscaler must see the
+    late block and skip the removal instead of raising.
+    """
+
+    def __init__(self, *args, race_on: str, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._race_on = race_on
+        self.raced = False
+
+    def mark_draining(self, server_id: str) -> None:
+        if server_id == self._race_on and not self.raced:
+            self.raced = True
+            block = self.allocate()  # least-loaded: lands on the candidate
+            assert block.server_id == server_id
+        super().mark_draining(server_id)
+
+
+class TestScaleDownRace:
+    def test_late_allocation_on_candidate_skips_removal(self):
+        pool = _RacingPool(block_size=100, race_on="b")
+        pool.add_server(num_blocks=4, server_id="a")
+        pool.add_server(num_blocks=4, server_id="b")
+        # Leave "a" loaded and "b" empty so "b" is the removal pick.
+        for _ in range(2):
+            block = pool.allocate(exclude={"b"})
+            assert block.server_id == "a"
+        scaler = ClusterAutoscaler(
+            pool, blocks_per_server=4, high_free_fraction=0.5
+        )
+        actions = scaler.evaluate()  # 6/8 free: wants to remove "b"
+        assert pool.raced, "race path was not exercised"
+        assert all(a.kind != "remove" for a in actions)
+        assert pool.num_servers == 2  # candidate kept its late block
+        assert not pool.is_draining("b")  # unmarked, allocatable again
+        assert pool.free_blocks + pool.allocated_blocks == pool.total_blocks
+
+
+class TestControllerMode:
+    def _controller(self, **overrides):
+        defaults = dict(
+            block_size=KB,
+            autoscale=True,
+            autoscale_low_free=0.2,
+            autoscale_high_free=0.8,
+            autoscale_blocks_per_server=8,
+        )
+        defaults.update(overrides)
+        return JiffyController(
+            JiffyConfig(**defaults), clock=SimClock(), default_blocks=8
+        )
+
+    def test_tick_joins_servers_when_free_low(self):
+        controller = self._controller()
+        controller.register_job("j")
+        controller.create_addr_prefix("j", "t")
+        for _ in range(7):  # 1/8 free = 12.5% < 20%
+            assert controller.try_allocate_block("j", "t") is not None
+        controller.tick()
+        assert controller.pool.num_servers == 2
+        assert any(a.kind == "add" for a in controller.autoscaler.actions)
+
+    def test_tick_drains_loaded_surplus_server(self):
+        # Controller mode scales down through leave_server, so even a
+        # *loaded* surplus server is drained safely via migration.
+        controller = self._controller(autoscale_high_free=0.5)
+        client = connect(controller, "j")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        payload = bytes(range(256)) * 8  # ~2 blocks
+        f.append(payload)
+        controller.join_server(8)
+        controller.join_server(8)  # 3 servers, mostly free
+        controller.tick()
+        assert any(
+            a.kind == "drain" for a in controller.autoscaler.actions
+        )
+        controller.drain_background()
+        assert controller.pool.num_servers < 3
+        assert f.readall() == payload  # migrated, not dropped
+
+    def test_respects_min_servers_with_draining_excluded(self):
+        controller = self._controller(
+            autoscale_high_free=0.5, autoscale_min_servers=2
+        )
+        controller.join_server(8)
+        controller.join_server(8)
+        controller.tick()
+        controller.drain_background()
+        assert controller.pool.num_servers == 2
 
 
 class TestValidation:

@@ -1,0 +1,208 @@
+"""Drain-and-migrate interleaving equivalence (§3.3, §4.2.2).
+
+``leave_server`` is enqueue-and-return: blocks migrate off the draining
+server in background steps while data structures keep serving through
+cached block ids (resolved via the controller's forwarding table). These
+tests pin the correctness contract — any hypothesis-chosen schedule of
+drain steps interleaved with foreground KV/queue/file operations, server
+joins, and further leaves converges to exactly the state the quiesced
+path (drain runs to completion before the next op) produces, byte for
+byte.
+
+Mirrors ``tests/datastructures/test_async_repartition.py``: foreground
+ops never poll the scheduler themselves, so the schedule alone decides
+when migration cut-over steps run.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.sim.clock import SimClock
+
+KEYS = [f"k{i:02d}".encode() for i in range(16)]
+MAX_SERVERS = 6
+
+
+class Env:
+    """One controller + one tenant with a kv, a queue, and a file."""
+
+    def __init__(self, quiesced: bool) -> None:
+        self.quiesced = quiesced
+        self.controller = JiffyController(
+            JiffyConfig(block_size=KB),
+            clock=SimClock(),
+            default_blocks=32,
+        )
+        for _ in range(2):
+            self.controller.join_server(32)
+        client = connect(self.controller, "job")
+        for prefix in ("kv", "q", "f"):
+            client.create_addr_prefix(prefix)
+        self.kv = client.init_data_structure("kv", "kv_store", num_slots=16)
+        self.q = client.init_data_structure("q", "fifo_queue")
+        self.f = client.init_data_structure("f", "file")
+        # Shadow models: plain python state the real structures must match.
+        self.kv_model = {}
+        self.q_model = []
+        self.f_model = bytearray()
+        self._joined = 0
+
+    def leave_one(self, pick: int) -> None:
+        """Drain a deterministically chosen non-draining server."""
+        candidates = sorted(
+            row["server_id"]
+            for row in self.controller.list_servers()
+            if not row["draining"]
+        )
+        if len(candidates) < 2:
+            return  # always keep one live migration target
+        self.controller.leave_server(candidates[pick % len(candidates)])
+        if self.quiesced:
+            self.controller.drain_background()
+
+    def join_one(self) -> None:
+        if len(self.controller.list_servers()) >= MAX_SERVERS:
+            return
+        self._joined += 1
+        self.controller.join_server(32, server_id=f"late-{self._joined}")
+
+    def check_agrees(self) -> None:
+        assert sorted(dict(self.kv.items())) == sorted(self.kv_model)
+        assert len(self.q) == len(self.q_model)
+        assert self.f.readall() == bytes(self.f_model)
+
+    def check_full(self) -> None:
+        assert dict(self.kv.items()) == self.kv_model
+        assert self.q.drain() == self.q_model
+        self.q_model = []
+        assert self.f.readall() == bytes(self.f_model)
+
+
+def apply_op(env: Env, op) -> None:
+    kind = op[0]
+    if kind == "put":
+        _, ki, tag, rep = op
+        value = (b"v%d-" % tag) * rep
+        env.kv.put(KEYS[ki], value)
+        env.kv_model[KEYS[ki]] = value
+    elif kind == "get":
+        key = KEYS[op[1]]
+        if key in env.kv_model:
+            assert env.kv.get(key) == env.kv_model[key]
+        else:
+            assert not env.kv.exists(key)
+    elif kind == "delete":
+        key = KEYS[op[1]]
+        if key in env.kv_model:
+            assert env.kv.delete(key) == env.kv_model.pop(key)
+    elif kind == "enq":
+        item = (b"q%d-" % op[1]) * op[2]
+        env.q.enqueue(item)
+        env.q_model.append(item)
+    elif kind == "deq":
+        if env.q_model:
+            assert env.q.dequeue() == env.q_model.pop(0)
+    elif kind == "append":
+        data = bytes([op[1]]) * op[2]
+        env.f.append(data)
+        env.f_model.extend(data)
+    elif kind == "readf":
+        lo = op[1] % (len(env.f_model) + 1)
+        assert env.f.read_at(lo, op[2]) == bytes(
+            env.f_model[lo : lo + op[2]]
+        )
+    elif kind == "leave":
+        env.leave_one(op[1])
+    elif kind == "join":
+        env.join_one()
+    elif kind == "step" and not env.quiesced:
+        env.controller.background.poll(op[1])
+
+
+_key = st.integers(0, len(KEYS) - 1)
+_tag = st.integers(0, 7)
+_op = st.one_of(
+    st.tuples(st.just("put"), _key, _tag, st.integers(1, 30)),
+    st.tuples(st.just("get"), _key),
+    st.tuples(st.just("delete"), _key),
+    st.tuples(st.just("enq"), _tag, st.integers(1, 20)),
+    st.tuples(st.just("deq")),
+    st.tuples(st.just("append"), st.integers(0, 255), st.integers(1, 120)),
+    st.tuples(st.just("readf"), st.integers(0, 4096), st.integers(0, 200)),
+    st.tuples(st.just("leave"), st.integers(0, 7)),
+    st.tuples(st.just("join")),
+    st.tuples(st.just("step"), st.integers(1, 4)),
+)
+
+
+class TestDrainInterleavingEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(_op, min_size=5, max_size=40))
+    def test_any_drain_schedule_matches_quiesced_path(self, ops):
+        live = Env(quiesced=False)
+        quiet = Env(quiesced=True)
+        for op in ops:
+            apply_op(live, op)
+            live.check_agrees()  # consistent at every interleaving point
+            apply_op(quiet, op)
+        # Run all in-flight drains (and repartitions) to completion.
+        assert live.controller.drain_background() >= 0
+        assert not live.controller.pool.draining_servers()
+        # Byte-identical to the quiesced execution and to the models.
+        assert dict(live.kv.items()) == dict(quiet.kv.items())
+        assert live.f.readall() == quiet.f.readall()
+        live.check_full()
+        quiet.check_full()
+
+    def test_drained_servers_fully_removed_after_schedule(self):
+        env = Env(quiesced=False)
+        for i in range(60):
+            env.f.append(bytes([i]) * 100)
+            env.f_model.extend(bytes([i]) * 100)
+        env.leave_one(0)
+        env.leave_one(1)
+        # Foreground traffic continues mid-drain.
+        for i in range(20):
+            env.kv.put(KEYS[i % len(KEYS)], b"x" * 50)
+            env.kv_model[KEYS[i % len(KEYS)]] = b"x" * 50
+            env.check_agrees()
+        env.controller.drain_background()
+        rows = env.controller.list_servers()
+        assert len(rows) == 1
+        assert not any(row["draining"] for row in rows)
+        env.check_full()
+
+    def test_replicated_drain_matches_model(self):
+        # Same interleaving contract with chain replication enabled: the
+        # drain must move heads without breaking replica chains.
+        controller = JiffyController(
+            JiffyConfig(block_size=KB, replication_factor=2),
+            clock=SimClock(),
+            default_blocks=32,
+        )
+        for _ in range(3):
+            controller.join_server(32)
+        client = connect(controller, "job")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        model = bytearray()
+        for i in range(40):
+            f.append(bytes([i]) * 90)
+            model.extend(bytes([i]) * 90)
+        victim = sorted(
+            row["server_id"]
+            for row in controller.list_servers()
+            if row["allocated_blocks"] > 0
+        )[0]
+        controller.leave_server(victim)
+        for i in range(40, 60):
+            f.append(bytes([i % 256]) * 90)
+            model.extend(bytes([i % 256]) * 90)
+        controller.drain_background()
+        assert all(
+            row["server_id"] != victim for row in controller.list_servers()
+        )
+        assert f.readall() == bytes(model)

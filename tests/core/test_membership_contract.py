@@ -1,0 +1,199 @@
+"""Elastic-membership conformance: join/leave/list on every backend.
+
+Each test runs against the local :class:`JiffyController`, the
+hash-routed :class:`ShardedController`, and the RPC-proxied
+:class:`RemoteControlPlane`, and must pass identically — server
+membership is part of the unified control-plane surface, not a
+backend-specific extra. The remote backend additionally pins the wire
+contract: a whole membership view travels in ONE request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.client import connect
+from repro.core.plane import BACKENDS, ControlPlane, make_control_plane
+from repro.errors import BlockError
+from repro.sim.clock import SimClock
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def plane(backend: str, clock: SimClock) -> ControlPlane:
+    return make_control_plane(
+        backend,
+        config=JiffyConfig(block_size=KB),
+        clock=clock,
+        default_blocks=64,
+        num_shards=2,
+    )
+
+
+def _row_of(plane: ControlPlane, server_id: str):
+    rows = [r for r in plane.list_servers() if r["server_id"] == server_id]
+    return rows[0] if rows else None
+
+
+class TestJoin:
+    def test_join_grows_capacity_immediately(self, plane):
+        before = plane.total_blocks()
+        sid = plane.join_server(16)
+        assert plane.total_blocks() == before + 16
+        row = _row_of(plane, sid)
+        assert row is not None
+        assert row["num_blocks"] == 16
+        assert row["free_blocks"] == 16
+        assert row["draining"] is False
+
+    def test_join_default_size_matches_largest_server(self, plane):
+        sid = plane.join_server()
+        sizes = [r["num_blocks"] for r in plane.list_servers()]
+        assert _row_of(plane, sid)["num_blocks"] == max(sizes)
+
+    def test_joined_capacity_is_allocatable(self, plane):
+        # Exhaust every pool behind the plane, then join: the very next
+        # allocation must succeed without any settling period.
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        while plane.try_allocate_block("j1", "t1") is not None:
+            pass
+        grown = 0
+        # Two joins cover both shards of the sharded backend (joins go
+        # to the least-capacity pool), so the job's pool grows whichever
+        # shard owns it.
+        for _ in range(2):
+            plane.join_server(8)
+            grown += 1
+        assert plane.try_allocate_block("j1", "t1") is not None
+
+    def test_list_servers_sorted_and_complete(self, plane):
+        plane.join_server(4, server_id="zz-late")
+        rows = plane.list_servers()
+        ids = [r["server_id"] for r in rows]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        for row in rows:
+            assert set(row) == {
+                "server_id",
+                "num_blocks",
+                "free_blocks",
+                "allocated_blocks",
+                "draining",
+            }
+
+
+class TestLeave:
+    def test_leave_empty_server_removes_immediately(self, plane):
+        sid = plane.join_server(8)
+        assert plane.leave_server(sid) == 0
+        assert _row_of(plane, sid) is None
+
+    def test_leave_unknown_server_raises(self, plane):
+        with pytest.raises(BlockError):
+            plane.leave_server("no-such-server")
+
+    def test_draining_server_refuses_new_allocations(self, plane):
+        plane.register_job("j1")
+        plane.create_addr_prefix("j1", "t1")
+        # Nearly fill the original capacity so allocations would prefer
+        # the big empty newcomer — unless it is draining.
+        sid = plane.join_server(4, server_id="drain-me")
+        plane.leave_server(sid)
+        row = _row_of(plane, sid)
+        if row is not None:  # empty server: removed at once
+            assert row["draining"] is True
+        for _ in range(8):
+            block = plane.try_allocate_block("j1", "t1")
+            assert block is not None
+            assert block.server_id != sid
+
+    def test_leave_loaded_server_migrates_data_off(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        payload = bytes(range(256)) * 24  # ~6 blocks at 1 KB
+        f.append(payload)
+        # Replacement capacity on every pool behind the plane (two joins
+        # cover both shards), then drain whichever servers hold data.
+        plane.join_server(64)
+        plane.join_server(64)
+        loaded = [
+            r["server_id"]
+            for r in plane.list_servers()
+            if r["allocated_blocks"] > 0 and not r["draining"]
+        ]
+        assert loaded
+        resident = sum(plane.leave_server(sid) for sid in loaded)
+        assert resident > 0
+        plane.drain_background()
+        for sid in loaded:
+            assert _row_of(plane, sid) is None  # drained, then removed
+        # Byte-identical through the cached client-side block ids.
+        assert f.readall() == payload
+        assert plane.used_bytes("j1") == len(payload)
+
+
+class TestKill:
+    def test_kill_unreplicated_server_reports_loss(self, plane):
+        client = connect(plane, "j1")
+        client.create_addr_prefix("f")
+        f = client.init_data_structure("f", "file")
+        f.append(b"doomed" * 100)
+        victims = [
+            r["server_id"]
+            for r in plane.list_servers()
+            if r["allocated_blocks"] > 0
+        ]
+        assert len(victims) == 1
+        stats = plane.kill_server(victims[0])
+        assert stats["lost_blocks"] >= 1
+        assert stats["data_lost"] == stats["lost_blocks"]
+        assert stats["promoted"] == 0
+        assert _row_of(plane, victims[0]) is None
+
+
+class TestRemoteWireContract:
+    """Membership ops over RPC: the whole view in one request."""
+
+    def _remote(self):
+        registry = MetricsRegistry()
+        plane = make_control_plane(
+            "remote",
+            config=JiffyConfig(block_size=KB),
+            default_blocks=64,
+            registry=registry,
+        )
+        return plane, registry
+
+    def test_list_servers_is_one_request(self):
+        plane, registry = self._remote()
+        plane.join_server(8)
+        plane.join_server(8)
+        before = registry.value("rpc.client.requests", method="list_servers")
+        rows = plane.list_servers()
+        after = registry.value("rpc.client.requests", method="list_servers")
+        assert len(rows) == 3
+        assert after - before == 1  # ONE request for the whole view
+
+    def test_join_and_leave_travel_over_rpc(self):
+        plane, registry = self._remote()
+        sid = plane.join_server(8, server_id="rpc-join")
+        assert sid == "rpc-join"
+        assert registry.value("rpc.client.requests", method="join_server") == 1
+        assert plane.leave_server(sid) == 0
+        assert registry.value("rpc.client.requests", method="leave_server") == 1
+
+    def test_membership_counters_recorded(self):
+        plane, registry = self._remote()
+        sid = plane.join_server(8)
+        plane.leave_server(sid)
+        assert registry.value("server.joined") == 1
+        assert registry.value("server.draining") == 1
+        assert registry.value("server.removed") == 1
