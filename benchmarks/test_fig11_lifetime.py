@@ -1,5 +1,7 @@
 """Fig 11(a): lease-based lifetime management per data structure."""
 
+from _results import record
+
 from repro.experiments import fig11
 
 
@@ -14,6 +16,17 @@ def test_fig11a_lifetime_management(once, capsys):
                 f"prefixes expired={replay.prefixes_expired:3d} "
                 f"blocks reclaimed={replay.blocks_reclaimed_by_expiry}"
             )
+    record(
+        "fig11_lifetime",
+        {
+            f"{ds_type}_avg_utilization": (replay.avg_utilization(), "frac")
+            for ds_type, replay in result.replays.items()
+        }
+        | {
+            f"{ds_type}_avg_fill": (replay.avg_fill(), "frac")
+            for ds_type, replay in result.replays.items()
+        },
+    )
     for ds_type, replay in result.replays.items():
         # Allocation tracked the data and was reclaimed after use.
         assert replay.allocated_bytes.max() > 0, ds_type

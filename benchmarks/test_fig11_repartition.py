@@ -1,6 +1,7 @@
 """Fig 11(b): repartition latency CDF and op latency during scaling."""
 
 import numpy as np
+from _results import record
 
 from repro.analysis.cdf import percentile
 from repro.experiments import fig11
@@ -22,6 +23,20 @@ def test_fig11b_repartition_latency(once, capsys):
             f"{np.median(result.get_before) * 1e3:.2f}ms / "
             f"{np.median(result.get_during) * 1e3:.2f}ms"
         )
+    record(
+        "fig11_repartition",
+        {
+            f"{ds_type}_repartition_{tag}_ms": (
+                percentile(samples, q) * 1e3, "ms"
+            )
+            for ds_type, samples in result.repartition_latencies.items()
+            for tag, q in (("p50", 50), ("p99", 99))
+        }
+        | {
+            "get_p50_before_ms": (np.median(result.get_before) * 1e3, "ms"),
+            "get_p50_during_ms": (np.median(result.get_during) * 1e3, "ms"),
+        },
+    )
     # Paper: repartitioning completes in 2-500ms per block.
     for ds_type, samples in result.repartition_latencies.items():
         assert percentile(samples, 1) > 1e-3, ds_type

@@ -1,5 +1,7 @@
 """Fig 14: sensitivity to block size, lease duration, repartition threshold."""
 
+from _results import record
+
 from repro.experiments import fig14
 
 
@@ -12,6 +14,18 @@ def test_fig14_sensitivity_sweeps(once, capsys):
     block = [p.avg_utilization for p in result.block_size]
     lease = [p.avg_utilization for p in result.lease_duration]
     threshold = [p.avg_utilization for p in result.threshold]
+    record(
+        "fig14_sensitivity",
+        {
+            f"{sweep}_{p.label}_utilization": (p.avg_utilization, "frac")
+            for sweep, points in (
+                ("block", result.block_size),
+                ("lease", result.lease_duration),
+                ("threshold", result.threshold),
+            )
+            for p in points
+        },
+    )
 
     # (a) larger blocks -> lower utilisation.
     assert block[0] > block[-1]

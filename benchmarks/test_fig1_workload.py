@@ -1,5 +1,7 @@
 """Fig 1: Snowflake-style workload variability analysis."""
 
+from _results import record
+
 from repro.experiments import fig1
 
 
@@ -8,6 +10,17 @@ def test_fig1_workload_variability(once, capsys):
     with capsys.disabled():
         print()
         print(fig1.format_report(result))
+    ratios = sorted(result.peak_to_mean.values())
+    record(
+        "fig1_workload",
+        {
+            "peak_to_mean_max": (max(ratios), "x"),
+            "peak_to_mean_median": (ratios[len(ratios) // 2], "x"),
+            "avg_utilization_peak_provisioned": (
+                result.avg_utilization_peak_provisioned, "frac"
+            ),
+        },
+    )
     # Paper: peak/mean can vary by an order of magnitude; avg
     # peak-provisioned utilisation is low (19% across tenants).
     assert max(result.peak_to_mean.values()) > 3.0

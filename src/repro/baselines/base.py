@@ -144,8 +144,7 @@ def job_demand_profile(
     i0 = timeline.index_of(start)
     i1 = timeline.index_of(end - 1e-9) + 1
     ts = timeline.times()[i0:i1]
-    demand = np.array([job.demand_at(t) for t in ts])
-    return i0, demand
+    return i0, job.demand_series(ts)
 
 
 def job_io_profile(job: JobTrace, timeline: CapacityTimeline) -> Tuple[int, np.ndarray]:
@@ -171,8 +170,13 @@ def job_io_profile(job: JobTrace, timeline: CapacityTimeline) -> Tuple[int, np.n
         j0 = timeline.index_of(t_a)
         j1 = timeline.index_of(t_b - 1e-9) + 1
         span = j1 - j0
-        for j in range(j0, j1):
-            io[j - i0] += volume / span
+        if j0 >= i0:
+            io[j0 - i0 : j1 - i0] += volume / span
+        else:
+            # A final-stage read of a job shorter than one step starts
+            # before the job's first index; negative offsets wrap to the
+            # tail (replay results are pinned to this attribution).
+            np.add.at(io, np.arange(j0, j1) - i0, volume / span)
 
     for i, stage in enumerate(job.stages):
         spread(stage.start, stage.end, stage.output_bytes)  # write

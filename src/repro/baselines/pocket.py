@@ -57,7 +57,11 @@ class PocketPolicy(AllocationPolicy):
 
     def _declared_demand(self, job: JobTrace) -> float:
         if self.declare == "peak":
-            return job.peak_demand()
+            # Pocket provisions from the job's *sampled* demand profile
+            # (a fixed 200-point grid); replay results are pinned to
+            # that estimate, so the exact stage-boundary peak is not
+            # used here.
+            return job.peak_demand(include_boundaries=False)
         return job.mean_demand()
 
     def replay(

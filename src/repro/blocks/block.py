@@ -37,6 +37,7 @@ class Block:
         "_used",
         "_sealed",
         "_on_write",
+        "_acct",
     )
 
     def __init__(
@@ -61,6 +62,10 @@ class Block:
         # the write is acknowledged. None on unreplicated blocks — the
         # common path pays a single attribute check.
         self._on_write: Optional[Callable[["Block"], None]] = None
+        # Accounting hook: the hosting server installs this so usage
+        # changes update its running used-bytes total incrementally
+        # (keeps server/pool ``used_bytes()`` O(1)). Receives the delta.
+        self._acct: Optional[Callable[[int], None]] = None
 
     @property
     def used(self) -> int:
@@ -97,9 +102,22 @@ class Block:
                 f"used={used} exceeds capacity={self.capacity} "
                 f"for block {self.block_id}"
             )
+        if self._acct is not None and used != self._used:
+            self._acct(used - self._used)
         self._used = used
         if self._on_write is not None:
             self._on_write(self)
+
+    def mirror_used(self, used: int) -> None:
+        """Set usage without firing the write hook.
+
+        Replica maintenance (chain propagation, block moves) mirrors the
+        head's usage onto a backup; firing ``_on_write`` there would
+        re-enter the chain. Accounting still sees the change.
+        """
+        if self._acct is not None and used != self._used:
+            self._acct(used - self._used)
+        self._used = used
 
     def add_used(self, delta: int) -> None:
         """Adjust usage by ``delta`` bytes (may be negative)."""
@@ -112,6 +130,8 @@ class Block:
     def reset(self) -> None:
         """Clear payload and usage; called when the block is reclaimed."""
         self.payload = {}
+        if self._acct is not None and self._used:
+            self._acct(-self._used)
         self._used = 0
         self._sealed = False
         self._on_write = None

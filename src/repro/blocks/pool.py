@@ -24,6 +24,10 @@ class MemoryPool:
             raise BlockError(f"block_size must be positive, got {block_size}")
         self.block_size = block_size
         self._servers: Dict[str, MemoryServer] = {}
+        # Block-id → hosting server route table, maintained at server
+        # add/remove so per-op resolution is one dict hit instead of a
+        # string parse + hosted check on every data-plane access.
+        self._block_server: Dict[BlockId, MemoryServer] = {}
         self._next_server = 0
         # Servers scheduled to leave: their resident blocks stay readable
         # and writable while the controller drains them, but no *new*
@@ -44,10 +48,18 @@ class MemoryPool:
             self._next_server += 1
         if server_id in self._servers:
             raise BlockError(f"server {server_id} already in pool")
-        self._servers[server_id] = MemoryServer(
-            server_id, num_blocks, self.block_size
-        )
+        server = MemoryServer(server_id, num_blocks, self.block_size)
+        self._servers[server_id] = server
+        self._register_blocks(server)
         return server_id
+
+    def _register_blocks(self, server: MemoryServer) -> None:
+        for block in server._blocks:
+            self._block_server[block.block_id] = server
+
+    def _unregister_blocks(self, server: MemoryServer) -> None:
+        for block in server._blocks:
+            self._block_server.pop(block.block_id, None)
 
     def remove_server(self, server_id: str) -> None:
         """Detach a server; it must have no allocated blocks."""
@@ -58,6 +70,7 @@ class MemoryPool:
                 "allocated blocks"
             )
         del self._servers[server_id]
+        self._unregister_blocks(server)
         self._draining.discard(server_id)
         self._partitioned.discard(server_id)
 
@@ -73,6 +86,7 @@ class MemoryPool:
         server = self._get_server(server_id)
         lost = server.wipe()
         del self._servers[server_id]
+        self._unregister_blocks(server)
         self._draining.discard(server_id)
         self._partitioned.discard(server_id)
         return lost
@@ -196,9 +210,8 @@ class MemoryPool:
             raise BlockError(f"no server {server_id} in pool") from None
 
     def _server_of(self, block_id: BlockId) -> MemoryServer:
-        server_id, _, _ = block_id.partition(":")
-        server = self._servers.get(server_id)
-        if server is None or not server.hosts(block_id):
+        server = self._block_server.get(block_id)
+        if server is None:
             raise BlockError(f"no server in pool hosts block {block_id}")
         return server
 

@@ -4,11 +4,18 @@ Mirrors the paper's data plane (§4.2.2): each memory server maintains a
 mapping from blockIDs to the memory backing them. RPC transport is not
 modelled here — latency accounting for experiments lives in
 :mod:`repro.sim.network`.
+
+Block metadata is slab-backed: blocks live in a list indexed by the
+integer slot embedded in the block id (``"<server>:<slot>"``), the free
+list holds integer slots, an allocation bitmap gives O(1) double-free
+checks, and per-block usage changes update a running total so
+:meth:`MemoryServer.used_bytes` is O(1) instead of a sum over every
+block on every telemetry sample.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Iterator, List
 
 from repro.blocks.block import Block, BlockId
 from repro.errors import BlockError, CapacityError
@@ -27,15 +34,35 @@ class MemoryServer:
             raise BlockError(f"num_blocks must be positive, got {num_blocks}")
         self.server_id = server_id
         self.block_size = block_size
-        self._blocks: Dict[BlockId, Block] = {}
-        self._free: List[BlockId] = []
-        for i in range(num_blocks):
-            block_id = f"{server_id}:{i}"
-            self._blocks[block_id] = Block(block_id, server_id, block_size)
-            self._free.append(block_id)
+        self._prefix = server_id + ":"
+        self._blocks: List[Block] = [
+            Block(f"{server_id}:{i}", server_id, block_size)
+            for i in range(num_blocks)
+        ]
+        for block in self._blocks:
+            block._acct = self._account
+        self._allocated = bytearray(num_blocks)
         # LIFO reuse keeps recently touched blocks warm; reverse so that
         # block 0 is handed out first, which makes tests deterministic.
-        self._free.reverse()
+        self._free: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._used_total = 0
+
+    def _account(self, delta: int) -> None:
+        """Per-block usage-change hook: keeps ``used_bytes`` O(1)."""
+        self._used_total += delta
+
+    def _slot(self, block_id: BlockId) -> int:
+        """Resolve a block id to its slab slot; raises if not hosted."""
+        if block_id.startswith(self._prefix):
+            try:
+                slot = int(block_id[len(self._prefix):])
+            except ValueError:
+                slot = -1
+            if 0 <= slot < len(self._blocks):
+                return slot
+        raise BlockError(
+            f"server {self.server_id} does not host block {block_id}"
+        )
 
     @property
     def num_blocks(self) -> int:
@@ -50,7 +77,7 @@ class MemoryServer:
     @property
     def allocated_blocks(self) -> int:
         """Blocks currently allocated to some address-prefix."""
-        return self.num_blocks - self.free_blocks
+        return len(self._blocks) - len(self._free)
 
     @property
     def capacity_bytes(self) -> int:
@@ -59,32 +86,28 @@ class MemoryServer:
 
     def used_bytes(self) -> int:
         """Bytes in use across all allocated blocks."""
-        free = set(self._free)
-        return sum(b.used for bid, b in self._blocks.items() if bid not in free)
+        return self._used_total
 
     def allocate(self) -> Block:
         """Hand out a free block; raises :class:`CapacityError` if none."""
         if not self._free:
             raise CapacityError(f"server {self.server_id} has no free blocks")
-        block_id = self._free.pop()
-        return self._blocks[block_id]
+        slot = self._free.pop()
+        self._allocated[slot] = 1
+        return self._blocks[slot]
 
     def reclaim(self, block_id: BlockId) -> None:
         """Return a block to the free pool, clearing its contents."""
-        block = self.get(block_id)
-        if block_id in self._free:
+        slot = self._slot(block_id)
+        if not self._allocated[slot]:
             raise BlockError(f"block {block_id} is already free")
-        block.reset()
-        self._free.append(block_id)
+        self._blocks[slot].reset()
+        self._allocated[slot] = 0
+        self._free.append(slot)
 
     def get(self, block_id: BlockId) -> Block:
         """Look up a hosted block by id."""
-        try:
-            return self._blocks[block_id]
-        except KeyError:
-            raise BlockError(
-                f"server {self.server_id} does not host block {block_id}"
-            ) from None
+        return self._blocks[self._slot(block_id)]
 
     def wipe(self) -> List[BlockId]:
         """Destroy this server's contents in place (process kill).
@@ -96,24 +119,28 @@ class MemoryServer:
         controller can run recovery.
         """
         lost: List[BlockId] = []
-        free = set(self._free)
-        for block_id, block in self._blocks.items():
-            if block_id in free:
+        allocated = self._allocated
+        for slot, block in enumerate(self._blocks):
+            if not allocated[slot]:
                 continue
             block.payload.clear()
             block._on_write = None
-            lost.append(block_id)
+            lost.append(block.block_id)
         return lost
 
     def hosts(self, block_id: BlockId) -> bool:
         """Whether this server hosts the given block id."""
-        return block_id in self._blocks
+        try:
+            self._slot(block_id)
+            return True
+        except BlockError:
+            return False
 
     def iter_allocated(self) -> Iterator[Block]:
         """Yield every currently allocated block."""
-        free = set(self._free)
-        for block_id, block in self._blocks.items():
-            if block_id not in free:
+        allocated = self._allocated
+        for slot, block in enumerate(self._blocks):
+            if allocated[slot]:
                 yield block
 
     def __repr__(self) -> str:

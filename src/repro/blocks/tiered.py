@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Collection, Dict, Optional
 
-from repro.blocks.block import Block, BlockId
+from repro.blocks.block import Block
 from repro.blocks.pool import MemoryPool
 from repro.blocks.server import MemoryServer
 from repro.errors import BlockError, CapacityError
@@ -28,11 +28,11 @@ class _SpillServer(MemoryServer):
 
     def __init__(self, server_id: str, num_blocks: int, block_size: int, tier_name: str) -> None:
         super().__init__(server_id, num_blocks, block_size)
-        for block in self._blocks.values():
+        for block in self._blocks:
             block.tier = tier_name
 
     def reset_tier(self, tier_name: str) -> None:
-        for block in self._blocks.values():
+        for block in self._blocks:
             block.tier = tier_name
 
 
@@ -77,23 +77,11 @@ class TieredMemoryPool(MemoryPool):
             self.spill_tier.name,
         )
         self._spill_servers[server_id] = server
+        # Spill blocks route through the same block→server table, so
+        # reclaim/get_block need no tier-aware overrides.
+        self._register_blocks(server)
         self.spill_allocations += 1
         return server.allocate()
-
-    def reclaim(self, block_id: BlockId) -> None:
-        server_id, _, _ = block_id.partition(":")
-        spill = self._spill_servers.get(server_id)
-        if spill is not None:
-            spill.reclaim(block_id)
-            return
-        super().reclaim(block_id)
-
-    def get_block(self, block_id: BlockId) -> Block:
-        server_id, _, _ = block_id.partition(":")
-        spill = self._spill_servers.get(server_id)
-        if spill is not None:
-            return spill.get(block_id)
-        return super().get_block(block_id)
 
     # ------------------------------------------------------------------
     # Tier accounting

@@ -21,6 +21,14 @@ flight file, queried offline:
     python -m repro telemetry query flight.db --tables
     python -m repro telemetry query flight.db "SELECT ... FROM series"
     python -m repro telemetry blame flight.db   # where the p99 went
+
+Profiling: ``--profile PATH`` wraps any figure command in cProfile and
+dumps the top-25 hot functions into the flight file's ``profile``
+table — the first stop when a replay slows down:
+
+    python -m repro fig14 --quick --profile flight.db
+    python -m repro telemetry query flight.db \\
+        "SELECT rank, func, cumtime_s FROM profile ORDER BY rank"
 """
 
 from __future__ import annotations
@@ -273,7 +281,7 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="SQL to run (tables: series, spans, segments, events, "
-        "meta, runs, bench)",
+        "meta, runs, bench, profile)",
     )
     query.add_argument(
         "--tables", action="store_true", help="list tables and exit"
@@ -437,6 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
         "server halfway through each replay and join a replacement; "
         "with --replication 2 the run must lose zero data",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="cProfile the run and dump the top-25 hot functions into "
+        "the flight file at PATH (table: profile, one run tag per "
+        "experiment; inspect with `python -m repro telemetry query`)",
+    )
     return parser
 
 
@@ -450,23 +466,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         print(f"==== {name} ====")
         if name == "fig9sys":
-            print(
-                _run_fig9sys(
-                    args.quick,
-                    args.sync_repartition,
-                    args.flight_out,
-                    replication=args.replication,
-                    kill_server=args.kill_server,
-                )
+            runner: Callable[[], str] = lambda: _run_fig9sys(  # noqa: E731
+                args.quick,
+                args.sync_repartition,
+                args.flight_out,
+                replication=args.replication,
+                kill_server=args.kill_server,
             )
         else:
-            print(
-                COMMANDS[name](
-                    args.quick, args.sync_repartition, args.flight_out
-                )
+            command = COMMANDS[name]
+            runner = lambda: command(  # noqa: E731
+                args.quick, args.sync_repartition, args.flight_out
             )
+        if args.profile:
+            print(_profiled(runner, name, args.profile))
+        else:
+            print(runner())
         print()
     return 0
+
+
+def _profiled(runner: Callable[[], str], name: str, flight_path: str) -> str:
+    """Run under cProfile; dump the top-25 rows into a flight file."""
+    import cProfile
+
+    from repro.telemetry.store import FlightStore
+
+    profile = cProfile.Profile()
+    report = profile.runcall(runner)
+    with FlightStore(flight_path) as store:
+        store.begin_run(name)
+        rows = store.write_profile(profile, run=name, top=25)
+    print(
+        f"# profile: {rows} hot functions -> {flight_path} "
+        f'(try: SELECT * FROM profile WHERE run = \'{name}\' '
+        "ORDER BY rank LIMIT 10)",
+        file=sys.stderr,
+    )
+    return report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -81,6 +81,13 @@ class JiffyConfig:
             0 derives it from the largest server already in the pool.
         autoscale_min_servers: never drain below this many servers.
         autoscale_max_servers: never join beyond this many (None = no cap).
+        expiry_sweep: expiry-worker strategy. ``"floor"`` (default)
+            schedules jobs on a min-heap of per-job lease floors so a
+            tick only touches jobs whose earliest deadline has lapsed;
+            ``"full"`` re-scans every node of every hierarchy each tick
+            — the pre-optimisation reference implementation kept for
+            conformance testing and A/B benchmarks. Both mark the same
+            prefixes expired in the same order.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -99,6 +106,7 @@ class JiffyConfig:
     autoscale_blocks_per_server: int = 0
     autoscale_min_servers: int = 1
     autoscale_max_servers: typing.Optional[int] = None
+    expiry_sweep: str = "floor"
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -116,6 +124,11 @@ class JiffyConfig:
             raise ValueError("replication_factor must be >= 1")
         if self.repartition_poll_budget < 0:
             raise ValueError("repartition_poll_budget must be >= 0")
+        if self.expiry_sweep not in ("floor", "full"):
+            raise ValueError(
+                f"expiry_sweep must be 'floor' or 'full', got "
+                f"{self.expiry_sweep!r}"
+            )
         if not 0.0 <= self.autoscale_low_free < self.autoscale_high_free <= 1.0:
             raise ValueError(
                 "autoscale free fractions must satisfy 0 <= low < high <= 1, "

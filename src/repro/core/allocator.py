@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
 from repro.core.hierarchy import AddressNode
+from repro.core.slab import Interner
 from repro.errors import BlockError, CapacityError
 from repro.telemetry import MetricsRegistry
 
@@ -38,8 +39,12 @@ class BlockAllocator:
         # Optional ReplicaManager: every allocated block becomes a chain
         # head; every reclaim tears its chain down.
         self.replicator = replicator
-        # block id -> (job id, prefix name)
-        self._owner: Dict[BlockId, Tuple[str, str]] = {}
+        # block id -> interned owner id; the (job id, prefix name)
+        # pairs themselves are slab-stored once per distinct owner, so
+        # allocation churn references them by small int instead of
+        # building a tuple per block.
+        self._owner: Dict[BlockId, int] = {}
+        self._owners: Interner[Tuple[str, str]] = Interner()
         self._job_blocks: Dict[str, int] = {}
         self._quotas: Dict[str, int] = {}
         self.telemetry = registry if registry is not None else MetricsRegistry()
@@ -51,6 +56,8 @@ class BlockAllocator:
         )
         self._c_spill = self.telemetry.counter("pool.spill.allocations")
         self._h_alloc = self.telemetry.histogram("pool.alloc.latency_s")
+        # Per-job labelled counters resolved once per job, not per call.
+        self._job_counters: Dict[str, Any] = {}
 
     @property
     def allocations(self) -> int:
@@ -110,11 +117,19 @@ class BlockAllocator:
             self._c_spill.inc()
         if self.replicator is not None:
             self.replicator.attach(block)
-        self._owner[block.block_id] = (node.job_id, node.name)
+        self._owner[block.block_id] = self._owners.intern(
+            (node.job_id, node.name)
+        )
         self._job_blocks[node.job_id] = self.blocks_held_by(node.job_id) + 1
         node.block_ids.append(block.block_id)
         self._c_allocations.inc()
-        self.telemetry.counter("allocator.allocations", job=node.job_id).inc()
+        job_counter = self._job_counters.get(node.job_id)
+        if job_counter is None:
+            job_counter = self.telemetry.counter(
+                "allocator.allocations", job=node.job_id
+            )
+            self._job_counters[node.job_id] = job_counter
+        job_counter.inc()
         return block
 
     def try_allocate(self, node: AddressNode) -> Optional[Block]:
@@ -124,9 +139,13 @@ class BlockAllocator:
         except CapacityError:
             return None
 
+    def _owner_pair(self, block_id: BlockId) -> Optional[Tuple[str, str]]:
+        index = self._owner.get(block_id)
+        return self._owners.value(index) if index is not None else None
+
     def reclaim(self, node: AddressNode, block_id: BlockId) -> None:
         """Return one of ``node``'s blocks to the pool."""
-        owner = self._owner.get(block_id)
+        owner = self._owner_pair(block_id)
         if owner != (node.job_id, node.name):
             raise BlockError(
                 f"block {block_id} is not owned by {node.job_id}:{node.name} "
@@ -165,14 +184,13 @@ class BlockAllocator:
         changes. No allocation counters move — it is the same block from
         the job's point of view.
         """
-        owner = self._owner.get(old_id)
+        owner = self._owner_pair(old_id)
         if owner != (node.job_id, node.name):
             raise BlockError(
                 f"block {old_id} is not owned by {node.job_id}:{node.name} "
                 f"(owner={owner})"
             )
-        del self._owner[old_id]
-        self._owner[new_id] = owner
+        self._owner[new_id] = self._owner.pop(old_id)
         node.block_ids[node.block_ids.index(old_id)] = new_id
 
     def forget(self, node: AddressNode, block_id: BlockId) -> None:
@@ -181,7 +199,7 @@ class BlockAllocator:
         Unlike :meth:`reclaim`, nothing is returned to the pool — the
         hosting server no longer exists.
         """
-        owner = self._owner.get(block_id)
+        owner = self._owner_pair(block_id)
         if owner != (node.job_id, node.name):
             raise BlockError(
                 f"block {block_id} is not owned by {node.job_id}:{node.name} "
@@ -200,7 +218,7 @@ class BlockAllocator:
     def owner_of(self, block_id: BlockId) -> Tuple[str, str]:
         """Return ``(job_id, prefix)`` owning a block."""
         try:
-            return self._owner[block_id]
+            return self._owners.value(self._owner[block_id])
         except KeyError:
             raise BlockError(f"block {block_id} is not allocated") from None
 

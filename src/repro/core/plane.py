@@ -528,11 +528,11 @@ def make_control_plane(
     if backend == "remote":
         from repro.core.controller import JiffyController
         from repro.rpc.remote import RemoteControlPlane, serve_control_plane
-        from repro.sim.events import EventLoop
+        from repro.sim.events import CalendarQueue
         from repro.sim.network import NetworkModel
 
         if loop is None:
-            loop = EventLoop(clock)  # type: ignore[arg-type]
+            loop = CalendarQueue(clock)  # type: ignore[arg-type]
         backing = JiffyController(
             config=config,
             pool=pool,

@@ -241,7 +241,7 @@ class ReplicaManager:
                 return
             for backup in chain.chain[1:]:
                 backup.payload = copy.deepcopy(block.payload)
-                backup._used = block.used
+                backup.mirror_used(block.used)
                 backup._sealed = block.sealed
             chain.writes_acked += 1
 
@@ -331,7 +331,7 @@ class ReplicaManager:
 
         def copy_payload(src: Block, dst: Block) -> None:
             dst.payload = copy.deepcopy(src.payload)
-            dst._used = src.used
+            dst.mirror_used(src.used)
             dst._sealed = src.sealed
 
         chain.repair(new_replica, copy_payload)
@@ -361,7 +361,7 @@ class ReplicaManager:
             self.pool.reclaim(new.block_id)
             return None
         new.payload = old.payload
-        new._used = old.used
+        new.mirror_used(old.used)
         new._sealed = old.sealed
         chain.chain[chain.chain.index(old)] = new
         del self._backup_index[backup_id]

@@ -103,10 +103,21 @@ class ShardedController(ControlPlane):
         # Monotonic suffix for auto-named joined servers (explicit ids
         # do not advance the per-shard pool counters).
         self._next_join = 0
+        # job id -> owning shard route table. Shard ownership is a pure
+        # function of the job id and the (fixed) shard count, so entries
+        # never invalidate; the md5 is paid once per job instead of on
+        # every routed op.
+        self._route: Dict[str, JiffyController] = {}
 
     def shard_for(self, job_id: str) -> JiffyController:
         """The shard owning a job's address hierarchy."""
-        return self.shards[_stable_hash(job_id) % self.num_shards]
+        shard = self._route.get(job_id)
+        if shard is None:
+            if len(self._route) >= 1_000_000:
+                self._route.clear()  # bound the table for unbounded job churn
+            shard = self.shards[_stable_hash(job_id) % self.num_shards]
+            self._route[job_id] = shard
+        return shard
 
     # ------------------------------------------------------------------
     # Cross-shard operations (hand-written: these genuinely fan out)

@@ -24,8 +24,9 @@ latency, and per-job slowdown is nominal-plus-penalty over nominal.
 from __future__ import annotations
 
 import math
+from bisect import insort as _insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.config import JiffyConfig
 from repro.core.client import connect
 from repro.core.plane import ControlPlane, make_control_plane
 from repro.errors import CapacityError
+from repro.experiments.driver import ActiveJobSet
 from repro.sim.clock import SimClock
 from repro.storage.tier import SSD_TIER
 from repro.workloads.snowflake import JobTrace
@@ -43,6 +45,21 @@ ITEM_BYTES = 256
 
 #: Systems the runner can replay.
 SYSTEMS = ("jiffy", "pocket")
+
+
+def _merge_sorted(a: Sequence[int], b: Sequence[int]) -> Iterator[int]:
+    """Merge two sorted index lists, yielding each index once."""
+    i = j = 0
+    while i < len(a) or j < len(b):
+        if j >= len(b) or (i < len(a) and a[i] <= b[j]):
+            k = a[i]
+            i += 1
+            if j < len(b) and b[j] == k:
+                j += 1
+        else:
+            k = b[j]
+            j += 1
+        yield k
 
 
 @dataclass
@@ -224,18 +241,17 @@ def replay_jiffy(
     clients = {}
     files: Dict[str, object] = {}
     written: Dict[str, int] = {}
+    prefixes: Dict[str, set] = {}  # job_id -> stage indices with prefixes
     penalties: Dict[str, float] = {job.job_id: 0.0 for job in jobs}
     spill_write_bytes = 0
     spilled_peak = 0
 
     steps = int(math.ceil(duration_s / dt))
 
-    def one_step(now: float) -> int:
+    def one_step(now: float, live: Sequence[JobTrace]) -> int:
         """Replay one ``dt`` of the workload; returns spill bytes added."""
         step_spill = 0
-        for job in jobs:
-            if not (job.submit_time <= now < job.end_time):
-                continue
+        for job in live:
             client = clients.get(job.job_id)
             if client is None:
                 client = connect(plane, job.job_id)
@@ -243,8 +259,16 @@ def replay_jiffy(
             for i, stage in enumerate(job.stages):
                 key = f"{job.job_id}#{i}"
                 if stage.start <= now < stage.end and key not in files:
-                    parent = f"s{i - 1}" if i > 0 else None
-                    client.create_addr_prefix(f"s{i}", parent=parent)
+                    created = prefixes.setdefault(job.job_id, set())
+                    # Create any skipped ancestors first: a stage
+                    # shorter than ``dt`` can fall between steps, yet
+                    # its consumer names it as parent (prefix only — a
+                    # skipped stage never wrote data).
+                    for a in range(i + 1):
+                        if a not in created:
+                            parent = f"s{a - 1}" if a > 0 else None
+                            client.create_addr_prefix(f"s{a}", parent=parent)
+                            created.add(a)
                     files[key] = client.init_data_structure(f"s{i}", "file")
                     written[key] = 0
                 ds = files.get(key)
@@ -303,9 +327,11 @@ def replay_jiffy(
     kills = 0
     kill_promoted = 0
     kill_data_lost = 0
+    activation = ActiveJobSet(jobs)
     try:
         for step in range(steps):
-            spill_write_bytes += one_step(clock.now())
+            now = clock.now()
+            spill_write_bytes += one_step(now, activation.advance(now))
             clock.advance(dt)
             plane.tick()
             spilled_peak = max(spilled_peak, spilled_blocks())
@@ -406,11 +432,31 @@ def replay_pocket(
 
     steps = int(math.ceil(duration_s / dt))
     now = 0.0
+    jobs = list(jobs)
+    n = len(jobs)
+    activation = ActiveJobSet(jobs)
+    submits = ActiveJobSet(jobs)  # driven via arrival_indices only
+    ends_order = sorted(range(n), key=lambda k: jobs[k].end_time)
+    dp = 0
+    # Submitted-but-unregistered jobs (Pocket retries registration every
+    # step until even the spill tier has room) and ended-but-not-yet
+    # deregistered jobs, both kept sorted by original index so the
+    # merged walk below issues pool operations in the full scan's order.
+    waiting: List[int] = []
+    pending_dereg: List[int] = []
     for step in range(steps):
         now = step * dt
-        for job in jobs:
+        active_idx = activation.advance_indices(now)
+        for k in submits.arrival_indices(now):
+            _insort(waiting, k)
+        while dp < n and jobs[ends_order[dp]].end_time <= now:
+            _insort(pending_dereg, ends_order[dp])
+            dp += 1
+        registered_now: List[int] = []
+        for k in _merge_sorted(waiting, active_idx):
+            job = jobs[k]
             # Register at submit with the job's total declared demand.
-            if job.submit_time <= now and job.job_id not in buckets:
+            if job.job_id not in buckets:
                 declared = max(
                     int(job.total_intermediate_bytes()), block_size
                 )
@@ -424,6 +470,7 @@ def replay_pocket(
                     continue
                 written[job.job_id] = 0
                 key_seq[job.job_id] = 0
+                registered_now.append(k)
             bucket = buckets.get(job.job_id)
             if bucket is None or not (job.submit_time <= now < job.end_time):
                 continue
@@ -462,12 +509,21 @@ def replay_pocket(
                         penalties[job.job_id] += SSD_TIER.read_latency(
                             int(read_bytes * bytes_scale_up)
                         )
+        for k in registered_now:
+            waiting.remove(k)
         # Pocket's only reclamation path: explicit deregistration when
-        # the job completes.
-        for job in jobs:
-            if buckets.get(job.job_id) is not None and now >= job.end_time:
-                pocket.deregister_job(job.job_id)
-                buckets[job.job_id] = None
+        # the job completes. Ended jobs stay pending until registered
+        # (a job can register late, after waiting out a full pool).
+        if pending_dereg:
+            deregistered: List[int] = []
+            for k in pending_dereg:
+                job = jobs[k]
+                if buckets.get(job.job_id) is not None:
+                    pocket.deregister_job(job.job_id)
+                    buckets[job.job_id] = None
+                    deregistered.append(k)
+            for k in deregistered:
+                pending_dereg.remove(k)
         spilled_peak = max(spilled_peak, pool.spilled_blocks())
 
     slowdowns = [

@@ -21,7 +21,7 @@ from repro.datastructures.kvstore import JiffyKVStore, hash_slot
 from repro.datastructures.queue import JiffyQueue
 from repro.rpc.client import RpcClient
 from repro.rpc.server import ResourceFn, RpcServer
-from repro.sim.events import EventLoop
+from repro.sim.events import BaseEventLoop
 from repro.sim.network import NetworkModel
 
 #: Server-side service time for small data-plane ops (see module doc).
@@ -66,7 +66,7 @@ def _kv_owner_block(kv: JiffyKVStore) -> ResourceFn:
     return owner
 
 
-def _bind_background_executor(ds, loop: EventLoop, server: RpcServer) -> None:
+def _bind_background_executor(ds, loop: BaseEventLoop, server: RpcServer) -> None:
     """Let the structure's background work contend for this server's cores.
 
     Only when the scheduler is already bound to the same event loop and
@@ -84,7 +84,7 @@ def _bind_background_executor(ds, loop: EventLoop, server: RpcServer) -> None:
 
 def serve_kv(
     kv: JiffyKVStore,
-    loop: EventLoop,
+    loop: BaseEventLoop,
     service_time_s: float = DATA_OP_SERVICE_S,
     num_cores: int = 1,
     registry: Optional[telemetry.MetricsRegistry] = None,
@@ -124,7 +124,7 @@ def serve_kv(
 
 def serve_queue(
     queue: JiffyQueue,
-    loop: EventLoop,
+    loop: BaseEventLoop,
     service_time_s: float = DATA_OP_SERVICE_S,
     num_cores: int = 1,
     registry: Optional[telemetry.MetricsRegistry] = None,
@@ -161,7 +161,7 @@ class RemoteKV:
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: BaseEventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
         registry: Optional[telemetry.MetricsRegistry] = None,
@@ -250,7 +250,7 @@ class RemoteQueue:
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: BaseEventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
         registry: Optional[telemetry.MetricsRegistry] = None,

@@ -47,7 +47,7 @@ from repro.rpc.client import RpcClient
 from repro.rpc.framing import RpcError
 from repro.rpc.server import RpcServer
 from repro.sim.clock import Clock
-from repro.sim.events import EventLoop
+from repro.sim.events import BaseEventLoop
 from repro.sim.network import NetworkModel
 from repro.telemetry import MetricsRegistry
 
@@ -147,7 +147,7 @@ def _raise_mapped(exc: RpcError) -> "None":
 
 def serve_control_plane(
     plane: ControlPlane,
-    loop: EventLoop,
+    loop: BaseEventLoop,
     service_time_s: float = 10e-6,
     registry: Optional[MetricsRegistry] = None,
 ) -> RpcServer:
@@ -298,7 +298,7 @@ class RemoteControlPlane(ControlPlane):
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: BaseEventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
         registry: Optional[MetricsRegistry] = None,
@@ -574,7 +574,7 @@ class RemoteControlPlane(ControlPlane):
 
 def serve_controller(
     controller: JiffyController,
-    loop: EventLoop,
+    loop: BaseEventLoop,
     service_time_s: float = 10e-6,
 ) -> RpcServer:
     """Expose a controller's control-plane surface on an RPC server."""
@@ -624,7 +624,7 @@ class RemoteController:
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: BaseEventLoop,
         server: RpcServer,
         network: Optional[NetworkModel] = None,
     ) -> None:

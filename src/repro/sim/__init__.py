@@ -14,7 +14,14 @@ from repro.sim.background import (
     BackgroundTask,
 )
 from repro.sim.clock import Clock, SimClock, WallClock
-from repro.sim.events import EventLoop, Event
+from repro.sim.events import (
+    BaseEventLoop,
+    CalendarQueue,
+    Event,
+    EventHandle,
+    EventLoop,
+    make_event_loop,
+)
 from repro.sim.latency import LatencyModel, ConstantLatency, LogNormalLatency
 from repro.sim.network import NetworkModel
 
@@ -22,8 +29,12 @@ __all__ = [
     "Clock",
     "SimClock",
     "WallClock",
+    "BaseEventLoop",
+    "CalendarQueue",
     "EventLoop",
     "Event",
+    "EventHandle",
+    "make_event_loop",
     "BackgroundScheduler",
     "BackgroundTask",
     "URGENT",

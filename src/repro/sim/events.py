@@ -1,9 +1,31 @@
-"""A small discrete-event simulator.
+"""Discrete-event simulation kernel.
 
 Used by the trace-driven experiments (Fig 9, Fig 11(a), Fig 14) to replay
 hours of the Snowflake-style workload in milliseconds: events are
-scheduled at absolute simulated times, and :meth:`EventLoop.run` pops them
-in time order, advancing the shared :class:`~repro.sim.clock.SimClock`.
+scheduled at absolute simulated times and popped in ``(time, seq)``
+order, advancing the shared :class:`~repro.sim.clock.SimClock`.
+
+Two interchangeable kernels implement the same scheduling surface:
+
+* :class:`EventLoop` — the original heapq-of-:class:`Event`-objects
+  loop. It stays as the **reference implementation**: simple, obviously
+  correct, and the oracle the equivalence suite replays interleavings
+  against.
+* :class:`CalendarQueue` — the fast path. Struct-of-arrays slot storage
+  (numpy time/seq/flags arrays plus a plain-list callback table), an
+  array of time buckets with O(1) insertion and amortized-O(1) pop-min,
+  bulk :meth:`CalendarQueue.schedule_batch`, free-list reuse of fired
+  and cancelled slots, and a lightweight :class:`EventHandle` shim so
+  existing callers (background scheduler, lease chains, fault injector)
+  work unchanged.
+
+Both kernels order events identically — strictly by ``(time, seq)`` with
+FIFO ties — so they are drop-in replacements for each other; the
+hypothesis suite in ``tests/sim/test_calendar_queue.py`` proves it over
+arbitrary schedule/cancel/re-arm interleavings. Both also expose
+``queue_depth`` and compact internally once cancelled entries exceed
+half the queue, so cancellation-heavy workloads (lease-renewal chains
+cancelled at job end) cannot leak.
 """
 
 from __future__ import annotations
@@ -11,66 +33,56 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
 
+#: Minimum queue size before cancelled-entry compaction kicks in (tiny
+#: queues are cheaper to drain than to rebuild).
+_COMPACT_MIN = 64
 
-@dataclass(order=True)
-class Event:
-    """A scheduled callback. Ordered by (time, sequence number)."""
-
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    name: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-
-    def cancel(self) -> None:
-        """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
+# CalendarQueue slot states.
+_FREE = 0
+_PENDING = 1
+_CANCELLED = 2
 
 
-class EventLoop:
-    """Priority-queue discrete-event loop bound to a :class:`SimClock`.
+class BaseEventLoop:
+    """Shared surface of the two event-loop kernels.
 
-    Example:
-        >>> clock = SimClock()
-        >>> loop = EventLoop(clock)
-        >>> hits = []
-        >>> _ = loop.schedule_at(2.0, lambda: hits.append(clock.now()))
-        >>> _ = loop.schedule_at(1.0, lambda: hits.append(clock.now()))
-        >>> loop.run()
-        >>> hits
-        [1.0, 2.0]
+    Subclasses implement ``schedule_at``, ``cancellation``, ``peek_time``
+    and ``step``; the derived scheduling helpers and the run loop live
+    here so both kernels behave identically.
     """
+
+    clock: SimClock
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
         self._events_processed = 0
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
 
-    def schedule_at(
-        self, when: float, action: Callable[[], None], name: str = ""
-    ) -> Event:
-        """Schedule ``action`` at absolute simulated time ``when``."""
-        if when < self.clock.now():
-            raise SimulationError(
-                f"cannot schedule event at {when} before now={self.clock.now()}"
-            )
-        event = Event(time=when, seq=next(self._seq), action=action, name=name)
-        heapq.heappush(self._queue, event)
-        return event
+    @property
+    def queue_depth(self) -> int:
+        """Pending (non-cancelled) events in the queue."""
+        raise NotImplementedError
 
-    def schedule_after(
-        self, delay: float, action: Callable[[], None], name: str = ""
-    ) -> Event:
+    def schedule_at(self, when: float, action: Callable[[], None], name: str = ""):
+        raise NotImplementedError
+
+    def peek_time(self) -> Optional[float]:
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        raise NotImplementedError
+
+    def schedule_after(self, delay: float, action: Callable[[], None], name: str = ""):
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
@@ -104,24 +116,6 @@ class EventLoop:
 
         self.schedule_after(interval, fire, name=name)
 
-    def peek_time(self) -> Optional[float]:
-        """Time of the next pending (non-cancelled) event, or None."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
-
-    def step(self) -> bool:
-        """Process the next event. Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.clock.set(event.time)
-            event.action()
-            self._events_processed += 1
-            return True
-        return False
-
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Run until the queue empties or simulated time passes ``until``.
 
@@ -142,3 +136,517 @@ class EventLoop:
         else:
             raise SimulationError(f"event loop exceeded max_events={max_events}")
         return processed
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    #: Owning loop (set by :meth:`EventLoop.schedule_at`) so cancellation
+    #: can be accounted for compaction; a bare Event keeps ``None``.
+    loop: Optional["EventLoop"] = field(compare=False, default=None, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.loop is not None:
+            self.loop._note_cancelled()
+
+
+class EventLoop(BaseEventLoop):
+    """Priority-queue discrete-event loop bound to a :class:`SimClock`.
+
+    This is the legacy heapq kernel, kept as the reference
+    implementation for the :class:`CalendarQueue` equivalence suite.
+
+    Example:
+        >>> clock = SimClock()
+        >>> loop = EventLoop(clock)
+        >>> hits = []
+        >>> _ = loop.schedule_at(2.0, lambda: hits.append(clock.now()))
+        >>> _ = loop.schedule_at(1.0, lambda: hits.append(clock.now()))
+        >>> loop.run()
+        2
+        >>> hits
+        [1.0, 2.0]
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        super().__init__(clock)
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._cancelled = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Pending (non-cancelled) events in the queue."""
+        return len(self._queue) - self._cancelled
+
+    def schedule_at(
+        self, when: float, action: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``when``."""
+        if when < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now()}"
+            )
+        event = Event(
+            time=when, seq=next(self._seq), action=action, name=name, loop=self
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _note_cancelled(self) -> None:
+        """Account a cancellation; compact once the dead fraction > 50%.
+
+        Without compaction, cancelled events (e.g. lease-renewal chains
+        cancelled at job end) sit in the heap until popped — a workload
+        that schedules far ahead and cancels most of it leaks memory and
+        pays O(log n) on a queue dominated by garbage.
+        """
+        self._cancelled += 1
+        queued = len(self._queue)
+        if queued >= _COMPACT_MIN and self._cancelled * 2 > queued:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue).loop = None
+            self._cancelled -= 1
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process the next event. Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            # Detach so a late cancel() of a popped event cannot skew the
+            # cancelled-entry accounting.
+            event.loop = None
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self.clock.set(event.time)
+            event.action()
+            self._events_processed += 1
+            return True
+        return False
+
+
+class EventHandle:
+    """Handle to a :class:`CalendarQueue` event — the :class:`Event` shim.
+
+    Supports the same caller-facing surface as :class:`Event`
+    (``time``, ``seq``, ``name``, ``cancelled``, :meth:`cancel`) without
+    a per-event dataclass: slot state lives in the queue's
+    struct-of-arrays storage, and the handle carries a generation tag so
+    slot reuse cannot alias a fired event.
+    """
+
+    __slots__ = ("_queue", "_index", "_gen", "time", "seq", "name")
+
+    def __init__(
+        self, queue: "CalendarQueue", index: int, gen: int, time: float, seq: int, name: str
+    ) -> None:
+        self._queue = queue
+        self._index = index
+        self._gen = gen
+        self.time = time
+        self.seq = seq
+        self.name = name
+
+    @property
+    def cancelled(self) -> bool:
+        q = self._queue
+        return (
+            q._gens[self._index] == self._gen
+            and q._flags[self._index] == _CANCELLED
+        )
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still scheduled (not fired, not cancelled)."""
+        q = self._queue
+        return (
+            q._gens[self._index] == self._gen
+            and q._flags[self._index] == _PENDING
+        )
+
+    def cancel(self) -> None:
+        self._queue._cancel(self._index, self._gen)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("pending" if self.pending else "done")
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class CalendarQueue(BaseEventLoop):
+    """Array-backed calendar/bucket event queue — the fast sim kernel.
+
+    Storage is struct-of-arrays: per-slot ``time``/``seq``/``gen`` numpy
+    arrays, a ``flags`` byte array, and plain Python lists for the
+    callback table and names. Slots are recycled through a free list, so
+    a replay that schedules millions of events reuses a bounded arena
+    instead of allocating an :class:`Event` object per schedule.
+
+    Pending events live in time buckets of ``bucket_width`` seconds:
+    insertion appends ``(time, seq, slot)`` to the owning bucket (O(1));
+    pop-min scans forward from the current bucket, which is amortized
+    O(1) when the bucket table is kept near the live event count (the
+    queue resizes itself at powers of two). Cancelled entries are
+    dropped lazily during bucket scans and compacted wholesale once they
+    exceed half the queue.
+
+    The queue orders events exactly like :class:`EventLoop` — strictly
+    by ``(time, seq)``, FIFO for equal times — so the two kernels are
+    interchangeable.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        bucket_width: Optional[float] = None,
+        min_buckets: int = 16,
+    ) -> None:
+        super().__init__(clock)
+        if bucket_width is not None and bucket_width <= 0:
+            raise SimulationError("bucket_width must be positive")
+        if min_buckets < 1:
+            raise SimulationError("min_buckets must be >= 1")
+        cap = 64
+        self._times = np.zeros(cap, dtype=np.float64)
+        self._seqs = np.zeros(cap, dtype=np.int64)
+        self._gens = np.zeros(cap, dtype=np.int64)
+        self._flags = np.zeros(cap, dtype=np.uint8)
+        self._actions: List[Optional[Callable[[], None]]] = [None] * cap
+        self._names: List[str] = [""] * cap
+        self._free: List[int] = list(range(cap - 1, -1, -1))
+        self._next_seq = 0
+        self._live = 0  # pending (non-cancelled) events
+        self._cancelled = 0  # cancelled entries still sitting in buckets
+        self._fixed_width = bucket_width is not None
+        self._width = bucket_width if bucket_width is not None else 1.0
+        self._min_buckets = min_buckets
+        self._nbuckets = min_buckets
+        self._buckets: List[List[Tuple[float, int, int]]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        self._pos = 0  # absolute bucket number of the search cursor
+        # Cache of the last peeked entry: (entry, bucket list).
+        self._peeked: Optional[Tuple[Tuple[float, int, int], List[Tuple[float, int, int]]]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Pending (non-cancelled) events in the queue."""
+        return self._live
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slot-arena size (for tests/diagnostics)."""
+        return len(self._actions)
+
+    # ------------------------------------------------------------------
+    # Slot arena
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        old = len(self._actions)
+        new = old * 2
+        self._times = np.resize(self._times, new)
+        self._seqs = np.resize(self._seqs, new)
+        self._gens = np.resize(self._gens, new)
+        flags = np.zeros(new, dtype=np.uint8)
+        flags[:old] = self._flags
+        self._flags = flags
+        self._actions.extend([None] * old)
+        self._names.extend([""] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _take_slot(self) -> int:
+        if not self._free:
+            self._grow()
+        return self._free.pop()
+
+    def _release(self, index: int) -> None:
+        self._flags[index] = _FREE
+        self._gens[index] += 1
+        self._actions[index] = None
+        self._names[index] = ""
+        self._free.append(index)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_at(
+        self, when: float, action: Callable[[], None], name: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute simulated time ``when``."""
+        if when < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now()}"
+            )
+        index = self._take_slot()
+        seq = self._next_seq
+        self._next_seq += 1
+        self._times[index] = when
+        self._seqs[index] = seq
+        self._flags[index] = _PENDING
+        self._actions[index] = action
+        self._names[index] = name
+        entry = (when, seq, index)
+        abs_bucket = int(when // self._width)
+        self._buckets[abs_bucket % self._nbuckets].append(entry)
+        self._live += 1
+        if abs_bucket < self._pos:
+            # The scan cursor may sit past ``now`` after a peek; pull it
+            # back so the year-scan cannot skip this earlier event.
+            self._pos = abs_bucket
+        if self._peeked is not None and entry < self._peeked[0]:
+            self._peeked = None
+        if not self._fixed_width and self._live > 2 * self._nbuckets:
+            self._resize()
+        return EventHandle(self, index, int(self._gens[index]), when, seq, name)
+
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        actions: Sequence[Callable[[], None]],
+        names: Optional[Sequence[str]] = None,
+        handles: bool = True,
+    ) -> List[EventHandle]:
+        """Schedule many events in one call.
+
+        ``times`` may be any array-like of absolute simulated times;
+        validation, slot assignment, and bucket binning are vectorized.
+        With ``handles=False`` no :class:`EventHandle` objects are built
+        (for fire-and-forget batches); an empty list is returned.
+        """
+        ts = np.asarray(times, dtype=np.float64)
+        if ts.size != len(actions):
+            raise SimulationError(
+                f"times/actions length mismatch: {ts.size} != {len(actions)}"
+            )
+        if ts.size == 0:
+            return []
+        if float(ts.min()) < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule event at {float(ts.min())} before "
+                f"now={self.clock.now()}"
+            )
+        n = int(ts.size)
+        while len(self._free) < n:
+            self._grow()
+        slots = self._free[-n:][::-1]
+        del self._free[-n:]
+        base = self._next_seq
+        self._next_seq += n
+        idx = np.asarray(slots, dtype=np.intp)
+        self._times[idx] = ts
+        self._seqs[idx] = np.arange(base, base + n, dtype=np.int64)
+        self._flags[idx] = _PENDING
+        abs_buckets = (ts // self._width).astype(np.int64)
+        ring = abs_buckets % self._nbuckets
+        if int(abs_buckets.min()) < self._pos:
+            self._pos = int(abs_buckets.min())
+        actions_list = self._actions
+        names_list = self._names
+        buckets = self._buckets
+        out: List[EventHandle] = []
+        for k in range(n):
+            slot = slots[k]
+            actions_list[slot] = actions[k]
+            name = names[k] if names is not None else ""
+            names_list[slot] = name
+            t = float(ts[k])
+            buckets[ring[k]].append((t, base + k, slot))
+            if handles:
+                out.append(
+                    EventHandle(self, slot, int(self._gens[slot]), t, base + k, name)
+                )
+        self._live += n
+        self._peeked = None
+        if not self._fixed_width and self._live > 2 * self._nbuckets:
+            self._resize()
+        return out
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    def _cancel(self, index: int, gen: int) -> None:
+        if self._gens[index] != gen or self._flags[index] != _PENDING:
+            return
+        self._flags[index] = _CANCELLED
+        self._live -= 1
+        self._cancelled += 1
+        if self._peeked is not None and self._peeked[0][2] == index:
+            self._peeked = None
+        queued = self._live + self._cancelled
+        if queued >= _COMPACT_MIN and self._cancelled * 2 > queued:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and free its slot."""
+        flags = self._flags
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            keep = [e for e in bucket if flags[e[2]] == _PENDING]
+            if len(keep) != len(bucket):
+                for e in bucket:
+                    if flags[e[2]] == _CANCELLED:
+                        self._release(e[2])
+                bucket[:] = keep
+        self._cancelled = 0
+        self._peeked = None
+
+    # ------------------------------------------------------------------
+    # Bucket table maintenance
+    # ------------------------------------------------------------------
+
+    def _pending_entries(self) -> List[Tuple[float, int, int]]:
+        flags = self._flags
+        out: List[Tuple[float, int, int]] = []
+        for bucket in self._buckets:
+            for e in bucket:
+                if flags[e[2]] == _PENDING:
+                    out.append(e)
+                else:
+                    self._release(e[2])
+        self._cancelled = 0
+        return out
+
+    def _resize(self) -> None:
+        """Re-bin pending events into a bucket table sized to the load."""
+        entries = self._pending_entries()
+        n = len(entries)
+        nbuckets = max(self._min_buckets, 1 << max(n - 1, 1).bit_length())
+        if not self._fixed_width and n >= 2:
+            times = np.fromiter((e[0] for e in entries), dtype=np.float64, count=n)
+            lo = float(times.min())
+            hi = float(times.max())
+            if hi > lo:
+                # Aim for ~2 events per bucket across the live span.
+                self._width = max((hi - lo) * 2.0 / n, 1e-12)
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        width = self._width
+        for e in entries:
+            self._buckets[int(e[0] // width) % nbuckets].append(e)
+        self._pos = int(self.clock.now() // width)
+        self._peeked = None
+
+    # ------------------------------------------------------------------
+    # Pop-min
+    # ------------------------------------------------------------------
+
+    def _find_next(self) -> Optional[Tuple[Tuple[float, int, int], List[Tuple[float, int, int]]]]:
+        """Locate (without removing) the earliest pending entry."""
+        if self._peeked is not None:
+            return self._peeked
+        if self._live == 0:
+            return None
+        flags = self._flags
+        nb = self._nbuckets
+        width = self._width
+        pos = self._pos
+        buckets = self._buckets
+        # One-year forward scan from the cursor.
+        for off in range(nb):
+            abs_b = pos + off
+            bucket = buckets[abs_b % nb]
+            if not bucket:
+                continue
+            top = (abs_b + 1) * width
+            best: Optional[Tuple[float, int, int]] = None
+            keep: List[Tuple[float, int, int]] = []
+            dirty = False
+            for e in bucket:
+                if flags[e[2]] != _PENDING:
+                    self._release(e[2])
+                    self._cancelled -= 1
+                    dirty = True
+                    continue
+                keep.append(e)
+                if e[0] < top and (best is None or e < best):
+                    best = e
+            if dirty:
+                bucket[:] = keep
+            if best is not None:
+                self._pos = abs_b
+                self._peeked = (best, bucket)
+                return self._peeked
+        # Nothing within a year of the cursor: global minimum scan.
+        best = None
+        best_bucket: Optional[List[Tuple[float, int, int]]] = None
+        for bucket in buckets:
+            for e in bucket:
+                if flags[e[2]] == _PENDING and (best is None or e < best):
+                    best = e
+                    best_bucket = bucket
+        if best is None:
+            return None
+        self._pos = int(best[0] // width)
+        self._peeked = (best, best_bucket)  # type: ignore[assignment]
+        return self._peeked
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        found = self._find_next()
+        return found[0][0] if found is not None else None
+
+    def step(self) -> bool:
+        """Process the next event. Returns False if the queue is empty."""
+        found = self._find_next()
+        if found is None:
+            return False
+        entry, bucket = found
+        bucket.remove(entry)
+        self._peeked = None
+        index = entry[2]
+        action = self._actions[index]
+        self._release(index)
+        self._live -= 1
+        self.clock.set(entry[0])
+        assert action is not None
+        action()
+        self._events_processed += 1
+        return True
+
+
+def make_event_loop(
+    clock: Optional[SimClock] = None, kind: str = "calendar"
+) -> BaseEventLoop:
+    """Build an event loop kernel: ``"calendar"`` (fast) or ``"heap"``."""
+    if kind == "calendar":
+        return CalendarQueue(clock)
+    if kind == "heap":
+        return EventLoop(clock)
+    raise SimulationError(f"unknown event loop kind {kind!r}")
+
+
+__all__ = [
+    "BaseEventLoop",
+    "CalendarQueue",
+    "Event",
+    "EventHandle",
+    "EventLoop",
+    "make_event_loop",
+]

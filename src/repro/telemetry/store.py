@@ -13,6 +13,8 @@ into a single sqlite file — stdlib only, no new dependencies:
 * ``events`` — discrete occurrences (repartitions, expiries);
 * ``bench`` — ingested ``benchmarks/results/BENCH_*.json`` history, so
   perf-trajectory questions join against the same file;
+* ``profile`` — cProfile hot-function rows captured by the replay
+  CLI's ``--profile`` flag (top functions by cumulative time per run);
 * ``runs`` / ``meta`` — run registry and free-form metadata.
 
 Every row (except ``bench``) carries a ``run`` tag, so one flight file
@@ -69,6 +71,11 @@ CREATE TABLE IF NOT EXISTS bench (
     benchmark TEXT NOT NULL, commit_id TEXT NOT NULL,
     metric TEXT NOT NULL, value REAL, unit TEXT,
     PRIMARY KEY (benchmark, commit_id, metric)
+);
+CREATE TABLE IF NOT EXISTS profile (
+    run TEXT NOT NULL, rank INTEGER NOT NULL, func TEXT NOT NULL,
+    ncalls INTEGER, tottime_s REAL, cumtime_s REAL,
+    PRIMARY KEY (run, rank)
 );
 """
 
@@ -250,6 +257,42 @@ class FlightStore:
                 count += 1
         self._conn.commit()
         return count
+
+    def write_profile(self, profile: Any, run: str = "", top: int = 25) -> int:
+        """Persist a cProfile run's hottest functions for one run tag.
+
+        ``profile`` is a :class:`cProfile.Profile` (or anything
+        :class:`pstats.Stats` accepts). The ``top`` functions by
+        cumulative time land in the ``profile`` table, replacing any
+        earlier capture under the same run tag so a re-profiled run
+        reads as one snapshot, not an accumulation.
+        """
+        import pstats
+
+        stats = pstats.Stats(profile)
+        entries = sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda item: item[1][3],  # cumulative time
+            reverse=True,
+        )[:top]
+        self._conn.execute("DELETE FROM profile WHERE run = ?", (run,))
+        self._conn.executemany(
+            "INSERT INTO profile (run, rank, func, ncalls, tottime_s, "
+            "cumtime_s) VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    run,
+                    rank,
+                    pstats.func_std_string(func),
+                    nc,
+                    tt,
+                    ct,
+                )
+                for rank, (func, (cc, nc, tt, ct, _)) in enumerate(entries, 1)
+            ],
+        )
+        self._conn.commit()
+        return len(entries)
 
     # ------------------------------------------------------------------
     # Reading

@@ -240,10 +240,13 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def _emit(self, span: Span) -> None:
-        line = json.dumps(span.to_dict(), sort_keys=True)
         with self._lock:
             self._finished.append(span)
             if self._file is not None:
+                # Serialize only when JSONL output is configured — the
+                # in-memory ring keeps Span objects, so eager encoding
+                # would be pure overhead on the hot path.
+                line = json.dumps(span.to_dict(), sort_keys=True)
                 self._file.write(line + "\n")
                 self._file.flush()
 

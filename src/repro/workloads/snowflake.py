@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +76,10 @@ class JobTrace:
         Stage ``i``'s output accumulates linearly while the stage runs
         and is freed when stage ``i+1`` finishes (its consumer is done);
         the last stage's output is freed at job end.
+
+        This is the scalar reference; :meth:`demand_series` evaluates
+        the same piecewise-linear ramp for a whole time vector at once
+        with bit-identical arithmetic.
         """
         if t < self.submit_time or t >= self.end_time or not self.stages:
             return 0.0
@@ -93,19 +97,81 @@ class JobTrace:
                 total += stage.output_bytes
         return total
 
-    def peak_demand(self, resolution: int = 200) -> float:
-        """Max of :meth:`demand_at` sampled across the job's lifetime."""
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`demand_at` over an array of absolute times.
+
+        Evaluates every stage's ramp for all timesteps at once. The
+        accumulation runs per stage in stage order with the same
+        elementwise expressions as the scalar loop, so results are
+        bit-identical to ``[demand_at(t) for t in times]`` (numpy
+        float64 elementwise ops follow the same IEEE-754 rounding as
+        Python floats; only the loop is vectorized, never the
+        summation order).
+        """
+        ts = np.asarray(times, dtype=np.float64)
+        acc = np.zeros_like(ts)
+        if not self.stages:
+            return acc
+        stages = self.stages
+        last = len(stages) - 1
+        for i, stage in enumerate(stages):
+            freed_at = stages[i + 1].end if i < last else stage.end
+            held = (ts >= stage.start) & (ts < freed_at)
+            if not held.any():
+                continue
+            out = stage.output_bytes
+            if stage.duration:
+                ramp = out * ((ts - stage.start) / stage.duration)
+            else:
+                ramp = np.full_like(ts, out * 1.0)
+            contrib = np.where(ts < stage.end, ramp, float(out))
+            acc += np.where(held, contrib, 0.0)
+        window = (ts >= self.submit_time) & (ts < self.end_time)
+        return np.where(window, acc, 0.0)
+
+    def _critical_times(self) -> np.ndarray:
+        """Times where the demand ramp can attain its extremes.
+
+        Demand is piecewise linear with breakpoints at stage starts and
+        ends; it *drops* at each free point, so the supremum before a
+        drop is approached at the largest float below it.
+        """
+        crit: List[float] = []
+        last = len(self.stages) - 1
+        for i, stage in enumerate(self.stages):
+            freed_at = self.stages[i + 1].end if i < last else stage.end
+            crit.append(stage.start)
+            crit.append(stage.end)
+            crit.append(float(np.nextafter(freed_at, -np.inf)))
+        crit.append(float(np.nextafter(self.end_time, -np.inf)))
+        ts = np.asarray(crit, dtype=np.float64)
+        return ts[(ts >= self.submit_time) & (ts < self.end_time)]
+
+    def peak_demand(
+        self, resolution: int = 200, include_boundaries: bool = True
+    ) -> float:
+        """Max of :meth:`demand_at` sampled across the job's lifetime.
+
+        In addition to ``resolution`` evenly spaced samples, every stage
+        boundary (and the instant before each free point) is evaluated
+        by default, so a coarse resolution cannot miss the true peak of
+        the piecewise-linear ramp. ``include_boundaries=False`` restores
+        the pure grid estimate (the Pocket baseline provisions from the
+        sampled profile and is pinned to it).
+        """
         if not self.stages:
             return 0.0
         times = np.linspace(self.submit_time, self.end_time, resolution, endpoint=False)
-        return float(max(self.demand_at(t) for t in times))
+        if include_boundaries:
+            times = np.concatenate([times, self._critical_times()])
+        return float(self.demand_series(times).max())
 
     def mean_demand(self, resolution: int = 200) -> float:
         """Time-average demand across the job's lifetime."""
         if not self.stages or self.duration <= 0:
             return 0.0
         times = np.linspace(self.submit_time, self.end_time, resolution, endpoint=False)
-        return float(np.mean([self.demand_at(t) for t in times]))
+        return float(np.mean(self.demand_series(times)))
 
 
 def demand_series(
@@ -125,9 +191,14 @@ def demand_series(
     for job in jobs:
         if job.end_time <= t_start or job.submit_time >= t_end:
             continue
-        for k, t in enumerate(times):
-            if job.submit_time <= t < job.end_time:
-                demand[k] += job.demand_at(t)
+        # Clip to the job's [submit_time, end_time) window: only the
+        # covered slice is touched, and the vectorized per-job series
+        # adds the same bits the scalar inner loop produced.
+        i0 = int(np.searchsorted(times, job.submit_time, side="left"))
+        i1 = int(np.searchsorted(times, job.end_time, side="left"))
+        if i0 >= i1:
+            continue
+        demand[i0:i1] += job.demand_series(times[i0:i1])
     return times, demand
 
 
@@ -229,6 +300,25 @@ class SnowflakeWorkloadGenerator:
             i += 1
         return jobs
 
+    def iter_tenants(
+        self,
+        num_tenants: int,
+        duration_s: float,
+        job_arrival_rate: float = 1.0 / 120.0,
+    ) -> Iterator[Tuple[str, List[JobTrace]]]:
+        """Yield ``(tenant_id, jobs)`` lazily, one tenant at a time.
+
+        Drives the same RNG sequence as :meth:`generate`, so consuming
+        the iterator fully produces identical traces — but a
+        2000-tenant replay can stream tenants into the driver without
+        materializing every stage of every tenant up front.
+        """
+        for i in range(num_tenants):
+            tenant_id = f"tenant-{i}"
+            yield tenant_id, self.generate_tenant(
+                tenant_id, duration_s, job_arrival_rate
+            )
+
     def generate(
         self,
         num_tenants: int,
@@ -236,9 +326,4 @@ class SnowflakeWorkloadGenerator:
         job_arrival_rate: float = 1.0 / 120.0,
     ) -> Dict[str, List[JobTrace]]:
         """Traces for ``num_tenants`` tenants over a shared time window."""
-        return {
-            f"tenant-{i}": self.generate_tenant(
-                f"tenant-{i}", duration_s, job_arrival_rate
-            )
-            for i in range(num_tenants)
-        }
+        return dict(self.iter_tenants(num_tenants, duration_s, job_arrival_rate))

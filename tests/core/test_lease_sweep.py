@@ -1,0 +1,154 @@
+"""Equivalence suite: heap-scheduled expiry sweep vs the full scan.
+
+``JiffyConfig(expiry_sweep="floor")`` (the default) drives the expiry
+worker off a min-heap of per-job lease floors so a tick touches only
+jobs whose earliest deadline has lapsed; ``"full"`` is the
+pre-optimisation reference that re-scans every node each tick. The two
+must mark the same prefixes expired, in the same order, under any
+interleaving of renewals, lease (re)starts, and clock advances — that
+is what makes the heap a pure cost optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hierarchy import AddressHierarchy
+from repro.core.lease import LeaseManager
+from repro.sim.clock import SimClock
+
+#: A small DAG with a diamond (propagation fan-out) and a stray leaf.
+DAG = {
+    "src": [],
+    "left": ["src"],
+    "right": ["src"],
+    "sink": ["left", "right"],
+    "stray": [],
+}
+
+NODES = sorted(DAG)
+
+#: Clock advances from a grid around the lease duration so sweeps land
+#: before, exactly at, and after deadlines.
+ADVANCES = (0.1, 0.4, 0.5, 0.9, 1.0, 1.1, 2.5)
+
+
+def _build(sweep: str, num_jobs: int):
+    clock = SimClock()
+    manager = LeaseManager(clock, 1.0, sweep=sweep)
+    jobs: Dict[str, AddressHierarchy] = {}
+    for j in range(num_jobs):
+        hierarchy = AddressHierarchy.from_dag(f"job-{j}", DAG)
+        for node in hierarchy.nodes():
+            manager.start(node)
+        jobs[f"job-{j}"] = hierarchy
+    return clock, manager, jobs
+
+
+@st.composite
+def programs(draw):
+    num_jobs = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["advance", "renew", "start", "collect"]))
+        if kind == "advance":
+            ops.append((kind, draw(st.sampled_from(ADVANCES))))
+        elif kind in ("renew", "start"):
+            ops.append(
+                (
+                    kind,
+                    draw(st.integers(min_value=0, max_value=num_jobs - 1)),
+                    draw(st.sampled_from(NODES)),
+                    draw(st.booleans()),
+                )
+            )
+        else:
+            ops.append((kind,))
+    return num_jobs, ops
+
+
+@given(program=programs())
+@settings(max_examples=80, deadline=None)
+def test_floor_sweep_matches_full_scan(program) -> None:
+    num_jobs, ops = program
+    f_clock, floor_mgr, floor_jobs = _build("floor", num_jobs)
+    s_clock, full_mgr, full_jobs = _build("full", num_jobs)
+
+    def run(op, clock, manager, jobs) -> List[str]:
+        kind = op[0]
+        if kind == "advance":
+            clock.advance(op[1])
+            return []
+        if kind == "renew":
+            _, j, name, propagate = op
+            node = jobs[f"job-{j}"].get_node(name)
+            manager.renew(node, propagate=propagate)
+            return []
+        if kind == "start":
+            _, j, name, _ = op
+            manager.start(jobs[f"job-{j}"].get_node(name))
+            return []
+        # The floor manager takes the controller's mapping shape (the
+        # heap path); the full manager the legacy iterable shape.
+        arg = jobs if manager.sweep == "floor" else list(jobs.values())
+        return [f"{n.job_id}:{n.name}" for n in manager.collect_expired(arg)]
+
+    for op in ops:
+        a = run(op, f_clock, floor_mgr, floor_jobs)
+        b = run(op, s_clock, full_mgr, full_jobs)
+        assert a == b
+        # Expired marks agree node-by-node after every operation.
+        for j in floor_jobs:
+            for fn, sn in zip(floor_jobs[j].nodes(), full_jobs[j].nodes()):
+                assert fn.expired == sn.expired, (j, fn.name)
+    assert floor_mgr.expirations == full_mgr.expirations
+
+
+def test_multi_job_expiry_keeps_job_table_order() -> None:
+    """Jobs expiring in one pass come back in mapping order, not
+    deadline order — matching the historical full scan exactly."""
+    clock, manager, jobs = _build("floor", 3)
+    # Give job-2 the *earliest* deadline so heap order != table order.
+    for j, extra in (("job-2", 0.0), ("job-0", 0.3), ("job-1", 0.6)):
+        clock_now = clock.now()
+        for node in jobs[j].nodes():
+            node.last_renewal = clock_now  # identical start
+        clock.advance(extra)
+        for node in jobs[j].nodes():
+            manager.renew(node, propagate=False)
+    clock.advance(5.0)
+    expired = manager.collect_expired(jobs)
+    job_order = [e.split(":")[0] for e in dict.fromkeys(
+        f"{n.job_id}:{n.name}".split(":")[0] for n in expired
+    )]
+    assert job_order == ["job-0", "job-1", "job-2"]
+    assert len(expired) == 3 * len(NODES)
+
+
+def test_due_is_a_cheap_gate() -> None:
+    clock, manager, jobs = _build("floor", 1)
+    assert not manager.due(clock.now())
+    clock.advance(0.9)
+    assert not manager.due(clock.now())  # inside the lease
+    clock.advance(0.2)
+    assert manager.due(clock.now())  # floor lapsed
+    assert manager.collect_expired(jobs)
+    assert not manager.due(clock.now())  # everything marked; nothing due
+
+    full = LeaseManager(SimClock(), 1.0, sweep="full")
+    assert full.due(0.0)  # the reference mode always sweeps
+
+
+def test_deregistered_job_entry_is_dropped() -> None:
+    clock, manager, jobs = _build("floor", 2)
+    clock.advance(2.0)
+    del jobs["job-0"]  # deregistered before its floor lapsed
+    expired = manager.collect_expired(jobs)
+    assert {n.job_id for n in expired} == {"job-1"}
+    # The dangling job's tracking is gone; nothing is due afterwards.
+    assert "job-0" not in manager._floors
+    assert not manager.due(clock.now())

@@ -1,0 +1,157 @@
+"""Slab-metadata observational identity across control-plane backends.
+
+PR 8 moved block/lease metadata onto slab/array storage with free-list
+allocation and O(1) routing. The contract suite already checks each
+operation in isolation; this suite drives *random op interleavings*
+(create / allocate / renew / expire / query) through the in-process,
+sharded, and RPC-remote backends in lockstep and requires every
+client-observable response — allocation success, block counts, renewal
+fan-outs, expiry sets — to be identical. Backends may differ in block
+*identity* (shards own distinct pools); they may never differ in
+metadata semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import KB, JiffyConfig
+from repro.core.plane import BACKENDS, make_control_plane
+from repro.sim.clock import SimClock
+
+JOBS = ("job-a", "job-b")
+PREFIXES = ("p0", "p1", "p2", "p3")
+
+#: The remote backend charges simulated RPC latency on every control
+#: call, so its clock drifts *ahead* of the local backends by sub-ms
+#: epsilons. Timing therefore cannot be compared exactly; instead the
+#: lease (100 s) dwarfs both the small advances (which can never sum
+#: past it within one program) and the accumulated RPC epsilon, while
+#: the "expire" advance (500 s) lands unambiguously past every
+#: deadline. No boundary is ever within epsilon of `now`.
+LEASE_S = 100.0
+ADVANCES = (0.7, 1.3, 2.9)
+EXPIRE_ADVANCE = 500.0
+
+#: Stay far from pool-capacity edges: a sharded pool splits its blocks
+#: across shards, so running a pool dry would diverge for capacity
+#: reasons, not metadata ones.
+MAX_BLOCKS = 20
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["create", "alloc", "renew", "advance", "expire", "tick",
+                 "query"]
+            )
+        )
+        if kind == "advance":
+            ops.append((kind, draw(st.sampled_from(ADVANCES))))
+        elif kind in ("tick", "expire"):
+            ops.append((kind,))
+        else:
+            ops.append(
+                (
+                    kind,
+                    draw(st.sampled_from(JOBS)),
+                    draw(st.sampled_from(PREFIXES)),
+                    draw(st.integers(min_value=0, max_value=2)),
+                )
+            )
+    return ops
+
+
+@given(program=programs())
+@settings(max_examples=25, deadline=None)
+def test_backends_observationally_identical(program) -> None:
+    planes = []
+    for backend in BACKENDS:
+        clock = SimClock()
+        plane = make_control_plane(
+            backend,
+            config=JiffyConfig(block_size=KB, lease_duration=LEASE_S),
+            clock=clock,
+            default_blocks=64,
+            num_shards=2,
+        )
+        for job in JOBS:
+            plane.register_job(job)
+        planes.append((clock, plane))
+
+    # Shared model, advanced only after all backends agree: which
+    # prefixes exist, which carry an expired mark (allocation on a
+    # marked prefix raises by contract, so the driver skips it), and
+    # how many pool blocks each holds (to stay under MAX_BLOCKS).
+    blocks_held: Dict[Tuple[str, str], int] = {}
+    marked: Set[Tuple[str, str]] = set()
+
+    for op in program:
+        kind = op[0]
+        blocks_used = sum(blocks_held.values())
+        observed: List[object] = []
+        for clock, plane in planes:
+            if kind == "advance":
+                clock.advance(op[1])
+                observed.append(None)  # clocks drift by RPC epsilon
+            elif kind == "expire":
+                clock.advance(EXPIRE_ADVANCE)
+                observed.append(None)
+            elif kind == "tick":
+                expired = plane.tick()
+                observed.append(sorted((n.job_id, n.name) for n in expired))
+            elif kind == "create":
+                _, job, prefix, initial = op
+                if (job, prefix) in blocks_held or (
+                    blocks_used + initial > MAX_BLOCKS
+                ):
+                    observed.append(None)
+                    continue
+                node = plane.create_addr_prefix(
+                    job, prefix, initial_blocks=initial
+                )
+                observed.append((node.job_id, node.name, len(node.block_ids)))
+            elif kind == "alloc":
+                _, job, prefix, _ = op
+                if (
+                    (job, prefix) not in blocks_held
+                    or (job, prefix) in marked
+                    or blocks_used >= MAX_BLOCKS
+                ):
+                    observed.append(None)
+                    continue
+                block = plane.try_allocate_block(job, prefix)
+                observed.append(
+                    (block is not None, len(plane.blocks_of(job, prefix)))
+                )
+            elif kind == "renew":
+                _, job, prefix, _ = op
+                if (job, prefix) not in blocks_held:
+                    observed.append(None)
+                    continue
+                observed.append(plane.renew_lease(job, prefix))
+            elif kind == "query":
+                _, job, prefix, _ = op
+                if (job, prefix) not in blocks_held:
+                    observed.append(None)
+                    continue
+                observed.append(len(plane.blocks_of(job, prefix)))
+        assert all(o == observed[0] for o in observed[1:]), (op, observed)
+        if kind == "create" and observed[0] is not None:
+            blocks_held[(op[1], op[2])] = op[3]
+        elif kind == "alloc" and observed[0] is not None:
+            if observed[0][0]:
+                blocks_held[(op[1], op[2])] += 1
+        elif kind == "renew" and observed[0] is not None:
+            marked.discard((op[1], op[2]))  # renewal revives the prefix
+        elif kind == "tick":
+            for key in observed[0]:
+                marked.add(key)
+                blocks_held[key] = 0  # expiry reclaims its blocks
