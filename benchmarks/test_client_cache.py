@@ -1,0 +1,313 @@
+"""Near-memory client cache: hot-key RPC elimination on the data plane.
+
+Three targets back the PR's acceptance bars, all on a Zipf(s=1.1)
+hot-key workload over the simulated RPC path:
+
+* the cached view must eliminate at least 80% of data-plane RPCs and
+  deliver at least a 5x single-key get speedup in simulated time;
+* with ``client_cache_bytes=0`` the client hands back the raw structure,
+  so the disabled path must cost within 2% of building the structure
+  without a client at all;
+* end-to-end word counts on the piccolo and streaming frameworks must
+  get faster when their state table is cached (and produce identical
+  results either way).
+
+Set ``CACHE_BENCH_QUICK=1`` to shrink the workloads for CI smoke runs.
+"""
+
+import bisect
+import os
+import random
+
+from _results import record
+from repro.config import KB, JiffyConfig
+from repro.core.cache import CachedKV, ClientCache
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.datastructures.kvstore import JiffyKVStore
+from repro.frameworks.piccolo import accumulators
+from repro.frameworks.streaming import StreamPipeline, StreamStage
+from repro.rpc.dataplane import RemoteKV, serve_kv
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkModel
+
+QUICK = os.environ.get("CACHE_BENCH_QUICK", "") not in ("", "0")
+
+ZIPF_S = 1.1  # the ISSUE's hot-key skew floor
+CACHE_BYTES = 1024 * KB  # comfortably holds every benchmark working set
+
+
+def zipf_sampler(num_keys: int, s: float = ZIPF_S, seed: int = 1234):
+    """Seeded inverse-CDF sampler over ranks 1..num_keys, P(r) ∝ r^-s."""
+    weights = [1.0 / (rank**s) for rank in range(1, num_keys + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    rng = random.Random(seed)
+    return lambda: bisect.bisect_left(cdf, rng.random())
+
+
+def make_rpc_kv(via_client: bool = True, prefix: str = "kv"):
+    """A KV store exposed over the simulated RPC data plane."""
+    loop = EventLoop(SimClock())
+    controller = JiffyController(
+        JiffyConfig(block_size=16 * KB), clock=loop.clock, default_blocks=512
+    )
+    client = connect(controller, "cache-bench")
+    client.create_addr_prefix(prefix)
+    if via_client:
+        kv = client.init_data_structure(prefix, "kv_store", num_slots=64)
+    else:
+        kv = JiffyKVStore(controller, "cache-bench", prefix, num_slots=64)
+    remote = RemoteKV(loop, serve_kv(kv, loop), network=NetworkModel(sigma=0.0))
+    return loop, kv, remote
+
+
+# ----------------------------------------------------------------------
+# Zipf hot-key gets: RPC reduction + single-key get throughput
+# ----------------------------------------------------------------------
+
+
+def run_zipf_gets():
+    num_keys, ops = (64, 600) if QUICK else (512, 4000)
+    keys = [b"key-%04d" % i for i in range(num_keys)]
+    sample = zipf_sampler(num_keys)
+    trace = [keys[sample()] for _ in range(ops)]
+
+    def run(cached: bool):
+        loop, kv, remote = make_rpc_kv()
+        remote.multi_put([(key, b"v" * 64) for key in keys])
+        cache = ClientCache(CACHE_BYTES, registry=kv.telemetry)
+        handle = CachedKV(kv, cache, transport=remote) if cached else remote
+        calls_before = remote._rpc.calls
+        start = loop.clock.now()
+        for key in trace:
+            handle.get(key)
+        elapsed = loop.clock.now() - start
+        return elapsed, remote._rpc.calls - calls_before, cache
+
+    uncached_elapsed, uncached_rpcs, _ = run(cached=False)
+    cached_elapsed, cached_rpcs, cache = run(cached=True)
+    hit_rate = cache.hits / (cache.hits + cache.misses)
+    return {
+        "ops": ops,
+        "uncached_elapsed": uncached_elapsed,
+        "cached_elapsed": cached_elapsed,
+        "uncached_rpcs": uncached_rpcs,
+        "cached_rpcs": cached_rpcs,
+        "hit_rate": hit_rate,
+    }
+
+
+def test_zipf_hot_keys_eliminate_rpcs(once, capsys):
+    r = once(run_zipf_gets)
+    reduction = 1.0 - r["cached_rpcs"] / r["uncached_rpcs"]
+    speedup = r["uncached_elapsed"] / r["cached_elapsed"]
+    with capsys.disabled():
+        print()
+        print(
+            f"zipf(s={ZIPF_S}) {r['ops']} gets: "
+            f"{r['uncached_rpcs']} -> {r['cached_rpcs']} RPCs "
+            f"({reduction:.1%} fewer), "
+            f"{r['uncached_elapsed'] * 1e3:.2f}ms -> "
+            f"{r['cached_elapsed'] * 1e3:.2f}ms ({speedup:.1f}x), "
+            f"hit rate {r['hit_rate']:.1%}"
+        )
+    record(
+        "cache_hit",
+        {
+            "zipf_uncached_rpcs": (float(r["uncached_rpcs"]), "calls"),
+            "zipf_cached_rpcs": (float(r["cached_rpcs"]), "calls"),
+            "zipf_rpc_reduction": (reduction, "fraction"),
+            "zipf_uncached_elapsed": (r["uncached_elapsed"], "s"),
+            "zipf_cached_elapsed": (r["cached_elapsed"], "s"),
+            "zipf_get_speedup": (speedup, "x"),
+            "zipf_hit_rate": (r["hit_rate"], "fraction"),
+        },
+    )
+    assert reduction >= 0.80
+    assert speedup >= 5.0
+
+
+# ----------------------------------------------------------------------
+# Disabled cache: client_cache_bytes=0 must not tax the data path
+# ----------------------------------------------------------------------
+
+
+def run_disabled_overhead():
+    num_keys, ops = (64, 600) if QUICK else (256, 2000)
+    keys = [b"key-%04d" % i for i in range(num_keys)]
+    sample = zipf_sampler(num_keys, seed=42)
+    trace = [keys[sample()] for _ in range(ops)]
+
+    def run(via_client: bool):
+        loop, kv, remote = make_rpc_kv(via_client=via_client)
+        if via_client:
+            # client_cache_bytes defaults to 0: the handle is unwrapped.
+            assert type(kv) is JiffyKVStore
+        remote.multi_put([(key, b"v" * 64) for key in keys])
+        start = loop.clock.now()
+        for key in trace:
+            remote.get(key)
+        return loop.clock.now() - start
+
+    direct = run(via_client=False)
+    disabled = run(via_client=True)
+    return direct, disabled
+
+
+def test_disabled_cache_has_no_overhead(once, capsys):
+    direct, disabled = once(run_disabled_overhead)
+    overhead = disabled / direct - 1.0
+    with capsys.disabled():
+        print()
+        print(
+            f"cache disabled: {disabled * 1e3:.2f}ms via client vs "
+            f"{direct * 1e3:.2f}ms direct ({overhead:+.2%} overhead)"
+        )
+    record("cache_hit", {"disabled_overhead": (overhead, "fraction")})
+    assert overhead < 0.02
+
+
+# ----------------------------------------------------------------------
+# End-to-end frameworks: zipf word count over an RPC-backed state table
+# ----------------------------------------------------------------------
+
+_ONE = accumulators.encode_i64(1)
+
+
+def _bump(state, word: bytes) -> None:
+    """One read-modify-write against the state table (both handles)."""
+    (old,) = state.multi_get([word], default=None)
+    state.put(word, _ONE if old is None else accumulators.sum_i64(old, _ONE))
+
+
+def run_piccolo_wordcount():
+    """Per-update kernel loop, as a Piccolo kernel would issue it."""
+    vocab, updates = (48, 500) if QUICK else (192, 2500)
+    words = [b"word-%04d" % i for i in range(vocab)]
+    sample = zipf_sampler(vocab, seed=99)
+    trace = [words[sample()] for _ in range(updates)]
+
+    def run(cached: bool):
+        loop, kv, remote = make_rpc_kv(prefix="table-counts")
+        if cached:
+            cache = ClientCache(CACHE_BYTES, registry=kv.telemetry)
+            state = CachedKV(kv, cache, transport=remote, writeback_bytes=64 * KB)
+        else:
+            state = remote
+        start = loop.clock.now()
+        for word in trace:
+            _bump(state, word)
+        if cached:
+            state.flush()  # the stage barrier (PiccoloJob.run_kernels)
+        elapsed = loop.clock.now() - start
+        counts = {k: accumulators.decode_i64(v) for k, v in kv.items()}
+        return elapsed, counts
+
+    uncached_elapsed, uncached_counts = run(cached=False)
+    cached_elapsed, cached_counts = run(cached=True)
+    assert cached_counts == uncached_counts
+    assert sum(cached_counts.values()) == updates
+    return uncached_elapsed, cached_elapsed
+
+
+def test_piccolo_wordcount_speedup(once, capsys):
+    uncached, cached = once(run_piccolo_wordcount)
+    speedup = uncached / cached
+    with capsys.disabled():
+        print()
+        print(
+            f"piccolo wordcount: {uncached * 1e3:.2f}ms uncached vs "
+            f"{cached * 1e3:.2f}ms cached ({speedup:.1f}x)"
+        )
+    record(
+        "cache_hit",
+        {
+            "piccolo_uncached_elapsed": (uncached, "s"),
+            "piccolo_cached_elapsed": (cached, "s"),
+            "piccolo_speedup": (speedup, "x"),
+        },
+    )
+    assert cached < uncached
+
+
+def run_streaming_wordcount():
+    """Micro-batched pipeline whose count stage keeps state in Jiffy."""
+    batches, words_per_batch, vocab = (3, 100, 48) if QUICK else (6, 400, 128)
+    words = [b"w%04d" % i for i in range(vocab)]
+    sample = zipf_sampler(vocab, seed=7)
+    feed = [
+        [words[sample()] for _ in range(words_per_batch)] for _ in range(batches)
+    ]
+
+    def run(cached: bool):
+        loop = EventLoop(SimClock())
+        controller = JiffyController(
+            JiffyConfig(block_size=16 * KB), clock=loop.clock, default_blocks=512
+        )
+        state_client = connect(controller, "stream-bench")
+        state_client.create_addr_prefix("state")
+        state_kv = state_client.init_data_structure("state", "kv_store", num_slots=64)
+        remote = RemoteKV(
+            loop, serve_kv(state_kv, loop), network=NetworkModel(sigma=0.0)
+        )
+        if cached:
+            cache = ClientCache(CACHE_BYTES, registry=state_kv.telemetry)
+            state = CachedKV(state_kv, cache, transport=remote, writeback_bytes=64 * KB)
+        else:
+            state = remote
+
+        def count(event):
+            _bump(state, event)
+            return ()
+
+        pipeline = StreamPipeline(
+            controller,
+            "stream-bench",
+            [
+                StreamStage("split", lambda line: line.split(), parallelism=2),
+                StreamStage("count", count, parallelism=2),
+            ],
+        )
+        start = loop.clock.now()
+        for batch in feed:
+            lines = [
+                b" ".join(batch[i : i + 8]) for i in range(0, len(batch), 8)
+            ]
+            pipeline.process_batch(lines)
+            if cached:
+                state.flush()  # micro-batch barrier (StreamPipeline)
+        elapsed = loop.clock.now() - start
+        counts = {k: accumulators.decode_i64(v) for k, v in state_kv.items()}
+        return elapsed, counts
+
+    uncached_elapsed, uncached_counts = run(cached=False)
+    cached_elapsed, cached_counts = run(cached=True)
+    assert cached_counts == uncached_counts
+    assert sum(cached_counts.values()) == batches * words_per_batch
+    return uncached_elapsed, cached_elapsed
+
+
+def test_streaming_wordcount_speedup(once, capsys):
+    uncached, cached = once(run_streaming_wordcount)
+    speedup = uncached / cached
+    with capsys.disabled():
+        print()
+        print(
+            f"streaming wordcount: {uncached * 1e3:.2f}ms uncached vs "
+            f"{cached * 1e3:.2f}ms cached ({speedup:.1f}x)"
+        )
+    record(
+        "cache_hit",
+        {
+            "streaming_uncached_elapsed": (uncached, "s"),
+            "streaming_cached_elapsed": (cached, "s"),
+            "streaming_speedup": (speedup, "x"),
+        },
+    )
+    assert cached < uncached

@@ -88,6 +88,19 @@ class JiffyConfig:
             — the pre-optimisation reference implementation kept for
             conformance testing and A/B benchmarks. Both mark the same
             prefixes expired in the same order.
+        client_cache_bytes: byte budget of the per-session near-memory
+            client cache (read-through over KV entries and file
+            extents, lease-epoch-coherent invalidation). 0 (default)
+            disables caching entirely — handles are returned unwrapped
+            and the data path is byte-identical to the uncached build.
+        client_cache_policy: eviction policy of the client cache:
+            ``"lru"`` (default) or ``"clock"`` (second-chance).
+        client_cache_writeback_bytes: byte budget of the client cache's
+            write-back buffer. Buffered puts fold repeated writes to the
+            same key locally and flush through the batched ``multi_put``
+            path at size/epoch boundaries and framework stage barriers.
+            0 (default) means write-through: puts land immediately and
+            only reads are cached.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -107,6 +120,9 @@ class JiffyConfig:
     autoscale_min_servers: int = 1
     autoscale_max_servers: typing.Optional[int] = None
     expiry_sweep: str = "floor"
+    client_cache_bytes: int = 0
+    client_cache_policy: str = "lru"
+    client_cache_writeback_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -128,6 +144,15 @@ class JiffyConfig:
             raise ValueError(
                 f"expiry_sweep must be 'floor' or 'full', got "
                 f"{self.expiry_sweep!r}"
+            )
+        if self.client_cache_bytes < 0:
+            raise ValueError("client_cache_bytes must be >= 0")
+        if self.client_cache_writeback_bytes < 0:
+            raise ValueError("client_cache_writeback_bytes must be >= 0")
+        if self.client_cache_policy not in ("lru", "clock"):
+            raise ValueError(
+                f"client_cache_policy must be 'lru' or 'clock', got "
+                f"{self.client_cache_policy!r}"
             )
         if not 0.0 <= self.autoscale_low_free < self.autoscale_high_free <= 1.0:
             raise ValueError(

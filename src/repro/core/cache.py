@@ -1,0 +1,636 @@
+"""Near-memory client cache: lease-coherent read-through / write-back.
+
+Jiffy's data plane already eliminates the controller from the hot path
+(Fig 2's b-path); this module eliminates the *data-plane* RPC as well
+for the portion of the working set that fits in the compute task's own
+memory. A :class:`ClientCache` is a byte-bounded store shared by one
+client session; :class:`CachedKV` and :class:`CachedFile` are coherent
+views over a data structure that consult the cache before issuing any
+data-plane operation.
+
+Coherence protocol
+------------------
+
+Correctness rests on three mechanisms, in order of precision:
+
+1. **Operation notifications** (Table 1, §4.1). A view subscribes to
+   ``put``/``delete`` on its structure's broker and drains the stream
+   before every operation: another session's write updates (if cached)
+   or evicts the affected entry *in publish order*, so a read never
+   returns a value older than the last drained write.
+2. **Coherence epochs** (§3.2 lease epochs, generalised). Structural
+   changes that can move data out from under a cache — repartition slot
+   cut-overs, membership-driven block relocation or loss, lease expiry,
+   external reloads — bump the structure's epoch and publish an
+   ``invalidate`` notification naming the affected hash slots when
+   known. The view invalidates exactly those slots (or, lacking slot
+   information, its whole namespace). Entries are tagged with the epoch
+   at fill time for introspection and debugging.
+3. **Gap detection.** Listener queues are bounded
+   (:mod:`repro.core.notifications`); if the view's listener ever drops
+   a notification it cannot know what it missed, so it conservatively
+   clears its namespace and resynchronises.
+
+Write-back (``client_cache_writeback_bytes > 0``) buffers puts locally,
+folding repeated writes to the same key (the Piccolo ``multi_update``
+accumulator pattern, generalised to arbitrary puts), and flushes the
+folded residue through the batched ``multi_put`` path when the buffer
+fills, at epoch boundaries, and at framework stage barriers. Buffered
+writes are visible to their own session immediately (read-your-writes)
+and to other sessions after the flush.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["ClientCache", "CachedKV", "CachedFile"]
+
+#: Accounting overhead charged per cached entry (dict slots, tags).
+ENTRY_OVERHEAD_BYTES = 64
+
+#: Default extent granularity for cached file reads.
+DEFAULT_EXTENT_BYTES = 64 * 1024
+
+_RAISE = object()  # multi_get sentinel: raise on missing keys
+
+Namespace = Tuple[str, str]  # (job_id, prefix)
+
+
+def _canon(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode()
+    raise TypeError(f"cache keys must be str or bytes, got {type(key).__name__}")
+
+
+class _Entry:
+    __slots__ = ("value", "epoch", "cost", "ref")
+
+    def __init__(self, value: bytes, epoch: int, cost: int) -> None:
+        self.value = value
+        self.epoch = epoch
+        self.cost = cost
+        self.ref = False  # CLOCK reference bit
+
+
+class ClientCache:
+    """Byte-bounded entry store shared by one client session.
+
+    Entries are keyed ``(namespace, key)`` where the namespace is the
+    owning ``(job_id, prefix)`` — KV entries and file extents from every
+    structure a session touches share one byte budget. Two eviction
+    policies: ``"lru"`` (strict recency) and ``"clock"`` (second-chance;
+    one reference bit per entry, O(1) amortised eviction).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: str = "lru",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if policy not in ("lru", "clock"):
+            raise ValueError(f"policy must be 'lru' or 'clock', got {policy!r}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self._entries: "collections.OrderedDict[Tuple[Namespace, bytes], _Entry]" = (
+            collections.OrderedDict()
+        )
+        self._index: Dict[Namespace, Set[bytes]] = {}
+        self._bytes = 0
+        self._c_hits = self.telemetry.counter("cache.hits")
+        self._c_misses = self.telemetry.counter("cache.misses")
+        self._c_evictions = self.telemetry.counter("cache.evictions")
+        self._c_invalidations = self.telemetry.counter("cache.invalidations")
+        self._g_bytes = self.telemetry.gauge("cache.bytes")
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._c_invalidations.value)
+
+    def entry_epoch(self, namespace: Namespace, key: bytes) -> Optional[int]:
+        """The fill-time epoch tag of a cached entry (None if absent)."""
+        entry = self._entries.get((namespace, key))
+        return entry.epoch if entry is not None else None
+
+    # -- core operations -----------------------------------------------
+
+    @staticmethod
+    def _cost(key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + ENTRY_OVERHEAD_BYTES
+
+    def get(self, namespace: Namespace, key: bytes) -> Optional[bytes]:
+        """The cached value, or None on miss. Counts hits/misses."""
+        slot = (namespace, key)
+        entry = self._entries.get(slot)
+        if entry is None:
+            self._c_misses.inc()
+            return None
+        if self.policy == "lru":
+            self._entries.move_to_end(slot)
+        else:
+            entry.ref = True
+        self._c_hits.inc()
+        return entry.value
+
+    def put(self, namespace: Namespace, key: bytes, value: bytes, epoch: int) -> None:
+        """Insert or refresh an entry, evicting under byte pressure."""
+        cost = self._cost(key, value)
+        if cost > self.capacity_bytes:
+            return  # oversized objects bypass the cache entirely
+        slot = (namespace, key)
+        old = self._entries.pop(slot, None)
+        if old is not None:
+            self._bytes -= old.cost
+        self._entries[slot] = _Entry(value, epoch, cost)
+        self._index.setdefault(namespace, set()).add(key)
+        self._bytes += cost
+        while self._bytes > self.capacity_bytes:
+            self._evict_one()
+        self._g_bytes.set(float(self._bytes))
+
+    def update_if_present(
+        self, namespace: Namespace, key: bytes, value: bytes, epoch: int
+    ) -> bool:
+        """Refresh an entry only if it is already cached.
+
+        The notification path uses this so other sessions' writes keep
+        the cache warm without letting un-read keys pollute it.
+        """
+        if (namespace, key) not in self._entries:
+            return False
+        self.put(namespace, key, value, epoch)
+        return True
+
+    def _evict_one(self) -> None:
+        if self.policy == "clock":
+            # Second chance: skip (and unset) referenced entries.
+            while True:
+                slot, entry = next(iter(self._entries.items()))
+                if entry.ref:
+                    entry.ref = False
+                    self._entries.move_to_end(slot)
+                else:
+                    break
+        else:
+            slot, entry = next(iter(self._entries.items()))
+        self._remove(slot)
+        self._c_evictions.inc()
+
+    def _remove(self, slot: Tuple[Namespace, bytes]) -> None:
+        entry = self._entries.pop(slot, None)
+        if entry is None:
+            return
+        self._bytes -= entry.cost
+        namespace, key = slot
+        keys = self._index.get(namespace)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._index[namespace]
+        self._g_bytes.set(float(self._bytes))
+
+    # -- invalidation --------------------------------------------------
+
+    def invalidate_key(self, namespace: Namespace, key: bytes) -> bool:
+        """Drop one entry; returns whether it was present."""
+        slot = (namespace, key)
+        present = slot in self._entries
+        if present:
+            self._remove(slot)
+            self._c_invalidations.inc()
+        return present
+
+    def invalidate_namespace(self, namespace: Namespace) -> int:
+        """Drop every entry of one ``(job_id, prefix)``; returns count."""
+        keys = list(self._index.get(namespace, ()))
+        for key in keys:
+            self._remove((namespace, key))
+        if keys:
+            self._c_invalidations.inc(len(keys))
+        return len(keys)
+
+    def invalidate_slots(
+        self,
+        namespace: Namespace,
+        slots: Set[int],
+        slot_of: Callable[[bytes], int],
+    ) -> int:
+        """Drop the namespace's entries whose key hashes into ``slots``."""
+        dropped = 0
+        for key in list(self._index.get(namespace, ())):
+            if slot_of(key) in slots:
+                self._remove((namespace, key))
+                dropped += 1
+        if dropped:
+            self._c_invalidations.inc(dropped)
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._index.clear()
+        self._bytes = 0
+        self._g_bytes.set(0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientCache({self.policy}, {self._bytes}/{self.capacity_bytes}B, "
+            f"{len(self._entries)} entries)"
+        )
+
+
+class _CoherentView:
+    """Shared coherence machinery: notification drain + gap fallback."""
+
+    def __init__(self, source: Any, cache: ClientCache, ops: Sequence[str]) -> None:
+        self._source = source
+        self._cache = cache
+        self._ns: Namespace = (source.job_id, source.prefix)
+        self._listener = source.broker.subscribe(tuple(ops))
+        self._seen_dropped = self._listener.dropped
+        self._c_gap = cache.telemetry.counter("cache.gap_clears")
+
+    @property
+    def cache(self) -> ClientCache:
+        return self._cache
+
+    @property
+    def epoch(self) -> int:
+        return int(self._source.epoch)
+
+    def close(self) -> None:
+        """Detach from the notification stream (view becomes inert)."""
+        self._listener.close()
+
+    def _drain(self) -> None:
+        listener = self._listener
+        if listener.dropped != self._seen_dropped:
+            # The bounded queue evicted notifications we never saw: the
+            # invalidation stream has a gap, so nothing cached for this
+            # prefix can be trusted.
+            self._seen_dropped = listener.dropped
+            listener.get_all()
+            self._on_gap()
+            self._cache.invalidate_namespace(self._ns)
+            self._c_gap.inc()
+            return
+        if listener.pending():
+            for notification in listener.get_all():
+                self._apply(notification.op, notification.data or {})
+
+    def _on_gap(self) -> None:
+        """Hook: runs before the conservative namespace clear."""
+
+    def _apply(self, op: str, data: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything not intercepted falls through to the live
+        # structure, so a cached view is a drop-in handle.
+        return getattr(self._source, name)
+
+
+class CachedKV(_CoherentView):
+    """Coherent read-through / write-back view over a KV store.
+
+    ``source`` is the live :class:`~repro.datastructures.kvstore.\
+JiffyKVStore` (subscription target + epoch authority); ``transport`` is
+    the operation surface the view issues misses and flushes through —
+    the structure itself in-process, or a
+    :class:`~repro.rpc.dataplane.RemoteKV` proxy when the data plane is
+    served over RPC.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        cache: ClientCache,
+        transport: Optional[Any] = None,
+        writeback_bytes: int = 0,
+    ) -> None:
+        super().__init__(source, cache, ("put", "delete", "invalidate"))
+        if writeback_bytes < 0:
+            raise ValueError("writeback_bytes must be >= 0")
+        self._transport = transport if transport is not None else source
+        self._wb_limit = writeback_bytes
+        self._wb: Dict[bytes, bytes] = {}
+        self._wb_bytes = 0
+        reg = cache.telemetry
+        self._c_flushes = reg.counter("cache.writeback.flushes")
+        self._c_folded = reg.counter("cache.writeback.folded")
+        self._g_wb_bytes = reg.gauge("cache.writeback.bytes")
+
+    # -- write-back buffer ---------------------------------------------
+
+    @property
+    def writeback_pending(self) -> int:
+        """Buffered (unflushed) puts currently folded in this view."""
+        return len(self._wb)
+
+    def flush(self) -> int:
+        """Push the folded write-back residue; returns pairs written.
+
+        One batched ``multi_put`` per flush — the buffered writes reach
+        the data plane (and other sessions) here, not before.
+        """
+        if not self._wb:
+            return 0
+        pairs = list(self._wb.items())
+        self._wb = {}
+        self._wb_bytes = 0
+        self._g_wb_bytes.set(0.0)
+        self._transport.multi_put(pairs)
+        epoch = self.epoch
+        for key, value in pairs:
+            self._cache.put(self._ns, key, value, epoch)
+        self._c_flushes.inc()
+        return len(pairs)
+
+    def _buffer_put(self, key: bytes, value: bytes) -> None:
+        old = self._wb.get(key)
+        if old is not None:
+            self._wb_bytes -= len(old)
+            self._c_folded.inc()  # a data-plane write just disappeared
+        else:
+            self._wb_bytes += len(key) + ENTRY_OVERHEAD_BYTES
+        self._wb[key] = value
+        self._wb_bytes += len(value)
+        self._g_wb_bytes.set(float(self._wb_bytes))
+        if self._wb_bytes >= self._wb_limit:
+            self.flush()
+
+    def _on_gap(self) -> None:
+        # Push buffered writes out before distrusting our view.
+        self.flush()
+
+    # -- notification protocol -----------------------------------------
+
+    def _slot_of(self, key: bytes) -> int:
+        from repro.datastructures.kvstore import hash_slot
+
+        return hash_slot(key, self._source.num_slots)
+
+    def _apply(self, op: str, data: Dict[str, Any]) -> None:
+        if op == "put":
+            self._cache.update_if_present(
+                self._ns, data["key"], data["value"], self.epoch
+            )
+        elif op == "delete":
+            self._cache.invalidate_key(self._ns, data["key"])
+        else:  # invalidate — an epoch boundary
+            self.flush()
+            slots = data.get("slots")
+            if slots is None:
+                self._cache.invalidate_namespace(self._ns)
+            else:
+                self._cache.invalidate_slots(self._ns, set(slots), self._slot_of)
+
+    # -- operations ----------------------------------------------------
+
+    def get(self, key: Any) -> bytes:
+        self._drain()
+        key_bytes = _canon(key)
+        buffered = self._wb.get(key_bytes)
+        if buffered is not None:
+            return buffered  # read-your-writes
+        value = self._cache.get(self._ns, key_bytes)
+        if value is not None:
+            return value
+        value = self._transport.get(key_bytes)
+        self._cache.put(self._ns, key_bytes, value, self.epoch)
+        return value
+
+    def put(self, key: Any, value: bytes) -> None:
+        self._drain()
+        key_bytes = _canon(key)
+        if self._wb_limit > 0:
+            self._buffer_put(key_bytes, bytes(value))
+            return
+        self._transport.put(key_bytes, value)
+        self._cache.put(self._ns, key_bytes, bytes(value), self.epoch)
+
+    def delete(self, key: Any) -> bytes:
+        self._drain()
+        self.flush()  # the delete must observe any buffered put
+        key_bytes = _canon(key)
+        value = self._transport.delete(key_bytes)
+        self._cache.invalidate_key(self._ns, key_bytes)
+        return value
+
+    def exists(self, key: Any) -> bool:
+        self._drain()
+        key_bytes = _canon(key)
+        if key_bytes in self._wb:
+            return True
+        if self._cache.get(self._ns, key_bytes) is not None:
+            return True
+        return bool(self._transport.exists(key_bytes))
+
+    def multi_get(self, keys: Sequence[Any], default: Any = _RAISE) -> List[bytes]:
+        self._drain()
+        canon = [_canon(key) for key in keys]
+        out: List[Optional[bytes]] = [None] * len(canon)
+        missing: List[int] = []
+        for index, key_bytes in enumerate(canon):
+            buffered = self._wb.get(key_bytes)
+            if buffered is not None:
+                out[index] = buffered
+                continue
+            cached = self._cache.get(self._ns, key_bytes)
+            if cached is not None:
+                out[index] = cached
+            else:
+                missing.append(index)
+        if missing:
+            fetch = [canon[index] for index in missing]
+            epoch = self.epoch
+            if default is _RAISE:
+                values = self._transport.multi_get(fetch)
+                for index, value in zip(missing, values):
+                    self._cache.put(self._ns, canon[index], value, epoch)
+                    out[index] = value
+            else:
+                # KV values are always bytes, so None is a safe
+                # transport-level "absent" marker (mget_or on the wire).
+                values = self._transport.multi_get(fetch, default=None)
+                for index, value in zip(missing, values):
+                    if value is None:
+                        out[index] = default
+                    else:
+                        self._cache.put(self._ns, canon[index], value, epoch)
+                        out[index] = value
+        return out  # type: ignore[return-value]
+
+    def multi_put(self, pairs: Sequence[Tuple[Any, bytes]]) -> None:
+        self._drain()
+        if self._wb_limit > 0:
+            for key, value in pairs:
+                self._buffer_put(_canon(key), bytes(value))
+            return
+        canon = [(_canon(key), bytes(value)) for key, value in pairs]
+        self._transport.multi_put(canon)
+        epoch = self.epoch
+        for key_bytes, value in canon:
+            self._cache.put(self._ns, key_bytes, value, epoch)
+
+    def multi_delete(self, keys: Sequence[Any]) -> List[bytes]:
+        self._drain()
+        self.flush()
+        canon = [_canon(key) for key in keys]
+        out = self._transport.multi_delete(canon)
+        for key_bytes in canon:
+            self._cache.invalidate_key(self._ns, key_bytes)
+        return list(out)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        self._drain()
+        self.flush()  # a scan must observe buffered writes
+        return self._source.items()
+
+    def keys(self) -> Iterator[bytes]:
+        self._drain()
+        self.flush()
+        return self._source.keys()
+
+    def __len__(self) -> int:
+        self._drain()
+        self.flush()
+        return len(self._source)
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedKV({self._ns[0]}:{self._ns[1]}, "
+            f"writeback_pending={len(self._wb)})"
+        )
+
+
+class CachedFile(_CoherentView):
+    """Coherent read-through view over an append-only file.
+
+    The file's written region is immutable (appends only extend it), so
+    fully-materialised aligned extents are cached indefinitely; only
+    epoch bumps — expiry, reload, block relocation/loss — invalidate.
+    The tail extent, which can still grow, is always read through.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        cache: ClientCache,
+        transport: Optional[Any] = None,
+        extent_bytes: int = DEFAULT_EXTENT_BYTES,
+    ) -> None:
+        super().__init__(source, cache, ("invalidate",))
+        if extent_bytes <= 0:
+            raise ValueError("extent_bytes must be positive")
+        self._transport = transport if transport is not None else source
+        self._extent = extent_bytes
+        self._read_pos = 0
+
+    def _apply(self, op: str, data: Dict[str, Any]) -> None:
+        self._cache.invalidate_namespace(self._ns)
+
+    @staticmethod
+    def _extent_key(index: int) -> bytes:
+        return b"ext:%d" % index
+
+    # -- operations ----------------------------------------------------
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        self._drain()
+        if offset < 0 or length < 0:
+            return self._transport.read_at(offset, length)  # error parity
+        size = int(self._source.size)
+        end = min(offset + length, size)
+        if offset >= size or end <= offset:
+            return b""
+        out = bytearray()
+        pos = offset
+        extent = self._extent
+        epoch = self.epoch
+        while pos < end:
+            index = pos // extent
+            ext_start = index * extent
+            ext_end = ext_start + extent
+            if ext_end > size:
+                # Tail extent: still growing, never cached.
+                out.extend(self._transport.read_at(pos, end - pos))
+                break
+            key = self._extent_key(index)
+            data = self._cache.get(self._ns, key)
+            if data is None:
+                data = self._transport.read_at(ext_start, extent)
+                self._cache.put(self._ns, key, data, epoch)
+            lo = pos - ext_start
+            hi = min(end, ext_end) - ext_start
+            out.extend(data[lo:hi])
+            pos = ext_start + hi
+        return bytes(out)
+
+    def read(self, length: int = -1) -> bytes:
+        if length < 0:
+            length = int(self._source.size) - self._read_pos
+        data = self.read_at(self._read_pos, length)
+        self._read_pos += len(data)
+        return data
+
+    def seek(self, offset: int) -> None:
+        self._source.seek(offset)  # bounds-check parity
+        self._read_pos = offset
+
+    def tell(self) -> int:
+        return self._read_pos
+
+    def readall(self) -> bytes:
+        return self.read_at(0, int(self._source.size))
+
+    def append(self, data: bytes) -> int:
+        self._drain()
+        return int(self._transport.append(data))
+
+    write = append
+
+    def __len__(self) -> int:
+        return int(self._source.size)
+
+    def __repr__(self) -> str:
+        return f"CachedFile({self._ns[0]}:{self._ns[1]}, extent={self._extent})"

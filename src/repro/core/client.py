@@ -14,8 +14,9 @@ paper's API reads verbatim.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
+from repro.core.cache import CachedFile, CachedKV, ClientCache
 from repro.core.hierarchy import AddressNode
 from repro.core.plane import ControlPlane
 from repro.datastructures.base import DataStructure
@@ -66,6 +67,19 @@ class JiffyClient:
         self.job_id = job_id
         self.principal = principal if principal is not None else job_id
         self.registry = registry if registry is not None else default_registry
+        # Near-memory client cache (opt-in): one byte budget per session,
+        # shared by every structure this client opens. With the default
+        # client_cache_bytes=0 nothing is allocated and handles come
+        # back unwrapped — the data path is identical to older builds.
+        config = controller.config
+        self.cache: Optional[ClientCache] = None
+        self._cached_views: List[Any] = []
+        if config.client_cache_bytes > 0:
+            self.cache = ClientCache(
+                config.client_cache_bytes,
+                policy=config.client_cache_policy,
+                registry=controller.telemetry,
+            )
 
     # ------------------------------------------------------------------
     # Address hierarchy
@@ -144,19 +158,51 @@ class JiffyClient:
         """
         self.controller.check_permission(self.job_id, addr, self.principal)
         cls = self.registry.resolve(ds_type)
-        return cls(self.controller, self.job_id, addr, **kwargs)
+        return self._maybe_wrap(cls(self.controller, self.job_id, addr, **kwargs))
 
     def attach_data_structure(self, addr: str) -> DataStructure:
         """Open the data structure already bound to ``addr``.
 
         Used by a second session (possibly a foreign principal that has
-        been granted access) to share the structure.
+        been granted access) to share the structure. Each session gets
+        its own cached view when caching is enabled — coherence between
+        sessions runs over the notification/epoch protocol.
         """
         self.controller.check_permission(self.job_id, addr, self.principal)
         node = self.controller.resolve(self.job_id, addr)
         if node.datastructure is None:
             raise RegistrationError(f"no data structure bound to {addr!r}")
-        return node.datastructure
+        return self._maybe_wrap(node.datastructure)
+
+    def _maybe_wrap(self, ds: Any) -> Any:
+        """Wrap a structure in this session's coherent cached view."""
+        if self.cache is None:
+            return ds
+        config = self.controller.config
+        view: Any
+        if getattr(ds, "DS_TYPE", None) == "kv_store":
+            view = CachedKV(
+                ds,
+                self.cache,
+                writeback_bytes=config.client_cache_writeback_bytes,
+            )
+        elif getattr(ds, "DS_TYPE", None) == "file":
+            view = CachedFile(ds, self.cache)
+        else:
+            return ds  # FIFO queues are stream-consumed: nothing to cache
+        self._cached_views.append(view)
+        return view
+
+    def flush_cache(self) -> int:
+        """Flush every cached view's write-back buffer; returns pairs.
+
+        Frameworks call this at stage barriers so buffered writes are
+        visible to downstream stages (and other sessions) before the
+        barrier completes. A no-op without caching.
+        """
+        return sum(
+            view.flush() for view in self._cached_views if hasattr(view, "flush")
+        )
 
     def grant(self, addr: str, principal: str) -> None:
         """Grant another principal access to a prefix (owner only)."""

@@ -653,6 +653,18 @@ class JiffyController(ControlPlane):
                 self._c_lost.inc()
                 node = self._hierarchy(owner[0]).get_node(owner[1])
                 self.allocator.forget(node, block_id)
+                hook = getattr(
+                    node.datastructure, "_on_blocks_relocated", None
+                )
+                if hook is not None:
+                    hook([block_id], lost=True)
+            if new_head is not None and owner is not None:
+                node = self._hierarchy(owner[0]).get_node(owner[1])
+                hook = getattr(
+                    node.datastructure, "_on_blocks_relocated", None
+                )
+                if hook is not None:
+                    hook([block_id])
         if repair_heads:
             self.background.submit(
                 [
@@ -745,6 +757,9 @@ class JiffyController(ControlPlane):
         self._forwards[block_id] = new.block_id
         self.pool.reclaim(block_id)
         self._c_migrated.inc()
+        hook = getattr(node.datastructure, "_on_blocks_relocated", None)
+        if hook is not None:
+            hook([block_id])
 
     def _repair_step_for(self, primary_id: BlockId):
         def _repair() -> None:

@@ -10,6 +10,15 @@ Listeners are poll-based: ``listener.get(timeout)`` returns the oldest
 pending notification or ``None``. Under a :class:`~repro.sim.clock\
 .SimClock` there is no blocking — the timeout exists for API fidelity and
 for wall-clock polling loops.
+
+Listener queues are **bounded** (mirroring the flight recorder's
+byte-bounded ring): a slow subscriber that never drains cannot grow
+memory without limit during long replays. When a queue is full the
+oldest pending notification is evicted and counted — both on the
+listener (:attr:`Listener.dropped`) and in the broker's registry
+(``notifications.dropped``) — so consumers that care about completeness
+(the client cache's coherence protocol, most importantly) can detect the
+gap and fall back to conservative invalidation.
 """
 
 from __future__ import annotations
@@ -18,9 +27,15 @@ import collections
 import itertools
 import time as _time
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.clock import Clock, WallClock
+from repro.telemetry import MetricsRegistry
+
+#: Default per-listener pending-notification cap. Generously sized for
+#: any consumer that drains at operation granularity; small enough that
+#: a forgotten listener on a hot structure stays bounded.
+DEFAULT_MAX_PENDING = 65536
 
 
 @dataclass(frozen=True)
@@ -35,16 +50,35 @@ class Notification:
 class Listener:
     """A handle over a stream of notifications for one subscription."""
 
-    def __init__(self, broker: "NotificationBroker", listener_id: int, op: str) -> None:
+    def __init__(
+        self,
+        broker: "NotificationBroker",
+        listener_id: int,
+        ops: Tuple[str, ...],
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
         self._broker = broker
         self.listener_id = listener_id
-        self.op = op
+        #: All subscribed operation names; deliveries from every one of
+        #: them interleave in this listener's single queue in true
+        #: publish order (the client cache's coherence protocol needs
+        #: that ordering).
+        self.ops = ops
+        self.op = ops[0]
+        self.max_pending = max_pending
         self._queue: Deque[Notification] = collections.deque()
         self.closed = False
+        #: Notifications evicted because this listener fell behind.
+        self.dropped = 0
 
     def _deliver(self, notification: Notification) -> None:
-        if not self.closed:
-            self._queue.append(notification)
+        if self.closed:
+            return
+        if self.max_pending > 0 and len(self._queue) >= self.max_pending:
+            self._queue.popleft()  # oldest-evicted, like the PR 5 ring
+            self.dropped += 1
+            self._broker._on_drop()
+        self._queue.append(notification)
 
     def pending(self) -> int:
         """Number of undelivered notifications."""
@@ -85,17 +119,49 @@ class Listener:
 class NotificationBroker:
     """Per-data-structure subscription map (op name -> listeners)."""
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
         self.clock = clock if clock is not None else WallClock()
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self.max_pending = max_pending
         self._subs: Dict[str, List[Listener]] = collections.defaultdict(list)
         self._ids = itertools.count()
         self.published = 0
         self.delivered = 0
+        self._c_dropped = self.telemetry.counter("notifications.dropped")
 
-    def subscribe(self, op: str) -> Listener:
-        """Create a listener for operations named ``op``."""
-        listener = Listener(self, next(self._ids), op)
-        self._subs[op].append(listener)
+    @property
+    def dropped(self) -> int:
+        """Total notifications evicted across this broker's listeners."""
+        return self._c_dropped.value
+
+    def _on_drop(self) -> None:
+        self._c_dropped.inc()
+
+    def subscribe(
+        self,
+        op: Union[str, Sequence[str]],
+        max_pending: Optional[int] = None,
+    ) -> Listener:
+        """Create a listener for operations named ``op``.
+
+        ``op`` may be a sequence of names: the one listener then
+        receives every matching operation through a single queue, in
+        publish order across the whole set. ``max_pending`` bounds the
+        listener's queue (0 = unbounded); defaults to the broker-wide
+        cap.
+        """
+        ops = (op,) if isinstance(op, str) else tuple(op)
+        if not ops:
+            raise ValueError("subscribe needs at least one op name")
+        cap = self.max_pending if max_pending is None else max_pending
+        listener = Listener(self, next(self._ids), ops, max_pending=cap)
+        for name in ops:
+            self._subs[name].append(listener)
         return listener
 
     def publish(self, op: str, data: Any = None) -> int:
@@ -114,9 +180,10 @@ class NotificationBroker:
         return count
 
     def _unsubscribe(self, listener: Listener) -> None:
-        listeners = self._subs.get(listener.op, [])
-        if listener in listeners:
-            listeners.remove(listener)
+        for op in listener.ops:
+            listeners = self._subs.get(op, [])
+            if listener in listeners:
+                listeners.remove(listener)
 
     def subscriber_count(self, op: str) -> int:
         return len([l for l in self._subs.get(op, []) if not l.closed])

@@ -77,9 +77,20 @@ class DataStructure:
                 clock=controller.clock, registry=controller.telemetry
             )
         )
-        self.broker = NotificationBroker(controller.clock)
+        self.broker = NotificationBroker(
+            controller.clock, registry=controller.telemetry
+        )
         self.repartition_events: List[RepartitionEvent] = []
         self._expired = False
+        # Coherence epoch (§3.2 lease epochs, generalised): bumped
+        # whenever data may have moved out from under a client-side
+        # cache — repartition slot cut-overs, membership-driven block
+        # relocation or loss, lease expiry, and external reloads. Each
+        # bump publishes an ``"invalidate"`` notification carrying the
+        # new epoch and (when known) the affected hash slots, so cached
+        # views can invalidate precisely; entries are tagged with the
+        # epoch at fill time as the conservative backstop.
+        self._epoch = 0
         # Registration carries the initial partitioning so data-structure
         # init is ONE control-plane operation (one RPC on the remote
         # backend) — subclasses set their partition state before calling
@@ -142,6 +153,19 @@ class DataStructure:
         """Controller hook: our blocks were reclaimed on lease expiry."""
         self._expired = True
         self._reset_partition_state()
+        self._bump_epoch("expired")
+
+    def _on_blocks_relocated(self, block_ids: List[str], lost: bool = False) -> None:
+        """Controller hook: membership change moved (or lost) our blocks.
+
+        Drain-and-migrate forwards block ids so routing survives, but a
+        client-side cache cannot assume its invalidation stream covered
+        the move — conservatively bump the epoch so cached entries for
+        this prefix are re-fetched (InfiniStore's elasticity constraint).
+        A kill with data loss must invalidate too: serving a cached value
+        for data the uncached path would fail to find is incoherent.
+        """
+        self._bump_epoch("lost" if lost else "relocated")
 
     def _revive(self) -> None:
         self._expired = False
@@ -253,6 +277,34 @@ class DataStructure:
 
     def _publish(self, op: str, data: Any = None) -> None:
         self.broker.publish(op, data)
+
+    # ------------------------------------------------------------------
+    # Coherence epochs (client-cache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current coherence epoch of this prefix (monotonic)."""
+        return self._epoch
+
+    def _bump_epoch(
+        self, reason: str, slots: Optional[List[int]] = None
+    ) -> int:
+        """Advance the coherence epoch and publish the invalidation.
+
+        ``slots`` names the affected hash slots when the change is
+        slot-granular (KV repartition cut-overs); ``None`` means the
+        whole prefix must be considered stale. Returns the new epoch.
+        """
+        self._epoch += 1
+        self._publish(
+            "invalidate",
+            {"reason": reason, "epoch": self._epoch, "slots": slots},
+        )
+        self.telemetry.counter(
+            "ds.epoch_bumps", ds=self.DS_TYPE, reason=reason, job=self.job_id
+        ).inc()
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Persistence interface used by the controller

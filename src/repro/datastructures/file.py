@@ -238,6 +238,8 @@ class JiffyFile(DataStructure):
         self._reclaim_all_blocks()
         self._reset_partition_state()
         self.append(data)
+        # External reload replaces the whole prefix's contents.
+        self._bump_epoch("reload")
         return len(data)
 
     def _reset_partition_state(self) -> None:

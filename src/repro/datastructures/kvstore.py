@@ -582,6 +582,10 @@ class JiffyKVStore(DataStructure):
         target.add_used(slot_bytes)
         self._slot_map[slot] = migration.target_id
         migration.bytes_moved += slot_bytes
+        # Cut-over is the moment a cached client's routing (and any
+        # cached values fetched through it) can go stale — invalidate
+        # precisely this slot.
+        self._bump_epoch("migrate", [slot])
 
     def _force_room(
         self, block: Block, migration: SlotMigration, key_bytes: bytes, delta: int
@@ -685,6 +689,7 @@ class JiffyKVStore(DataStructure):
             new_block.set_used(moved_bytes)
             for slot in moving:
                 self._slot_map[slot] = new_block.block_id
+            self._bump_epoch("split", sorted(moving))
             self.splits += 1
             self._c_splits.inc()
             event = self._record_repartition("split", moved_bytes)
@@ -721,6 +726,7 @@ class JiffyKVStore(DataStructure):
             target.payload["slots"] |= block.payload["slots"]
             for slot in block.payload["slots"]:
                 self._slot_map[slot] = target.block_id
+            self._bump_epoch("merge", sorted(block.payload["slots"]))
             target.add_used(moved_bytes)
             self.merges += 1
             self._c_merges.inc()
@@ -752,6 +758,8 @@ class JiffyKVStore(DataStructure):
         self._reset_partition_state()
         for key_bytes, value in decode_kv_pairs(data):
             self.put(key_bytes, value)
+        # External reload replaces the whole prefix's contents.
+        self._bump_epoch("reload")
         return len(data)
 
     def _reset_partition_state(self) -> None:

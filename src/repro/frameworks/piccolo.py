@@ -197,10 +197,14 @@ class PiccoloJob:
 
             tasks[f"kernel-{k}"] = task
         results = self.master.run_stage(tasks)
+        # Stage barrier: buffered write-back (when the client cache is
+        # enabled) must be visible to the next stage's kernels.
+        self.client.flush_cache()
         return {tid: r.value for tid, r in results.items()}
 
     def checkpoint(self, table_name: str, external_path: str) -> int:
         """Flush a table to the external store (Piccolo checkpointing)."""
+        self.client.flush_cache()  # checkpoint must include buffered writes
         return self.client.flush_addr_prefix(f"table-{table_name}", external_path)
 
     def restore(self, table_name: str, external_path: str) -> int:

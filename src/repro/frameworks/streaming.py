@@ -141,11 +141,18 @@ class StreamPipeline:
         return processed
 
     def process_batch(self, events: Sequence[bytes]) -> int:
-        """Push one micro-batch through the full pipeline."""
+        """Push one micro-batch through the full pipeline.
+
+        The end of a micro-batch is a stage barrier: any cached state
+        tables opened through this pipeline's client session (e.g. a
+        word-count state KV) flush their write-back buffers so the
+        batch's effects are visible to readers outside the pipeline.
+        """
         self.inject(events)
         total = 0
         for i in range(len(self.stages)):
             total += self.drain_stage(i)
+        self.client.flush_cache()
         return total
 
     def renew_leases(self) -> int:
@@ -172,6 +179,7 @@ class StreamPipeline:
         prefix. Returns total bytes persisted.
         """
         total = 0
+        self.client.flush_cache()  # snapshots must include buffered writes
         for prefix in self._queue_prefixes():
             total += self.client.flush_addr_prefix(prefix, f"{path}/{prefix}")
         return total

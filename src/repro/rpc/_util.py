@@ -1,0 +1,25 @@
+"""Small helpers shared across the RPC client proxies.
+
+Kept dependency-free so both the data-plane proxies
+(:mod:`repro.rpc.dataplane`) and any future scatter-gather caller can
+import them without pulling in the server stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def chunked(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield ``items`` in order as slices of at most ``size`` elements.
+
+    The scatter-gather building block: one wire request per chunk, so no
+    single frame grows unbounded while the chunks still pipeline through
+    one round trip.
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

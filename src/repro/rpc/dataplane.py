@@ -14,11 +14,12 @@ round trip and ~155 µs of server-side work.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.datastructures.kvstore import JiffyKVStore, hash_slot
 from repro.datastructures.queue import JiffyQueue
+from repro.rpc._util import chunked
 from repro.rpc.client import RpcClient
 from repro.rpc.server import ResourceFn, RpcServer
 from repro.sim.events import BaseEventLoop
@@ -45,9 +46,7 @@ def batch_service_time(num_items: int) -> float:
     return BATCH_OP_BASE_S + num_items * BATCH_OP_PER_ITEM_S
 
 
-def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
-    for start in range(0, len(items), size):
-        yield items[start : start + size]
+_RAISE = object()  # multi_get sentinel: raise on missing keys
 
 
 def _kv_owner_block(kv: JiffyKVStore) -> ResourceFn:
@@ -106,6 +105,15 @@ def serve_kv(
     server.register(
         "mget",
         lambda keys: kv.multi_get(keys),
+        service_time_fn=lambda keys: batch_service_time(len(keys)),
+    )
+    server.register(
+        # Lenient batch read: absent keys come back as None (values are
+        # always bytes, so None is unambiguous on the wire). This is
+        # what read-modify-write accumulators and the client cache's
+        # miss path use instead of a try/except per key.
+        "mget_or",
+        lambda keys: kv.multi_get(keys, default=None),
         service_time_fn=lambda keys: batch_service_time(len(keys)),
     )
     server.register(
@@ -190,19 +198,32 @@ class RemoteKV:
     # instead of one RTT per key.
 
     def multi_get(
-        self, keys: Sequence[bytes], batch_size: Optional[int] = None
+        self,
+        keys: Sequence[bytes],
+        batch_size: Optional[int] = None,
+        default: Any = _RAISE,
     ) -> List[bytes]:
+        """Fetch many keys, order preserved, chunk-pipelined.
+
+        Raises on the first absent key unless ``default`` is given, in
+        which case absent keys yield ``default`` (served by the lenient
+        ``mget_or`` op — one round trip either way).
+        """
         keys = list(keys)
         if not keys:
             return []
         size = batch_size if batch_size else DEFAULT_BATCH_SIZE
+        method = "mget" if default is _RAISE else "mget_or"
         self._rpc.telemetry.histogram(
-            "rpc.client.batch_size", method="mget"
+            "rpc.client.batch_size", method=method
         ).record(float(len(keys)))
         replies = self._rpc.pipeline(
-            [("mget", list(chunk)) for chunk in _chunked(keys, size)]
+            [(method, list(chunk)) for chunk in chunked(keys, size)]
         )
-        return [value for chunk in replies for value in chunk]
+        values = [value for chunk in replies for value in chunk]
+        if default is _RAISE or default is None:
+            return values
+        return [default if value is None else value for value in values]
 
     def multi_put(
         self,
@@ -219,7 +240,7 @@ class RemoteKV:
         self._rpc.pipeline(
             [
                 ("mput", [k for k, _ in chunk], [v for _, v in chunk])
-                for chunk in _chunked(pairs, size)
+                for chunk in chunked(pairs, size)
             ]
         )
 
@@ -234,7 +255,7 @@ class RemoteKV:
             "rpc.client.batch_size", method="mdel"
         ).record(float(len(keys)))
         replies = self._rpc.pipeline(
-            [("mdel", list(chunk)) for chunk in _chunked(keys, size)]
+            [("mdel", list(chunk)) for chunk in chunked(keys, size)]
         )
         return [value for chunk in replies for value in chunk]
 
@@ -286,7 +307,7 @@ class RemoteQueue:
             "rpc.client.batch_size", method="menqueue"
         ).record(float(len(items)))
         replies = self._rpc.pipeline(
-            [("menqueue", list(chunk)) for chunk in _chunked(items, size)]
+            [("menqueue", list(chunk)) for chunk in chunked(items, size)]
         )
         return sum(replies)
 

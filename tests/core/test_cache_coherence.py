@@ -1,0 +1,318 @@
+"""Cache coherence: a cached view is observationally equivalent to the
+uncached structure, on every ControlPlane backend.
+
+The hypothesis suite drives random interleavings of cached-session ops,
+foreign-session writes, write-back flushes, and membership churn against
+a model oracle; deterministic tests pin the structural events — mid-run
+repartition, drain-and-migrate, server kill with data loss, lease
+expiry + reload — where an incoherent cache would serve values the
+uncached path no longer returns. Also pins notification fan-out
+ordering under interleaved publishers and mid-stream listener close
+(the substrate the coherence protocol rides on).
+
+``CACHE_COHERENCE_QUICK=1`` shrinks the hypothesis budget for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.config import KB, JiffyConfig
+from repro.core.cache import CachedKV, ClientCache
+from repro.core.client import connect
+from repro.core.plane import BACKENDS, ControlPlane, make_control_plane
+from repro.datastructures.kvstore import JiffyKVStore
+from repro.sim.clock import SimClock
+
+MAX_EXAMPLES = 8 if os.environ.get("CACHE_COHERENCE_QUICK") else 30
+
+# The `backend` fixture only yields a parametrised string; every
+# generated input builds a fresh control plane inside the test body.
+_SETTINGS = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+KEYS = [b"k%02d" % i for i in range(12)]
+VALUES = [bytes([i]) * n for i, n in ((1, 4), (2, 24), (3, 64), (4, 120))]
+
+
+def make_plane(backend: str, clock: SimClock) -> ControlPlane:
+    return make_control_plane(
+        backend,
+        config=JiffyConfig(block_size=KB),
+        clock=clock,
+        default_blocks=64,
+        num_shards=2,
+    )
+
+
+def make_kv(plane: ControlPlane, prefix: str = "t") -> JiffyKVStore:
+    client = connect(plane, "job", register=not plane.is_registered("job"))
+    client.create_addr_prefix(prefix)
+    ds = client.init_data_structure(prefix, "kv_store")
+    assert isinstance(ds, JiffyKVStore)  # cache off in plane config
+    return ds
+
+
+def make_view(ds: JiffyKVStore, writeback: int = 0) -> CachedKV:
+    cache = ClientCache(32 * KB, registry=ds.telemetry)
+    return CachedKV(ds, cache, writeback_bytes=writeback)
+
+
+def outcome(fn):
+    try:
+        return ("ok", fn())
+    except Exception as exc:  # noqa: BLE001 — parity includes error type
+        return ("err", type(exc).__name__)
+
+
+def assert_view_matches_structure(view: CachedKV, ds: JiffyKVStore, keys=KEYS) -> None:
+    """Every observation through the view equals the uncached one."""
+    for key in keys:
+        expected = outcome(lambda k=key: ds.get(k))
+        observed = outcome(lambda k=key: view.get(k))
+        assert observed == expected, (
+            f"cached view diverged on {key!r}: {observed} != {expected}"
+        )
+        assert outcome(lambda k=key: view.exists(k)) == outcome(
+            lambda k=key: ds.exists(k)
+        )
+    assert outcome(lambda: dict(view.items())) == outcome(
+        lambda: dict(ds.items())
+    )
+    assert outcome(lambda: len(view)) == outcome(lambda: len(ds))
+
+
+# -- operation alphabet for the hypothesis interpreter --------------------
+
+_key = st.sampled_from(KEYS)
+_value = st.sampled_from(VALUES)
+
+_op = st.one_of(
+    st.tuples(st.just("put"), _key, _value),
+    st.tuples(st.just("get"), _key),
+    st.tuples(st.just("exists"), _key),
+    st.tuples(st.just("delete"), _key),
+    st.tuples(st.just("multi_put"), st.lists(st.tuples(_key, _value), max_size=4)),
+    st.tuples(st.just("multi_get"), st.lists(_key, max_size=4)),
+    st.tuples(st.just("flush")),
+    st.tuples(st.just("foreign_put"), _key, _value),
+    st.tuples(st.just("foreign_delete"), _key),
+    st.tuples(st.just("join_server")),
+    st.tuples(st.just("leave_server")),
+    st.tuples(st.just("tick")),
+)
+
+
+class Model:
+    """Oracle: authoritative contents + the view's unflushed overlay."""
+
+    def __init__(self) -> None:
+        self.base = {}
+        self.overlay = {}
+
+    def visible(self, key):
+        return self.overlay.get(key, self.base.get(key))
+
+    def flush(self):
+        self.base.update(self.overlay)
+        self.overlay.clear()
+
+
+def run_program(plane: ControlPlane, ops, writeback: int) -> None:
+    ds = make_kv(plane)
+    view = make_view(ds, writeback=writeback)
+    model = Model()
+    joined = []
+    for op in ops:
+        name = op[0]
+        if name == "put":
+            view.put(op[1], op[2])
+            if writeback:
+                model.overlay[op[1]] = op[2]
+            else:
+                model.flush()
+                model.base[op[1]] = op[2]
+        elif name == "get":
+            expected = model.visible(op[1])
+            got = outcome(lambda: view.get(op[1]))
+            if expected is None:
+                assert got == ("err", "KeyNotFoundError")
+            else:
+                assert got == ("ok", expected)
+        elif name == "exists":
+            assert view.exists(op[1]) == (model.visible(op[1]) is not None)
+        elif name == "delete":
+            model.flush()  # the view flushes before deleting
+            expected = model.base.pop(op[1], None)
+            got = outcome(lambda: view.delete(op[1]))
+            if expected is None:
+                assert got == ("err", "KeyNotFoundError")
+                model.base.update({})  # nothing removed
+            else:
+                assert got == ("ok", expected)
+        elif name == "multi_put":
+            view.multi_put(op[1])
+            if writeback:
+                for key, value in op[1]:
+                    model.overlay[key] = value
+            else:
+                model.flush()
+                for key, value in op[1]:
+                    model.base[key] = value
+        elif name == "multi_get":
+            got = view.multi_get(op[1], default=None)
+            assert got == [model.visible(key) for key in op[1]]
+        elif name == "flush":
+            view.flush()
+            model.flush()
+        elif name == "foreign_put":
+            ds.put(op[1], op[2])
+            model.base[op[1]] = op[2]
+        elif name == "foreign_delete":
+            if ds.exists(op[1]):
+                ds.delete(op[1])
+                model.base.pop(op[1], None)
+        elif name == "join_server":
+            joined.append(plane.join_server(16))
+        elif name == "leave_server":
+            if joined:
+                # Drain-and-migrate: no data loss, blocks may move.
+                plane.leave_server(joined.pop())
+        elif name == "tick":
+            plane.tick()
+    view.flush()
+    model.flush()
+    plane.drain_background()
+    contents = dict(ds.items())
+    assert contents == model.base
+    assert_view_matches_structure(view, ds)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+class TestRandomInterleavings:
+    @_SETTINGS
+    @given(ops=st.lists(_op, max_size=40))
+    def test_write_through_view(self, backend, ops):
+        run_program(make_plane(backend, SimClock()), ops, writeback=0)
+
+    @_SETTINGS
+    @given(ops=st.lists(_op, max_size=40))
+    def test_write_back_view(self, backend, ops):
+        run_program(make_plane(backend, SimClock()), ops, writeback=8 * KB)
+
+
+class TestStructuralEvents:
+    """Deterministic pins for the events that move data under a cache."""
+
+    def test_mid_run_repartition(self, backend):
+        plane = make_plane(backend, SimClock())
+        ds = make_kv(plane)
+        view = make_view(ds, writeback=4 * KB)
+        pairs = [(b"key-%03d" % i, bytes([i % 251]) * 48) for i in range(150)]
+        for i, (key, value) in enumerate(pairs):
+            view.put(key, value)
+            if i % 7 == 0:  # interleave reads with the growing volume
+                assert view.get(key) == value
+        view.flush()
+        plane.drain_background()
+        assert ds.splits >= 1
+        for key, value in pairs:
+            assert view.get(key) == value
+        assert_view_matches_structure(view, ds, keys=[k for k, _ in pairs])
+
+    def test_drain_and_migrate(self, backend):
+        plane = make_plane(backend, SimClock())
+        sid = plane.join_server(32)
+        ds = make_kv(plane)
+        view = make_view(ds)
+        for i in range(60):
+            view.put(b"key-%03d" % i, b"v%03d" % i)
+        plane.leave_server(sid)  # migrates any blocks it held
+        plane.drain_background()
+        for i in range(60):
+            assert view.get(b"key-%03d" % i) == b"v%03d" % i
+        assert_view_matches_structure(view, ds)
+
+    def test_kill_with_data_loss(self, backend):
+        plane = make_plane(backend, SimClock())
+        ds = make_kv(plane)
+        view = make_view(ds)
+        for i in range(120):
+            view.put(b"key-%03d" % i, bytes([i % 251]) * 48)
+        plane.drain_background()
+        for i in range(120):  # warm the whole working set
+            view.get(b"key-%03d" % i)
+        rows = [r for r in plane.list_servers() if r["free_blocks"] < r["num_blocks"]]
+        assert rows
+        plane.kill_server(rows[0]["server_id"])
+        # Whatever the uncached path now observes — present, missing, or
+        # an error — the cached view must observe identically; serving a
+        # warm value for lost data would be incoherent.
+        assert_view_matches_structure(
+            view, ds, keys=[b"key-%03d" % i for i in range(120)]
+        )
+
+    def test_expiry_then_reload(self, backend):
+        clock = SimClock()
+        plane = make_plane(backend, clock)
+        ds = make_kv(plane)
+        view = make_view(ds, writeback=4 * KB)
+        view.put(b"k", b"v")
+        view.flush()
+        assert view.get(b"k") == b"v"
+        clock.advance(10.0)
+        plane.tick()  # lease lapses; blocks flushed + reclaimed
+        assert outcome(lambda: view.get(b"k")) == (
+            "err",
+            "LeaseExpiredError",
+        )
+        plane.load_prefix("job", "t", "job/t")
+        assert view.get(b"k") == b"v"
+        assert_view_matches_structure(view, ds)
+
+
+class TestNotificationFanout:
+    """Fan-out ordering under interleaved publishers + mid-stream close."""
+
+    def test_interleaved_publishers_fan_out_in_order(self, backend):
+        plane = make_plane(backend, SimClock())
+        ds = make_kv(plane)
+        c2 = connect(plane, "job")
+        ds2 = c2.attach_data_structure("t")
+        early = ds.subscribe("put")
+        late = ds.subscribe("put")
+        writes = []
+        for i in range(20):
+            writer = ds if i % 2 == 0 else ds2
+            key = b"k%02d" % i
+            writer.put(key, b"v")
+            writes.append(key)
+            if i == 9:
+                late_seen = [n.data["key"] for n in late.get_all()]
+                late.close()
+        assert [n.data["key"] for n in early.get_all()] == writes
+        assert late_seen == writes[:10]
+        assert late.pending() == 0  # nothing delivered after close
+        assert ds.broker.subscriber_count("put") == 1
+
+    def test_close_during_fanout_skips_only_closed(self, backend):
+        plane = make_plane(backend, SimClock())
+        ds = make_kv(plane)
+        keep = ds.subscribe("put")
+        gone = ds.subscribe("put")
+        ds.put(b"a", b"1")
+        gone.close()
+        ds.put(b"b", b"2")
+        assert [n.data["key"] for n in keep.get_all()] == [b"a", b"b"]
+        assert [n.data["key"] for n in gone.get_all()] == [b"a"]

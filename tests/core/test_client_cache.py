@@ -1,0 +1,457 @@
+"""Unit tests for the near-memory client cache tier.
+
+Covers the :class:`ClientCache` store (byte bounds, LRU/CLOCK
+eviction, invalidation, telemetry), the :class:`CachedKV` /
+:class:`CachedFile` coherent views (read-through, write-back folding,
+read-your-writes, notification-driven invalidation, gap fallback), the
+:class:`JiffyClient` wiring (opt-in wrapping), and the bounded-listener
+notification changes the cache's coherence protocol rides on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, JiffyConfig
+from repro.core.cache import (
+    CachedFile,
+    CachedKV,
+    ClientCache,
+    ENTRY_OVERHEAD_BYTES,
+)
+from repro.core.client import connect
+from repro.core.controller import JiffyController
+from repro.core.notifications import NotificationBroker
+from repro.errors import KeyNotFoundError
+from repro.sim.clock import SimClock
+from repro.telemetry import MetricsRegistry
+
+NS = ("job", "t")
+NS2 = ("job", "u")
+
+
+def entry_cost(key: bytes, value: bytes) -> int:
+    return len(key) + len(value) + ENTRY_OVERHEAD_BYTES
+
+
+class TestClientCacheStore:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = ClientCache(4 * KB)
+        assert cache.get(NS, b"k") is None
+        cache.put(NS, b"k", b"v", epoch=0)
+        assert cache.get(NS, b"k") == b"v"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.bytes_used == entry_cost(b"k", b"v")
+        assert cache.entry_epoch(NS, b"k") == 0
+
+    def test_byte_bound_evicts_lru_order(self):
+        cap = 3 * entry_cost(b"a", b"x" * 10)
+        cache = ClientCache(cap, policy="lru")
+        for key in (b"a", b"b", b"c"):
+            cache.put(NS, key, b"x" * 10, epoch=0)
+        assert cache.get(NS, b"a") == b"x" * 10  # a is now most-recent
+        cache.put(NS, b"d", b"x" * 10, epoch=0)  # evicts b, not a
+        assert cache.get(NS, b"b") is None
+        assert cache.get(NS, b"a") is not None
+        assert cache.evictions == 1
+        assert cache.bytes_used <= cap
+
+    def test_clock_second_chance(self):
+        cap = 3 * entry_cost(b"a", b"x" * 10)
+        cache = ClientCache(cap, policy="clock")
+        for key in (b"a", b"b", b"c"):
+            cache.put(NS, key, b"x" * 10, epoch=0)
+        cache.get(NS, b"a")  # sets a's reference bit
+        cache.put(NS, b"d", b"x" * 10, epoch=0)
+        # a was spared (second chance); b — unreferenced — was evicted.
+        assert cache.get(NS, b"b") is None
+        assert cache.get(NS, b"a") is not None
+
+    def test_oversized_value_bypasses_cache(self):
+        cache = ClientCache(64)
+        cache.put(NS, b"k", b"x" * 1000, epoch=0)
+        assert cache.get(NS, b"k") is None
+        assert cache.bytes_used == 0
+
+    def test_overwrite_reaccounts_bytes(self):
+        cache = ClientCache(4 * KB)
+        cache.put(NS, b"k", b"x" * 100, epoch=0)
+        cache.put(NS, b"k", b"y", epoch=1)
+        assert cache.bytes_used == entry_cost(b"k", b"y")
+        assert cache.get(NS, b"k") == b"y"
+        assert cache.entry_epoch(NS, b"k") == 1
+
+    def test_update_if_present(self):
+        cache = ClientCache(4 * KB)
+        assert not cache.update_if_present(NS, b"k", b"v", epoch=0)
+        assert cache.get(NS, b"k") is None or True  # still absent
+        cache.put(NS, b"k", b"v", epoch=0)
+        assert cache.update_if_present(NS, b"k", b"w", epoch=1)
+        assert cache.get(NS, b"k") == b"w"
+
+    def test_invalidate_key_and_namespace(self):
+        cache = ClientCache(4 * KB)
+        cache.put(NS, b"a", b"1", epoch=0)
+        cache.put(NS, b"b", b"2", epoch=0)
+        cache.put(NS2, b"c", b"3", epoch=0)
+        assert cache.invalidate_key(NS, b"a")
+        assert not cache.invalidate_key(NS, b"a")
+        assert cache.invalidate_namespace(NS) == 1  # only b left
+        assert cache.get(NS2, b"c") == b"3"  # other namespace untouched
+        assert cache.invalidations == 2
+
+    def test_invalidate_slots_is_selective(self):
+        cache = ClientCache(4 * KB)
+        cache.put(NS, b"a", b"1", epoch=0)
+        cache.put(NS, b"b", b"2", epoch=0)
+        slot_of = {b"a": 1, b"b": 2}.__getitem__
+        assert cache.invalidate_slots(NS, {1}, slot_of) == 1
+        assert cache.get(NS, b"a") is None
+        assert cache.get(NS, b"b") == b"2"
+
+    def test_bytes_gauge_tracks(self):
+        reg = MetricsRegistry()
+        cache = ClientCache(4 * KB, registry=reg)
+        cache.put(NS, b"k", b"v" * 50, epoch=0)
+        assert reg.gauge("cache.bytes").value == cache.bytes_used
+        cache.invalidate_namespace(NS)
+        assert reg.gauge("cache.bytes").value == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientCache(0)
+        with pytest.raises(ValueError):
+            ClientCache(KB, policy="fifo")
+
+
+@pytest.fixture
+def controller(clock: SimClock) -> JiffyController:
+    return JiffyController(
+        config=JiffyConfig(block_size=KB), clock=clock, default_blocks=64
+    )
+
+
+class CountingTransport:
+    """Delegates to a structure while counting data-plane operations."""
+
+    def __init__(self, ds):
+        self._ds = ds
+        self.calls = 0
+
+    def __getattr__(self, name):
+        fn = getattr(self._ds, name)
+
+        def counted(*args, **kwargs):
+            self.calls += 1
+            return fn(*args, **kwargs)
+
+        return counted
+
+
+def make_kv(controller, prefix="t", cache_bytes=16 * KB, writeback=0):
+    controller.register_job("job") if not controller.is_registered(
+        "job"
+    ) else None
+    controller.create_addr_prefix("job", prefix)
+    ds = __import__(
+        "repro.datastructures.kvstore", fromlist=["JiffyKVStore"]
+    ).JiffyKVStore(controller, "job", prefix)
+    cache = ClientCache(cache_bytes, registry=controller.telemetry)
+    transport = CountingTransport(ds)
+    view = CachedKV(ds, cache, transport=transport, writeback_bytes=writeback)
+    return ds, view, transport, cache
+
+
+class TestCachedKV:
+    def test_read_through_hits_skip_transport(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"k", b"v")
+        assert view.get(b"k") == b"v"
+        first = transport.calls
+        for _ in range(10):
+            assert view.get(b"k") == b"v"
+        assert transport.calls == first  # all hits, zero data-plane ops
+        assert cache.hits == 10
+
+    def test_miss_raises_like_uncached(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"other", b"x")
+        with pytest.raises(KeyNotFoundError):
+            view.get(b"ghost")
+
+    def test_write_through_populates_cache(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        view.put(b"k", b"v")
+        calls = transport.calls
+        assert view.get(b"k") == b"v"
+        assert transport.calls == calls
+        assert ds.get(b"k") == b"v"  # landed on the data plane
+
+    def test_writeback_folds_and_flushes(self, controller):
+        ds, view, transport, cache = make_kv(controller, writeback=4 * KB)
+        for i in range(50):
+            view.put(b"hot", b"%d" % i)
+        assert view.writeback_pending == 1
+        assert transport.calls == 0  # nothing hit the data plane yet
+        assert view.get(b"hot") == b"49"  # read-your-writes
+        assert view.flush() == 1  # 50 puts folded into one pair
+        assert ds.get(b"hot") == b"49"
+        assert view.writeback_pending == 0
+        folded = controller.telemetry.counter("cache.writeback.folded")
+        assert folded.value == 49
+
+    def test_writeback_size_boundary_autoflushes(self, controller):
+        ds, view, transport, cache = make_kv(controller, writeback=256)
+        for i in range(64):
+            view.put(b"k%d" % i, b"x" * 8)
+        assert view.writeback_pending < 64  # crossed the cap, flushed
+        view.flush()
+        assert len(ds) == 64
+
+    def test_scans_and_len_observe_buffered_writes(self, controller):
+        ds, view, transport, cache = make_kv(controller, writeback=4 * KB)
+        view.put(b"a", b"1")
+        assert len(view) == 1
+        assert dict(view.items()) == {b"a": b"1"}
+
+    def test_delete_through_invalidates(self, controller):
+        ds, view, transport, cache = make_kv(controller, writeback=4 * KB)
+        view.put(b"k", b"v")
+        assert view.delete(b"k") == b"v"  # observes the buffered put
+        assert not view.exists(b"k")
+        with pytest.raises(KeyNotFoundError):
+            view.get(b"k")
+
+    def test_multi_get_mixes_hits_and_misses(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.multi_put([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        assert view.get(b"a") == b"1"  # warm one key
+        calls = transport.calls
+        assert view.multi_get([b"a", b"b", b"c"]) == [b"1", b"2", b"3"]
+        assert transport.calls == calls + 1  # one batched fetch for b,c
+        assert view.multi_get([b"a", b"b", b"c"]) == [b"1", b"2", b"3"]
+        assert transport.calls == calls + 1  # now fully cached
+
+    def test_multi_get_default_for_missing(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"a", b"1")
+        assert view.multi_get([b"a", b"nope"], default=None) == [b"1", None]
+        assert view.multi_get([b"a", b"nope"], default=b"d") == [b"1", b"d"]
+        # absences are not cached: a later put is visible
+        ds.put(b"nope", b"2")
+        assert view.multi_get([b"nope"], default=None) == [b"2"]
+
+    def test_foreign_write_updates_cached_entry(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"k", b"v1")
+        assert view.get(b"k") == b"v1"
+        ds.put(b"k", b"v2")  # another session writes directly
+        calls = transport.calls
+        assert view.get(b"k") == b"v2"  # notification refreshed the entry
+        assert transport.calls == calls  # without a data-plane re-fetch
+
+    def test_foreign_delete_invalidates(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"k", b"v")
+        assert view.get(b"k") == b"v"
+        ds.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            view.get(b"k")
+
+    def test_split_keeps_view_coherent(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        pairs = [(b"key-%03d" % i, bytes([i % 251]) * 32) for i in range(120)]
+        for key, value in pairs:
+            view.put(key, value)
+        ds.drain_background()
+        assert ds.splits >= 1  # repartitioning actually happened
+        for key, value in pairs:
+            assert view.get(key) == value
+        assert view.epoch > 0
+
+    def test_notification_gap_clears_namespace(self, controller):
+        ds, view, transport, cache = make_kv(controller)
+        ds.put(b"k", b"v1")
+        assert view.get(b"k") == b"v1"
+        view._listener.max_pending = 2  # force the bounded queue to drop
+        for i in range(10):
+            ds.put(b"k", b"%d" % i)
+        assert view.get(b"k") == b"9"  # conservative clear + re-fetch
+        assert controller.telemetry.counter("cache.gap_clears").value >= 1
+
+    def test_expiry_parity(self, controller, clock):
+        from repro.errors import LeaseExpiredError
+
+        ds, view, transport, cache = make_kv(controller)
+        view.put(b"k", b"v")
+        assert view.get(b"k") == b"v"
+        clock.advance(10.0)
+        controller.tick()
+        with pytest.raises(LeaseExpiredError):
+            view.get(b"k")  # cached entry must not outlive the lease
+
+
+class TestCachedFile:
+    def _make(self, controller, cache_bytes=64 * KB, extent=256):
+        controller.register_job("job")
+        controller.create_addr_prefix("job", "f")
+        from repro.datastructures.file import JiffyFile
+
+        ds = JiffyFile(controller, "job", "f")
+        cache = ClientCache(cache_bytes, registry=controller.telemetry)
+        transport = CountingTransport(ds)
+        view = CachedFile(ds, cache, transport=transport, extent_bytes=extent)
+        return ds, view, transport, cache
+
+    def test_extent_read_through(self, controller):
+        ds, view, transport, cache = self._make(controller)
+        payload = bytes(range(256)) * 8  # 2 KB
+        ds.append(payload)
+        assert view.read_at(0, 256) == payload[:256]
+        calls = transport.calls
+        assert view.read_at(0, 256) == payload[:256]
+        assert transport.calls == calls  # second read served from cache
+        assert view.read_at(100, 300) == payload[100:400]
+
+    def test_tail_extent_not_cached(self, controller):
+        ds, view, transport, cache = self._make(controller, extent=1024)
+        ds.append(b"x" * 100)  # far below one extent: all tail
+        assert view.read_at(0, 100) == b"x" * 100
+        assert len(cache) == 0
+        ds.append(b"y" * 50)
+        assert view.read_at(0, 150) == b"x" * 100 + b"y" * 50
+
+    def test_sequential_read_and_seek(self, controller):
+        ds, view, transport, cache = self._make(controller)
+        ds.append(b"abcdef")
+        view.seek(2)
+        assert view.read(3) == b"cde"
+        assert view.tell() == 5
+
+    def test_reload_invalidates_extents(self, controller):
+        ds, view, transport, cache = self._make(controller, extent=64)
+        ds.append(b"a" * 256)
+        assert view.read_at(0, 64) == b"a" * 64
+        assert len(cache) > 0
+        store = controller.external_store
+        ds.flush_to(store, "snap")
+        store.put("snap", b"b" * 256)  # replace the snapshot wholesale
+        ds.load_from(store, "snap")
+        assert view.read_at(0, 64) == b"b" * 64  # epoch bump invalidated
+
+
+class TestClientWiring:
+    def _plane(self, clock, **cache_cfg):
+        return JiffyController(
+            config=JiffyConfig(block_size=KB, **cache_cfg),
+            clock=clock,
+            default_blocks=64,
+        )
+
+    def test_disabled_returns_raw_handles(self, clock):
+        controller = self._plane(clock)
+        client = connect(controller, "job")
+        client.create_addr_prefix("t")
+        kv = client.init_data_structure("t", "kv_store")
+        from repro.datastructures.kvstore import JiffyKVStore
+
+        assert isinstance(kv, JiffyKVStore)
+        assert client.cache is None
+        assert client.flush_cache() == 0
+
+    def test_enabled_wraps_kv_and_file_not_queue(self, clock):
+        controller = self._plane(clock, client_cache_bytes=16 * KB)
+        client = connect(controller, "job")
+        for name in ("t", "f", "q"):
+            client.create_addr_prefix(name)
+        kv = client.init_data_structure("t", "kv_store")
+        fl = client.init_data_structure("f", "file")
+        q = client.init_data_structure("q", "fifo_queue")
+        assert isinstance(kv, CachedKV)
+        assert isinstance(fl, CachedFile)
+        from repro.datastructures.queue import JiffyQueue
+
+        assert isinstance(q, JiffyQueue)
+        assert kv.cache is client.cache  # one budget per session
+
+    def test_attach_gets_own_view_over_shared_structure(self, clock):
+        controller = self._plane(
+            clock,
+            client_cache_bytes=16 * KB,
+            client_cache_writeback_bytes=4 * KB,
+        )
+        c1 = connect(controller, "job")
+        c1.create_addr_prefix("t")
+        kv1 = c1.init_data_structure("t", "kv_store")
+        c2 = connect(controller, "job")
+        kv2 = c2.attach_data_structure("t")
+        assert isinstance(kv2, CachedKV)
+        assert kv1.cache is not kv2.cache
+        kv1.put(b"k", b"v1")
+        assert c1.flush_cache() == 1  # stage barrier publishes the write
+        assert kv2.get(b"k") == b"v1"
+        kv2.put(b"k", b"v2")
+        kv2.flush()
+        assert kv1.get(b"k") == b"v2"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            JiffyConfig(client_cache_bytes=-1)
+        with pytest.raises(ValueError):
+            JiffyConfig(client_cache_writeback_bytes=-1)
+        with pytest.raises(ValueError):
+            JiffyConfig(client_cache_policy="arc")
+
+
+class TestBoundedListeners:
+    def test_full_queue_drops_oldest(self):
+        broker = NotificationBroker(SimClock())
+        listener = broker.subscribe("op", max_pending=3)
+        for i in range(5):
+            broker.publish("op", i)
+        drained = [n.data for n in listener.get_all()]
+        assert drained == [2, 3, 4]  # oldest two evicted
+        assert listener.dropped == 2
+        assert broker.dropped == 2
+
+    def test_drop_counter_in_registry(self):
+        reg = MetricsRegistry()
+        broker = NotificationBroker(SimClock(), registry=reg)
+        listener = broker.subscribe("op", max_pending=1)
+        broker.publish("op", 1)
+        broker.publish("op", 2)
+        assert reg.counter("notifications.dropped").value == 1
+        assert listener.get().data == 2
+
+    def test_unbounded_when_zero(self):
+        broker = NotificationBroker(SimClock())
+        listener = broker.subscribe("op", max_pending=0)
+        for i in range(100):
+            broker.publish("op", i)
+        assert listener.pending() == 100
+        assert listener.dropped == 0
+
+    def test_multi_op_subscription_preserves_publish_order(self):
+        broker = NotificationBroker(SimClock())
+        listener = broker.subscribe(("put", "delete", "invalidate"))
+        broker.publish("put", 1)
+        broker.publish("delete", 2)
+        broker.publish("put", 3)
+        broker.publish("invalidate", 4)
+        broker.publish("get", 99)  # not subscribed
+        assert [(n.op, n.data) for n in listener.get_all()] == [
+            ("put", 1),
+            ("delete", 2),
+            ("put", 3),
+            ("invalidate", 4),
+        ]
+
+    def test_multi_op_close_unsubscribes_everywhere(self):
+        broker = NotificationBroker(SimClock())
+        listener = broker.subscribe(("a", "b"))
+        assert broker.subscriber_count("a") == 1
+        assert broker.subscriber_count("b") == 1
+        listener.close()
+        assert broker.subscriber_count("a") == 0
+        assert broker.subscriber_count("b") == 0
+        assert broker.publish("a", 1) == 0
