@@ -12,10 +12,14 @@ from __future__ import annotations
 
 from time import perf_counter
 
+import dataclasses
+
 from repro.config import KB, JiffyConfig
 from repro.core.client import connect
 from repro.core.controller import JiffyController
 from repro.sim.clock import SimClock
+from repro.sim.latency import LogNormalLatency
+from repro.storage.tier import SSD_TIER
 from repro.telemetry import MetricsRegistry
 
 NUM_KEYS = 256
@@ -134,4 +138,54 @@ class TestOverhead:
         assert ratio < 0.05, (
             f"sampler overhead {ratio:.1%} of hot put/get time exceeds "
             f"the 5% budget"
+        )
+
+
+class TestLatencyModelCache:
+    """StorageTier memoises its jitter models (one per read/write side).
+
+    The fig 11/13 drivers call ``sample_read_latency`` per simulated op;
+    before memoisation each call built a fresh ``LogNormalLatency``
+    (including seeding a ``random.Random``), which dominated the cost of
+    the sample itself.
+    """
+
+    def test_jitter_models_built_once_per_tier(self):
+        tier = dataclasses.replace(SSD_TIER)  # fresh instance, no cache
+        assert "_read_model" not in tier.__dict__
+        tier.sample_read_latency(KB)
+        model = tier.__dict__["_read_model"]
+        for _ in range(32):
+            tier.sample_read_latency(KB)
+        assert tier.__dict__["_read_model"] is model
+        tier.sample_write_latency(KB)
+        assert tier.__dict__["_write_model"] is not model
+
+    def test_cached_sampling_beats_rebuild_per_sample(self):
+        tier = dataclasses.replace(SSD_TIER)
+        n = 5000
+
+        def cached_rep() -> float:
+            start = perf_counter()
+            for _ in range(n):
+                tier.sample_read_latency(KB)
+            return perf_counter() - start
+
+        def rebuild_rep() -> float:
+            start = perf_counter()
+            for _ in range(n):
+                model = LogNormalLatency(
+                    tier.read_base_s, tier.read_bw_bps, sigma=tier.sigma
+                )
+                model.sample(KB)
+            return perf_counter() - start
+
+        tier.sample_read_latency(KB)  # build the model outside the loop
+        best_cached = best_rebuild = float("inf")
+        for _ in range(REPEATS):
+            best_cached = min(best_cached, cached_rep())
+            best_rebuild = min(best_rebuild, rebuild_rep())
+        assert best_cached < best_rebuild / 1.5, (
+            f"cached sampling {best_cached:.4f}s is not clearly faster "
+            f"than rebuild-per-sample {best_rebuild:.4f}s"
         )

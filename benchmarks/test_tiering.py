@@ -1,0 +1,151 @@
+"""Adaptive multi-tier memory: the anti-thrashing placement benchmark.
+
+One Zipf(1.1) key stream over a working set 2x the DRAM tier, replayed
+against four placements (see :mod:`repro.experiments.fig10_tiering`):
+all-DRAM, the static one-way SSD spill, the adaptive DRAM→PMem→SSD
+manager, and the manager with its hysteresis bands collapsed (the
+thrash ablation). The pins:
+
+* adaptive read p99 stays within 1.5x of all-DRAM while the static
+  spill degrades >= 3x;
+* the hysteresis bands bound per-block transitions — no block
+  ping-pongs more than twice (> 4 lifetime moves), where the
+  collapsed-band ablation thrashes without bound;
+* background movement charges exactly 0 seconds to the foreground
+  path, where the inline ablation (same moves, executed synchronously
+  in the scan) charges every copy.
+
+Headline numbers land in ``benchmarks/results/BENCH_tiering.json``.
+Set ``TIERING_BENCH_QUICK=1`` to shrink the replay for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from _results import record
+
+from repro.experiments.fig10_tiering import TieringRunPoint, replay_tiering
+
+QUICK = os.environ.get("TIERING_BENCH_QUICK", "") not in ("", "0")
+
+SKEW = 1.1
+STEPS = 60 if QUICK else 120
+OPS_PER_STEP = 100 if QUICK else 200
+DRAM_BLOCKS = 96 if QUICK else 128
+
+#: One replay per configuration, shared across the pin tests.
+_points: Dict[str, TieringRunPoint] = {}
+
+
+def _point(mode: str, inline: bool = False) -> TieringRunPoint:
+    key = f"{mode}+inline" if inline else mode
+    if key not in _points:
+        _points[key] = replay_tiering(
+            mode,
+            skew=SKEW,
+            dram_blocks=DRAM_BLOCKS,
+            steps=STEPS,
+            ops_per_step=OPS_PER_STEP,
+            inline_moves=inline,
+        )
+    return _points[key]
+
+
+class TestTieringPlacement:
+    def test_adaptive_p99_tracks_dram_while_static_degrades(self):
+        dram = _point("dram")
+        static = _point("static")
+        adaptive = _point("adaptive")
+        assert dram.spill_fraction == 0.0
+        # Static spill: half the (shuffled) working set is stuck on SSD,
+        # so the tail of every Zipf stream pays the SSD device curve.
+        assert static.read_p99_s >= 3.0 * dram.read_p99_s, (
+            f"static p99 {static.read_p99_s * 1e6:.0f}us did not degrade "
+            f"3x over DRAM {dram.read_p99_s * 1e6:.0f}us"
+        )
+        # Adaptive: hot blocks end up in DRAM, the Zipf tail lands on
+        # PMem — the p99 stays within 1.5x of the all-DRAM floor.
+        assert adaptive.read_p99_s <= 1.5 * dram.read_p99_s, (
+            f"adaptive p99 {adaptive.read_p99_s * 1e6:.0f}us exceeds "
+            f"1.5x DRAM {dram.read_p99_s * 1e6:.0f}us"
+        )
+        # And it actually adapted: fewer spill hits than the static
+        # placement, via real promotions.
+        assert adaptive.promotions > 0
+        assert adaptive.spill_fraction < static.spill_fraction
+
+    def test_hysteresis_bounds_per_block_transitions(self):
+        adaptive = _point("adaptive")
+        thrash = _point("thrash")
+        # Bands + dwell: no block ping-pongs more than twice (a
+        # ping-pong = one demote/promote round trip = 2 transitions).
+        assert adaptive.max_block_moves <= 4, (
+            f"banded manager let a block move {adaptive.max_block_moves} "
+            "times (> 2 round trips)"
+        )
+        # Collapsed bands: boundary blocks oscillate without bound.
+        assert thrash.max_block_moves > 4
+        assert thrash.max_block_moves > adaptive.max_block_moves
+        assert thrash.promotions + thrash.demotions > 2 * (
+            adaptive.promotions + adaptive.demotions
+        )
+
+    def test_default_bands_never_thrash_abort(self):
+        # At the default bands the execution-time re-validation should
+        # never catch a band flip — plans stay valid until they run.
+        assert _point("adaptive").thrash_aborts == 0
+
+    def test_background_movement_is_free_on_the_foreground(self):
+        adaptive = _point("adaptive")
+        inline = _point("adaptive", inline=True)
+        # Background mode: scans only plan; the scheduler pays every
+        # copy off-path. Nothing may leak into the foreground collector.
+        assert adaptive.foreground_move_s == 0.0
+        # The inline ablation executes the same policy synchronously and
+        # must charge its copies to the foreground — proving the
+        # collector would have seen background moves had there been any.
+        assert inline.foreground_move_s > 0.0
+        assert inline.promotions > 0
+
+    def test_record_results(self):
+        dram = _point("dram")
+        static = _point("static")
+        adaptive = _point("adaptive")
+        thrash = _point("thrash")
+        inline = _point("adaptive", inline=True)
+        record(
+            "tiering",
+            {
+                "dram_read_p99": (dram.read_p99_s * 1e6, "us"),
+                "static_read_p99": (static.read_p99_s * 1e6, "us"),
+                "adaptive_read_p99": (adaptive.read_p99_s * 1e6, "us"),
+                "static_p99_vs_dram": (
+                    static.read_p99_s / dram.read_p99_s,
+                    "x",
+                ),
+                "adaptive_p99_vs_dram": (
+                    adaptive.read_p99_s / dram.read_p99_s,
+                    "x",
+                ),
+                "adaptive_spill_fraction": (adaptive.spill_fraction, "frac"),
+                "static_spill_fraction": (static.spill_fraction, "frac"),
+                "adaptive_promotions": (adaptive.promotions, "moves"),
+                "adaptive_demotions": (adaptive.demotions, "moves"),
+                "adaptive_max_block_moves": (
+                    adaptive.max_block_moves,
+                    "moves",
+                ),
+                "thrash_max_block_moves": (thrash.max_block_moves, "moves"),
+                "thrash_total_moves": (
+                    thrash.promotions + thrash.demotions,
+                    "moves",
+                ),
+                "foreground_move_background": (
+                    adaptive.foreground_move_s,
+                    "s",
+                ),
+                "foreground_move_inline": (inline.foreground_move_s, "s"),
+            },
+        )

@@ -10,5 +10,13 @@ from repro.blocks.block import Block, BlockId
 from repro.blocks.server import MemoryServer
 from repro.blocks.pool import MemoryPool
 from repro.blocks.tiered import TieredMemoryPool
+from repro.blocks.adaptive import AdaptiveTierManager
 
-__all__ = ["Block", "BlockId", "MemoryServer", "MemoryPool", "TieredMemoryPool"]
+__all__ = [
+    "Block",
+    "BlockId",
+    "MemoryServer",
+    "MemoryPool",
+    "TieredMemoryPool",
+    "AdaptiveTierManager",
+]

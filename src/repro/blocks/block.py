@@ -34,6 +34,10 @@ class Block:
         "capacity",
         "payload",
         "tier",
+        "acc",
+        "heat",
+        "tier_since",
+        "tier_moves",
         "_used",
         "_sealed",
         "_on_write",
@@ -55,6 +59,15 @@ class Block:
         self.payload: Dict[str, Any] = {}
         #: storage tier backing this block ("dram", or a spill tier name)
         self.tier = tier
+        #: raw access count since the tier manager's last scan — bumped
+        #: inline on the read/write path (one integer add, no RPC).
+        self.acc = 0
+        #: decayed access frequency, maintained by the tier manager.
+        self.heat = 0.0
+        #: clock time of the last tier transition (dwell accounting).
+        self.tier_since = 0.0
+        #: lifetime promote+demote count (thrash diagnostics).
+        self.tier_moves = 0
         self._used = 0
         self._sealed = False
         # Write hook: chain replication (§4.2.2) attaches here so every
@@ -105,6 +118,7 @@ class Block:
         if self._acct is not None and used != self._used:
             self._acct(used - self._used)
         self._used = used
+        self.acc += 1
         if self._on_write is not None:
             self._on_write(self)
 
@@ -127,12 +141,20 @@ class Block:
         """Whether ``nbytes`` more bytes fit in the block."""
         return nbytes <= self.free
 
+    def touch(self) -> None:
+        """Record one access for tier-heat tracking (read-path hook)."""
+        self.acc += 1
+
     def reset(self) -> None:
         """Clear payload and usage; called when the block is reclaimed."""
         self.payload = {}
         if self._acct is not None and self._used:
             self._acct(-self._used)
         self._used = 0
+        self.acc = 0
+        self.heat = 0.0
+        self.tier_since = 0.0
+        self.tier_moves = 0
         self._sealed = False
         self._on_write = None
 

@@ -9,7 +9,7 @@ experiments hold cluster capacity fixed, as the paper does.
 
 from __future__ import annotations
 
-from typing import Collection, Dict, List, Optional, Set
+from typing import Collection, Dict, Iterator, List, Optional, Set
 
 from repro.blocks.block import Block, BlockId
 from repro.blocks.server import MemoryServer
@@ -159,6 +159,22 @@ class MemoryPool:
     def reclaim(self, block_id: BlockId) -> None:
         """Return a block to its hosting server's free list."""
         self._server_of(block_id).reclaim(block_id)
+
+    def is_allocated(self, block_id: BlockId) -> bool:
+        """Whether a block id is currently allocated (False if unknown)."""
+        server = self._block_server.get(block_id)
+        if server is None:
+            return False
+        try:
+            slot = server._slot(block_id)
+        except BlockError:
+            return False
+        return bool(server._allocated[slot])
+
+    def iter_allocated_blocks(self) -> Iterator[Block]:
+        """Yield every allocated block across all servers."""
+        for server in self._servers.values():
+            yield from server.iter_allocated()
 
     def get_block(self, block_id: BlockId) -> Block:
         """Resolve a block id to its :class:`Block`."""

@@ -45,6 +45,7 @@ from repro.experiments import (
     fig9,
     fig9_system,
     fig10,
+    fig10_tiering,
     fig11,
     fig12,
     fig13,
@@ -77,6 +78,7 @@ def _run_fig9sys(
     flight_out: Optional[str] = None,
     replication: int = 1,
     kill_server: bool = False,
+    tiering: str = "static",
 ) -> str:
     result = fig9_system.run(
         dram_fractions=(1.0, 0.4) if quick else (1.0, 0.6, 0.4, 0.2),
@@ -89,6 +91,7 @@ def _run_fig9sys(
         flight_out=flight_out,
         replication=replication,
         kill_server=kill_server,
+        tiering=tiering,
     )
     if kill_server:
         lost = sum(p.kill_data_lost for p in result.points)
@@ -106,6 +109,17 @@ def _run_fig10(
     quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
 ) -> str:
     return fig10.format_report(fig10.run())
+
+
+def _run_fig10tier(
+    quick: bool, sync_repartition: bool = False, flight_out: Optional[str] = None
+) -> str:
+    result = fig10_tiering.run(
+        skews=(1.1,) if quick else (0.8, 1.1, 1.4),
+        steps=60 if quick else 120,
+        ops_per_step=100 if quick else 200,
+    )
+    return fig10_tiering.format_report(result)
 
 
 def _run_fig11a(
@@ -206,6 +220,7 @@ COMMANDS: Dict[str, Callable[[bool, bool], str]] = {
     "fig9": _run_fig9,
     "fig9sys": _run_fig9sys,
     "fig10": _run_fig10,
+    "fig10tier": _run_fig10tier,
     "fig11a": _run_fig11a,
     "fig11b": _run_fig11b,
     "fig12": _run_fig12,
@@ -446,6 +461,14 @@ def build_parser() -> argparse.ArgumentParser:
         "with --replication 2 the run must lose zero data",
     )
     parser.add_argument(
+        "--tiering",
+        choices=("static", "adaptive"),
+        default="static",
+        help="spill-tier policy for fig9sys replays: 'static' keeps the "
+        "one-way SSD spill model, 'adaptive' runs the PMem+SSD chain "
+        "with background promotion/demotion",
+    )
+    parser.add_argument(
         "--profile",
         metavar="PATH",
         default=None,
@@ -472,6 +495,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.flight_out,
                 replication=args.replication,
                 kill_server=args.kill_server,
+                tiering=args.tiering,
             )
         else:
             command = COMMANDS[name]

@@ -101,6 +101,34 @@ class JiffyConfig:
             path at size/epoch boundaries and framework stage barriers.
             0 (default) means write-through: puts land immediately and
             only reads are cached.
+        tiering: ``"static"`` (default) keeps the one-way spill model;
+            ``"adaptive"`` attaches an
+            :class:`~repro.blocks.adaptive.AdaptiveTierManager` to a
+            tiered pool — periodic scans promote hot spill blocks toward
+            DRAM and demote cold DRAM blocks, with all movement on the
+            background scheduler.
+        tier_chain: spill tier names behind DRAM, best first (e.g.
+            ``("PMem", "SSD")``); names resolve via
+            ``repro.storage.tier.TIER_BY_NAME``. Only consulted when the
+            controller builds its own pool.
+        tier_promote_heat: decayed access frequency at or above which a
+            spill block is promoted one tier up.
+        tier_demote_heat: frequency at or below which a block is demoted
+            one tier down; must be <= ``tier_promote_heat`` (the gap is
+            the anti-thrash hysteresis band).
+        tier_dwell_s: minimum seconds a block stays on a tier before it
+            may move again.
+        tier_confirm_scans: consecutive scans a block must spend beyond
+            a band before it becomes a move candidate (anti-burst
+            persistence; 1 disables it).
+        tier_scan_interval_s: cadence of the tier manager's scan in the
+            controller tick loop.
+        tier_heat_decay: per-scan exponential decay folding access
+            counts into heat, in (0, 1].
+        tier_budgets: per-tier byte budgets as a (tier name, max bytes)
+            mapping; a tier at budget overflows to the next one in the
+            chain. Accepts a dict; stored as a sorted tuple of pairs so
+            the config stays hashable.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -123,6 +151,15 @@ class JiffyConfig:
     client_cache_bytes: int = 0
     client_cache_policy: str = "lru"
     client_cache_writeback_bytes: int = 0
+    tiering: str = "static"
+    tier_chain: typing.Tuple[str, ...] = ("PMem", "SSD")
+    tier_promote_heat: float = 2.0
+    tier_demote_heat: float = 0.5
+    tier_dwell_s: float = 2.0
+    tier_confirm_scans: int = 2
+    tier_scan_interval_s: float = 1.0
+    tier_heat_decay: float = 0.5
+    tier_budgets: typing.Tuple[typing.Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -171,6 +208,46 @@ class JiffyConfig:
             raise ValueError(
                 "autoscale_max_servers must be >= autoscale_min_servers"
             )
+        if self.tiering not in ("static", "adaptive"):
+            raise ValueError(
+                f"tiering must be 'static' or 'adaptive', got "
+                f"{self.tiering!r}"
+            )
+        object.__setattr__(self, "tier_chain", tuple(self.tier_chain))
+        if not self.tier_chain:
+            raise ValueError("tier_chain must name at least one tier")
+        if self.tier_demote_heat < 0 or self.tier_promote_heat < 0:
+            raise ValueError("tier heat thresholds must be >= 0")
+        if self.tier_demote_heat > self.tier_promote_heat:
+            raise ValueError(
+                "tier_demote_heat must be <= tier_promote_heat (the gap "
+                "is the hysteresis band)"
+            )
+        if self.tier_dwell_s < 0:
+            raise ValueError("tier_dwell_s must be >= 0")
+        if self.tier_confirm_scans < 1:
+            raise ValueError("tier_confirm_scans must be >= 1")
+        if self.tier_scan_interval_s <= 0:
+            raise ValueError("tier_scan_interval_s must be positive")
+        if not 0.0 < self.tier_heat_decay <= 1.0:
+            raise ValueError("tier_heat_decay must be in (0, 1]")
+        # Normalize dict-typed budgets to a sorted tuple of pairs so the
+        # (frozen) config stays hashable.
+        budgets = self.tier_budgets
+        if isinstance(budgets, dict):
+            budgets = tuple(sorted(budgets.items()))
+        else:
+            budgets = tuple(tuple(pair) for pair in budgets)  # type: ignore[misc]
+        object.__setattr__(self, "tier_budgets", budgets)
+        for pair in self.tier_budgets:
+            if len(pair) != 2 or pair[1] < 0:
+                raise ValueError(
+                    "tier_budgets entries must be (tier name, bytes >= 0)"
+                )
+
+    def tier_budget_map(self) -> typing.Dict[str, int]:
+        """The per-tier byte budgets as a plain dict."""
+        return dict(self.tier_budgets)
 
     def with_overrides(self, **kwargs: object) -> "JiffyConfig":
         """Return a copy of this config with the given fields replaced."""

@@ -19,8 +19,10 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
+from repro.blocks.adaptive import AdaptiveTierManager
 from repro.blocks.block import Block, BlockId
 from repro.blocks.pool import MemoryPool
+from repro.blocks.tiered import TieredMemoryPool
 from repro.config import JiffyConfig
 from repro.core.allocator import BlockAllocator
 from repro.core.autoscale import ClusterAutoscaler
@@ -108,7 +110,18 @@ class JiffyController(ControlPlane):
         self.config = config if config is not None else JiffyConfig()
         self.clock = clock if clock is not None else WallClock()
         if pool is None:
-            pool = MemoryPool(self.config.block_size)
+            if self.config.tiering == "adaptive":
+                from repro.storage.tier import TIER_BY_NAME
+
+                pool = TieredMemoryPool(
+                    self.config.block_size,
+                    tiers=[
+                        TIER_BY_NAME[name] for name in self.config.tier_chain
+                    ],
+                    tier_budgets=self.config.tier_budget_map(),
+                )
+            else:
+                pool = MemoryPool(self.config.block_size)
             pool.add_server(default_blocks)
         if pool.block_size != self.config.block_size:
             raise ValueError(
@@ -194,6 +207,28 @@ class JiffyController(ControlPlane):
                 max_servers=self.config.autoscale_max_servers,
                 controller=self,
             )
+        # Adaptive tiering (Jenga-style): the manager scans from tick(),
+        # promotes hot spill blocks toward DRAM and demotes cold DRAM
+        # blocks down the chain, with every copy a LOW-priority
+        # background task. Replicated deployments keep the static spill
+        # model — tier moves would bypass chain maintenance.
+        self.tier_manager: Optional[AdaptiveTierManager] = None
+        if isinstance(pool, TieredMemoryPool):
+            pool.bind_registry(self.telemetry)
+            if self.config.tiering == "adaptive" and self.replicator is None:
+                self.tier_manager = AdaptiveTierManager(
+                    pool,
+                    self.clock,
+                    self.background,
+                    promote_heat=self.config.tier_promote_heat,
+                    demote_heat=self.config.tier_demote_heat,
+                    dwell_s=self.config.tier_dwell_s,
+                    confirm_scans=self.config.tier_confirm_scans,
+                    scan_interval_s=self.config.tier_scan_interval_s,
+                    heat_decay=self.config.tier_heat_decay,
+                    registry=self.telemetry,
+                    on_move=self._tier_move_hook,
+                )
         # Optional flight recorder (see repro.telemetry.timeseries):
         # pumped from tick(), sampling runs as LOW-priority background
         # work — never inside a foreground op.
@@ -407,6 +442,11 @@ class JiffyController(ControlPlane):
         # async flush I/O drains under a steady tick cadence.
         if self.flight_sampler is not None:
             self.flight_sampler.pump(self.background)
+        # Tier-manager scan: decays heats and submits promotion/demotion
+        # copies as LOW background tasks, which the poll below (and every
+        # later tick) advances — movement never runs inside a client op.
+        if self.tier_manager is not None:
+            self.tier_manager.maybe_scan()
         self.background.poll(TICK_BACKGROUND_BUDGET)
         # Capacity autoscaling: pool-utilisation bands join/drain servers
         # as the trace replays (§3 footnote 4, Pocket policy).
@@ -479,6 +519,9 @@ class JiffyController(ControlPlane):
                 self.allocator.blocks_held_by(job_id)
             )
             reg.gauge("job.used_bytes", job=job_id).set(self.used_bytes(job_id))
+        sync = getattr(self.pool, "sync_telemetry", None)
+        if sync is not None:
+            sync()
 
     # ------------------------------------------------------------------
     # Block allocation (the §3.3 scale-up / scale-down path)
@@ -490,7 +533,9 @@ class JiffyController(ControlPlane):
         self._c_scale_up.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         self._check_not_expired(node)
-        return self.allocator.allocate(node)
+        block = self.allocator.allocate(node)
+        self._issue_block(block)
+        return block
 
     def try_allocate_block(self, job_id: str, prefix: str) -> Optional[Block]:
         """Like :meth:`allocate_block`, but None on pool exhaustion."""
@@ -498,7 +543,7 @@ class JiffyController(ControlPlane):
         self._c_scale_up.inc()
         node = self._hierarchy(job_id).get_node(prefix)
         self._check_not_expired(node)
-        return self.allocator.try_allocate(node)
+        return self._issue_block(self.allocator.try_allocate(node))
 
     def _check_not_expired(self, node: AddressNode) -> None:
         # Blocks allocated to an already-expired prefix would never be
@@ -539,6 +584,33 @@ class JiffyController(ControlPlane):
         while block_id in forwards:
             block_id = forwards[block_id]
         return block_id
+
+    def _forward_block(self, old_id: BlockId, new_id: BlockId) -> None:
+        """Record ``old_id -> new_id`` with path compression.
+
+        Entries already pointing at ``old_id`` are rewritten to
+        ``new_id`` so every chain stays one hop long. That matters once
+        ids can be *reused*: tier moves return DRAM blocks to the free
+        pool (unlike drains, whose server ids never come back), and
+        :meth:`_issue_block` deletes a reused id's own entry — a
+        multi-hop chain routed through it would silently re-route to
+        the wrong block.
+        """
+        for key, value in self._forwards.items():
+            if value == old_id:
+                self._forwards[key] = new_id
+        self._forwards[old_id] = new_id
+
+    def _issue_block(self, block: Optional[Block]) -> Optional[Block]:
+        """Hand out a freshly allocated block, clearing stale forwards.
+
+        A forward for this id belongs to a previous incarnation that
+        moved away; left in place it would shadow the new block on
+        every :meth:`get_block`.
+        """
+        if block is not None:
+            self._forwards.pop(block.block_id, None)
+        return block
 
     # ------------------------------------------------------------------
     # Elastic server membership (§3, §4.2.2; InfiniStore-style)
@@ -646,7 +718,7 @@ class JiffyController(ControlPlane):
                 if owner is not None:
                     node = self._hierarchy(owner[0]).get_node(owner[1])
                     self.allocator.rebind(node, block_id, new_head.block_id)
-                self._forwards[block_id] = new_head.block_id
+                self._forward_block(block_id, new_head.block_id)
                 repair_heads.append(new_head.block_id)
             elif owner is not None:
                 data_lost += 1
@@ -748,18 +820,45 @@ class JiffyController(ControlPlane):
             # Tiered spill fallback may ignore the exclusion set.
             self.pool.reclaim(new.block_id)
             return
+        self._issue_block(new)
         new.payload = old.payload
         new.mirror_used(old.used)
         new._sealed = old.sealed
         if self.replicator is not None:
             self.replicator.reattach(block_id, new)
         self.allocator.rebind(node, block_id, new.block_id)
-        self._forwards[block_id] = new.block_id
+        self._forward_block(block_id, new.block_id)
         self.pool.reclaim(block_id)
         self._c_migrated.inc()
         hook = getattr(node.datastructure, "_on_blocks_relocated", None)
         if hook is not None:
             hook([block_id])
+
+    def _tier_move_hook(self, old_id: BlockId, new: Block) -> None:
+        """Cut-over hook for the tier manager: rebind + forward.
+
+        Runs between the data copy and the old block's reclaim — the
+        same atomic sequence :meth:`_move_block` uses for drains, so a
+        client resolving the old id mid-move always lands on a block
+        holding the data. Unlike a drain, the vacated id returns to the
+        free pool, so the owning data structure's *internal* id
+        references are rewritten too (``_rebind_block``) — they must not
+        depend on a forward that dies when the id is reallocated.
+        """
+        self._issue_block(new)
+        self._forward_block(old_id, new.block_id)
+        try:
+            job_id, prefix = self.allocator.owner_of(old_id)
+        except BlockError:
+            return  # untracked block (standalone structure) — forwarded only
+        node = self._hierarchy(job_id).get_node(prefix)
+        self.allocator.rebind(node, old_id, new.block_id)
+        rebind = getattr(node.datastructure, "_rebind_block", None)
+        if rebind is not None:
+            rebind(old_id, new.block_id)
+        hook = getattr(node.datastructure, "_on_blocks_relocated", None)
+        if hook is not None:
+            hook([old_id])
 
     def _repair_step_for(self, primary_id: BlockId):
         def _repair() -> None:

@@ -167,6 +167,18 @@ class DataStructure:
         """
         self._bump_epoch("lost" if lost else "relocated")
 
+    def _rebind_block(self, old_id: str, new_id: str) -> None:
+        """Controller hook: one block's identity changed (tier move).
+
+        Drains forward old ids forever (a drained server's ids never
+        return), but a tier move frees the old id for reuse — any
+        *internal* reference the layout keeps to it must be rewritten,
+        not resolved through the forward table. Subclasses with
+        id-keyed layout state (file chunk lists, queue segment chains,
+        KV slot maps) override this; structures that only ever reach
+        blocks through ``node.block_ids`` need nothing.
+        """
+
     def _revive(self) -> None:
         self._expired = False
         # Reviving implies a fresh lease: clear the node's expired mark

@@ -81,6 +81,16 @@ class JiffyFile(DataStructure):
             self.job_id, self.prefix, chunks=list(self._chunks), size=self._size
         )
 
+    def _rebind_block(self, old_id: str, new_id: str) -> None:
+        """Tier move: rewrite the chunk table entry for the moved block."""
+        changed = False
+        for i, (block_id, start) in enumerate(self._chunks):
+            if block_id == old_id:
+                self._chunks[i] = (new_id, start)
+                changed = True
+        if changed:
+            self._sync_metadata()
+
     def _tail_block(self) -> Block:
         """The writable tail chunk, allocating/extending as needed."""
         if self._chunks:

@@ -170,6 +170,23 @@ class JiffyKVStore(DataStructure):
             num_slots=self.num_slots,
         )
 
+    def _rebind_block(self, old_id: str, new_id: str) -> None:
+        """Tier move: rewrite slot-map and migration references."""
+        changed = False
+        for slot, block_id in self._slot_map.items():
+            if block_id == old_id:
+                self._slot_map[slot] = new_id
+                changed = True
+        migration = self._migrations.pop(old_id, None)
+        if migration is not None:
+            if migration.source_id == old_id:
+                migration.source_id = new_id
+            if migration.target_id == old_id:
+                migration.target_id = new_id
+            self._migrations[new_id] = migration
+        if changed:
+            self._sync_metadata()
+
     def _init_block(self, slots: List[int]) -> Block:
         block = self._allocate_block()
         block.payload["table"] = CuckooHashTable()

@@ -78,6 +78,25 @@ class JiffyQueue(DataStructure):
             self.job_id, self.prefix, head=head, tail=tail
         )
 
+    def _rebind_block(self, old_id: str, new_id: str) -> None:
+        """Tier move: rewrite the segment chain entry for the moved block.
+
+        Segments also carry a ``payload["next"]`` pointer to their
+        successor's id, so the predecessor (if any) is patched too.
+        """
+        changed = False
+        for i, segment_id in enumerate(self._segments):
+            if segment_id != old_id:
+                continue
+            self._segments[i] = new_id
+            changed = True
+            if i > 0:
+                prev = self._get_block(self._segments[i - 1])
+                if prev.payload.get("next") == old_id:
+                    prev.payload["next"] = new_id
+        if changed:
+            self._sync_metadata()
+
     def _new_segment(self) -> Block:
         block = self._allocate_block()
         block.payload["items"] = []

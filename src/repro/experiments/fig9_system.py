@@ -74,6 +74,7 @@ def run(
     flight_out: Optional[str] = None,
     replication: int = 1,
     kill_server: bool = False,
+    tiering: str = "static",
 ) -> Fig9SystemResult:
     """Replay the workload at each DRAM capacity fraction.
 
@@ -93,6 +94,10 @@ def run(
     ``replication`` turns on chain replication at that factor;
     ``kill_server`` crashes one random server halfway through each
     replay (and joins a replacement) — the failure-injection smoke.
+
+    ``tiering="adaptive"`` runs the replay on a DRAM → PMem → SSD chain
+    with the adaptive tier manager promoting hot spill blocks back
+    toward DRAM (``"static"`` keeps the one-way SSD spill model).
     """
     jobs = _make_workload(seed, duration_s)
     # Peak concurrent demand defines the 100% point.
@@ -122,6 +127,7 @@ def run(
             kill_at_step=(
                 int(math.ceil(duration_s / dt)) // 2 if kill_server else None
             ),
+            tiering=tiering,
         )
         point.dram_fraction = fraction
         result.points.append(point)
@@ -153,5 +159,14 @@ def format_report(result: Fig9SystemResult) -> str:
         table += (
             f"\nfault injection: {kills} server(s) killed mid-replay, "
             f"{promoted} replica(s) promoted, {lost} block(s) of data lost"
+        )
+    tier_moves = sum(p.tier_promotions + p.tier_demotions for p in result.points)
+    if tier_moves:
+        aborts = sum(p.tier_thrash_aborts for p in result.points)
+        table += (
+            f"\nadaptive tiering: "
+            f"{sum(p.tier_promotions for p in result.points)} promotion(s), "
+            f"{sum(p.tier_demotions for p in result.points)} demotion(s), "
+            f"{aborts} thrash abort(s)"
         )
     return table

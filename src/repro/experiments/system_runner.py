@@ -37,7 +37,7 @@ from repro.core.plane import ControlPlane, make_control_plane
 from repro.errors import CapacityError
 from repro.experiments.driver import ActiveJobSet
 from repro.sim.clock import SimClock
-from repro.storage.tier import SSD_TIER
+from repro.storage.tier import SSD_TIER, TIER_BY_NAME, StorageTier
 from repro.workloads.snowflake import JobTrace
 
 #: Payload unit for Pocket bucket puts during replay.
@@ -74,13 +74,34 @@ class SystemRunPoint:
     kills: int = 0
     kill_promoted: int = 0
     kill_data_lost: int = 0
+    # Adaptive-tiering outcome (tiering="adaptive" replays only).
+    tier_promotions: int = 0
+    tier_demotions: int = 0
+    tier_thrash_aborts: int = 0
+
+
+def _spill_chain(config: Optional[JiffyConfig] = None) -> List[StorageTier]:
+    """The spill chain a replay's pools use.
+
+    Static tiering keeps the historical single-SSD spill model;
+    adaptive tiering runs the configured chain (PMem → SSD by default).
+    """
+    if config is None or config.tiering != "adaptive":
+        return [SSD_TIER]
+    return [TIER_BY_NAME[name] for name in config.tier_chain]
 
 
 def _make_tiered_pool(
-    dram_blocks: int, block_size: int, num_servers: int = 1
+    dram_blocks: int,
+    block_size: int,
+    num_servers: int = 1,
+    config: Optional[JiffyConfig] = None,
 ) -> TieredMemoryPool:
     pool = TieredMemoryPool(
-        block_size=block_size, spill_tier=SSD_TIER, spill_server_blocks=64
+        block_size=block_size,
+        tiers=_spill_chain(config),
+        spill_server_blocks=64,
+        tier_budgets=config.tier_budget_map() if config is not None else None,
     )
     num_servers = max(num_servers, 1)
     per_server = max(dram_blocks // num_servers, 1)
@@ -98,12 +119,14 @@ def _make_plane(
     sync_repartition: bool = False,
     registry=None,
     replication: int = 1,
+    tiering: str = "static",
 ) -> ControlPlane:
     """A control plane over tiered pool(s) sized to ``dram_blocks``."""
     config = JiffyConfig(
         block_size=block_size,
         async_repartition=not sync_repartition,
         replication_factor=replication,
+        tiering=tiering,
     )
     # Replication needs at least two DRAM servers per pool so chains
     # (and kill recovery) have somewhere to place the surviving replica.
@@ -118,8 +141,9 @@ def _make_plane(
         def pool_factory(index: int, cfg: JiffyConfig) -> TieredMemoryPool:
             pool = TieredMemoryPool(
                 block_size=cfg.block_size,
-                spill_tier=SSD_TIER,
+                tiers=_spill_chain(cfg),
                 spill_server_blocks=64,
+                tier_budgets=cfg.tier_budget_map(),
             )
             per_server = max(per_shard // servers_per_pool, 1)
             for j in range(servers_per_pool):
@@ -138,7 +162,7 @@ def _make_plane(
             registry=registry,
         )
     pool = _make_tiered_pool(
-        dram_blocks, block_size, num_servers=servers_per_pool
+        dram_blocks, block_size, num_servers=servers_per_pool, config=config
     )
     return make_control_plane(
         backend, config=config, clock=clock, pool=pool, registry=registry
@@ -156,6 +180,21 @@ def _pools_of(plane: ControlPlane) -> List[TieredMemoryPool]:
     return [plane.pool]  # type: ignore[attr-defined]
 
 
+def _tier_managers_of(plane: ControlPlane) -> List[object]:
+    """The adaptive tier manager(s) behind a plane, if any."""
+    shards = getattr(plane, "shards", None)
+    controllers = (
+        list(shards)
+        if shards is not None
+        else [getattr(plane, "_plane", plane)]
+    )
+    return [
+        c.tier_manager
+        for c in controllers
+        if getattr(c, "tier_manager", None) is not None
+    ]
+
+
 def replay_jiffy(
     jobs: Sequence[JobTrace],
     dram_blocks: int,
@@ -170,6 +209,7 @@ def replay_jiffy(
     flight_run: str = "run0",
     replication: int = 1,
     kill_at_step: Optional[int] = None,
+    tiering: str = "static",
 ) -> SystemRunPoint:
     """Replay ``jobs`` through the real Jiffy stack on a tiered pool.
 
@@ -185,6 +225,12 @@ def replay_jiffy(
     ``kill_at_step`` crashes one random server after that replay step —
     with ``replication >= 2`` the run must complete cleanly and report
     zero lost data (a replacement server joins right after the kill).
+
+    ``tiering="adaptive"`` swaps the static one-way SSD spill for the
+    configured tier chain (PMem → SSD) managed by the controller's
+    :class:`~repro.blocks.adaptive.AdaptiveTierManager`: hot spilled
+    blocks are promoted back toward DRAM between ticks, and spill
+    penalties charge each byte's *current* tier.
 
     With ``flight_out``, the replay is flight-recorded: a fresh registry
     is sampled every ``dt`` of sim time (per-tenant and per-server
@@ -222,6 +268,7 @@ def replay_jiffy(
             sync_repartition,
             registry=registry,
             replication=replication,
+            tiering=tiering,
         )
     except BaseException:
         if previous_tracer is not None:
@@ -232,8 +279,16 @@ def replay_jiffy(
         sampler = TimeSeriesSampler(registry, clock, interval_s=dt)
         attach_to_plane(plane, sampler)
 
-    def spilled_bytes() -> int:
-        return sum(pool.spilled_bytes() for pool in pools)
+    #: The spill chain, by tier name, for per-tier latency charging.
+    spill_tiers: Dict[str, StorageTier] = {
+        t.name: t for t in pools[0].tiers
+    }
+
+    def spill_bytes_by_tier() -> Dict[str, int]:
+        return {
+            name: sum(pool.tier_bytes(name) for pool in pools)
+            for name in spill_tiers
+        }
 
     def spilled_blocks() -> int:
         return sum(pool.spilled_blocks() for pool in pools)
@@ -280,34 +335,48 @@ def replay_jiffy(
                     target = int(stage.output_bytes * frac)
                     delta = target - written[key]
                     if delta > 0:
-                        spilled_before = spilled_bytes()
+                        spilled_before = spill_bytes_by_tier()
                         ds.append(b"x" * delta)
                         written[key] = target
-                        spill_delta = spilled_bytes() - spilled_before
-                        if spill_delta > 0:
-                            penalties[job.job_id] += SSD_TIER.write_latency(
-                                int(spill_delta * bytes_scale_up)
-                            )
-                            step_spill += spill_delta
-                # Consumer reads the previous stage's output; spilled
-                # fraction of those blocks pays SSD read latency.
+                        # Bytes newly landed on each spill tier pay that
+                        # tier's device write latency (one tier, SSD,
+                        # under static tiering — the historical model).
+                        for name, after in spill_bytes_by_tier().items():
+                            tier_delta = after - spilled_before[name]
+                            if tier_delta > 0:
+                                penalties[job.job_id] += spill_tiers[
+                                    name
+                                ].write_latency(
+                                    int(tier_delta * bytes_scale_up)
+                                )
+                                step_spill += tier_delta
+                # Consumer reads the previous stage's output; the
+                # fraction resident on each spill tier pays that tier's
+                # read latency — promotions move bytes out of the
+                # penalized fractions between steps.
                 if i + 1 < len(job.stages):
                     consumer = job.stages[i + 1]
                     if consumer.start <= now < consumer.end:
                         blocks = ds.blocks()
                         if blocks:
-                            spilled = sum(
-                                b.used for b in blocks if b.tier != "dram"
-                            )
                             read_bytes = int(
                                 stage.output_bytes * dt / consumer.duration
                             )
-                            spill_frac = spilled / max(
-                                sum(b.used for b in blocks), 1
-                            )
-                            if spill_frac > 0:
-                                penalties[job.job_id] += SSD_TIER.read_latency(
-                                    int(read_bytes * spill_frac * bytes_scale_up)
+                            total = max(sum(b.used for b in blocks), 1)
+                            by_tier: Dict[str, int] = {}
+                            for b in blocks:
+                                if b.tier != "dram":
+                                    by_tier[b.tier] = (
+                                        by_tier.get(b.tier, 0) + b.used
+                                    )
+                            for name, nbytes in by_tier.items():
+                                tier = spill_tiers.get(name, SSD_TIER)
+                                penalties[job.job_id] += tier.read_latency(
+                                    int(
+                                        read_bytes
+                                        * (nbytes / total)
+                                        * bytes_scale_up
+                                    )
                                 )
             # Keep the running stage's lease fresh (propagates to the
             # consumer's inputs). One bulk renewal per job per step —
@@ -391,6 +460,7 @@ def replay_jiffy(
     slowdowns = [
         1.0 + penalties[job.job_id] / max(job.duration, 1e-9) for job in jobs
     ]
+    managers = _tier_managers_of(plane)
     return SystemRunPoint(
         dram_fraction=0.0,  # filled by caller
         avg_slowdown=float(np.mean(slowdowns)),
@@ -399,6 +469,9 @@ def replay_jiffy(
         kills=kills,
         kill_promoted=kill_promoted,
         kill_data_lost=kill_data_lost,
+        tier_promotions=sum(m.promotions for m in managers),
+        tier_demotions=sum(m.demotions for m in managers),
+        tier_thrash_aborts=sum(m.thrash_aborts for m in managers),
     )
 
 
@@ -552,6 +625,7 @@ def replay_system(
     flight_run: str = "run0",
     replication: int = 1,
     kill_at_step: Optional[int] = None,
+    tiering: str = "static",
 ) -> SystemRunPoint:
     """Replay ``jobs`` through one functional system at one capacity.
 
@@ -577,6 +651,7 @@ def replay_system(
             flight_run=flight_run,
             replication=replication,
             kill_at_step=kill_at_step,
+            tiering=tiering,
         )
     if system == "pocket":
         return replay_pocket(

@@ -35,6 +35,7 @@ class TierKind(enum.Enum):
     """Broad class of a storage tier, used by allocation policies."""
 
     MEMORY = "memory"
+    PMEM = "pmem"
     SSD = "ssd"
     OBJECT_STORE = "object_store"
     KV_SERVICE = "kv_service"
@@ -85,25 +86,49 @@ class StorageTier:
         self._check_size(size_bytes)
         return self.write_base_s + size_bytes / self.write_bw_bps
 
+    def _model(self, attr: str, base_s: float, bw_bps: float) -> LogNormalLatency:
+        # The jitter models are pure functions of the (frozen) tier
+        # parameters, so they are built once and memoised on the
+        # instance; constructing one per sample dominated the sampling
+        # cost itself (see the telemetry-overhead benchmark).
+        model = self.__dict__.get(attr)
+        if model is None:
+            model = LogNormalLatency(base_s, bw_bps, sigma=self.sigma)
+            object.__setattr__(self, attr, model)
+        return model
+
+    def _sample(
+        self,
+        model: LogNormalLatency,
+        size_bytes: int,
+        rng: Optional[random.Random],
+    ) -> float:
+        if rng is None:
+            return model.sample(size_bytes)
+        # Callers that pass their own rng (the fig 11/13 drivers) must
+        # draw from *that* stream; swap it in for the single sample.
+        default_rng = model.rng
+        model.rng = rng
+        try:
+            return model.sample(size_bytes)
+        finally:
+            model.rng = default_rng
+
     def sample_read_latency(
         self, size_bytes: int, rng: Optional[random.Random] = None
     ) -> float:
         """Jittered read-latency sample."""
         self._check_size(size_bytes)
-        model = LogNormalLatency(
-            self.read_base_s, self.read_bw_bps, sigma=self.sigma, rng=rng
-        )
-        return model.sample(size_bytes)
+        model = self._model("_read_model", self.read_base_s, self.read_bw_bps)
+        return self._sample(model, size_bytes, rng)
 
     def sample_write_latency(
         self, size_bytes: int, rng: Optional[random.Random] = None
     ) -> float:
         """Jittered write-latency sample."""
         self._check_size(size_bytes)
-        model = LogNormalLatency(
-            self.write_base_s, self.write_bw_bps, sigma=self.sigma, rng=rng
-        )
-        return model.sample(size_bytes)
+        model = self._model("_write_model", self.write_base_s, self.write_bw_bps)
+        return self._sample(model, size_bytes, rng)
 
     def read_throughput_mbps(self, size_bytes: int) -> float:
         """Single synchronous client read throughput in MB/s."""
@@ -141,6 +166,22 @@ DRAM_TIER = StorageTier(
     write_base_s=220e-6,
     read_bw_bps=_gbps(8.0),
     write_bw_bps=_gbps(8.0),
+)
+
+# Persistent memory (Optane DCPMM App-Direct class), calibrated from the
+# VT persistent-memory paper's position between DRAM and flash: a few
+# hundred ns of extra media latency amortised behind the same NIC path
+# as DRAM (so the *base* is only modestly above DRAM's), with ~2-3 GB/s
+# sustained read and ~1-1.5 GB/s write bandwidth per DIMM set. Reads are
+# ~1.4x DRAM at block granularity; writes are asymmetric (the write
+# path is the slow side of PMem media).
+PMEM_TIER = StorageTier(
+    name="PMem",
+    kind=TierKind.PMEM,
+    read_base_s=280e-6,
+    write_base_s=350e-6,
+    read_bw_bps=2.5e9,
+    write_bw_bps=1.2e9,
 )
 
 SSD_TIER = StorageTier(
@@ -224,4 +265,9 @@ SIX_SYSTEMS: Tuple[StorageTier, ...] = (
 #: Quick lookup by name for the experiment drivers.
 TIER_BY_NAME: Dict[str, StorageTier] = {t.name: t for t in SIX_SYSTEMS}
 TIER_BY_NAME["DRAM"] = DRAM_TIER
+TIER_BY_NAME["PMem"] = PMEM_TIER
 TIER_BY_NAME["SSD"] = SSD_TIER
+
+#: Default in-cluster demotion chain for the adaptive tier manager:
+#: DRAM spills to PMem, PMem overflows to SSD.
+DEFAULT_TIER_CHAIN: Tuple[StorageTier, ...] = (PMEM_TIER, SSD_TIER)

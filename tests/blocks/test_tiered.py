@@ -6,9 +6,10 @@ from repro.blocks.tiered import TieredMemoryPool
 from repro.config import KB, JiffyConfig
 from repro.core.client import connect
 from repro.core.controller import JiffyController
-from repro.errors import BlockError
+from repro.errors import BlockError, CapacityError
 from repro.sim.clock import SimClock
-from repro.storage.tier import S3_TIER, SSD_TIER
+from repro.storage.tier import PMEM_TIER, S3_TIER, SSD_TIER
+from repro.telemetry.registry import MetricsRegistry
 
 
 @pytest.fixture
@@ -65,6 +66,130 @@ class TestTieredAllocation:
     def test_bad_spill_server_blocks(self):
         with pytest.raises(BlockError):
             TieredMemoryPool(block_size=10, spill_server_blocks=0)
+
+    def test_chain_walks_tiers_in_order(self):
+        pool = TieredMemoryPool(
+            block_size=100,
+            tiers=(PMEM_TIER, SSD_TIER),
+            spill_server_blocks=4,
+            tier_budgets={"PMem": 200},  # two PMem blocks, then SSD
+        )
+        tiers = [pool.allocate().tier for _ in range(4)]
+        assert tiers == ["PMem", "PMem", "SSD", "SSD"]
+
+    def test_allocate_on_targets_one_tier(self):
+        pool = TieredMemoryPool(
+            block_size=100, tiers=(PMEM_TIER, SSD_TIER), spill_server_blocks=4
+        )
+        pool.add_server(num_blocks=1, server_id="dram0")
+        assert pool.allocate_on("dram").tier == "dram"
+        assert pool.allocate_on("SSD").tier == "SSD"  # no PMem fallback
+        with pytest.raises(CapacityError):
+            pool.allocate_on("dram")  # DRAM full: no spill fallback
+        with pytest.raises(BlockError):
+            pool.allocate_on("HDD")  # not in the chain
+
+    def test_allocate_on_respects_budget(self):
+        pool = TieredMemoryPool(
+            block_size=100,
+            tiers=(PMEM_TIER, SSD_TIER),
+            spill_server_blocks=4,
+            tier_budgets={"PMem": 100},
+        )
+        pool.allocate_on("PMem")
+        with pytest.raises(CapacityError):
+            pool.allocate_on("PMem")
+
+
+class TestSpillServerRelease:
+    def test_empty_spill_server_is_released(self, pool):
+        pool.allocate()
+        pool.allocate()
+        spill = pool.allocate()
+        assert pool.allocated_bytes() == 300
+        pool.reclaim(spill.block_id)
+        # The spill server's last block freed: the server goes away and
+        # allocated_bytes drops back to live DRAM, not the high-water
+        # mark.
+        assert pool.spill_servers_released == 1
+        assert pool.spilled_blocks() == 0
+        assert pool.allocated_bytes() == 200
+        # A later overflow provisions a fresh server transparently.
+        assert pool.allocate().tier == "SSD"
+
+    def test_release_waits_for_last_block(self, pool):
+        pool.allocate()
+        pool.allocate()
+        s1 = pool.allocate()
+        s2 = pool.allocate()  # same 4-block spill server
+        pool.reclaim(s1.block_id)
+        assert pool.spill_servers_released == 0
+        pool.reclaim(s2.block_id)
+        assert pool.spill_servers_released == 1
+
+
+class TestTierHeadroom:
+    def test_dram_headroom_is_free_blocks(self, pool):
+        assert pool.tier_headroom("dram") == 2
+        pool.allocate()
+        assert pool.tier_headroom("dram") == 1
+
+    def test_unbounded_tier_has_no_headroom_figure(self, pool):
+        assert pool.tier_headroom("SSD") is None
+
+    def test_budgeted_tier_headroom_counts_down(self):
+        pool = TieredMemoryPool(
+            block_size=100,
+            tiers=(PMEM_TIER, SSD_TIER),
+            spill_server_blocks=4,
+            tier_budgets={"PMem": 300},
+        )
+        assert pool.tier_headroom("PMem") == 3
+        block = pool.allocate()
+        assert pool.tier_headroom("PMem") == 2
+        pool.reclaim(block.block_id)
+        assert pool.tier_headroom("PMem") == 3
+
+    def test_unknown_tier_rejected(self, pool):
+        with pytest.raises(BlockError):
+            pool.tier_headroom("HDD")
+
+
+class TestRegistryTelemetry:
+    def test_spill_metrics_mirrored_to_registry(self, pool):
+        registry = MetricsRegistry()
+        pool.bind_registry(registry)
+        pool.allocate()
+        pool.allocate()
+        spill = pool.allocate()
+        spill.set_used(40)
+        pool.sync_telemetry()
+        assert registry.counter("pool.spill_allocations").value == 1
+        assert registry.gauge("pool.spilled_blocks").value == 1
+        assert registry.gauge("pool.spilled_bytes").value == 40
+        assert registry.gauge("tier.residency", tier="dram").value == 2
+        assert registry.gauge("tier.residency", tier="SSD").value == 1
+
+    def test_release_counter_reaches_registry(self, pool):
+        registry = MetricsRegistry()
+        pool.bind_registry(registry)
+        pool.allocate()
+        pool.allocate()
+        spill = pool.allocate()
+        pool.reclaim(spill.block_id)
+        pool.sync_telemetry()
+        assert registry.counter("pool.spill_servers_released").value == 1
+        assert registry.gauge("pool.spilled_blocks").value == 0
+
+    def test_sync_is_idempotent(self, pool):
+        registry = MetricsRegistry()
+        pool.bind_registry(registry)
+        pool.allocate()
+        pool.allocate()
+        pool.allocate()
+        pool.sync_telemetry()
+        pool.sync_telemetry()  # counters must not double-count
+        assert registry.counter("pool.spill_allocations").value == 1
 
 
 class TestAccessLatency:

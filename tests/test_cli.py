@@ -29,6 +29,7 @@ class TestParser:
             "fig9",
             "fig9sys",
             "fig10",
+            "fig10tier",
             "fig11a",
             "fig11b",
             "fig12",
